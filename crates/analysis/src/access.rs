@@ -1,0 +1,462 @@
+//! Collection of array accesses inside a loop body.
+//!
+//! For each array reference the collector records the symbolic subscript
+//! vector (with known scalar values substituted in), whether it reads or
+//! writes, the guard depth (number of enclosing IFs inside the loop —
+//! the multifunctionality dimension), and conversion features
+//! (indirection, opaque calls). Remaining CALL statements, I/O, and
+//! control-flow escapes are reported so the dependence driver can treat
+//! them appropriately.
+
+use apar_minifort::ast::{Block, Expr as Ast, Stmt, StmtKind};
+use apar_minifort::{ResolvedProgram, StmtId};
+use apar_symbolic::Expr;
+
+/// Does `rhs` mention any tainted scalar?
+fn rhs_mentions_tainted(
+    rhs: &Ast,
+    rp: &ResolvedProgram,
+    unit: &str,
+    sym: &mut SymMap,
+    tainted: &std::collections::HashSet<apar_symbolic::VarId>,
+) -> bool {
+    let mut names = Vec::new();
+    rhs.walk(&mut |e| {
+        if let Ast::Name(n) = e {
+            names.push(n.clone());
+        }
+    });
+    names
+        .iter()
+        .any(|n| tainted.contains(&sym.var(rp, unit, n)))
+}
+
+/// Scalar names assigned anywhere in a block (incl. READ targets and DO
+/// variables).
+fn collect_assigned_names(b: &Block, out: &mut Vec<String>) {
+    b.walk_stmts(&mut |s| match &s.kind {
+        StmtKind::Assign { lhs: Ast::Name(n), .. } => out.push(n.clone()),
+        StmtKind::Do { var, .. } => out.push(var.clone()),
+        StmtKind::Read { items } => {
+            for it in items {
+                if let Some(n) = it.lvalue_name() {
+                    out.push(n.to_string());
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+use crate::ranges::ScalarState;
+use crate::symx::{ExprFeatures, SymMap};
+
+/// Read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// One array element access.
+#[derive(Clone, Debug)]
+pub struct ArrayAccess {
+    /// The array's name in this unit.
+    pub array: String,
+    /// Symbolic subscripts after value substitution.
+    pub subs: Vec<Expr>,
+    pub kind: AccessKind,
+    pub stmt: StmtId,
+    /// Number of IF statements between the loop header and this access.
+    pub guard_depth: usize,
+    /// Features of the subscript expressions.
+    pub features: ExprFeatures,
+    /// Raw AST subscripts (kept for privatization's coverage check).
+    pub ast_subs: Vec<Ast>,
+    /// Chain of enclosing IF arms inside the loop: `(if_stmt, arm_index)`
+    /// with `usize::MAX` for the ELSE block. Two accesses whose paths
+    /// share an IF with different arms are mutually exclusive — usable
+    /// only under the guarded-regions capability.
+    pub guard_path: Vec<(StmtId, usize)>,
+}
+
+impl ArrayAccess {
+    /// True when the two accesses are on provably exclusive control
+    /// paths (different arms of one IF).
+    pub fn mutually_exclusive(&self, other: &ArrayAccess) -> bool {
+        for &(ifa, arma) in &self.guard_path {
+            for &(ifb, armb) in &other.guard_path {
+                if ifa == ifb && arma != armb {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A call left inside the loop body (after any inlining).
+#[derive(Clone, Debug)]
+pub struct LoopCall {
+    pub callee: String,
+    pub stmt: StmtId,
+    pub args: Vec<Ast>,
+    /// Scalar facts at the call site (entry facts plus forward
+    /// substitution) — section bases like `OTRA(IOFF + 1)` resolve
+    /// through assignments earlier in the body.
+    pub state_at: ScalarState,
+}
+
+/// Everything the dependence test needs about one loop body.
+#[derive(Clone, Debug, Default)]
+pub struct LoopAccesses {
+    pub accesses: Vec<ArrayAccess>,
+    /// Scalar variables assigned in the body `(name, stmt, guard_depth)`.
+    pub scalar_writes: Vec<(String, StmtId, usize)>,
+    /// Scalar variables read in the body.
+    pub scalar_reads: Vec<(String, StmtId)>,
+    pub calls: Vec<LoopCall>,
+    /// The body performs READ/WRITE I/O.
+    pub has_io: bool,
+    /// The body can jump out or stop (GOTO/RETURN/STOP).
+    pub has_escape: bool,
+    /// Inner DO loops `(stmt, var, lo, hi)` in AST form.
+    pub inner_loops: Vec<(StmtId, String, Ast, Ast)>,
+}
+
+/// Collects accesses in `body` (the body of a DO loop in `unit`).
+///
+/// The walk is position-sensitive: unconditional scalar assignments are
+/// *forward-substituted* into later subscripts (Polaris's forward
+/// substitution), so `IOFF = (ITR-1)*NSAMP` followed by `A(IOFF + IS)`
+/// yields the composed subscript.
+pub fn collect(
+    rp: &ResolvedProgram,
+    unit: &str,
+    body: &Block,
+    sym: &mut SymMap,
+    state: &ScalarState,
+) -> LoopAccesses {
+    let mut out = LoopAccesses::default();
+    let mut cx = Collector {
+        rp,
+        unit,
+        sym,
+        local: state.clone(),
+        tainted: std::collections::HashSet::new(),
+        guard_path: Vec::new(),
+    };
+    cx.block(body, 0, &mut out);
+    out
+}
+
+struct Collector<'a> {
+    rp: &'a ResolvedProgram,
+    unit: &'a str,
+    sym: &'a mut SymMap,
+    /// Entry facts plus forward-substituted scalar values.
+    local: ScalarState,
+    /// Scalars whose current value came through an array element
+    /// (`J = IBR(I)`): subscripts using them are indirect accesses.
+    tainted: std::collections::HashSet<apar_symbolic::VarId>,
+    guard_path: Vec<(StmtId, usize)>,
+}
+
+impl Collector<'_> {
+    fn block(&mut self, b: &Block, guard: usize, out: &mut LoopAccesses) {
+        for s in &b.stmts {
+            self.stmt(s, guard, out);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, guard: usize, out: &mut LoopAccesses) {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                match lhs {
+                    Ast::Index { .. } => {
+                        self.expr(lhs, AccessKind::Write, s.id, guard, out);
+                    }
+                    Ast::Name(n)
+                        if !self.rp.tables[self.unit].is_array(n) => {
+                            out.scalar_writes.push((n.clone(), s.id, guard));
+                        }
+                    _ => {}
+                }
+                self.expr(rhs, AccessKind::Read, s.id, guard, out);
+                // Forward substitution for unconditional integer-scalar
+                // assignments; anything else kills the fact.
+                if let Ast::Name(n) = lhs {
+                    let table = &self.rp.tables[self.unit];
+                    let v = self.sym.var(self.rp, self.unit, n);
+                    self.local.kill(v);
+                    self.tainted.remove(&v);
+                    if !table.is_array(n) && table.type_of(n) == apar_minifort::Ty::Integer {
+                        let mut f = ExprFeatures::default();
+                        let e = self.sym.expr(self.rp, self.unit, rhs, &mut f);
+                        let e = self.local.substitute(&e);
+                        if f.indirection
+                            || rhs_mentions_tainted(rhs, self.rp, self.unit, self.sym, &self.tainted)
+                        {
+                            // The scalar now carries an array-dependent
+                            // value: uses of it in subscripts are
+                            // subscripted subscripts.
+                            self.tainted.insert(v);
+                        } else if guard == 0 && !e.has_unknown() && !e.vars().contains(&v) {
+                            self.local.values.insert(v, e);
+                        }
+                    }
+                }
+            }
+            StmtKind::If { arms, else_blk } => {
+                for (i, (c, b)) in arms.iter().enumerate() {
+                    self.expr(c, AccessKind::Read, s.id, guard, out);
+                    self.guard_path.push((s.id, i));
+                    self.block(b, guard + 1, out);
+                    self.guard_path.pop();
+                }
+                if let Some(b) = else_blk {
+                    self.guard_path.push((s.id, usize::MAX));
+                    self.block(b, guard + 1, out);
+                    self.guard_path.pop();
+                }
+                // Conditional assignments invalidate forward facts.
+                let mut assigned: Vec<String> = Vec::new();
+                for (_, b) in arms {
+                    collect_assigned_names(b, &mut assigned);
+                }
+                if let Some(b) = else_blk {
+                    collect_assigned_names(b, &mut assigned);
+                }
+                for n in assigned {
+                    let v = self.sym.var(self.rp, self.unit, &n);
+                    self.local.kill(v);
+                }
+            }
+            StmtKind::Do {
+                var, lo, hi, body, ..
+            } => {
+                out.inner_loops
+                    .push((s.id, var.clone(), lo.clone(), hi.clone()));
+                out.scalar_writes.push((var.clone(), s.id, guard));
+                self.expr(lo, AccessKind::Read, s.id, guard, out);
+                self.expr(hi, AccessKind::Read, s.id, guard, out);
+                // The inner loop variable varies inside; names assigned
+                // in the body are invalid afterwards.
+                let vvar = self.sym.var(self.rp, self.unit, var);
+                self.local.kill(vvar);
+                self.block(body, guard, out);
+                let mut assigned: Vec<String> = vec![var.clone()];
+                collect_assigned_names(body, &mut assigned);
+                for n in assigned {
+                    let v = self.sym.var(self.rp, self.unit, &n);
+                    self.local.kill(v);
+                }
+            }
+            StmtKind::DoWhile { cond, body } => {
+                self.expr(cond, AccessKind::Read, s.id, guard, out);
+                self.block(body, guard, out);
+                let mut assigned: Vec<String> = Vec::new();
+                collect_assigned_names(body, &mut assigned);
+                for n in assigned {
+                    let v = self.sym.var(self.rp, self.unit, &n);
+                    self.local.kill(v);
+                }
+            }
+            StmtKind::Call { name, args } => {
+                out.calls.push(LoopCall {
+                    callee: name.clone(),
+                    stmt: s.id,
+                    args: args.clone(),
+                    state_at: self.local.clone(),
+                });
+                for a in args {
+                    // Subscripts of section actuals are reads; whole-name
+                    // actuals are handled by the call summary.
+                    if let Ast::Index { subs, .. } = a {
+                        for sub in subs {
+                            self.expr(sub, AccessKind::Read, s.id, guard, out);
+                        }
+                    } else if !matches!(a, Ast::Name(_)) {
+                        self.expr(a, AccessKind::Read, s.id, guard, out);
+                    }
+                }
+                // Calls may clobber anything: drop all forward facts but
+                // keep the entry ranges.
+                self.local.values.clear();
+            }
+            StmtKind::Read { items } => {
+                out.has_io = true;
+                for it in items {
+                    if let Some(n) = it.lvalue_name() {
+                        let v = self.sym.var(self.rp, self.unit, n);
+                        self.local.kill(v);
+                    }
+                }
+            }
+            StmtKind::Write { .. } => {
+                out.has_io = true;
+            }
+            StmtKind::Goto(_) | StmtKind::Return | StmtKind::Stop => {
+                out.has_escape = true;
+            }
+            StmtKind::Continue => {}
+        }
+    }
+
+    fn expr(&mut self, e: &Ast, kind: AccessKind, stmt: StmtId, guard: usize, out: &mut LoopAccesses) {
+        match e {
+            Ast::Index { name, subs } => {
+                let mut features = ExprFeatures::default();
+                let sym_subs: Vec<Expr> = subs
+                    .iter()
+                    .map(|sub| {
+                        let raw = self.sym.expr(self.rp, self.unit, sub, &mut features);
+                        let raw = self.local.substitute(&raw);
+                        if raw.vars().iter().any(|v| self.tainted.contains(v)) {
+                            features.indirection = true;
+                        }
+                        raw
+                    })
+                    .collect();
+                out.accesses.push(ArrayAccess {
+                    array: name.clone(),
+                    subs: sym_subs,
+                    kind,
+                    stmt,
+                    guard_depth: guard,
+                    features,
+                    ast_subs: subs.clone(),
+                    guard_path: self.guard_path.clone(),
+                });
+                // Subscript expressions are themselves reads.
+                for sub in subs {
+                    self.expr(sub, AccessKind::Read, stmt, guard, out);
+                }
+            }
+            Ast::Name(n)
+                if !self.rp.tables[self.unit].is_array(n) => {
+                    out.scalar_reads.push((n.clone(), stmt));
+                }
+            Ast::CallF { args, .. } | Ast::Sub { args, .. } => {
+                for a in args {
+                    self.expr(a, AccessKind::Read, stmt, guard, out);
+                }
+            }
+            Ast::Bin(_, l, r) => {
+                self.expr(l, AccessKind::Read, stmt, guard, out);
+                self.expr(r, AccessKind::Read, stmt, guard, out);
+            }
+            Ast::Un(_, i) => {
+                self.expr(i, AccessKind::Read, stmt, guard, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn collect_first_loop(src: &str) -> LoopAccesses {
+        let rp = frontend(src).expect("frontend");
+        let unit = rp.main_unit().expect("main").name.clone();
+        let mut sym = SymMap::new();
+        let mut body = None;
+        rp.unit(&unit).unwrap().body.walk_stmts(&mut |s| {
+            if body.is_none() {
+                if let StmtKind::Do { body: b, .. } = &s.kind {
+                    body = Some(b.clone());
+                }
+            }
+        });
+        let state = ScalarState::default();
+        collect(&rp, &unit, &body.expect("loop"), &mut sym, &state)
+    }
+
+    #[test]
+    fn reads_and_writes_recorded() {
+        let la = collect_first_loop(
+            "PROGRAM P\nREAL A(10), B(10)\nDO I = 1, 10\nA(I) = B(I) + B(I + 1)\nENDDO\nEND\n",
+        );
+        let writes: Vec<_> = la
+            .accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .collect();
+        let reads: Vec<_> = la
+            .accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Read)
+            .collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].array, "A");
+        assert_eq!(reads.len(), 2);
+        assert!(reads.iter().all(|r| r.array == "B"));
+    }
+
+    #[test]
+    fn guard_depth_counts_ifs() {
+        let la = collect_first_loop(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nIF (X .GT. 0.0) THEN\nA(I) = 1.0\nENDIF\nENDDO\nEND\n",
+        );
+        let w = la
+            .accesses
+            .iter()
+            .find(|a| a.kind == AccessKind::Write)
+            .unwrap();
+        assert_eq!(w.guard_depth, 1);
+    }
+
+    #[test]
+    fn indirection_detected() {
+        let la = collect_first_loop(
+            "PROGRAM P\nREAL A(10)\nINTEGER IA(10)\nDO I = 1, 10\nA(IA(I)) = 1.0\nENDDO\nEND\n",
+        );
+        let w = la
+            .accesses
+            .iter()
+            .find(|a| a.kind == AccessKind::Write && a.array == "A")
+            .unwrap();
+        assert!(w.features.indirection);
+        // IA(I) itself is also recorded as a read.
+        assert!(la
+            .accesses
+            .iter()
+            .any(|a| a.array == "IA" && a.kind == AccessKind::Read));
+    }
+
+    #[test]
+    fn io_and_escape_flags() {
+        let la = collect_first_loop(
+            "PROGRAM P\nDO I = 1, 10\nWRITE(*,*) I\nIF (I .GT. 5) GOTO 99\nENDDO\n99 CONTINUE\nEND\n",
+        );
+        assert!(la.has_io);
+        assert!(la.has_escape);
+    }
+
+    #[test]
+    fn calls_and_inner_loops_listed() {
+        let la = collect_first_loop(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nDO J = 1, 5\nA(J) = 0.0\nENDDO\nCALL FOO(A, I)\nENDDO\nEND\nSUBROUTINE FOO(X, K)\nREAL X(*)\nEND\n",
+        );
+        assert_eq!(la.calls.len(), 1);
+        assert_eq!(la.calls[0].callee, "FOO");
+        assert_eq!(la.inner_loops.len(), 1);
+        assert_eq!(la.inner_loops[0].1, "J");
+    }
+
+    #[test]
+    fn scalar_reads_and_writes() {
+        let la = collect_first_loop(
+            "PROGRAM P\nDO I = 1, 10\nT = I * 2.0\nS = S + T\nENDDO\nEND\n",
+        );
+        let wnames: Vec<_> = la.scalar_writes.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(wnames.contains(&"T"));
+        assert!(wnames.contains(&"S"));
+        let rnames: Vec<_> = la.scalar_reads.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(rnames.contains(&"T"));
+        assert!(rnames.contains(&"S"));
+    }
+}

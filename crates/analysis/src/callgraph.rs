@@ -1,0 +1,354 @@
+//! The program call graph.
+//!
+//! Nodes are program units; edges record every call site together with
+//! the loop depth it occurs at (needed for the Figure 4 nesting metrics,
+//! which count subroutines and loops *along the deepest call-graph
+//! path*). Function references (`Expr::CallF`) count as calls when they
+//! name a defined unit.
+
+use std::collections::{HashMap, HashSet};
+
+use apar_minifort::ast::{Expr, Stmt, StmtKind, Unit};
+use apar_minifort::resolve::is_intrinsic;
+use apar_minifort::{ResolvedProgram, StmtId};
+
+/// One call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    pub caller: String,
+    pub callee: String,
+    pub stmt: StmtId,
+    /// Number of loops enclosing the call site within the caller.
+    pub loop_depth: usize,
+}
+
+/// The call graph of a resolved program.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    pub sites: Vec<CallSite>,
+    callees: HashMap<String, Vec<usize>>, // unit -> site indices
+    callers: HashMap<String, Vec<usize>>,
+    units: Vec<String>,
+}
+
+impl CallGraph {
+    /// Builds the call graph. Calls to undefined names (true externals)
+    /// are kept as edges to leaf nodes.
+    pub fn build(rp: &ResolvedProgram) -> Self {
+        let defined: HashSet<&str> = rp.program.units.iter().map(|u| u.name.as_str()).collect();
+        let mut cg = CallGraph {
+            units: rp.program.units.iter().map(|u| u.name.clone()).collect(),
+            ..Default::default()
+        };
+        for unit in &rp.program.units {
+            collect_unit(unit, &defined, &mut cg);
+        }
+        for (i, s) in cg.sites.iter().enumerate() {
+            cg.callees.entry(s.caller.clone()).or_default().push(i);
+            cg.callers.entry(s.callee.clone()).or_default().push(i);
+        }
+        cg
+    }
+
+    /// All units in program order.
+    pub fn units(&self) -> &[String] {
+        &self.units
+    }
+
+    /// Call sites within `unit`.
+    pub fn calls_from<'a>(&'a self, unit: &str) -> impl Iterator<Item = &'a CallSite> {
+        self.callees
+            .get(unit)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.sites[i])
+    }
+
+    /// Call sites targeting `unit`.
+    pub fn calls_to<'a>(&'a self, unit: &str) -> impl Iterator<Item = &'a CallSite> {
+        self.callers
+            .get(unit)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.sites[i])
+    }
+
+    /// Units reachable from `root` (inclusive).
+    pub fn reachable(&self, root: &str) -> HashSet<String> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![root.to_string()];
+        while let Some(u) = stack.pop() {
+            if !seen.insert(u.clone()) {
+                continue;
+            }
+            for s in self.calls_from(&u) {
+                stack.push(s.callee.clone());
+            }
+        }
+        seen
+    }
+
+    /// Longest call-chain length from `root` to each unit (root = 0).
+    /// Paths through cycles are cut at first revisit.
+    pub fn call_depths(&self, root: &str) -> HashMap<String, usize> {
+        let mut best: HashMap<String, usize> = HashMap::new();
+        let mut path: Vec<String> = Vec::new();
+        self.dfs_depth(root, 0, &mut path, &mut best);
+        best
+    }
+
+    fn dfs_depth(
+        &self,
+        u: &str,
+        d: usize,
+        path: &mut Vec<String>,
+        best: &mut HashMap<String, usize>,
+    ) {
+        if path.iter().any(|p| p == u) || d > 64 {
+            return;
+        }
+        let e = best.entry(u.to_string()).or_insert(d);
+        if d > *e {
+            *e = d;
+        }
+        path.push(u.to_string());
+        for s in self.calls_from(u) {
+            self.dfs_depth(&s.callee, d + 1, path, best);
+        }
+        path.pop();
+    }
+
+    /// Longest accumulated loop depth along any call path from `root`
+    /// to each unit's entry (loops enclosing each call site en route).
+    pub fn loop_depths_from(&self, root: &str) -> HashMap<String, usize> {
+        let mut best: HashMap<String, usize> = HashMap::new();
+        let mut path: Vec<String> = Vec::new();
+        self.dfs_loops(root, 0, &mut path, &mut best);
+        best
+    }
+
+    fn dfs_loops(
+        &self,
+        u: &str,
+        acc: usize,
+        path: &mut Vec<String>,
+        best: &mut HashMap<String, usize>,
+    ) {
+        if path.iter().any(|p| p == u) || path.len() > 64 {
+            return;
+        }
+        let e = best.entry(u.to_string()).or_insert(acc);
+        if acc > *e {
+            *e = acc;
+        }
+        path.push(u.to_string());
+        for s in self.calls_from(u) {
+            self.dfs_loops(&s.callee, acc + s.loop_depth, path, best);
+        }
+        path.pop();
+    }
+
+    /// Bottom-up order (callees before callers); units in cycles appear
+    /// in arbitrary relative order.
+    pub fn bottom_up(&self) -> Vec<String> {
+        let mut order = Vec::new();
+        let mut state: HashMap<&str, u8> = HashMap::new(); // 1 = visiting, 2 = done
+        for u in &self.units {
+            self.post(u, &mut state, &mut order);
+        }
+        order
+    }
+
+    fn post<'a>(&'a self, u: &'a str, state: &mut HashMap<&'a str, u8>, order: &mut Vec<String>) {
+        if state.get(u).is_some() { return }
+        state.insert(u, 1);
+        // Collect callees (owned indices to avoid borrow issues).
+        let site_idx: Vec<usize> = self.callees.get(u).cloned().unwrap_or_default();
+        for i in site_idx {
+            let callee = self.sites[i].callee.as_str();
+            if state.get(callee).copied() != Some(1) {
+                self.post(callee, state, order);
+            }
+        }
+        state.insert(u, 2);
+        if self.units.iter().any(|x| x == u) {
+            order.push(u.to_string());
+        }
+    }
+
+    /// True if `unit` participates in a call cycle.
+    pub fn is_recursive(&self, unit: &str) -> bool {
+        let mut stack: Vec<String> = self.calls_from(unit).map(|s| s.callee.clone()).collect();
+        let mut seen = HashSet::new();
+        while let Some(u) = stack.pop() {
+            if u == unit {
+                return true;
+            }
+            if seen.insert(u.clone()) {
+                for s in self.calls_from(&u) {
+                    stack.push(s.callee.clone());
+                }
+            }
+        }
+        false
+    }
+}
+
+fn collect_unit(unit: &Unit, defined: &HashSet<&str>, cg: &mut CallGraph) {
+    fn walk(
+        stmts: &[Stmt],
+        depth: usize,
+        unit: &str,
+        defined: &HashSet<&str>,
+        cg: &mut CallGraph,
+    ) {
+        for s in stmts {
+            let record = |name: &str, cg: &mut CallGraph| {
+                if !is_intrinsic(name) {
+                    cg.sites.push(CallSite {
+                        caller: unit.to_string(),
+                        callee: name.to_string(),
+                        stmt: s.id,
+                        loop_depth: depth,
+                    });
+                }
+            };
+            // Function calls inside expressions.
+            let mut exprs: Vec<&Expr> = Vec::new();
+            match &s.kind {
+                StmtKind::Assign { lhs, rhs } => {
+                    exprs.push(lhs);
+                    exprs.push(rhs);
+                }
+                StmtKind::If { arms, .. } => exprs.extend(arms.iter().map(|(c, _)| c)),
+                StmtKind::Do { lo, hi, step, .. } => {
+                    exprs.push(lo);
+                    exprs.push(hi);
+                    if let Some(st) = step {
+                        exprs.push(st);
+                    }
+                }
+                StmtKind::DoWhile { cond, .. } => exprs.push(cond),
+                StmtKind::Call { name, args } => {
+                    record(name, cg);
+                    exprs.extend(args.iter());
+                }
+                StmtKind::Read { items } | StmtKind::Write { items } => {
+                    exprs.extend(items.iter());
+                }
+                _ => {}
+            }
+            for e in exprs {
+                e.walk(&mut |x| {
+                    if let Expr::CallF { name, .. } = x {
+                        if defined.contains(name.as_str()) {
+                            record(name, cg);
+                        }
+                    }
+                });
+            }
+            match &s.kind {
+                StmtKind::If { arms, else_blk } => {
+                    for (_, b) in arms {
+                        walk(&b.stmts, depth, unit, defined, cg);
+                    }
+                    if let Some(b) = else_blk {
+                        walk(&b.stmts, depth, unit, defined, cg);
+                    }
+                }
+                StmtKind::Do { body, .. } => walk(&body.stmts, depth + 1, unit, defined, cg),
+                StmtKind::DoWhile { body, .. } => walk(&body.stmts, depth + 1, unit, defined, cg),
+                _ => {}
+            }
+        }
+    }
+    walk(&unit.body.stmts, 0, &unit.name, defined, cg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn cg(src: &str) -> CallGraph {
+        CallGraph::build(&frontend(src).expect("frontend"))
+    }
+
+    #[test]
+    fn records_call_sites_with_loop_depth() {
+        let g = cg(
+            "PROGRAM P\nDO I = 1, 10\nCALL A\nDO J = 1, 10\nCALL B\nENDDO\nENDDO\nEND\nSUBROUTINE A\nEND\nSUBROUTINE B\nEND\n",
+        );
+        let from_p: Vec<_> = g.calls_from("P").collect();
+        assert_eq!(from_p.len(), 2);
+        let a = from_p.iter().find(|s| s.callee == "A").unwrap();
+        let b = from_p.iter().find(|s| s.callee == "B").unwrap();
+        assert_eq!(a.loop_depth, 1);
+        assert_eq!(b.loop_depth, 2);
+    }
+
+    #[test]
+    fn function_calls_count_when_defined() {
+        let g = cg(
+            "PROGRAM P\nX = F(1) + SQRT(2.0) + G(3)\nEND\nFUNCTION F(K)\nF = K\nEND\n",
+        );
+        // F defined -> edge; SQRT intrinsic -> no; G undefined function -> no.
+        let from_p: Vec<_> = g.calls_from("P").map(|s| s.callee.clone()).collect();
+        assert_eq!(from_p, vec!["F"]);
+    }
+
+    #[test]
+    fn reachability_and_depths() {
+        let g = cg(
+            "PROGRAM P\nCALL A\nEND\nSUBROUTINE A\nCALL B\nEND\nSUBROUTINE B\nEND\nSUBROUTINE ORPHAN\nCALL B\nEND\n",
+        );
+        let r = g.reachable("P");
+        assert!(r.contains("B"));
+        assert!(!r.contains("ORPHAN"));
+        let d = g.call_depths("P");
+        assert_eq!(d["P"], 0);
+        assert_eq!(d["A"], 1);
+        assert_eq!(d["B"], 2);
+    }
+
+    #[test]
+    fn deepest_path_wins() {
+        // P -> C directly (depth 1) and P -> A -> B -> C (depth 3).
+        let g = cg(
+            "PROGRAM P\nCALL C\nCALL A\nEND\nSUBROUTINE A\nCALL B\nEND\nSUBROUTINE B\nCALL C\nEND\nSUBROUTINE C\nEND\n",
+        );
+        assert_eq!(g.call_depths("P")["C"], 3);
+    }
+
+    #[test]
+    fn loop_depth_accumulates_along_paths() {
+        let g = cg(
+            "PROGRAM P\nDO I = 1, 5\nCALL A\nENDDO\nEND\nSUBROUTINE A\nDO J = 1, 5\nDO K = 1, 5\nCALL B\nENDDO\nENDDO\nEND\nSUBROUTINE B\nEND\n",
+        );
+        let ld = g.loop_depths_from("P");
+        assert_eq!(ld["A"], 1);
+        assert_eq!(ld["B"], 3);
+    }
+
+    #[test]
+    fn bottom_up_orders_callees_first() {
+        let g = cg(
+            "PROGRAM P\nCALL A\nEND\nSUBROUTINE A\nCALL B\nEND\nSUBROUTINE B\nEND\n",
+        );
+        let order = g.bottom_up();
+        let pos = |u: &str| order.iter().position(|x| x == u).unwrap();
+        assert!(pos("B") < pos("A"));
+        assert!(pos("A") < pos("P"));
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let g = cg(
+            "PROGRAM P\nCALL A\nEND\nSUBROUTINE A\nCALL B\nEND\nSUBROUTINE B\nCALL A\nEND\nSUBROUTINE C\nEND\n",
+        );
+        assert!(g.is_recursive("A"));
+        assert!(g.is_recursive("B"));
+        assert!(!g.is_recursive("P"));
+        assert!(!g.is_recursive("C"));
+    }
+}

@@ -1,0 +1,380 @@
+//! Interprocedural constant propagation.
+//!
+//! Constants flow two ways in the paper's codes: literal actual
+//! arguments reaching formals (the PERFECT benchmarks replace outer
+//! context with static assignments — §2.5.1), and setup code writing
+//! configuration into COMMON blocks read by the computational modules.
+//!
+//! The propagation is top-down over the call graph: each unit is
+//! analyzed with the scalar walker ([`crate::ranges`]), the state just
+//! before each call site yields the facts the callee may assume, and a
+//! callee's seed is the *intersection* of the facts at all its call
+//! sites. COMMON facts transfer directly because COMMON storage shares
+//! symbolic identity across units.
+
+use std::collections::HashMap;
+
+use apar_minifort::ast::{Expr as Ast, StmtKind};
+use apar_minifort::{ResolvedProgram, Ty};
+use apar_symbolic::Expr;
+
+use crate::callgraph::CallGraph;
+use crate::ranges::{analyze_unit, ScalarState, UnitRanges};
+use crate::summary::Summaries;
+use crate::symx::SymMap;
+use crate::Capabilities;
+
+/// Seeds (entry facts) per unit, plus the per-unit range analyses that
+/// were computed along the way.
+#[derive(Debug, Default)]
+pub struct ConstProp {
+    pub seeds: HashMap<String, ScalarState>,
+    pub ranges: HashMap<String, UnitRanges>,
+    /// Count of constants bound to formals (reporting).
+    pub formal_constants: usize,
+    /// Count of ranges bound to formals (reporting).
+    pub formal_ranges: usize,
+    /// Count of COMMON facts transferred (reporting).
+    pub common_facts: usize,
+}
+
+/// Runs the propagation. Returns seeds for every reachable unit; the
+/// stored [`UnitRanges`] reflect analysis *with* the seeds applied.
+pub fn propagate(
+    rp: &ResolvedProgram,
+    cg: &CallGraph,
+    sym: &mut SymMap,
+    caps: Capabilities,
+    summaries: &Summaries,
+) -> ConstProp {
+    let mut out = ConstProp::default();
+    // Top-down: callers before callees.
+    let mut order = cg.bottom_up();
+    order.reverse();
+    // Facts gathered at call sites: callee -> per-site states.
+    let mut site_states: HashMap<String, Vec<(Vec<Ast>, ScalarState)>> = HashMap::new();
+
+    for unit_name in order {
+        let Some(unit) = rp.unit(&unit_name) else {
+            continue;
+        };
+        // Seed: intersection of call-site facts (empty state if none or
+        // if the unit is the entry point).
+        let seed = match site_states.remove(&unit_name) {
+            None => ScalarState::default(),
+            Some(sites) => intersect_sites(rp, &unit_name, sym, sites, &mut out),
+        };
+        out.seeds.insert(unit_name.clone(), seed.clone());
+        let ur = analyze_unit(rp, &unit_name, sym, caps, summaries, &seed);
+        // Harvest call-site states.
+        unit.body.walk_stmts(&mut |s| {
+            if let StmtKind::Call { name, args } = &s.kind {
+                if let Some(st) = ur.at_call.get(&s.id) {
+                    site_states
+                        .entry(name.clone())
+                        .or_default()
+                        .push((args.clone(), st.clone()));
+                }
+            }
+        });
+        out.ranges.insert(unit_name, ur);
+    }
+    out
+}
+
+/// Intersects the facts available at every call site, translated into
+/// the callee's name space (formals by position, COMMON by identity).
+fn intersect_sites(
+    rp: &ResolvedProgram,
+    callee: &str,
+    sym: &mut SymMap,
+    sites: Vec<(Vec<Ast>, ScalarState)>,
+    out: &mut ConstProp,
+) -> ScalarState {
+    let Some(unit) = rp.unit(callee) else {
+        return ScalarState::default();
+    };
+    let table = &rp.tables[callee];
+    let mut seed = ScalarState::default();
+    if sites.is_empty() {
+        return seed;
+    }
+
+    // Formal constants: every site passes the same literal (or a scalar
+    // whose exact value at the site is the same constant).
+    for (pos, formal) in unit.formals.iter().enumerate() {
+        if table.is_array(formal) || table.type_of(formal) != Ty::Integer {
+            continue;
+        }
+        let mut val: Option<i64> = None;
+        let mut all = true;
+        for (args, st) in &sites {
+            let v = match args.get(pos) {
+                Some(Ast::Int(k)) => Some(*k),
+                Some(Ast::Name(n)) => {
+                    // Caller-side exact value.
+                    let caller_unit = find_caller_of_args(rp, args, st);
+                    let _ = caller_unit;
+                    // The state's values are keyed by the caller's var
+                    // ids; look the name up through any unit that binds
+                    // it to the same id. Simplest: try every table.
+                    lookup_const(rp, sym, st, n)
+                }
+                _ => None,
+            };
+            match (v, val) {
+                (Some(k), None) => val = Some(k),
+                (Some(k), Some(prev)) if k == prev => {}
+                _ => {
+                    all = false;
+                    break;
+                }
+            }
+        }
+        if all {
+            if let Some(k) = val {
+                let fid = sym.var(rp, callee, formal);
+                seed.values.insert(fid, Expr::int(k));
+                seed.env
+                    .set(fid, apar_symbolic::Range::exact(Expr::int(k)));
+                out.formal_constants += 1;
+                continue;
+            }
+        }
+        // No constant: transfer a RANGE when every site provides one
+        // whose bounds survive in the callee (constants or COMMON ids).
+        let mut merged: Option<apar_symbolic::Range> = None;
+        let mut ok = true;
+        for (args, st) in &sites {
+            let r = match args.get(pos) {
+                Some(Ast::Int(k)) => {
+                    apar_symbolic::Range::exact(Expr::int(*k))
+                }
+                Some(Ast::Name(n)) => match lookup_range(rp, sym, st, n) {
+                    Some(r) => r,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                },
+                _ => {
+                    ok = false;
+                    break;
+                }
+            };
+            let bound_ok = [r.lo.as_ref(), r.hi.as_ref()]
+                .into_iter()
+                .flatten()
+                .all(|e| {
+                    e.vars()
+                        .into_iter()
+                        .all(|v| sym.interner.name(v).starts_with('/'))
+                });
+            if !bound_ok {
+                ok = false;
+                break;
+            }
+            merged = Some(match merged {
+                None => r,
+                Some(m) => m.union(&r),
+            });
+        }
+        if ok {
+            if let Some(r) = merged {
+                if !r.is_rangeless() {
+                    let fid = sym.var(rp, callee, formal);
+                    seed.env.set(fid, r);
+                    out.formal_ranges += 1;
+                }
+            }
+        }
+    }
+
+    // COMMON facts: keep entries present with identical exact values at
+    // every site (the symbolic ids are shared, so no translation).
+    let (_, first) = &sites[0];
+    for (vid, e) in &first.values {
+        let name = sym.interner.name(*vid).to_string();
+        if !name.starts_with('/') {
+            continue; // only COMMON-storage identities transfer
+        }
+        if e.as_int().is_none() {
+            continue;
+        }
+        if sites.iter().all(|(_, st)| st.values.get(vid) == Some(e)) {
+            seed.values.insert(*vid, e.clone());
+            seed.env.set(*vid, apar_symbolic::Range::exact(e.clone()));
+            out.common_facts += 1;
+        }
+    }
+    // COMMON range facts (input-deck validations): union across sites.
+    // Bounds may reference other COMMON identities, which stay valid in
+    // the callee because the ids are storage-based.
+    let mut range_ids: Vec<apar_symbolic::VarId> = first.env.iter().map(|(v, _)| *v).collect();
+    range_ids.sort();
+    for vid in range_ids {
+        if seed.env.iter().any(|(v, _)| *v == vid) {
+            continue;
+        }
+        let name = sym.interner.name(vid).to_string();
+        if !name.starts_with('/') {
+            continue;
+        }
+        let mut merged: Option<apar_symbolic::Range> = None;
+        let mut ok = true;
+        for (_, st) in &sites {
+            let r = st.env.range_of(vid);
+            if r.is_rangeless() {
+                ok = false;
+                break;
+            }
+            // Bounds must themselves be expressed over COMMON identities
+            // (or constants) to be meaningful in the callee.
+            let bound_ok = [r.lo.as_ref(), r.hi.as_ref()]
+                .into_iter()
+                .flatten()
+                .all(|e| {
+                    e.vars()
+                        .into_iter()
+                        .all(|v| sym.interner.name(v).starts_with('/'))
+                });
+            if !bound_ok {
+                ok = false;
+                break;
+            }
+            merged = Some(match merged {
+                None => r,
+                Some(m) => m.union(&r),
+            });
+        }
+        if ok {
+            if let Some(r) = merged {
+                seed.env.set(vid, r);
+                out.common_facts += 1;
+            }
+        }
+    }
+    seed
+}
+
+fn lookup_range(
+    rp: &ResolvedProgram,
+    sym: &mut SymMap,
+    st: &ScalarState,
+    name: &str,
+) -> Option<apar_symbolic::Range> {
+    for unit in rp.unit_names() {
+        let vid = sym.var(rp, unit, name);
+        let r = st.env.range_of(vid);
+        if !r.is_rangeless() {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn lookup_const(
+    rp: &ResolvedProgram,
+    sym: &mut SymMap,
+    st: &ScalarState,
+    name: &str,
+) -> Option<i64> {
+    // The caller is unknown here; the variable id is found by checking
+    // all units that use this name — ids are storage-based, so a match
+    // in the state is authoritative.
+    for unit in rp.unit_names() {
+        let vid = sym.var(rp, unit, name);
+        if let Some(e) = st.values.get(&vid) {
+            return e.as_int();
+        }
+    }
+    None
+}
+
+fn find_caller_of_args<'a>(
+    _rp: &'a ResolvedProgram,
+    _args: &[Ast],
+    _st: &ScalarState,
+) -> Option<&'a str> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn run(src: &str, caps: Capabilities) -> (ResolvedProgram, ConstProp, SymMap) {
+        let rp = frontend(src).expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let mut sym = SymMap::new();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
+        let cp = propagate(&rp, &cg, &mut sym, caps, &summaries);
+        (rp, cp, sym)
+    }
+
+    #[test]
+    fn literal_formal_constant_propagates() {
+        let (rp, cp, mut sym) = run(
+            "PROGRAM P\nCALL F(64)\nCALL F(64)\nEND\nSUBROUTINE F(N)\nDO I = 1, N\nX = 1.0\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert_eq!(cp.formal_constants, 1);
+        let n = sym.var(&rp, "F", "N");
+        assert_eq!(cp.seeds["F"].values.get(&n), Some(&Expr::int(64)));
+    }
+
+    #[test]
+    fn conflicting_sites_block_propagation() {
+        let (_, cp, _) = run(
+            "PROGRAM P\nCALL F(64)\nCALL F(32)\nEND\nSUBROUTINE F(N)\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert_eq!(cp.formal_constants, 0);
+        assert!(cp.seeds["F"].values.is_empty());
+        // ... but the union RANGE [32, 64] does transfer.
+        assert_eq!(cp.formal_ranges, 1);
+    }
+
+    #[test]
+    fn constant_variable_actual_propagates() {
+        let (rp, cp, mut sym) = run(
+            "PROGRAM P\nLDIM = 128\nCALL F(LDIM)\nEND\nSUBROUTINE F(N)\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert_eq!(cp.formal_constants, 1);
+        let n = sym.var(&rp, "F", "N");
+        assert_eq!(cp.seeds["F"].values.get(&n), Some(&Expr::int(128)));
+    }
+
+    #[test]
+    fn common_constants_reach_callees() {
+        let (rp, cp, mut sym) = run(
+            "PROGRAM P\nCOMMON /CFG/ NSAMP\nNSAMP = 512\nCALL PHASE\nEND\nSUBROUTINE PHASE\nCOMMON /CFG/ NS\nDO I = 1, NS\nX = 1.0\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(cp.common_facts >= 1);
+        let ns = sym.var(&rp, "PHASE", "NS");
+        assert_eq!(cp.seeds["PHASE"].values.get(&ns), Some(&Expr::int(512)));
+    }
+
+    #[test]
+    fn common_fact_killed_when_modified_before_call() {
+        let (rp, cp, mut sym) = run(
+            "PROGRAM P\nCOMMON /CFG/ NSAMP\nNSAMP = 512\nREAD(*,*) NSAMP\nCALL PHASE\nEND\nSUBROUTINE PHASE\nCOMMON /CFG/ NS\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        let ns = sym.var(&rp, "PHASE", "NS");
+        assert!(!cp.seeds["PHASE"].values.contains_key(&ns));
+    }
+
+    #[test]
+    fn chains_propagate_transitively() {
+        let (rp, cp, mut sym) = run(
+            "PROGRAM P\nCALL MID(256)\nEND\nSUBROUTINE MID(N)\nCALL LEAF(N)\nEND\nSUBROUTINE LEAF(M)\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        let m = sym.var(&rp, "LEAF", "M");
+        assert_eq!(cp.seeds["LEAF"].values.get(&m), Some(&Expr::int(256)));
+    }
+}

@@ -1,0 +1,1036 @@
+//! The data-dependence test: GCD test plus the Range Test over symbolic
+//! subscripts — the pass Figure 3 shows dominating compile time.
+//!
+//! For a loop `DO I = lo, hi, s`, a cross-iteration dependence between
+//! two references exists when their subscript vectors can be equal for
+//! `I ≠ I'`. Independence is proved per dimension: rename the loop
+//! variable (and all inner-loop variables) of the second reference to
+//! primed copies ranging over the same space, restrict to `I' > I` and
+//! `I' < I` in turn, and ask the prover for separation or a GCD
+//! divisibility contradiction.
+//!
+//! Every failure records *why* — the hindrance taxonomy of the paper's
+//! §3. Capability gates reproduce the baseline compiler: non-affine
+//! subscripts fail without `extended_symbolic`, distinct aliased names
+//! fail without `interprocedural_noalias`, subscripted subscripts fail
+//! without `indirection_analysis`, shape-changing call boundaries fail
+//! without `reshaped_access`, and an exhausted op budget yields
+//! `Complexity`.
+
+use std::collections::HashMap;
+
+use apar_minifort::ast::Expr as Ast;
+use apar_minifort::{ResolvedProgram, StmtId};
+use apar_symbolic::{AssumeEnv, Expr, OpCounter, Prover, Range, VarId};
+
+use crate::access::{AccessKind, ArrayAccess, LoopAccesses};
+use crate::alias::AliasInfo;
+use crate::ranges::ScalarState;
+use crate::summary::Summaries;
+use crate::symx::{ExprFeatures, SymMap};
+use crate::Capabilities;
+
+/// Why a dependence was assumed (the paper's hindrance taxonomy).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Hindrance {
+    /// Distinct names that may share storage.
+    Aliasing,
+    /// Subscript comparison involved variables with no known range.
+    Rangeless,
+    /// Subscripted subscripts (`A(IA(I))`).
+    Indirection,
+    /// Subscripts beyond the implemented symbolic analysis.
+    SymbolAnalysis,
+    /// Declared/used shape mismatch across a call or storage overlay.
+    AccessRepresentation,
+    /// The symbolic-op budget was exhausted.
+    Complexity,
+    /// A call that could not be summarized or inlined.
+    CallOpaque,
+    /// Genuine (or at least unrefuted affine) dependence.
+    Real,
+}
+
+/// Kind of a dependence, by the access kinds of its endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DependenceKind {
+    Flow,
+    Anti,
+    Output,
+}
+
+/// One assumed or unrefuted dependence.
+#[derive(Clone, Debug)]
+pub struct Dependence {
+    pub array: String,
+    pub src: StmtId,
+    pub dst: StmtId,
+    pub kind: DependenceKind,
+    pub why: Hindrance,
+}
+
+/// Result of dependence-testing one loop.
+#[derive(Clone, Debug, Default)]
+pub struct DdOutcome {
+    /// No cross-iteration array dependences (scalars are judged by the
+    /// privatization/reduction passes).
+    pub independent: bool,
+    pub dependences: Vec<Dependence>,
+    pub pairs_tested: usize,
+    pub budget_exceeded: bool,
+}
+
+/// A window access contributed by an un-inlined call: the callee touches
+/// `[base, base + width)` of `array` each iteration, where `width` is
+/// the loop-variable stride of `base` — the framework-template knowledge
+/// behind the `reshaped_access` capability. An unknown base means
+/// "whole array".
+#[derive(Clone, Debug)]
+pub struct CallWindow {
+    pub array: String,
+    pub base: Expr,
+    pub kind: AccessKind,
+    pub stmt: StmtId,
+    /// Failure tag carried when the window could not be modeled.
+    pub failed: Option<Hindrance>,
+}
+
+/// The loop under test plus its analysis context.
+pub struct DdInput<'a> {
+    pub rp: &'a ResolvedProgram,
+    pub unit: &'a str,
+    pub loop_var: &'a str,
+    pub lo: &'a Ast,
+    pub hi: &'a Ast,
+    pub step: Option<&'a Ast>,
+    pub state: &'a ScalarState,
+    pub la: &'a LoopAccesses,
+}
+
+/// Runs the dependence test for one loop.
+pub fn test_loop(
+    input: &DdInput<'_>,
+    sym: &mut SymMap,
+    caps: Capabilities,
+    alias: &AliasInfo,
+    summaries: &Summaries,
+    ops: &OpCounter,
+) -> DdOutcome {
+    let mut out = DdOutcome::default();
+    let rp = input.rp;
+    let unit = input.unit;
+    let la = input.la;
+
+    // Build the environment: outer state + this loop's variable + inner
+    // loop variables.
+    let mut env = input.state.env.clone();
+    let iv = sym.var(rp, unit, input.loop_var);
+    let mut feats = ExprFeatures::default();
+    let lo_e = input
+        .state
+        .substitute(&sym.expr(rp, unit, input.lo, &mut feats));
+    let hi_e = input
+        .state
+        .substitute(&sym.expr(rp, unit, input.hi, &mut feats));
+    let step_c = match input.step {
+        None => Some(1i64),
+        Some(e) => input
+            .state
+            .substitute(&sym.expr(rp, unit, e, &mut feats))
+            .as_int(),
+    };
+    let Some(step_c) = step_c else {
+        out.dependences.push(Dependence {
+            array: String::new(),
+            src: StmtId(0),
+            dst: StmtId(0),
+            kind: DependenceKind::Flow,
+            why: Hindrance::SymbolAnalysis,
+        });
+        return out;
+    };
+    if step_c == 0 {
+        return out; // malformed; leave serial
+    }
+    let (lo_n, hi_n) = if step_c > 0 {
+        (lo_e.clone(), hi_e.clone())
+    } else {
+        (hi_e.clone(), lo_e.clone())
+    };
+    env.set(iv, Range::between(lo_n.clone(), hi_n.clone()));
+    // Inner loop variables range over their own bounds.
+    let mut inner_vars: Vec<VarId> = Vec::new();
+    for (_, v, lo, hi) in &la.inner_loops {
+        let vid = sym.var(rp, unit, v);
+        inner_vars.push(vid);
+        let mut f2 = ExprFeatures::default();
+        let l = input.state.substitute(&sym.expr(rp, unit, lo, &mut f2));
+        let h = input.state.substitute(&sym.expr(rp, unit, hi, &mut f2));
+        if !l.has_unknown() && !h.has_unknown() {
+            env.set(vid, Range::between(l, h));
+        }
+    }
+
+    // Primed copies of the loop variable and inner variables.
+    let mut primed: HashMap<VarId, VarId> = HashMap::new();
+    for &v in std::iter::once(&iv).chain(inner_vars.iter()) {
+        let pname = format!("{}'", sym.interner.name(v).to_owned());
+        let pv = sym.interner.intern(&pname);
+        primed.insert(v, pv);
+        let r = env.range_of(v);
+        env.set(pv, r);
+    }
+    let ivp = primed[&iv];
+
+    // Materialize window accesses from remaining calls.
+    let mut windows: Vec<CallWindow> = Vec::new();
+    for call in &la.calls {
+        match call_windows(rp, unit, sym, &call.state_at, summaries, caps, call) {
+            Some(ws) => windows.extend(ws),
+            None => {
+                out.dependences.push(Dependence {
+                    array: call.callee.clone(),
+                    src: call.stmt,
+                    dst: call.stmt,
+                    kind: DependenceKind::Flow,
+                    why: Hindrance::CallOpaque,
+                });
+            }
+        }
+    }
+
+    let tester = PairTester {
+        rp,
+        unit,
+        caps,
+        env: &env,
+        ops,
+        iv,
+        ivp,
+        primed: &primed,
+        step: step_c.abs(),
+        lo: &lo_n,
+        hi: &hi_n,
+    };
+    let accs = &la.accesses;
+    for (i, a) in accs.iter().enumerate() {
+        for b in accs.iter().skip(i) {
+            if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+                continue;
+            }
+            if caps.guarded_regions && a.mutually_exclusive(b) {
+                continue;
+            }
+            out.pairs_tested += 1;
+            if a.array != b.array {
+                if alias.may_alias(rp, unit, &a.array, &b.array) {
+                    let why = if caps.reshaped_access {
+                        match tester.test_linearized_pair(sym, a, b) {
+                            Ok(true) => continue,
+                            Ok(false) => Hindrance::Real,
+                            Err(h) => h,
+                        }
+                    } else {
+                        Hindrance::Aliasing
+                    };
+                    push_dep(&mut out, a, b, why);
+                }
+                continue;
+            }
+            match tester.test_pair(a, b) {
+                Ok(true) => {}
+                Ok(false) => push_dep(&mut out, a, b, Hindrance::Real),
+                Err(h) => push_dep(&mut out, a, b, h),
+            }
+        }
+    }
+    // Element-vs-window and window-vs-window pairs.
+    for (i, w) in windows.iter().enumerate() {
+        if let Some(h) = w.failed {
+            push_dep_raw(&mut out, &w.array, w.stmt, w.stmt, h);
+            continue;
+        }
+        for a in accs.iter() {
+            if w.kind == AccessKind::Read && a.kind == AccessKind::Read {
+                continue;
+            }
+            if !alias.may_alias(rp, unit, &w.array, &a.array) {
+                continue;
+            }
+            out.pairs_tested += 1;
+            match tester.test_window_vs_elem(sym, w, a) {
+                Ok(true) => {}
+                Ok(false) => push_dep_raw(&mut out, &w.array, w.stmt, a.stmt, Hindrance::Real),
+                Err(h) => push_dep_raw(&mut out, &w.array, w.stmt, a.stmt, h),
+            }
+        }
+        for w2 in windows.iter().skip(i + 1).chain(std::iter::once(w)) {
+            if w.kind == AccessKind::Read && w2.kind == AccessKind::Read {
+                continue;
+            }
+            if w2.failed.is_some() {
+                continue;
+            }
+            if !alias.may_alias(rp, unit, &w.array, &w2.array) {
+                continue;
+            }
+            out.pairs_tested += 1;
+            match tester.test_window_pair(w, w2) {
+                Ok(true) => {}
+                Ok(false) => push_dep_raw(&mut out, &w.array, w.stmt, w2.stmt, Hindrance::Real),
+                Err(h) => push_dep_raw(&mut out, &w.array, w.stmt, w2.stmt, h),
+            }
+        }
+    }
+
+    out.budget_exceeded = ops.exceeded();
+    if out.budget_exceeded {
+        out.dependences.push(Dependence {
+            array: String::new(),
+            src: StmtId(0),
+            dst: StmtId(0),
+            kind: DependenceKind::Flow,
+            why: Hindrance::Complexity,
+        });
+    }
+    out.independent = out.dependences.is_empty();
+    out
+}
+
+fn push_dep(out: &mut DdOutcome, a: &ArrayAccess, b: &ArrayAccess, why: Hindrance) {
+    let kind = match (a.kind, b.kind) {
+        (AccessKind::Write, AccessKind::Write) => DependenceKind::Output,
+        (AccessKind::Write, AccessKind::Read) => DependenceKind::Flow,
+        (AccessKind::Read, AccessKind::Write) => DependenceKind::Anti,
+        _ => DependenceKind::Flow,
+    };
+    out.dependences.push(Dependence {
+        array: a.array.clone(),
+        src: a.stmt,
+        dst: b.stmt,
+        kind,
+        why,
+    });
+}
+
+fn push_dep_raw(out: &mut DdOutcome, array: &str, src: StmtId, dst: StmtId, why: Hindrance) {
+    out.dependences.push(Dependence {
+        array: array.to_string(),
+        src,
+        dst,
+        kind: DependenceKind::Flow,
+        why,
+    });
+}
+
+/// Derives per-array windows from a call using the callee summary.
+/// `None` means the callee is opaque.
+fn call_windows(
+    rp: &ResolvedProgram,
+    unit: &str,
+    sym: &mut SymMap,
+    state: &ScalarState,
+    summaries: &Summaries,
+    caps: Capabilities,
+    call: &crate::access::LoopCall,
+) -> Option<Vec<CallWindow>> {
+    let eff = summaries.of(&call.callee);
+    if eff.opaque {
+        return None;
+    }
+    let mut ws = Vec::new();
+    for (pos, arg) in call.args.iter().enumerate() {
+        let reads = eff.read_array_formals.contains(&pos);
+        let writes = eff.written_array_formals.contains(&pos);
+        if !reads && !writes {
+            continue;
+        }
+        let kind = if writes { AccessKind::Write } else { AccessKind::Read };
+        match arg {
+            Ast::Name(n) => {
+                // Whole-array access every iteration.
+                ws.push(CallWindow {
+                    array: n.clone(),
+                    base: Expr::unknown(),
+                    kind,
+                    stmt: call.stmt,
+                    failed: Some(Hindrance::AccessRepresentation),
+                });
+            }
+            Ast::Index { name, subs } => {
+                if !caps.reshaped_access {
+                    ws.push(CallWindow {
+                        array: name.clone(),
+                        base: Expr::unknown(),
+                        kind,
+                        stmt: call.stmt,
+                        failed: Some(Hindrance::AccessRepresentation),
+                    });
+                    continue;
+                }
+                let mut f = ExprFeatures::default();
+                match linearize(rp, unit, sym, name, subs, state, &mut f) {
+                    Some(base) if !f.indirection => ws.push(CallWindow {
+                        array: name.clone(),
+                        base,
+                        kind,
+                        stmt: call.stmt,
+                        failed: None,
+                    }),
+                    _ => ws.push(CallWindow {
+                        array: name.clone(),
+                        base: Expr::unknown(),
+                        kind,
+                        stmt: call.stmt,
+                        failed: Some(if f.indirection {
+                            Hindrance::Indirection
+                        } else {
+                            Hindrance::AccessRepresentation
+                        }),
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+    // COMMON arrays touched by the callee are whole-array effects.
+    for (roots, kind) in [
+        (&eff.written_common_arrays, AccessKind::Write),
+        (&eff.read_common_arrays, AccessKind::Read),
+    ] {
+        for root in roots.iter() {
+            if let Some(name) = common_member_name(rp, unit, root) {
+                ws.push(CallWindow {
+                    array: name,
+                    base: Expr::unknown(),
+                    kind,
+                    stmt: call.stmt,
+                    failed: Some(Hindrance::AccessRepresentation),
+                });
+            }
+        }
+    }
+    Some(ws)
+}
+
+fn common_member_name(rp: &ResolvedProgram, unit: &str, root: &str) -> Option<String> {
+    use apar_minifort::symtab::{Storage, SymbolKind};
+    let table = rp.tables.get(unit)?;
+    for s in table.iter() {
+        if let (SymbolKind::Array(_), Storage::Common { block, offset }) = (&s.kind, &s.storage) {
+            if format!("/{}/+{}", block, offset) == root {
+                return Some(s.name.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Column-major linearized element offset of `name(subs)` (0-based).
+pub fn linearize(
+    rp: &ResolvedProgram,
+    unit: &str,
+    sym: &mut SymMap,
+    name: &str,
+    subs: &[Ast],
+    state: &ScalarState,
+    feats: &mut ExprFeatures,
+) -> Option<Expr> {
+    let table = rp.tables.get(unit)?;
+    let s = table.get(name)?;
+    let shape = s.shape()?;
+    let mut offset = Expr::int(0);
+    let mut stride = Expr::int(1);
+    for (k, sub) in subs.iter().enumerate() {
+        let d = shape.dims.get(k)?;
+        let mut f_lo = ExprFeatures::default();
+        let lo = state.substitute(&sym.expr(rp, unit, &d.lo, &mut f_lo));
+        let se = state.substitute(&sym.expr(rp, unit, sub, feats));
+        offset = offset.add(se.sub(lo.clone()).mul(stride.clone()));
+        match &d.hi {
+            Some(h) => {
+                let hi = state.substitute(&sym.expr(rp, unit, h, &mut f_lo));
+                stride = stride.mul(hi.sub(lo).add(Expr::int(1)));
+            }
+            None => {
+                if k + 1 < subs.len() {
+                    return None; // assumed-size before last subscript
+                }
+            }
+        }
+    }
+    Some(offset)
+}
+
+struct PairTester<'a> {
+    rp: &'a ResolvedProgram,
+    unit: &'a str,
+    caps: Capabilities,
+    env: &'a AssumeEnv,
+    ops: &'a OpCounter,
+    iv: VarId,
+    ivp: VarId,
+    primed: &'a HashMap<VarId, VarId>,
+    step: i64,
+    lo: &'a Expr,
+    hi: &'a Expr,
+}
+
+impl PairTester<'_> {
+    /// Tests one same-name pair. `Ok(true)` = independent across
+    /// iterations; `Ok(false)` = unrefuted dependence; `Err(h)` = failed
+    /// with hindrance `h`.
+    fn test_pair(&self, a: &ArrayAccess, b: &ArrayAccess) -> Result<bool, Hindrance> {
+        for acc in [a, b] {
+            if acc.features.indirection && !self.caps.indirection_analysis {
+                return Err(Hindrance::Indirection);
+            }
+            if acc.features.opaque_call {
+                return Err(Hindrance::SymbolAnalysis);
+            }
+        }
+        if a.features.indirection || b.features.indirection {
+            // Capability on: identical gather expressions are treated as
+            // injective (permutation index arrays); anything else keeps
+            // the dependence.
+            return if a.ast_subs == b.ast_subs {
+                Ok(true)
+            } else {
+                Err(Hindrance::Indirection)
+            };
+        }
+        let declared_rank = self
+            .rp
+            .tables
+            .get(self.unit)
+            .and_then(|t| t.get(&a.array))
+            .and_then(|s| s.shape())
+            .map(|sh| sh.rank())
+            .unwrap_or(a.subs.len());
+        if a.subs.len() != b.subs.len()
+            || (a.subs.len() != declared_rank && !self.caps.reshaped_access)
+        {
+            return Err(Hindrance::AccessRepresentation);
+        }
+        if !self.caps.extended_symbolic {
+            for e in a.subs.iter().chain(b.subs.iter()) {
+                if !baseline_tractable(e) {
+                    return Err(Hindrance::SymbolAnalysis);
+                }
+            }
+        }
+        // Per-dimension separation.
+        let mut saw_rangeless = false;
+        for k in 0..a.subs.len() {
+            let d1 = a.subs[k].clone();
+            let d2 = prime(&b.subs[k], self.primed);
+            match self.separates(&d1, &d2) {
+                Ok(true) => return Ok(true),
+                Ok(false) => {}
+                Err(()) => {
+                    if self.ops.exceeded() {
+                        return Err(Hindrance::Complexity);
+                    }
+                    if self.mentions_rangeless(&d1) || self.mentions_rangeless(&d2) {
+                        saw_rangeless = true;
+                    }
+                }
+            }
+        }
+        if saw_rangeless {
+            return Err(Hindrance::Rangeless);
+        }
+        Ok(false)
+    }
+
+    /// Distinct aliased names under reshaped-access: compare linearized
+    /// storage offsets.
+    fn test_linearized_pair(
+        &self,
+        sym: &mut SymMap,
+        a: &ArrayAccess,
+        b: &ArrayAccess,
+    ) -> Result<bool, Hindrance> {
+        use crate::alias::{location, Root};
+        let (Some(la), Some(lb)) = (
+            location(self.rp, self.unit, &a.array),
+            location(self.rp, self.unit, &b.array),
+        ) else {
+            return Err(Hindrance::Aliasing);
+        };
+        if la.root != lb.root || matches!(la.root, Root::Formal { .. }) {
+            return Err(Hindrance::Aliasing);
+        }
+        let state = ScalarState::default();
+        let mut f = ExprFeatures::default();
+        let oa = linearize(self.rp, self.unit, sym, &a.array, &a.ast_subs, &state, &mut f)
+            .ok_or(Hindrance::AccessRepresentation)?
+            .add(Expr::int(la.offset));
+        let ob = linearize(self.rp, self.unit, sym, &b.array, &b.ast_subs, &state, &mut f)
+            .ok_or(Hindrance::AccessRepresentation)?
+            .add(Expr::int(lb.offset));
+        if f.indirection {
+            return Err(Hindrance::Indirection);
+        }
+        let obp = prime(&ob, self.primed);
+        match self.separates(&oa, &obp) {
+            Ok(sep) => Ok(sep),
+            Err(()) => {
+                if self.ops.exceeded() {
+                    Err(Hindrance::Complexity)
+                } else if self.mentions_rangeless(&oa) || self.mentions_rangeless(&obp) {
+                    Err(Hindrance::Rangeless)
+                } else {
+                    // Affine but unrefuted: a real overlap.
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    fn test_window_vs_elem(
+        &self,
+        sym: &mut SymMap,
+        w: &CallWindow,
+        a: &ArrayAccess,
+    ) -> Result<bool, Hindrance> {
+        let width = self
+            .window_width(&w.base)
+            .ok_or(Hindrance::AccessRepresentation)?;
+        let state = ScalarState::default();
+        let mut f = ExprFeatures::default();
+        let elem = linearize(self.rp, self.unit, sym, &a.array, &a.ast_subs, &state, &mut f)
+            .ok_or(Hindrance::AccessRepresentation)?;
+        let elem_p = prime(&elem, self.primed);
+        let hi_edge = w.base.add(width);
+        let sep = self.both_directions(|p| {
+            p.prove_lt(&elem_p, &w.base) || p.prove_ge(&elem_p, &hi_edge)
+        });
+        if sep {
+            Ok(true)
+        } else if self.ops.exceeded() {
+            Err(Hindrance::Complexity)
+        } else {
+            Err(Hindrance::AccessRepresentation)
+        }
+    }
+
+    fn test_window_pair(&self, w1: &CallWindow, w2: &CallWindow) -> Result<bool, Hindrance> {
+        let width1 = self
+            .window_width(&w1.base)
+            .ok_or(Hindrance::AccessRepresentation)?;
+        let width2 = self
+            .window_width(&w2.base)
+            .ok_or(Hindrance::AccessRepresentation)?;
+        let b2 = prime(&w2.base, self.primed);
+        let w2_hi = b2.add(prime(&width2, self.primed));
+        let w1_hi = w1.base.add(width1);
+        let sep = self.both_directions(|p| {
+            p.prove_le(&w1_hi, &b2) || p.prove_le(&w2_hi, &w1.base)
+        });
+        if sep {
+            Ok(true)
+        } else if self.ops.exceeded() {
+            Err(Hindrance::Complexity)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// The modeled window width: the loop-variable stride of the base.
+    /// A loop-invariant base means the callee touches the same location
+    /// every iteration — at least one element wide, so the overlap is
+    /// detected rather than silently missed.
+    fn window_width(&self, base: &Expr) -> Option<Expr> {
+        if base.has_unknown() {
+            return None;
+        }
+        let d = base
+            .subst(self.iv, &Expr::var(self.iv).add(Expr::int(1)))
+            .sub(base.clone());
+        if d.has_unknown() {
+            return None;
+        }
+        if d.as_int() == Some(0) {
+            return Some(Expr::int(1));
+        }
+        if matches!(d.as_int(), Some(k) if k < 0) {
+            return None; // decreasing bases are not modeled
+        }
+        Some(d)
+    }
+
+    /// Does `d1(I) != d2(I')` hold whenever `I' != I`? `Err(())` means
+    /// the question could not be settled.
+    fn separates(&self, d1: &Expr, d2: &Expr) -> Result<bool, ()> {
+        let diff = d1.sub(d2.clone());
+        if let Some(k) = diff.as_int() {
+            // Subscripts differ by a constant: zero means the same
+            // element in corresponding iterations — but if neither side
+            // mentions the loop variable the element is LOOP-INVARIANT
+            // and collides across iterations.
+            if k != 0 {
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        let g = diff.lin().coef_gcd();
+        if g > 1 && diff.lin().constant_part() % g != 0 {
+            return Ok(true);
+        }
+        if !mentions(d1, self.iv) && !mentions(d2, self.ivp) {
+            let p = Prover::new(self.env, self.ops);
+            return if p.prove_ne(d1, d2) { Ok(true) } else { Err(()) };
+        }
+        if self.both_directions(|p| p.prove_ne(d1, d2)) {
+            Ok(true)
+        } else {
+            Err(())
+        }
+    }
+
+    /// Runs a proof under `I' >= I + step` and then `I' <= I - step`;
+    /// both must hold.
+    fn both_directions(&self, f: impl Fn(&Prover<'_>) -> bool) -> bool {
+        for upper in [true, false] {
+            let mut env = self.env.clone();
+            if upper {
+                env.set(
+                    self.ivp,
+                    Range::between(
+                        Expr::var(self.iv).add(Expr::int(self.step)),
+                        self.hi.clone(),
+                    ),
+                );
+            } else {
+                env.set(
+                    self.ivp,
+                    Range::between(
+                        self.lo.clone(),
+                        Expr::var(self.iv).sub(Expr::int(self.step)),
+                    ),
+                );
+            }
+            let p = Prover::new(&env, self.ops);
+            if !f(&p) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn mentions_rangeless(&self, e: &Expr) -> bool {
+        e.vars()
+            .into_iter()
+            .any(|v| v != self.iv && v != self.ivp && self.env.is_rangeless(v))
+    }
+}
+
+fn mentions(e: &Expr, v: VarId) -> bool {
+    e.vars().contains(&v)
+}
+
+fn prime(e: &Expr, primed: &HashMap<VarId, VarId>) -> Expr {
+    e.subst_map(&mut |v| primed.get(&v).map(|pv| Expr::var(*pv)))
+}
+
+/// What the 2008 baseline's symbolic engine handles: affine expressions
+/// whose nonconstant terms are single variables (no products of
+/// variables, no division/modulo/min/max atoms).
+fn baseline_tractable(e: &Expr) -> bool {
+    e.lin().terms().iter().all(|(_, m)| {
+        m.degree() == 1
+            && m.factors()
+                .iter()
+                .all(|(a, _)| matches!(a, apar_symbolic::Atom::Var(_)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access;
+    use crate::callgraph::CallGraph;
+    use crate::ranges;
+    use apar_minifort::ast::StmtKind;
+    use apar_minifort::frontend;
+
+    /// Runs the front half of the pipeline on the first `!$TARGET` loop
+    /// found anywhere in the program.
+    fn run(src: &str, caps: Capabilities) -> DdOutcome {
+        run_budget(src, caps, None).0
+    }
+
+    fn run_budget(src: &str, caps: Capabilities, budget: Option<u64>) -> (DdOutcome, bool) {
+        let rp = frontend(src).expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let mut sym = SymMap::new();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
+        let alias = AliasInfo::build(&rp, &cg, caps);
+        for unit in rp.unit_names() {
+            let unit = unit.to_string();
+            let ur = ranges::analyze_unit(
+                &rp,
+                &unit,
+                &mut sym,
+                caps,
+                &summaries,
+                &ranges::ScalarState::default(),
+            );
+            let mut found = None;
+            rp.unit(&unit).unwrap().body.walk_stmts(&mut |s| {
+                if found.is_none() {
+                    if let StmtKind::Do {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                        target: Some(_),
+                        ..
+                    } = &s.kind
+                    {
+                        found = Some((
+                            s.id,
+                            var.clone(),
+                            lo.clone(),
+                            hi.clone(),
+                            step.clone(),
+                            body.clone(),
+                        ));
+                    }
+                }
+            });
+            if let Some((sid, var, lo, hi, step, body)) = found {
+                let state = ur.at_loop.get(&sid).cloned().unwrap_or_default();
+                let la = access::collect(&rp, &unit, &body, &mut sym, &state);
+                let ops = match budget {
+                    Some(b) => OpCounter::with_budget(b),
+                    None => OpCounter::unlimited(),
+                };
+                let input = DdInput {
+                    rp: &rp,
+                    unit: &unit,
+                    loop_var: &var,
+                    lo: &lo,
+                    hi: &hi,
+                    step: step.as_ref(),
+                    state: &state,
+                    la: &la,
+                };
+                let out = test_loop(&input, &mut sym, caps, &alias, &summaries, &ops);
+                let exceeded = ops.exceeded();
+                return (out, exceeded);
+            }
+        }
+        panic!("no target loop found");
+    }
+
+    const BASE: &str = "PROGRAM P\nREAL A(100), B(100)\nN = 100\n";
+
+    #[test]
+    fn simple_parallel_loop() {
+        let out = run(
+            &format!("{BASE}!$TARGET T\nDO I = 1, N\nA(I) = B(I) * 2.0\nENDDO\nEND\n"),
+            Capabilities::polaris2008(),
+        );
+        assert!(out.independent, "{:?}", out.dependences);
+    }
+
+    #[test]
+    fn true_dependence_detected() {
+        let out = run(
+            &format!("{BASE}!$TARGET T\nDO I = 2, N\nA(I) = A(I - 1) + 1.0\nENDDO\nEND\n"),
+            Capabilities::polaris2008(),
+        );
+        assert!(!out.independent);
+        assert!(out
+            .dependences
+            .iter()
+            .any(|d| d.why == Hindrance::Real && d.array == "A"));
+        // ... and stays dependent even with every capability on.
+        let full = run(
+            &format!("{BASE}!$TARGET T\nDO I = 2, N\nA(I) = A(I - 1) + 1.0\nENDDO\nEND\n"),
+            Capabilities::full(),
+        );
+        assert!(!full.independent);
+    }
+
+    #[test]
+    fn shifted_disjoint_halves() {
+        let out = run(
+            "PROGRAM P\nREAL A(100)\n!$TARGET T\nDO I = 1, 50\nA(I) = A(I + 50) * 0.5\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(out.independent, "{:?}", out.dependences);
+    }
+
+    #[test]
+    fn gcd_separates_strided_accesses() {
+        let out = run(
+            &format!("{BASE}!$TARGET T\nDO I = 1, 49\nA(2 * I) = A(2 * I + 1) + 1.0\nENDDO\nEND\n"),
+            Capabilities::polaris2008(),
+        );
+        assert!(out.independent, "{:?}", out.dependences);
+    }
+
+    #[test]
+    fn rangeless_deck_variable_blocks_baseline() {
+        // The deck is validated (M >= N); only a compiler that exploits
+        // deck relations can use that.
+        let src = "PROGRAM P\nREAL A(2000000)\nREAD(*,*) N, M\nIF (M .LT. N) STOP\nIF (N .GT. 1000) STOP\n!$TARGET T\nDO I = 1, N\nA(I) = A(I + M) + 1.0\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(!base.independent);
+        assert!(
+            base.dependences.iter().any(|d| d.why == Hindrance::Rangeless),
+            "{:?}",
+            base.dependences
+        );
+        let full = run(src, Capabilities::full());
+        assert!(full.independent, "{:?}", full.dependences);
+    }
+
+    #[test]
+    fn indirection_blocks_baseline() {
+        let src = "PROGRAM P\nREAL A(100)\nINTEGER IA(100)\n!$TARGET T\nDO I = 1, 100\nA(IA(I)) = A(IA(I)) + 1.0\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(base
+            .dependences
+            .iter()
+            .any(|d| d.why == Hindrance::Indirection));
+        let full = run(src, Capabilities::full());
+        assert!(full.independent, "{:?}", full.dependences);
+    }
+
+    #[test]
+    fn differing_gathers_stay_dependent() {
+        let src = "PROGRAM P\nREAL A(100)\nINTEGER IA(100), JA(100)\n!$TARGET T\nDO I = 1, 100\nA(IA(I)) = A(JA(I)) + 1.0\nENDDO\nEND\n";
+        let full = run(src, Capabilities::full());
+        assert!(!full.independent);
+    }
+
+    #[test]
+    fn nonlinear_subscript_needs_extended_symbolic() {
+        let src = "PROGRAM P\nREAL A(2000000)\nREAD(*,*) LD\nIF (LD .GT. 1000) STOP\n!$TARGET T\nDO J = 1, 100\nDO I = 1, LD\nA((J - 1) * LD + I) = 1.0\nENDDO\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(
+            base.dependences
+                .iter()
+                .any(|d| d.why == Hindrance::SymbolAnalysis),
+            "{:?}",
+            base.dependences
+        );
+        let full = run(src, Capabilities::full());
+        assert!(full.independent, "{:?}", full.dependences);
+    }
+
+    #[test]
+    fn aliased_formals_block_baseline() {
+        let src = "PROGRAM P\nREAL X(100), Y(100)\nCALL S(X, Y)\nEND\nSUBROUTINE S(A, B)\nREAL A(100), B(100)\n!$TARGET T\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(base.dependences.iter().any(|d| d.why == Hindrance::Aliasing));
+        let full = run(src, Capabilities::full());
+        assert!(full.independent, "{:?}", full.dependences);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_complexity() {
+        let (out, exceeded) = run_budget(
+            &format!("{BASE}!$TARGET T\nDO I = 1, N\nA(I) = B(I) * 2.0\nENDDO\nEND\n"),
+            Capabilities::polaris2008(),
+            Some(2),
+        );
+        assert!(exceeded);
+        assert!(out
+            .dependences
+            .iter()
+            .any(|d| d.why == Hindrance::Complexity));
+    }
+
+    #[test]
+    fn output_dependence_on_loop_invariant_write() {
+        let out = run(
+            &format!("{BASE}!$TARGET T\nDO I = 1, N\nA(1) = B(I)\nENDDO\nEND\n"),
+            Capabilities::polaris2008(),
+        );
+        assert!(!out.independent);
+        assert!(out
+            .dependences
+            .iter()
+            .any(|d| d.kind == DependenceKind::Output && d.why == Hindrance::Real));
+    }
+
+    #[test]
+    fn guarded_branches_need_guarded_regions() {
+        let src = "PROGRAM P\nREAL A(100)\nREAD(*,*) KIND\n!$TARGET T\nDO I = 1, 99\nIF (KIND .EQ. 1) THEN\nA(I) = 1.0\nELSE\nA(I + 1) = 2.0\nENDIF\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(!base.independent);
+        let full = run(src, Capabilities::full());
+        assert!(full.independent, "{:?}", full.dependences);
+    }
+
+    #[test]
+    fn multidim_independent_on_one_dim() {
+        let out = run(
+            "PROGRAM P\nREAL A(10, 10)\n!$TARGET T\nDO I = 1, 10\nDO J = 1, 10\nA(J, I) = A(J, I) + 1.0\nENDDO\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(out.independent, "{:?}", out.dependences);
+    }
+
+    #[test]
+    fn equivalenced_names_need_linearization() {
+        // B(I) and A(I) overlap with a 4-word shift; cross-iteration
+        // collisions are real, so even linearization keeps the
+        // dependence — but the baseline reports Aliasing while
+        // reshaped-access reports a real dependence.
+        let src = "PROGRAM P\nREAL A(100), B(100)\nEQUIVALENCE (A(5), B(1))\n!$TARGET T\nDO I = 1, 50\nA(I) = B(I) + 1.0\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(base.dependences.iter().any(|d| d.why == Hindrance::Aliasing));
+        let full = run(src, Capabilities::full());
+        assert!(!full.independent);
+        assert!(full.dependences.iter().any(|d| d.why == Hindrance::Real));
+    }
+
+    #[test]
+    fn equivalenced_names_disjoint_regions_recovered() {
+        // A and B overlap storage, but the touched regions stay disjoint:
+        // A(I) for I in [1,10] is words 0..9, B(I) words 20+0..9.
+        let src = "PROGRAM P\nREAL A(100), B(100), PAD(200)\nEQUIVALENCE (PAD(1), A(1)), (PAD(21), B(1))\n!$TARGET T\nDO I = 1, 10\nPAD(I) = PAD(I + 20) + 1.0\nENDDO\nEND\n";
+        let out = run(src, Capabilities::polaris2008());
+        assert!(out.independent, "{:?}", out.dependences);
+    }
+
+    #[test]
+    fn un_inlined_call_with_section_windows() {
+        // STAK-style: the callee writes a LD-wide window per iteration.
+        let src = "PROGRAM P\nREAL RA(10000)\nPARAMETER (LD = 100)\n!$TARGET T\nDO I = 1, 100\nCALL ROW(RA((I - 1) * LD + 1), LD)\nENDDO\nEND\nSUBROUTINE ROW(R, N)\nREAL R(N)\nDO K = 1, N\nR(K) = 1.0\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(
+            base.dependences
+                .iter()
+                .any(|d| d.why == Hindrance::AccessRepresentation),
+            "{:?}",
+            base.dependences
+        );
+        let full = run(src, Capabilities::full());
+        assert!(full.independent, "{:?}", full.dependences);
+    }
+
+    #[test]
+    fn whole_array_call_argument_blocks() {
+        let src = "PROGRAM P\nREAL RA(100)\n!$TARGET T\nDO I = 1, 100\nCALL TOUCH(RA)\nENDDO\nEND\nSUBROUTINE TOUCH(R)\nREAL R(*)\nR(1) = R(1) + 1.0\nEND\n";
+        let full = run(src, Capabilities::full());
+        assert!(!full.independent);
+    }
+
+    #[test]
+    fn opaque_callee_blocks() {
+        let src = "PROGRAM P\nREAL RA(100)\n!$TARGET T\nDO I = 1, 100\nCALL CIO(RA, I)\nENDDO\nEND\n!LANG C\nSUBROUTINE CIO(R, K)\nREAL R(*)\nR(K) = 1.0\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert!(base
+            .dependences
+            .iter()
+            .any(|d| d.why == Hindrance::CallOpaque));
+    }
+}

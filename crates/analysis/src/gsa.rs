@@ -1,0 +1,221 @@
+//! GSA translation: gated single-assignment statistics.
+//!
+//! Polaris translates programs into Gated Single Assignment form before
+//! symbolic analysis; every conditional that merges scalar definitions
+//! introduces a γ (gamma) node whose gate is the branch predicate, and
+//! every loop introduces a μ node. The paper's multifunctionality
+//! challenge (§2.1) manifests here: option variables steering `IF`
+//! cascades multiply the gated definitions the symbolic passes must
+//! consider.
+//!
+//! This module builds the CFG + dominator substrate and counts the gating
+//! structure; the pass manager charges op-cost proportional to the gate
+//! volume, which is what makes multifunctional units measurably more
+//! expensive to compile (Figures 2/3).
+
+use std::collections::HashSet;
+
+use apar_minifort::ast::{Block, Expr as Ast, StmtKind, Unit};
+use apar_minifort::ResolvedProgram;
+
+use crate::cfg::Cfg;
+
+/// Gating statistics of one unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GsaStats {
+    /// γ nodes: per IF-merge, one per scalar assigned in any arm.
+    pub gamma_nodes: usize,
+    /// μ nodes: per loop, one per scalar assigned in the body.
+    pub mu_nodes: usize,
+    /// Deepest gate nesting (conditional depth weighted by assignments).
+    pub max_gate_depth: usize,
+    /// IF statements whose predicate reads a variable that is never
+    /// assigned outside I/O (an input-deck *option variable* — the
+    /// multifunctionality signature).
+    pub option_branches: usize,
+    /// CFG nodes visited (dominator substrate size).
+    pub cfg_nodes: usize,
+}
+
+impl GsaStats {
+    /// Total gated definitions — the op-cost driver.
+    pub fn gated_defs(&self) -> usize {
+        self.gamma_nodes + self.mu_nodes
+    }
+}
+
+/// Builds GSA statistics for one unit (and runs the CFG + dominator
+/// construction it rests on).
+pub fn translate_unit(_rp: &ResolvedProgram, unit: &Unit) -> GsaStats {
+    let cfg = Cfg::build(unit);
+    let _idoms = cfg.idoms();
+    let mut stats = GsaStats {
+        cfg_nodes: cfg.nodes.len(),
+        ..Default::default()
+    };
+
+    // Option variables: read by IF predicates, assigned only via READ
+    // (or never assigned in this unit — set elsewhere through COMMON).
+    let mut assigned: HashSet<String> = HashSet::new();
+    let mut read_targets: HashSet<String> = HashSet::new();
+    unit.body.walk_stmts(&mut |s| match &s.kind {
+        StmtKind::Assign {
+            lhs: Ast::Name(n), ..
+        } => {
+            assigned.insert(n.clone());
+        }
+        StmtKind::Read { items } => {
+            for it in items {
+                if let Ast::Name(n) = it {
+                    read_targets.insert(n.clone());
+                }
+            }
+        }
+        _ => {}
+    });
+
+    walk(&unit.body, 0, &assigned, &read_targets, &mut stats);
+    stats
+}
+
+fn walk(
+    b: &Block,
+    depth: usize,
+    assigned: &HashSet<String>,
+    read_targets: &HashSet<String>,
+    stats: &mut GsaStats,
+) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::If { arms, else_blk } => {
+                // Option-variable gate?
+                let mut is_option = false;
+                for (c, _) in arms {
+                    c.walk(&mut |e| {
+                        if let Ast::Name(n) = e {
+                            if read_targets.contains(n) || !assigned.contains(n) {
+                                is_option = true;
+                            }
+                        }
+                    });
+                }
+                if is_option {
+                    stats.option_branches += 1;
+                }
+                // Gammas: scalars assigned in any arm.
+                let mut merged: HashSet<String> = HashSet::new();
+                for (_, bb) in arms {
+                    collect_assigned(bb, &mut merged);
+                }
+                if let Some(bb) = else_blk {
+                    collect_assigned(bb, &mut merged);
+                }
+                stats.gamma_nodes += merged.len();
+                stats.max_gate_depth = stats.max_gate_depth.max(depth + 1);
+                for (_, bb) in arms {
+                    walk(bb, depth + 1, assigned, read_targets, stats);
+                }
+                if let Some(bb) = else_blk {
+                    walk(bb, depth + 1, assigned, read_targets, stats);
+                }
+            }
+            StmtKind::Do { body, var, .. } => {
+                let mut merged: HashSet<String> = HashSet::new();
+                collect_assigned(body, &mut merged);
+                merged.insert(var.clone());
+                stats.mu_nodes += merged.len();
+                walk(body, depth, assigned, read_targets, stats);
+            }
+            StmtKind::DoWhile { body, .. } => {
+                let mut merged: HashSet<String> = HashSet::new();
+                collect_assigned(body, &mut merged);
+                stats.mu_nodes += merged.len();
+                walk(body, depth, assigned, read_targets, stats);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_assigned(b: &Block, out: &mut HashSet<String>) {
+    b.walk_stmts(&mut |s| match &s.kind {
+        StmtKind::Assign {
+            lhs: Ast::Name(n), ..
+        } => {
+            out.insert(n.clone());
+        }
+        StmtKind::Read { items } => {
+            for it in items {
+                if let Ast::Name(n) = it {
+                    out.insert(n.clone());
+                }
+            }
+        }
+        StmtKind::Do { var, .. } => {
+            out.insert(var.clone());
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn stats(src: &str) -> GsaStats {
+        let rp = frontend(src).expect("frontend");
+        let unit = rp.main_unit().expect("main").clone();
+        translate_unit(&rp, &unit)
+    }
+
+    #[test]
+    fn straight_line_has_no_gates() {
+        let s = stats("PROGRAM P\nX = 1.0\nY = 2.0\nEND\n");
+        assert_eq!(s.gamma_nodes, 0);
+        assert_eq!(s.mu_nodes, 0);
+        assert_eq!(s.cfg_nodes, 2);
+    }
+
+    #[test]
+    fn if_assignments_make_gammas() {
+        let s = stats(
+            "PROGRAM P\nIF (L .GT. 0.0) THEN\nX = 1.0\nY = 2.0\nELSE\nX = 3.0\nENDIF\nEND\n",
+        );
+        // X and Y each get one gamma at the merge.
+        assert_eq!(s.gamma_nodes, 2);
+        assert_eq!(s.max_gate_depth, 1);
+    }
+
+    #[test]
+    fn loops_make_mu_nodes() {
+        let s = stats("PROGRAM P\nDO I = 1, 10\nX = X + 1.0\nENDDO\nEND\n");
+        // X and the loop variable I.
+        assert_eq!(s.mu_nodes, 2);
+    }
+
+    #[test]
+    fn option_variables_detected() {
+        let s = stats(
+            "PROGRAM P\nREAD(*,*) IMIN\nIF (IMIN .EQ. 1) THEN\nX = 1.0\nELSE\nX = 2.0\nENDIF\nEND\n",
+        );
+        assert_eq!(s.option_branches, 1);
+        // A computed gate is not an option branch.
+        let s2 = stats(
+            "PROGRAM P\nK = 1\nIF (K .EQ. 1) THEN\nX = 1.0\nENDIF\nEND\n",
+        );
+        assert_eq!(s2.option_branches, 0);
+    }
+
+    #[test]
+    fn multifunctional_cascades_multiply_gates() {
+        // Two option variables, nested dispatch: the gate volume grows
+        // multiplicatively with nesting depth.
+        let s = stats(
+            "PROGRAM P\nREAD(*,*) MODE, SUB\nIF (MODE .EQ. 1) THEN\nIF (SUB .EQ. 1) THEN\nA = 1.0\nELSE\nA = 2.0\nENDIF\nELSE\nIF (SUB .EQ. 1) THEN\nA = 3.0\nELSE\nA = 4.0\nENDIF\nENDIF\nEND\n",
+        );
+        assert_eq!(s.option_branches, 3);
+        assert_eq!(s.gamma_nodes, 3); // one per IF merge (A each time)
+        assert_eq!(s.max_gate_depth, 2);
+    }
+}

@@ -1,0 +1,426 @@
+//! Loop nests and the Figure 4 nesting metrics.
+//!
+//! The paper measures, per hand-identified target loop, four numbers:
+//! *outer subs* (subroutine calls from the program level to the loop on
+//! the deepest call path), *outer loops* (loops enclosing the target on
+//! that path, including loops around call sites in callers), *enclosed
+//! subs* and *enclosed loops* (the deepest subroutine / loop nesting
+//! inside the target's body, following calls). [`NestingMetrics`]
+//! computes all four.
+
+use std::collections::HashMap;
+
+use apar_minifort::ast::{Block, Stmt, StmtKind, Unit};
+use apar_minifort::{ResolvedProgram, StmtId};
+
+use crate::callgraph::CallGraph;
+
+/// Identifies a loop by its unit and DO-statement id.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LoopId {
+    pub unit: String,
+    pub stmt: StmtId,
+}
+
+/// Static facts about one DO loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    pub id: LoopId,
+    pub var: String,
+    /// Loop nesting depth within its unit (outermost = 0).
+    pub depth: usize,
+    /// Immediately enclosing loop, if any.
+    pub parent: Option<StmtId>,
+    /// `!$TARGET` marker.
+    pub target: Option<String>,
+    /// Callees invoked anywhere inside the body (deduplicated).
+    pub calls: Vec<String>,
+    /// Maximum additional loop depth nested inside the body (0 = no
+    /// inner loops), not following calls.
+    pub inner_depth: usize,
+    /// True when the body contains a `!LANG C` callee (directly).
+    pub has_foreign_call: bool,
+}
+
+/// All loops of a program, grouped by unit.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    pub loops: Vec<LoopInfo>,
+    by_unit: HashMap<String, Vec<usize>>,
+}
+
+impl LoopForest {
+    /// Collects every DO loop in the program.
+    pub fn build(rp: &ResolvedProgram) -> Self {
+        let mut f = LoopForest::default();
+        for unit in &rp.program.units {
+            let mut stack: Vec<StmtId> = Vec::new();
+            collect(rp, unit, &unit.body, &mut stack, &mut f);
+        }
+        for (i, l) in f.loops.iter().enumerate() {
+            f.by_unit.entry(l.id.unit.clone()).or_default().push(i);
+        }
+        f
+    }
+
+    /// Loops of one unit in source order.
+    pub fn in_unit<'a>(&'a self, unit: &str) -> impl Iterator<Item = &'a LoopInfo> {
+        self.by_unit
+            .get(unit)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.loops[i])
+    }
+
+    /// Lookup by id.
+    pub fn get(&self, id: &LoopId) -> Option<&LoopInfo> {
+        self.loops.iter().find(|l| &l.id == id)
+    }
+
+    /// All loops carrying a `!$TARGET` marker.
+    pub fn targets(&self) -> impl Iterator<Item = &LoopInfo> {
+        self.loops.iter().filter(|l| l.target.is_some())
+    }
+}
+
+fn collect(
+    rp: &ResolvedProgram,
+    unit: &Unit,
+    block: &Block,
+    stack: &mut Vec<StmtId>,
+    f: &mut LoopForest,
+) {
+    for s in &block.stmts {
+        match &s.kind {
+            StmtKind::Do {
+                var, body, target, ..
+            } => {
+                let mut calls = Vec::new();
+                let mut foreign = false;
+                body.walk_stmts(&mut |st| {
+                    if let StmtKind::Call { name, .. } = &st.kind {
+                        if !calls.contains(name) {
+                            calls.push(name.clone());
+                        }
+                        if rp
+                            .unit(name)
+                            .is_some_and(|u| u.lang == apar_minifort::Lang::C)
+                        {
+                            foreign = true;
+                        }
+                    }
+                });
+                f.loops.push(LoopInfo {
+                    id: LoopId {
+                        unit: unit.name.clone(),
+                        stmt: s.id,
+                    },
+                    var: var.clone(),
+                    depth: stack.len(),
+                    parent: stack.last().copied(),
+                    target: target.clone(),
+                    calls,
+                    inner_depth: inner_loop_depth(body),
+                    has_foreign_call: foreign,
+                });
+                stack.push(s.id);
+                collect(rp, unit, body, stack, f);
+                stack.pop();
+            }
+            StmtKind::DoWhile { body, .. } => {
+                stack.push(s.id);
+                collect(rp, unit, body, stack, f);
+                stack.pop();
+            }
+            StmtKind::If { arms, else_blk } => {
+                for (_, b) in arms {
+                    collect(rp, unit, b, stack, f);
+                }
+                if let Some(b) = else_blk {
+                    collect(rp, unit, b, stack, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Maximum loop nesting depth strictly inside a block (not through calls).
+pub fn inner_loop_depth(b: &Block) -> usize {
+    let mut max = 0;
+    for s in &b.stmts {
+        let d = match &s.kind {
+            StmtKind::Do { body, .. } | StmtKind::DoWhile { body, .. } => {
+                1 + inner_loop_depth(body)
+            }
+            StmtKind::If { arms, else_blk } => {
+                let mut m = 0;
+                for (_, bb) in arms {
+                    m = m.max(inner_loop_depth(bb));
+                }
+                if let Some(bb) = else_blk {
+                    m = m.max(inner_loop_depth(bb));
+                }
+                m
+            }
+            _ => 0,
+        };
+        max = max.max(d);
+    }
+    max
+}
+
+/// Finds a loop's DO statement within a unit.
+pub fn find_loop<'a>(unit: &'a Unit, id: StmtId) -> Option<&'a Stmt> {
+    let mut found: Option<&'a Stmt> = None;
+    unit.body.walk_stmts(&mut |s| {
+        if s.id == id && matches!(s.kind, StmtKind::Do { .. }) {
+            found = Some(s);
+        }
+    });
+    found
+}
+
+/// The four Figure 4 numbers for one loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NestingMetrics {
+    pub outer_subs: usize,
+    pub outer_loops: usize,
+    pub enclosed_subs: usize,
+    pub enclosed_loops: usize,
+}
+
+impl NestingMetrics {
+    /// Computes the metrics for `loop_info`, using the call graph rooted
+    /// at the main program.
+    pub fn compute(
+        rp: &ResolvedProgram,
+        cg: &CallGraph,
+        forest: &LoopForest,
+        loop_info: &LoopInfo,
+    ) -> NestingMetrics {
+        let root = rp
+            .main_unit()
+            .map(|u| u.name.clone())
+            .unwrap_or_else(|| "MAIN".to_string());
+        let call_depths = cg.call_depths(&root);
+        let loop_depths = cg.loop_depths_from(&root);
+
+        let outer_subs = call_depths
+            .get(&loop_info.id.unit)
+            .copied()
+            .unwrap_or(0);
+        let outer_loops = loop_depths
+            .get(&loop_info.id.unit)
+            .copied()
+            .unwrap_or(0)
+            + loop_info.depth;
+
+        let mut memo_subs: HashMap<String, usize> = HashMap::new();
+        let mut memo_loops: HashMap<String, usize> = HashMap::new();
+        let enclosed_subs = loop_info
+            .calls
+            .iter()
+            .map(|c| 1 + unit_sub_depth(rp, c, &mut memo_subs, &mut Vec::new()))
+            .max()
+            .unwrap_or(0);
+        // Enclosed loops: nesting inside this loop's body plus loop depth
+        // gained through callees.
+        let unit = rp.unit(&loop_info.id.unit).expect("unit exists");
+        let stmt = find_loop(unit, loop_info.id.stmt).expect("loop exists");
+        let body = match &stmt.kind {
+            StmtKind::Do { body, .. } => body,
+            _ => unreachable!("find_loop returns DO"),
+        };
+        let enclosed_loops = deep_loop_depth(rp, body, &mut memo_loops, &mut Vec::new());
+
+        let _ = forest;
+        NestingMetrics {
+            outer_subs,
+            outer_loops,
+            enclosed_subs,
+            enclosed_loops,
+        }
+    }
+}
+
+/// Longest call chain starting inside `unit`'s body.
+fn unit_sub_depth(
+    rp: &ResolvedProgram,
+    unit: &str,
+    memo: &mut HashMap<String, usize>,
+    path: &mut Vec<String>,
+) -> usize {
+    if let Some(&d) = memo.get(unit) {
+        return d;
+    }
+    if path.iter().any(|p| p == unit) {
+        return 0;
+    }
+    let Some(u) = rp.unit(unit) else { return 0 };
+    path.push(unit.to_string());
+    let mut best = 0;
+    u.body.walk_stmts(&mut |s| {
+        if let StmtKind::Call { name, .. } = &s.kind {
+            // (walk_stmts is not reentrant-friendly for recursion on rp;
+            // collect first)
+            let d = 1 + unit_sub_depth(rp, name, memo, path);
+            if d > best {
+                best = d;
+            }
+        }
+    });
+    path.pop();
+    memo.insert(unit.to_string(), best);
+    best
+}
+
+/// Deepest loop nesting reachable from a block, following calls.
+fn deep_loop_depth(
+    rp: &ResolvedProgram,
+    b: &Block,
+    memo: &mut HashMap<String, usize>,
+    path: &mut Vec<String>,
+) -> usize {
+    let mut max = 0;
+    for s in &b.stmts {
+        let d = match &s.kind {
+            StmtKind::Do { body, .. } | StmtKind::DoWhile { body, .. } => {
+                1 + deep_loop_depth(rp, body, memo, path)
+            }
+            StmtKind::If { arms, else_blk } => {
+                let mut m = 0;
+                for (_, bb) in arms {
+                    m = m.max(deep_loop_depth(rp, bb, memo, path));
+                }
+                if let Some(bb) = else_blk {
+                    m = m.max(deep_loop_depth(rp, bb, memo, path));
+                }
+                m
+            }
+            StmtKind::Call { name, .. } => unit_loop_depth(rp, name, memo, path),
+            _ => 0,
+        };
+        max = max.max(d);
+    }
+    max
+}
+
+fn unit_loop_depth(
+    rp: &ResolvedProgram,
+    unit: &str,
+    memo: &mut HashMap<String, usize>,
+    path: &mut Vec<String>,
+) -> usize {
+    if let Some(&d) = memo.get(unit) {
+        return d;
+    }
+    if path.iter().any(|p| p == unit) {
+        return 0;
+    }
+    let Some(u) = rp.unit(unit) else { return 0 };
+    path.push(unit.to_string());
+    let d = deep_loop_depth(rp, &u.body, memo, path);
+    path.pop();
+    memo.insert(unit.to_string(), d);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn setup(src: &str) -> (ResolvedProgram, CallGraph, LoopForest) {
+        let rp = frontend(src).expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let forest = LoopForest::build(&rp);
+        (rp, cg, forest)
+    }
+
+    #[test]
+    fn forest_collects_nested_loops() {
+        let (_, _, f) = setup(
+            "PROGRAM P\nDO I = 1, 10\nDO J = 1, 10\nX = 1.0\nENDDO\nENDDO\nEND\n",
+        );
+        assert_eq!(f.loops.len(), 2);
+        let outer = &f.loops[0];
+        let inner = &f.loops[1];
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.parent, Some(outer.id.stmt));
+        assert_eq!(outer.inner_depth, 1);
+        assert_eq!(inner.inner_depth, 0);
+    }
+
+    #[test]
+    fn targets_are_found() {
+        let (_, _, f) = setup(
+            "PROGRAM P\n!$TARGET T1\nDO I = 1, 10\nX = 1.0\nENDDO\nEND\n",
+        );
+        let ts: Vec<_> = f.targets().collect();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].target.as_deref(), Some("T1"));
+    }
+
+    #[test]
+    fn kernel_style_metrics_are_shallow() {
+        // A PERFECT-style kernel: the loop sits right in the main program.
+        let (rp, cg, f) = setup(
+            "PROGRAM KERNEL\n!$TARGET K1\nDO I = 1, 100\nDO J = 1, 100\nX = 1.0\nENDDO\nENDDO\nEND\n",
+        );
+        let t = f.targets().next().unwrap();
+        let m = NestingMetrics::compute(&rp, &cg, &f, t);
+        assert_eq!(
+            m,
+            NestingMetrics {
+                outer_subs: 0,
+                outer_loops: 0,
+                enclosed_subs: 0,
+                enclosed_loops: 1
+            }
+        );
+    }
+
+    #[test]
+    fn framework_style_metrics_are_deep() {
+        // SEISMIC-style: main -> driver (in a loop) -> phase -> module,
+        // target loop inside the module calling a helper with a loop.
+        let (rp, cg, f) = setup(
+            "PROGRAM MAIN\nCALL DRIVER\nEND\n\
+             SUBROUTINE DRIVER\nDO IT = 1, 10\nCALL PHASE\nENDDO\nEND\n\
+             SUBROUTINE PHASE\nCALL MODA\nEND\n\
+             SUBROUTINE MODA\n!$TARGET M1\nDO I = 1, 100\nCALL HELPER\nENDDO\nEND\n\
+             SUBROUTINE HELPER\nDO K = 1, 4\nX = 1.0\nENDDO\nCALL LEAF\nEND\n\
+             SUBROUTINE LEAF\nY = 2.0\nEND\n",
+        );
+        let t = f.targets().next().unwrap();
+        let m = NestingMetrics::compute(&rp, &cg, &f, t);
+        assert_eq!(m.outer_subs, 3, "MAIN->DRIVER->PHASE->MODA");
+        assert_eq!(m.outer_loops, 1, "the DRIVER iteration loop");
+        assert_eq!(m.enclosed_subs, 2, "HELPER->LEAF");
+        assert_eq!(m.enclosed_loops, 1, "HELPER's K loop");
+    }
+
+    #[test]
+    fn foreign_call_detection() {
+        let (_, _, f) = setup(
+            "PROGRAM P\nDO I = 1, 10\nCALL CIO\nENDDO\nEND\n!LANG C\nSUBROUTINE CIO\nEND\n",
+        );
+        assert!(f.loops[0].has_foreign_call);
+    }
+
+    #[test]
+    fn deepest_enclosed_loop_path_followed() {
+        let (rp, cg, f) = setup(
+            "PROGRAM P\n!$TARGET T\nDO I = 1, 10\nCALL A\nENDDO\nEND\n\
+             SUBROUTINE A\nDO J = 1, 5\nDO K = 1, 5\nCALL B\nENDDO\nENDDO\nEND\n\
+             SUBROUTINE B\nDO L = 1, 2\nX = 1.0\nENDDO\nEND\n",
+        );
+        let t = f.targets().next().unwrap();
+        let m = NestingMetrics::compute(&rp, &cg, &f, t);
+        // J, K inside A plus L inside B.
+        assert_eq!(m.enclosed_loops, 3);
+        assert_eq!(m.enclosed_subs, 2);
+    }
+}

@@ -1,0 +1,525 @@
+//! Scalar and array privatization.
+//!
+//! A variable is privatizable in a loop when every iteration writes it
+//! before reading it, so per-thread copies decouple the iterations.
+//! Figure 3 shows array privatization as one of the two dominant passes;
+//! its cost is the section-coverage proofs, which we charge to the same
+//! op counter as the dependence test.
+//!
+//! Privatized scalars are executed `lastprivate` by the runtime (the
+//! final iteration's value is copied back), preserving sequential
+//! semantics for live-out values.
+
+use std::collections::{HashMap, HashSet};
+
+use apar_minifort::ast::{Block, Expr as Ast, Stmt, StmtKind, Unit};
+use apar_minifort::symtab::{Storage, SymbolKind};
+use apar_minifort::{ResolvedProgram, StmtId};
+use apar_symbolic::{AssumeEnv, Expr, OpCounter, Prover, Range};
+
+use crate::access::LoopAccesses;
+use crate::ranges::ScalarState;
+use crate::symx::{ExprFeatures, SymMap};
+use crate::Capabilities;
+
+/// The privatization verdict for one loop.
+#[derive(Clone, Debug, Default)]
+pub struct PrivResult {
+    /// Scalars proven write-before-read each iteration.
+    pub private_scalars: Vec<String>,
+    /// Arrays proven write-before-read (scratch arrays).
+    pub private_arrays: Vec<String>,
+    /// Scalars written in the loop that could NOT be privatized (and are
+    /// not reductions/inductions — the driver subtracts those).
+    pub failed_scalars: Vec<String>,
+    /// Arrays that carry read-before-write uses (stay shared).
+    pub failed_arrays: Vec<String>,
+}
+
+/// First-reference events per name, in execution order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FirstRef {
+    Read { guarded: bool },
+    Write { guarded: bool },
+}
+
+/// Analyzes privatization for a loop body.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze(
+    rp: &ResolvedProgram,
+    unit: &Unit,
+    loop_stmt: StmtId,
+    body: &Block,
+    loop_var: &str,
+    la: &LoopAccesses,
+    state: &ScalarState,
+    sym: &mut SymMap,
+    caps: Capabilities,
+    ops: &OpCounter,
+) -> PrivResult {
+    let mut out = PrivResult::default();
+    let table = &rp.tables[&unit.name];
+
+    // Polaris's array privatization builds DEF/USE section summaries for
+    // every array reference of the loop before deciding; that symbolic
+    // work — bounding each subscript over the iteration space — is what
+    // Figure 3 shows sharing the compile-time bill with the dependence
+    // test. Reproduce it (and its cost) here.
+    {
+        let mut env = state.env.clone();
+        for (_, v, lo, hi) in &la.inner_loops {
+            let vid = sym.var(rp, &unit.name, v);
+            let mut f = ExprFeatures::default();
+            let l = state.substitute(&sym.expr(rp, &unit.name, lo, &mut f));
+            let h = state.substitute(&sym.expr(rp, &unit.name, hi, &mut f));
+            if !l.has_unknown() && !h.has_unknown() {
+                env.set(vid, Range::between(l, h));
+            }
+        }
+        let prover = Prover::new(&env, ops);
+        for acc in &la.accesses {
+            for sub in &acc.subs {
+                let _section = prover.range_of(sub);
+            }
+        }
+    }
+
+    // ---- Scalars -------------------------------------------------------
+    let mut first: HashMap<String, FirstRef> = HashMap::new();
+    first_refs(body, 0, &mut first);
+    let mut written: Vec<&str> = la
+        .scalar_writes
+        .iter()
+        .map(|(n, _, _)| n.as_str())
+        .filter(|n| *n != loop_var)
+        .collect();
+    written.sort_unstable();
+    written.dedup();
+    // Inner loop variables are trivially private (their DO writes first).
+    let inner_vars: HashSet<&str> = la.inner_loops.iter().map(|(_, v, _, _)| v.as_str()).collect();
+    for name in written {
+        if inner_vars.contains(name) {
+            out.private_scalars.push(name.to_string());
+            continue;
+        }
+        match first.get(name) {
+            Some(FirstRef::Write { guarded: false }) => {
+                out.private_scalars.push(name.to_string());
+            }
+            Some(FirstRef::Write { guarded: true }) if caps.guarded_regions => {
+                // Gated analysis: a guarded first-write is accepted when
+                // no unguarded read exists at all (checked by first_refs
+                // ordering: the first event was this write).
+                out.private_scalars.push(name.to_string());
+            }
+            _ => out.failed_scalars.push(name.to_string()),
+        }
+    }
+
+    // ---- Arrays ---------------------------------------------------------
+    // Candidate arrays: written in the loop. An array is private when
+    // every read is covered by an earlier unguarded write of the same
+    // iteration, and the array does not outlive the loop.
+    let mut arrays: Vec<&str> = la
+        .accesses
+        .iter()
+        .filter(|a| a.kind == crate::access::AccessKind::Write)
+        .map(|a| a.array.as_str())
+        .collect();
+    arrays.sort_unstable();
+    arrays.dedup();
+    let outside = names_outside_loop(unit, loop_stmt);
+    for array in arrays {
+        let reads: Vec<_> = la
+            .accesses
+            .iter()
+            .filter(|a| a.array == array && a.kind == crate::access::AccessKind::Read)
+            .collect();
+        if reads.is_empty() {
+            // Written but never read inside: private only if dead after
+            // the loop; otherwise the writes are the loop's output and
+            // must go to shared storage (the dependence test already
+            // judged them).
+            continue;
+        }
+        // Escape analysis: COMMON or formal arrays, or arrays referenced
+        // after the loop, cannot be silently privatized.
+        let escapes = match table.get(array).map(|s| (&s.kind, &s.storage)) {
+            Some((SymbolKind::Array(_), Storage::Local { .. })) => outside.contains(array),
+            _ => true,
+        };
+        if escapes {
+            out.failed_arrays.push(array.to_string());
+            continue;
+        }
+        let order = stmt_order(body);
+        let covered = reads.iter().all(|r| {
+            la.accesses
+                .iter()
+                .filter(|w| {
+                    w.array == array
+                        && w.kind == crate::access::AccessKind::Write
+                        && w.guard_depth == 0
+                        && order.get(&w.stmt) <= order.get(&r.stmt)
+                })
+                .any(|w| write_covers_read(rp, &unit.name, sym, state, la, w, r, ops))
+        });
+        if covered {
+            out.private_arrays.push(array.to_string());
+        } else {
+            out.failed_arrays.push(array.to_string());
+        }
+    }
+    out
+}
+
+/// Pre-order position of every statement in the body.
+fn stmt_order(body: &Block) -> HashMap<StmtId, usize> {
+    let mut order = HashMap::new();
+    let mut n = 0;
+    body.walk_stmts(&mut |s| {
+        order.insert(s.id, n);
+        n += 1;
+    });
+    order
+}
+
+/// Does write `w` cover read `r` within one iteration? Either the
+/// subscripts match symbolically, or `w` sits in an inner loop whose
+/// sweep provably spans the read subscript.
+#[allow(clippy::too_many_arguments)]
+fn write_covers_read(
+    rp: &ResolvedProgram,
+    unit: &str,
+    sym: &mut SymMap,
+    state: &ScalarState,
+    la: &LoopAccesses,
+    w: &crate::access::ArrayAccess,
+    r: &crate::access::ArrayAccess,
+    ops: &OpCounter,
+) -> bool {
+    if w.subs == r.subs && !w.subs.iter().any(|s| s.has_unknown()) {
+        return true;
+    }
+    if w.subs.len() != r.subs.len() {
+        return false;
+    }
+    // Sweep coverage: each dim of the write is either equal to the read's
+    // or is `J + c` for an inner loop J whose range spans the read index.
+    let mut env = state.env.clone();
+    for (_, v, lo, hi) in &la.inner_loops {
+        let vid = sym.var(rp, unit, v);
+        let mut f = ExprFeatures::default();
+        let l = state.substitute(&sym.expr(rp, unit, lo, &mut f));
+        let h = state.substitute(&sym.expr(rp, unit, hi, &mut f));
+        if !l.has_unknown() && !h.has_unknown() {
+            env.set(vid, Range::between(l, h));
+        }
+    }
+    let prover = Prover::new(&env, ops);
+    for k in 0..w.subs.len() {
+        let ws = &w.subs[k];
+        let rs = &r.subs[k];
+        if ws == rs {
+            continue;
+        }
+        if !dim_sweep_covers(rp, unit, sym, la, state, ws, rs, &env, &prover) {
+            return false;
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dim_sweep_covers(
+    rp: &ResolvedProgram,
+    unit: &str,
+    sym: &mut SymMap,
+    la: &LoopAccesses,
+    state: &ScalarState,
+    ws: &Expr,
+    rs: &Expr,
+    env: &AssumeEnv,
+    prover: &Prover<'_>,
+) -> bool {
+    // ws must be J + c for an inner loop var J (coefficient 1).
+    for (_, v, lo, hi) in &la.inner_loops {
+        let vid = sym.var(rp, unit, v);
+        // c = ws - J must be free of J.
+        let c = ws.sub(Expr::var(vid));
+        if c.vars().contains(&vid) {
+            continue;
+        }
+        if !ws.vars().contains(&vid) {
+            continue;
+        }
+        // The write sweeps [lo + c, hi + c]; the read index must fall in.
+        let mut f = ExprFeatures::default();
+        let l = state.substitute(&sym.expr(rp, unit, lo, &mut f));
+        let h = state.substitute(&sym.expr(rp, unit, hi, &mut f));
+        if l.has_unknown() || h.has_unknown() {
+            continue;
+        }
+        let _ = env;
+        if prover.prove_ge(rs, &l.add(c.clone())) && prover.prove_le(rs, &h.add(c)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// First read/write events per scalar name, respecting intra-statement
+/// order (reads of an assignment happen before its write).
+fn first_refs(body: &Block, guard: usize, first: &mut HashMap<String, FirstRef>) {
+    for s in &body.stmts {
+        stmt_first_refs(s, guard, first);
+    }
+}
+
+fn stmt_first_refs(s: &Stmt, guard: usize, first: &mut HashMap<String, FirstRef>) {
+    let read = |e: &Ast, first: &mut HashMap<String, FirstRef>, guard: usize| {
+        e.walk(&mut |x| {
+            if let Ast::Name(n) = x {
+                first.entry(n.clone()).or_insert(FirstRef::Read {
+                    guarded: guard > 0,
+                });
+            }
+        });
+    };
+    let write = |n: &str, first: &mut HashMap<String, FirstRef>, guard: usize| {
+        first.entry(n.to_string()).or_insert(FirstRef::Write {
+            guarded: guard > 0,
+        });
+    };
+    match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            read(rhs, first, guard);
+            match lhs {
+                Ast::Name(n) => write(n, first, guard),
+                Ast::Index { subs, .. } => {
+                    for sub in subs {
+                        read(sub, first, guard);
+                    }
+                }
+                _ => {}
+            }
+        }
+        StmtKind::If { arms, else_blk } => {
+            for (c, b) in arms {
+                read(c, first, guard);
+                first_refs(b, guard + 1, first);
+            }
+            if let Some(b) = else_blk {
+                first_refs(b, guard + 1, first);
+            }
+        }
+        StmtKind::Do {
+            var, lo, hi, step, body, ..
+        } => {
+            read(lo, first, guard);
+            read(hi, first, guard);
+            if let Some(st) = step {
+                read(st, first, guard);
+            }
+            write(var, first, guard);
+            first_refs(body, guard, first);
+        }
+        StmtKind::DoWhile { cond, body } => {
+            read(cond, first, guard);
+            first_refs(body, guard, first);
+        }
+        StmtKind::Call { args, .. } => {
+            for a in args {
+                // Conservative: call may read and write every actual.
+                read(a, first, guard);
+                if let Ast::Name(n) = a {
+                    // Read already recorded; the write would come second,
+                    // so no entry update is needed.
+                    let _ = n;
+                }
+            }
+        }
+        StmtKind::Read { items } => {
+            for it in items {
+                if let Ast::Name(n) = it {
+                    write(n, first, guard);
+                }
+            }
+        }
+        StmtKind::Write { items } => {
+            for it in items {
+                read(it, first, guard);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Names referenced in the unit outside the given loop's subtree.
+fn names_outside_loop(unit: &Unit, loop_stmt: StmtId) -> HashSet<String> {
+    let mut inside: HashSet<StmtId> = HashSet::new();
+    unit.body.walk_stmts(&mut |s| {
+        if s.id == loop_stmt {
+            if let StmtKind::Do { body, .. } = &s.kind {
+                inside.insert(s.id);
+                body.walk_stmts(&mut |t| {
+                    inside.insert(t.id);
+                });
+            }
+        }
+    });
+    let mut out = HashSet::new();
+    unit.body.walk_stmts(&mut |s| {
+        if inside.contains(&s.id) {
+            return;
+        }
+        let mut record = |e: &Ast| {
+            e.walk(&mut |x| {
+                if let Ast::Name(n) | Ast::Index { name: n, .. } = x {
+                    out.insert(n.clone());
+                }
+            });
+        };
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                record(lhs);
+                record(rhs);
+            }
+            StmtKind::Call { args, .. } => args.iter().for_each(record),
+            StmtKind::Read { items } | StmtKind::Write { items } => {
+                items.iter().for_each(record)
+            }
+            StmtKind::If { arms, .. } => arms.iter().for_each(|(c, _)| record(c)),
+            StmtKind::Do { lo, hi, .. } => {
+                record(lo);
+                record(hi);
+            }
+            StmtKind::DoWhile { cond, .. } => record(cond),
+            _ => {}
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access;
+    use crate::callgraph::CallGraph;
+    use crate::ranges;
+    use crate::summary::Summaries;
+    use apar_minifort::frontend;
+
+    fn run(src: &str, caps: Capabilities) -> PrivResult {
+        let rp = frontend(src).expect("frontend");
+        let unit = rp.main_unit().expect("main").clone();
+        let cg = CallGraph::build(&rp);
+        let mut sym = SymMap::new();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
+        let ur = ranges::analyze_unit(
+            &rp,
+            &unit.name,
+            &mut sym,
+            caps,
+            &summaries,
+            &ranges::ScalarState::default(),
+        );
+        let mut found = None;
+        unit.body.walk_stmts(&mut |s| {
+            if found.is_none() {
+                if let StmtKind::Do { var, body, .. } = &s.kind {
+                    found = Some((s.id, var.clone(), body.clone()));
+                }
+            }
+        });
+        let (sid, var, body) = found.expect("loop");
+        let state = ur.at_loop.get(&sid).cloned().unwrap_or_default();
+        let la = access::collect(&rp, &unit.name, &body, &mut sym, &state);
+        let ops = OpCounter::unlimited();
+        analyze(&rp, &unit, sid, &body, &var, &la, &state, &mut sym, caps, &ops)
+    }
+
+    #[test]
+    fn def_before_use_scalar_is_private() {
+        let r = run(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nT = A(I) * 2.0\nA(I) = T + 1.0\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert_eq!(r.private_scalars, vec!["T"]);
+        assert!(r.failed_scalars.is_empty());
+    }
+
+    #[test]
+    fn use_before_def_scalar_fails() {
+        let r = run(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nA(I) = T\nT = A(I)\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(r.private_scalars.is_empty());
+        assert_eq!(r.failed_scalars, vec!["T"]);
+    }
+
+    #[test]
+    fn guarded_first_write_needs_capability() {
+        let src = "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nIF (A(I) .GT. 0.0) THEN\nT = 1.0\nELSE\nT = 2.0\nENDIF\nA(I) = T\nENDDO\nEND\n";
+        let base = run(src, Capabilities::polaris2008());
+        assert_eq!(base.failed_scalars, vec!["T"]);
+        let full = run(src, Capabilities::full());
+        assert_eq!(full.private_scalars, vec!["T"]);
+    }
+
+    #[test]
+    fn inner_loop_var_is_private() {
+        let r = run(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nDO J = 1, 5\nA(J) = 0.0\nENDDO\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(r.private_scalars.contains(&"J".to_string()));
+    }
+
+    #[test]
+    fn scratch_array_swept_then_read_is_private() {
+        // SA is written over [1, 8] then read at positions within [1, 8].
+        let r = run(
+            "PROGRAM P\nREAL SA(8), B(10)\nDO I = 1, 10\nDO J = 1, 8\nSA(J) = B(I) * J\nENDDO\nS = SA(1) + SA(8)\nB(I) = S\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert_eq!(r.private_arrays, vec!["SA"]);
+    }
+
+    #[test]
+    fn array_read_outside_sweep_fails() {
+        let r = run(
+            "PROGRAM P\nREAL SA(20), B(10)\nDO I = 1, 10\nDO J = 1, 8\nSA(J) = B(I)\nENDDO\nB(I) = SA(9)\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(r.failed_arrays.contains(&"SA".to_string()), "{:?}", r);
+    }
+
+    #[test]
+    fn array_used_after_loop_escapes() {
+        let r = run(
+            "PROGRAM P\nREAL SA(8), B(10)\nDO I = 1, 10\nDO J = 1, 8\nSA(J) = B(I)\nENDDO\nB(I) = SA(3)\nENDDO\nX = SA(1)\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(r.failed_arrays.contains(&"SA".to_string()), "{:?}", r);
+    }
+
+    #[test]
+    fn common_array_escapes() {
+        let r = run(
+            "PROGRAM P\nREAL SA(8), B(10)\nCOMMON /C/ SA\nDO I = 1, 10\nDO J = 1, 8\nSA(J) = B(I)\nENDDO\nB(I) = SA(3)\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(r.failed_arrays.contains(&"SA".to_string()), "{:?}", r);
+    }
+
+    #[test]
+    fn same_subscript_write_then_read() {
+        let r = run(
+            "PROGRAM P\nREAL T(10), B(10)\nDO I = 1, 10\nT(1) = B(I)\nB(I) = T(1) * 2.0\nENDDO\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert_eq!(r.private_arrays, vec!["T"]);
+    }
+}

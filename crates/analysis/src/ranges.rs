@@ -1,0 +1,702 @@
+//! Forward scalar value and range analysis.
+//!
+//! Walks each unit once, tracking for every integer scalar an exact
+//! symbolic value (when known) and a symbolic [`Range`]. The state
+//! snapshot taken at each `DO` header — including the ranges of all
+//! enclosing loop variables — is what the data-dependence Range Test
+//! consumes.
+//!
+//! The analysis is where the paper's `rangeless` hindrance materializes:
+//! a variable set by `READ` (an input-deck parameter) or clobbered by an
+//! opaque call has no range, and subscript comparisons involving it are
+//! futile (§3). The [`crate::Capabilities::input_deck_ranges`] ablation
+//! models a compiler that exploits validated deck bounds instead.
+
+use std::collections::{HashMap, HashSet};
+
+use apar_minifort::ast::{BinOp, Block, Expr as Ast, StmtKind, UnOp};
+use apar_minifort::{ResolvedProgram, StmtId, Ty};
+use apar_symbolic::{AssumeEnv, Expr, Range, VarId};
+
+use crate::summary::Summaries;
+use crate::symx::{ExprFeatures, SymMap};
+use crate::Capabilities;
+
+/// Upper bound assumed for validated input-deck integers when the
+/// corresponding capability is on.
+pub const DECK_MAX: i64 = 1 << 20;
+
+/// Known facts about integer scalars at a program point.
+#[derive(Clone, Debug, Default)]
+pub struct ScalarState {
+    /// Exact symbolic values (in terms of variables with no known value).
+    pub values: HashMap<VarId, Expr>,
+    /// Value ranges.
+    pub env: AssumeEnv,
+}
+
+impl ScalarState {
+    /// Forgets everything about `v`, including facts whose bounds
+    /// mention `v`.
+    pub fn kill(&mut self, v: VarId) {
+        self.values.remove(&v);
+        self.values.retain(|_, e| !e.vars().contains(&v));
+        let stale: Vec<VarId> = self
+            .env
+            .iter()
+            .filter(|(_, r)| {
+                r.lo.as_ref().is_some_and(|e| e.vars().contains(&v))
+                    || r.hi.as_ref().is_some_and(|e| e.vars().contains(&v))
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for s in stale {
+            self.env.kill(s);
+        }
+        self.env.kill(v);
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.env = AssumeEnv::new();
+    }
+
+    /// Substitutes known exact values into an expression.
+    pub fn substitute(&self, e: &Expr) -> Expr {
+        e.subst_map(&mut |v| self.values.get(&v).cloned())
+    }
+
+    /// Join at a control-flow merge: keep values equal on both sides and
+    /// union the ranges.
+    pub fn join(&self, other: &ScalarState) -> ScalarState {
+        let mut values = HashMap::new();
+        for (v, e) in &self.values {
+            if other.values.get(v) == Some(e) {
+                values.insert(*v, e.clone());
+            }
+        }
+        let mut env = AssumeEnv::new();
+        for (v, r) in self.env.iter() {
+            let ro = other.env.range_of(*v);
+            if ro.is_rangeless() {
+                continue;
+            }
+            env.set(*v, r.union(&ro));
+        }
+        ScalarState { values, env }
+    }
+}
+
+/// Result of analyzing one unit.
+#[derive(Clone, Debug, Default)]
+pub struct UnitRanges {
+    /// State at the top of each loop body: enclosing loop variables (and
+    /// this loop's variable) carry their iteration ranges.
+    pub at_loop: HashMap<StmtId, ScalarState>,
+    /// State just before each CALL statement (before its kills) — the
+    /// input to interprocedural constant propagation.
+    pub at_call: HashMap<StmtId, ScalarState>,
+    /// Variables that were explicitly made rangeless by input statements.
+    pub deck_vars: HashSet<VarId>,
+}
+
+/// Analyzes a unit starting from `seed` facts (e.g. interprocedural
+/// constants).
+pub fn analyze_unit(
+    rp: &ResolvedProgram,
+    unit_name: &str,
+    sym: &mut SymMap,
+    caps: Capabilities,
+    summaries: &Summaries,
+    seed: &ScalarState,
+) -> UnitRanges {
+    let Some(unit) = rp.unit(unit_name) else {
+        return UnitRanges::default();
+    };
+    if unit.lang == apar_minifort::Lang::C && !caps.multilingual {
+        // The baseline compiler cannot see inside foreign units (§2.4).
+        return UnitRanges::default();
+    }
+    let mut out = UnitRanges::default();
+    let has_goto = unit_has_goto(unit);
+    let mut w = Walker {
+        rp,
+        unit: unit_name,
+        sym,
+        caps,
+        summaries,
+        out: &mut out,
+        has_goto,
+    };
+    let mut state = seed.clone();
+    w.block(&unit.body, &mut state);
+    out
+}
+
+/// True when a block's last statement unconditionally leaves it.
+fn block_exits(b: &Block) -> bool {
+    matches!(
+        b.stmts.last().map(|s| &s.kind),
+        Some(StmtKind::Stop | StmtKind::Return | StmtKind::Goto(_))
+    )
+}
+
+fn unit_has_goto(unit: &apar_minifort::Unit) -> bool {
+    let mut found = false;
+    unit.body.walk_stmts(&mut |s| {
+        if matches!(s.kind, StmtKind::Goto(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+struct Walker<'a> {
+    rp: &'a ResolvedProgram,
+    unit: &'a str,
+    sym: &'a mut SymMap,
+    caps: Capabilities,
+    summaries: &'a Summaries,
+    out: &'a mut UnitRanges,
+    has_goto: bool,
+}
+
+impl Walker<'_> {
+    fn is_int_scalar(&self, name: &str) -> bool {
+        let t = &self.rp.tables[self.unit];
+        t.type_of(name) == Ty::Integer && !t.is_array(name)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn to_sym(&mut self, e: &Ast) -> Expr {
+        let mut f = ExprFeatures::default();
+        self.sym.expr(self.rp, self.unit, e, &mut f)
+    }
+
+    fn block(&mut self, b: &Block, state: &mut ScalarState) {
+        for s in &b.stmts {
+            if self.has_goto && s.label.is_some() {
+                // A label may be reached by arbitrary GOTOs: drop facts.
+                state.clear();
+            }
+            self.stmt(s, state);
+        }
+    }
+
+    fn stmt(&mut self, s: &apar_minifort::ast::Stmt, state: &mut ScalarState) {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                match lhs {
+                    Ast::Name(n) if self.is_int_scalar(n) => {
+                        let v = self.sym.var(self.rp, self.unit, n);
+                        let e = self.to_sym(rhs);
+                        let e = state.substitute(&e);
+                        state.kill(v);
+                        if !e.has_unknown() && !e.vars().contains(&v) {
+                            state.values.insert(v, e.clone());
+                            state.env.set(v, Range::exact(e));
+                        }
+                    }
+                    Ast::Name(n) => {
+                        // Non-integer or array-element write: kill if it
+                        // shadows a tracked scalar (aliasing through
+                        // EQUIVALENCE is handled coarsely: exact tracking
+                        // only for unaliased names).
+                        let v = self.sym.var(self.rp, self.unit, n);
+                        state.kill(v);
+                    }
+                    _ => {}
+                }
+            }
+            StmtKind::Read { items } => {
+                for it in items {
+                    if let Some(n) = it.lvalue_name() {
+                        let v = self.sym.var(self.rp, self.unit, n);
+                        state.kill(v);
+                        self.out.deck_vars.insert(v);
+                        if self.caps.input_deck_ranges && self.is_int_scalar(n) {
+                            // Model a validated deck: positive, bounded.
+                            state
+                                .env
+                                .set(v, Range::between(Expr::int(1), Expr::int(DECK_MAX)));
+                        }
+                    }
+                }
+            }
+            StmtKind::Call { name, args } => {
+                self.out.at_call.insert(s.id, state.clone());
+                let eff = self.summaries.of(name);
+                if eff.opaque {
+                    state.clear();
+                    return;
+                }
+                for v in &eff.modified_commons {
+                    state.kill(*v);
+                }
+                if eff.does_input {
+                    // Deck variables written inside the callee.
+                    for v in &eff.modified_commons {
+                        self.out.deck_vars.insert(*v);
+                        if self.caps.input_deck_ranges {
+                            state
+                                .env
+                                .set(*v, Range::between(Expr::int(1), Expr::int(DECK_MAX)));
+                        }
+                    }
+                }
+                for (pos, a) in args.iter().enumerate() {
+                    if eff.modified_formals.contains(&pos) {
+                        if let Ast::Name(n) = a {
+                            let v = self.sym.var(self.rp, self.unit, n);
+                            state.kill(v);
+                        }
+                    }
+                }
+            }
+            StmtKind::If { arms, else_blk } => {
+                let entry = state.clone();
+                let mut joined: Option<ScalarState> = None;
+                let join_in = |st: ScalarState, joined: &mut Option<ScalarState>| {
+                    *joined = Some(match joined.take() {
+                        None => st,
+                        Some(j) => j.join(&st),
+                    });
+                };
+                for (cond, body) in arms {
+                    let mut st = entry.clone();
+                    self.refine_with_cond(cond, &mut st);
+                    self.block(body, &mut st);
+                    // Arms ending in STOP/RETURN/GOTO never reach the
+                    // join point.
+                    if !block_exits(body) {
+                        join_in(st, &mut joined);
+                    }
+                }
+                match else_blk {
+                    Some(b) => {
+                        let mut st = entry.clone();
+                        self.block(b, &mut st);
+                        if !block_exits(b) {
+                            join_in(st, &mut joined);
+                        }
+                    }
+                    None => {
+                        // Fall-through when no arm fires. Input-deck
+                        // validation code like `IF (M .LT. N) STOP` is
+                        // exploited only under the deck-ranges
+                        // capability: the negated guard holds here.
+                        let mut st = entry;
+                        if self.caps.input_deck_ranges {
+                            for (cond, body) in arms {
+                                if block_exits(body) {
+                                    self.refine_with_negation(cond, &mut st);
+                                }
+                            }
+                        }
+                        join_in(st, &mut joined);
+                    }
+                }
+                *state = joined.unwrap_or_default();
+            }
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
+                let v = self.sym.var(self.rp, self.unit, var);
+                let lo_e = state.substitute(&self.to_sym(lo));
+                let hi_e = state.substitute(&self.to_sym(hi));
+                let step_c = match step {
+                    None => Some(1),
+                    Some(e) => self.to_sym(e).as_int(),
+                };
+                // Kill everything the body may modify, then give the loop
+                // variable its range.
+                let mut body_state = state.clone();
+                for k in self.body_kill_set(body) {
+                    body_state.kill(k);
+                }
+                body_state.kill(v);
+                if !lo_e.has_unknown() && !hi_e.has_unknown() {
+                    match step_c {
+                        Some(st) if st > 0 => {
+                            body_state.env.set(v, Range::between(lo_e, hi_e));
+                        }
+                        Some(st) if st < 0 => {
+                            body_state.env.set(v, Range::between(hi_e, lo_e));
+                        }
+                        _ => {}
+                    }
+                }
+                self.out.at_loop.insert(s.id, body_state.clone());
+                self.block(body, &mut body_state);
+                // After the loop: entry facts minus body kills, loop var
+                // unknown.
+                let mut after = state.clone();
+                for k in self.body_kill_set(body) {
+                    after.kill(k);
+                }
+                after.kill(v);
+                *state = after;
+            }
+            StmtKind::DoWhile { body, .. } => {
+                let mut body_state = state.clone();
+                for k in self.body_kill_set(body) {
+                    body_state.kill(k);
+                }
+                self.out.at_loop.insert(s.id, body_state.clone());
+                self.block(body, &mut body_state);
+                let mut after = state.clone();
+                for k in self.body_kill_set(body) {
+                    after.kill(k);
+                }
+                *state = after;
+            }
+            _ => {}
+        }
+    }
+
+    /// Variables (by symbolic id) the body may modify. An opaque call
+    /// yields a sentinel handled by returning every tracked id.
+    fn body_kill_set(&mut self, body: &Block) -> Vec<VarId> {
+        let mut kills: Vec<VarId> = Vec::new();
+        let mut opaque = false;
+        let mut names: Vec<String> = Vec::new();
+        let mut calls: Vec<(String, Vec<Ast>)> = Vec::new();
+        body.walk_stmts(&mut |s| match &s.kind {
+            StmtKind::Assign { lhs, .. } => {
+                if let Some(n) = lhs.lvalue_name() {
+                    names.push(n.to_string());
+                }
+            }
+            StmtKind::Read { items } => {
+                for it in items {
+                    if let Some(n) = it.lvalue_name() {
+                        names.push(n.to_string());
+                    }
+                }
+            }
+            StmtKind::Do { var, .. } => names.push(var.clone()),
+            StmtKind::Call { name, args } => calls.push((name.clone(), args.clone())),
+            _ => {}
+        });
+        for n in names {
+            kills.push(self.sym.var(self.rp, self.unit, &n));
+        }
+        for (callee, args) in calls {
+            let eff = self.summaries.of(&callee);
+            if eff.opaque {
+                opaque = true;
+                break;
+            }
+            kills.extend(eff.modified_commons.iter().copied());
+            for (pos, a) in args.iter().enumerate() {
+                if eff.modified_formals.contains(&pos) {
+                    if let Ast::Name(n) = a {
+                        kills.push(self.sym.var(self.rp, self.unit, n));
+                    }
+                }
+            }
+        }
+        if opaque {
+            // Return every id currently known to the interner: total kill.
+            kills = (0..self.sym.interner.len() as u32)
+                .map(apar_symbolic::VarId)
+                .collect();
+        }
+        kills.sort();
+        kills.dedup();
+        kills
+    }
+
+    /// Refines ranges from a positive IF guard (conjunctions recurse).
+    fn refine_with_cond(&mut self, cond: &Ast, state: &mut ScalarState) {
+        match cond {
+            Ast::Bin(BinOp::And, l, r) => {
+                self.refine_with_cond(l, state);
+                self.refine_with_cond(r, state);
+            }
+            Ast::Bin(op, l, r) if op.is_relational() => {
+                let le = state.substitute(&self.to_sym(l));
+                let re = state.substitute(&self.to_sym(r));
+                // VAR rel expr
+                if let Ast::Name(n) = &**l {
+                    if self.is_int_scalar(n) && !re.has_unknown() {
+                        let v = self.sym.var(self.rp, self.unit, n);
+                        self.apply_rel(state, v, *op, &re);
+                    }
+                }
+                // expr rel VAR (mirror the operator)
+                if let Ast::Name(n) = &**r {
+                    if self.is_int_scalar(n) && !le.has_unknown() {
+                        let v = self.sym.var(self.rp, self.unit, n);
+                        let mirrored = match op {
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::Le => BinOp::Ge,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::Ge => BinOp::Le,
+                            other => *other,
+                        };
+                        self.apply_rel(state, v, mirrored, &le);
+                    }
+                }
+            }
+            Ast::Un(UnOp::Not, inner) => {
+                // .NOT. (a .LT. b) refines like (a .GE. b).
+                if let Ast::Bin(op, l, r) = &**inner {
+                    let negated = match op {
+                        BinOp::Lt => Some(BinOp::Ge),
+                        BinOp::Le => Some(BinOp::Gt),
+                        BinOp::Gt => Some(BinOp::Le),
+                        BinOp::Ge => Some(BinOp::Lt),
+                        BinOp::Eq => Some(BinOp::Ne),
+                        BinOp::Ne => Some(BinOp::Eq),
+                        _ => None,
+                    };
+                    if let Some(nop) = negated {
+                        self.refine_with_cond(
+                            &Ast::Bin(nop, l.clone(), r.clone()),
+                            state,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Refines with the *negation* of a guard — used after an IF arm
+    /// that unconditionally exits (input-deck validation patterns).
+    fn refine_with_negation(&mut self, cond: &Ast, state: &mut ScalarState) {
+        match cond {
+            // .NOT.(a .OR. b) refines both negations.
+            Ast::Bin(BinOp::Or, l, r) => {
+                self.refine_with_negation(l, state);
+                self.refine_with_negation(r, state);
+            }
+            Ast::Bin(op, l, r) if op.is_relational() => {
+                let negated = match op {
+                    BinOp::Lt => BinOp::Ge,
+                    BinOp::Le => BinOp::Gt,
+                    BinOp::Gt => BinOp::Le,
+                    BinOp::Ge => BinOp::Lt,
+                    BinOp::Eq => BinOp::Ne,
+                    BinOp::Ne => BinOp::Eq,
+                    _ => return,
+                };
+                self.refine_with_cond(&Ast::Bin(negated, l.clone(), r.clone()), state);
+            }
+            Ast::Un(UnOp::Not, inner) => self.refine_with_cond(inner, state),
+            _ => {}
+        }
+    }
+
+    fn apply_rel(&mut self, state: &mut ScalarState, v: VarId, op: BinOp, bound: &Expr) {
+        // Guard bounds must not mention v itself.
+        if bound.vars().contains(&v) {
+            return;
+        }
+        match op {
+            BinOp::Lt => state
+                .env
+                .assume(v, Range::at_most(bound.sub(Expr::int(1)))),
+            BinOp::Le => state.env.assume(v, Range::at_most(bound.clone())),
+            BinOp::Gt => state
+                .env
+                .assume(v, Range::at_least(bound.add(Expr::int(1)))),
+            BinOp::Ge => state.env.assume(v, Range::at_least(bound.clone())),
+            BinOp::Eq => state.env.assume(v, Range::exact(bound.clone())),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use apar_minifort::frontend;
+    use apar_symbolic::{OpCounter, Prover};
+
+    struct T {
+        rp: ResolvedProgram,
+        sym: SymMap,
+        ur: UnitRanges,
+        unit: &'static str,
+    }
+
+    fn run(src: &str, unit: &'static str, caps: Capabilities) -> T {
+        let rp = frontend(src).expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let mut sym = SymMap::new();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
+        let ur = analyze_unit(&rp, unit, &mut sym, caps, &summaries, &ScalarState::default());
+        T { rp, sym, ur, unit }
+    }
+
+    fn loop_state(t: &T, n: usize) -> &ScalarState {
+        // The n-th DO loop (in pre-order) of the unit.
+        let unit = t.rp.unit(t.unit).unwrap();
+        let mut ids = Vec::new();
+        unit.body.walk_stmts(&mut |s| {
+            if matches!(s.kind, StmtKind::Do { .. }) {
+                ids.push(s.id);
+            }
+        });
+        &t.ur.at_loop[&ids[n]]
+    }
+
+    #[test]
+    fn loop_variable_gets_its_range() {
+        let mut t = run(
+            "PROGRAM P\nN = 100\nDO I = 1, N\nX = 1.0\nENDDO\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let i = t.sym.var(&t.rp, "P", "I");
+        let ops = OpCounter::unlimited();
+        let p = Prover::new(&st.env, &ops);
+        assert!(p.prove_ge(&Expr::var(i), &Expr::int(1)));
+        assert!(p.prove_le(&Expr::var(i), &Expr::int(100)));
+    }
+
+    #[test]
+    fn constants_propagate_and_substitute() {
+        let mut t = run(
+            "PROGRAM P\nLDIM = 64\nLDA = LDIM\nDO I = 1, LDA\nX = 1.0\nENDDO\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let lda = t.sym.var(&t.rp, "P", "LDA");
+        assert_eq!(st.values.get(&lda), Some(&Expr::int(64)));
+        let i = t.sym.var(&t.rp, "P", "I");
+        assert_eq!(st.env.range_of(i).hi, Some(Expr::int(64)));
+    }
+
+    #[test]
+    fn read_makes_rangeless_in_baseline() {
+        let mut t = run(
+            "PROGRAM P\nREAD(*,*) N\nDO I = 1, N\nX = 1.0\nENDDO\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let n = t.sym.var(&t.rp, "P", "N");
+        assert!(st.env.is_rangeless(n));
+        assert!(t.ur.deck_vars.contains(&n));
+        // With the capability, the deck variable gets bounds.
+        let mut t2 = run(
+            "PROGRAM P\nREAD(*,*) N\nDO I = 1, N\nX = 1.0\nENDDO\nEND\n",
+            "P",
+            Capabilities::full(),
+        );
+        let st2 = loop_state(&t2, 0).clone();
+        let n2 = t2.sym.var(&t2.rp, "P", "N");
+        assert!(!st2.env.is_rangeless(n2));
+    }
+
+    #[test]
+    fn assignment_kills_dependent_facts() {
+        let mut t = run(
+            "PROGRAM P\nN = 10\nM = N + 1\nN = 20\nDO I = 1, M\nX = 1.0\nENDDO\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let m = t.sym.var(&t.rp, "P", "M");
+        // M was computed from the OLD N; facts must not claim M == N + 1
+        // after N changed. M's exact value (11) survives because the
+        // substitution happened eagerly.
+        assert_eq!(st.values.get(&m), Some(&Expr::int(11)));
+    }
+
+    #[test]
+    fn if_guard_refines_then_branch() {
+        let mut t = run(
+            "PROGRAM P\nREAD(*,*) N\nIF (N .GE. 1) THEN\nDO I = 1, N\nX = 1.0\nENDDO\nENDIF\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let n = t.sym.var(&t.rp, "P", "N");
+        assert_eq!(st.env.range_of(n).lo, Some(Expr::int(1)));
+        assert!(st.env.range_of(n).hi.is_none());
+    }
+
+    #[test]
+    fn join_after_if_unions_ranges() {
+        let mut t = run(
+            "PROGRAM P\nIF (L .GT. 0.0) THEN\nN = 10\nELSE\nN = 20\nENDIF\nDO I = 1, N\nX = 1.0\nENDDO\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let n = t.sym.var(&t.rp, "P", "N");
+        let r = st.env.range_of(n);
+        assert_eq!(r.lo, Some(Expr::int(10)));
+        assert_eq!(r.hi, Some(Expr::int(20)));
+        // Exact value is NOT known.
+        assert!(!st.values.contains_key(&n));
+    }
+
+    #[test]
+    fn loop_body_kills_are_applied_before_analysis() {
+        // N is modified inside the loop: its old value must not be used
+        // for the loop bound fact of an inner loop.
+        let mut t = run(
+            "PROGRAM P\nN = 10\nDO I = 1, 5\nDO J = 1, N\nX = 1.0\nENDDO\nN = N + 1\nENDDO\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 1).clone();
+        let j = t.sym.var(&t.rp, "P", "J");
+        let n = t.sym.var(&t.rp, "P", "N");
+        assert!(st.env.is_rangeless(n), "N modified in outer loop body");
+        // J's range references N symbolically (not the stale constant).
+        assert_eq!(st.env.range_of(j).hi, Some(Expr::var(n)));
+    }
+
+    #[test]
+    fn opaque_call_clears_everything() {
+        let mut t = run(
+            "PROGRAM P\nN = 10\nCALL CMYSTERY\nDO I = 1, N\nX = 1.0\nENDDO\nEND\n!LANG C\nSUBROUTINE CMYSTERY\nCOMMON /Q/ Z\nZ = 1.0\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let n = t.sym.var(&t.rp, "P", "N");
+        assert!(st.env.is_rangeless(n));
+    }
+
+    #[test]
+    fn fortran_call_kills_only_its_effects() {
+        let mut t = run(
+            "PROGRAM P\nCOMMON /C/ K\nN = 10\nK = 5\nCALL BUMP\nDO I = 1, N\nX = 1.0\nENDDO\nEND\nSUBROUTINE BUMP\nCOMMON /C/ K\nK = K + 1\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let n = t.sym.var(&t.rp, "P", "N");
+        let k = t.sym.var(&t.rp, "P", "K");
+        assert_eq!(st.values.get(&n), Some(&Expr::int(10)));
+        assert!(st.env.is_rangeless(k), "K modified by BUMP");
+    }
+
+    #[test]
+    fn labels_in_goto_units_clear_facts() {
+        let mut t = run(
+            "PROGRAM P\nN = 10\nGOTO 20\n20 CONTINUE\nDO I = 1, N\nX = 1.0\nENDDO\nEND\n",
+            "P",
+            Capabilities::polaris2008(),
+        );
+        let st = loop_state(&t, 0).clone();
+        let n = t.sym.var(&t.rp, "P", "N");
+        assert!(st.env.is_rangeless(n));
+    }
+}

@@ -1,0 +1,247 @@
+//! Reduction recognition.
+//!
+//! Finds `S = S op expr` patterns (sum, product, min, max) where the
+//! scalar `S` appears nowhere else in the loop body, so per-thread
+//! partial results can be combined after the loop. Conditional
+//! reductions (the update under an IF) still qualify — skipping an
+//! update is the same as combining with the identity.
+
+use std::collections::HashMap;
+
+use apar_minifort::ast::{BinOp, Block, Expr as Ast, RedOp, StmtKind};
+
+/// A recognized reduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reduction {
+    pub var: String,
+    pub op: RedOp,
+}
+
+/// Finds the reductions of a loop body.
+pub fn find_reductions(body: &Block, is_array: &impl Fn(&str) -> bool) -> Vec<Reduction> {
+    // Count every appearance of each scalar name, and collect candidate
+    // update statements.
+    let mut appearances: HashMap<String, usize> = HashMap::new();
+    let mut candidates: Vec<(String, RedOp, usize)> = Vec::new(); // (var, op, self_refs_in_update)
+
+    body.walk_stmts(&mut |s| {
+        let count_expr = |e: &Ast, appearances: &mut HashMap<String, usize>| {
+            e.walk(&mut |x| {
+                if let Ast::Name(n) = x {
+                    *appearances.entry(n.clone()).or_insert(0) += 1;
+                }
+            });
+        };
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                count_expr(rhs, &mut appearances);
+                match lhs {
+                    Ast::Name(n) if !is_array(n) => {
+                        *appearances.entry(n.clone()).or_insert(0) += 1;
+                        if let Some((op, self_refs)) = match_update(n, rhs) {
+                            candidates.push((n.clone(), op, self_refs));
+                        }
+                    }
+                    Ast::Index { subs, .. } => {
+                        for sub in subs {
+                            count_expr(sub, &mut appearances);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            StmtKind::If { arms, .. } => {
+                for (c, _) in arms {
+                    count_expr(c, &mut appearances);
+                }
+            }
+            StmtKind::Do { lo, hi, step, .. } => {
+                count_expr(lo, &mut appearances);
+                count_expr(hi, &mut appearances);
+                if let Some(st) = step {
+                    count_expr(st, &mut appearances);
+                }
+            }
+            StmtKind::DoWhile { cond, .. } => count_expr(cond, &mut appearances),
+            StmtKind::Call { args, .. } => {
+                for a in args {
+                    count_expr(a, &mut appearances);
+                }
+            }
+            StmtKind::Read { items } | StmtKind::Write { items } => {
+                for i in items {
+                    count_expr(i, &mut appearances);
+                }
+            }
+            _ => {}
+        }
+    });
+
+    // A candidate survives when its total appearances are exactly those
+    // of its update statements (lhs + self-reference(s) in rhs).
+    let mut per_var: HashMap<String, (RedOp, usize, usize)> = HashMap::new(); // var -> (op, updates, refs)
+    let mut consistent: HashMap<String, bool> = HashMap::new();
+    for (var, op, self_refs) in candidates {
+        let e = per_var.entry(var.clone()).or_insert((op, 0, 0));
+        if e.0 != op {
+            consistent.insert(var.clone(), false);
+        }
+        e.1 += 1;
+        e.2 += 1 + self_refs;
+        consistent.entry(var).or_insert(true);
+    }
+    let mut out: Vec<Reduction> = per_var
+        .into_iter()
+        .filter(|(var, (_, _, refs))| {
+            consistent.get(var) == Some(&true) && appearances.get(var) == Some(refs)
+        })
+        .map(|(var, (op, _, _))| Reduction { var, op })
+        .collect();
+    out.sort_by(|a, b| a.var.cmp(&b.var));
+    out
+}
+
+/// Matches `rhs` as `S op e` / `e op S` / `MIN(S, e)` / `MAX(S, e)`,
+/// returning the operator and how many times S appears in the rhs.
+fn match_update(s: &str, rhs: &Ast) -> Option<(RedOp, usize)> {
+    let is_s = |e: &Ast| matches!(e, Ast::Name(n) if n == s);
+    let free_of_s = |e: &Ast| {
+        let mut found = false;
+        e.walk(&mut |x| {
+            if is_s(x) {
+                found = true;
+            }
+        });
+        !found
+    };
+    match rhs {
+        Ast::Bin(BinOp::Add, l, r) => {
+            if is_s(l) && free_of_s(r) || is_s(r) && free_of_s(l) {
+                return Some((RedOp::Add, 1));
+            }
+            None
+        }
+        Ast::Bin(BinOp::Sub, l, r) => {
+            // S = S - e is a sum reduction with negated operand.
+            if is_s(l) && free_of_s(r) {
+                return Some((RedOp::Add, 1));
+            }
+            None
+        }
+        Ast::Bin(BinOp::Mul, l, r) => {
+            if is_s(l) && free_of_s(r) || is_s(r) && free_of_s(l) {
+                return Some((RedOp::Mul, 1));
+            }
+            None
+        }
+        Ast::CallF { name, args } if args.len() == 2 => {
+            let op = match name.as_str() {
+                "MIN" | "MIN0" | "AMIN1" => RedOp::Min,
+                "MAX" | "MAX0" | "AMAX1" => RedOp::Max,
+                _ => return None,
+            };
+            let (a, b) = (&args[0], &args[1]);
+            if is_s(a) && free_of_s(b) || is_s(b) && free_of_s(a) {
+                return Some((op, 1));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn reductions_of(src: &str) -> Vec<Reduction> {
+        let rp = frontend(src).expect("frontend");
+        let unit = rp.main_unit().expect("main");
+        let mut body = None;
+        unit.body.walk_stmts(&mut |s| {
+            if body.is_none() {
+                if let StmtKind::Do { body: b, .. } = &s.kind {
+                    body = Some(b.clone());
+                }
+            }
+        });
+        let table = rp.table(&unit.name);
+        find_reductions(&body.expect("loop"), &|n| table.is_array(n))
+    }
+
+    #[test]
+    fn sum_reduction() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nS = S + A(I)\nENDDO\nEND\n",
+        );
+        assert_eq!(r, vec![Reduction { var: "S".into(), op: RedOp::Add }]);
+    }
+
+    #[test]
+    fn subtraction_is_sum_reduction() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nS = S - A(I)\nENDDO\nEND\n",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, RedOp::Add);
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nXMIN = MIN(XMIN, A(I))\nXMAX = MAX(A(I), XMAX)\nENDDO\nEND\n",
+        );
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Reduction { var: "XMAX".into(), op: RedOp::Max }));
+        assert!(r.contains(&Reduction { var: "XMIN".into(), op: RedOp::Min }));
+    }
+
+    #[test]
+    fn conditional_reduction_qualifies() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nIF (A(I) .GT. 0.0) THEN\nS = S + A(I)\nENDIF\nENDDO\nEND\n",
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn other_uses_disqualify() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nS = S + A(I)\nA(I) = S\nENDDO\nEND\n",
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn self_referencing_operand_disqualifies() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nS = S + S * A(I)\nENDDO\nEND\n",
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn two_updates_same_op_qualify() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nS = S + A(I)\nS = S + 1.0\nENDDO\nEND\n",
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn mixed_ops_disqualify() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nS = S + A(I)\nS = S * 2.0\nENDDO\nEND\n",
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn non_reduction_assignment_not_matched() {
+        let r = reductions_of(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nS = A(I) * 2.0\nENDDO\nEND\n",
+        );
+        assert!(r.is_empty());
+    }
+}

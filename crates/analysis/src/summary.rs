@@ -1,0 +1,295 @@
+//! Interprocedural side-effect summaries.
+//!
+//! Computed bottom-up over the call graph, a [`UnitEffects`] records per
+//! unit: which integer scalars in COMMON storage it (transitively) may
+//! modify, which formal positions it may write through, and which arrays
+//! (by caller-visible identity) it reads or writes — at whole-array
+//! granularity, matching the "summarize access patterns per subroutine
+//! and reuse across call sites" precision/compile-time trade-off the
+//! paper's Related Work discusses. Loops needing finer cross-call
+//! precision rely on inline expansion instead, exactly as Polaris did.
+//!
+//! A `!LANG C` unit is *opaque* unless
+//! [`crate::Capabilities::multilingual`] is on: callers must assume it
+//! clobbers everything it could see (§2.4).
+
+use std::collections::{HashMap, HashSet};
+
+use apar_minifort::ast::{Expr, StmtKind};
+use apar_minifort::symtab::{Storage, SymbolKind};
+use apar_minifort::{Lang, ResolvedProgram};
+
+use crate::callgraph::CallGraph;
+use crate::symx::SymMap;
+use crate::Capabilities;
+use apar_symbolic::VarId;
+
+/// Side effects of calling one unit.
+#[derive(Clone, Debug, Default)]
+pub struct UnitEffects {
+    /// The unit (or a callee) is foreign and unanalyzable: assume it
+    /// clobbers all storage it could reach.
+    pub opaque: bool,
+    /// Symbolic ids of COMMON integer scalars possibly modified.
+    pub modified_commons: HashSet<VarId>,
+    /// Formal positions possibly written through.
+    pub modified_formals: HashSet<usize>,
+    /// Formal positions of arrays read (whole-array granularity).
+    pub read_array_formals: HashSet<usize>,
+    /// Formal positions of arrays written.
+    pub written_array_formals: HashSet<usize>,
+    /// COMMON arrays read / written, by `(block, member offset)` root.
+    pub read_common_arrays: HashSet<String>,
+    pub written_common_arrays: HashSet<String>,
+    /// The unit performs READ statements (input-deck variables).
+    pub does_input: bool,
+}
+
+/// Summaries for all units.
+#[derive(Clone, Debug, Default)]
+pub struct Summaries {
+    pub effects: HashMap<String, UnitEffects>,
+}
+
+impl Summaries {
+    /// Builds summaries bottom-up. Unknown callees (true externals) are
+    /// opaque.
+    pub fn build(
+        rp: &ResolvedProgram,
+        cg: &CallGraph,
+        sym: &mut SymMap,
+        caps: Capabilities,
+    ) -> Summaries {
+        let mut out = Summaries::default();
+        for uname in cg.bottom_up() {
+            let eff = summarize_unit(rp, cg, sym, caps, &uname, &out);
+            out.effects.insert(uname, eff);
+        }
+        out
+    }
+
+    /// Effects of `unit`; opaque default for unknown units.
+    pub fn of(&self, unit: &str) -> UnitEffects {
+        self.effects.get(unit).cloned().unwrap_or(UnitEffects {
+            opaque: true,
+            ..Default::default()
+        })
+    }
+}
+
+fn summarize_unit(
+    rp: &ResolvedProgram,
+    cg: &CallGraph,
+    sym: &mut SymMap,
+    caps: Capabilities,
+    uname: &str,
+    done: &Summaries,
+) -> UnitEffects {
+    let Some(unit) = rp.unit(uname) else {
+        return UnitEffects {
+            opaque: true,
+            ..Default::default()
+        };
+    };
+    let mut eff = UnitEffects::default();
+    if unit.lang == Lang::C && !caps.multilingual {
+        eff.opaque = true;
+        return eff;
+    }
+    if cg.is_recursive(uname) {
+        // Recursion is rare in F77; treat conservatively.
+        eff.opaque = true;
+        return eff;
+    }
+    let table = &rp.tables[uname];
+    let common_root = |name: &str| -> Option<String> {
+        match &table.get(name)?.storage {
+            Storage::Common { block, offset } => Some(format!("/{}/+{}", block, offset)),
+            _ => None,
+        }
+    };
+
+    let record_write = |eff: &mut UnitEffects, sym: &mut SymMap, name: &str| {
+        let Some(s) = table.get(name) else { return };
+        match (&s.kind, &s.storage) {
+            (SymbolKind::Scalar, Storage::Common { .. }) => {
+                eff.modified_commons.insert(sym.var(rp, uname, name));
+            }
+            (SymbolKind::Scalar, Storage::Formal { position }) => {
+                eff.modified_formals.insert(*position);
+            }
+            (SymbolKind::Array(_), Storage::Formal { position }) => {
+                eff.modified_formals.insert(*position);
+                eff.written_array_formals.insert(*position);
+            }
+            (SymbolKind::Array(_), Storage::Common { .. }) => {
+                if let Some(r) = common_root(name) {
+                    eff.written_common_arrays.insert(r);
+                }
+            }
+            _ => {}
+        }
+    };
+    let record_read = |eff: &mut UnitEffects, name: &str| {
+        let Some(s) = table.get(name) else { return };
+        match (&s.kind, &s.storage) {
+            (SymbolKind::Array(_), Storage::Formal { position }) => {
+                eff.read_array_formals.insert(*position);
+            }
+            (SymbolKind::Array(_), Storage::Common { .. }) => {
+                if let Some(r) = common_root(name) {
+                    eff.read_common_arrays.insert(r);
+                }
+            }
+            _ => {}
+        }
+    };
+
+    // Intra-unit effects.
+    unit.body.walk_stmts(&mut |s| match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            if let Some(n) = lhs.lvalue_name() {
+                record_write(&mut eff, sym, n);
+            }
+            rhs.walk(&mut |e| {
+                if let Expr::Index { name, .. } | Expr::Name(name) = e {
+                    record_read(&mut eff, name);
+                }
+            });
+        }
+        StmtKind::Read { items } => {
+            eff.does_input = true;
+            for it in items {
+                if let Some(n) = it.lvalue_name() {
+                    record_write(&mut eff, sym, n);
+                }
+            }
+        }
+        StmtKind::Write { items } => {
+            for it in items {
+                it.walk(&mut |e| {
+                    if let Expr::Index { name, .. } | Expr::Name(name) = e {
+                        record_read(&mut eff, name);
+                    }
+                });
+            }
+        }
+        StmtKind::Do { var, .. } => {
+            record_write(&mut eff, sym, var);
+        }
+        _ => {}
+    });
+
+    // Propagate callee effects through call sites.
+    unit.body.walk_stmts(&mut |s| {
+        if let StmtKind::Call { name, args } = &s.kind {
+            let callee = done.of(name);
+            if callee.opaque {
+                eff.opaque = true;
+                return;
+            }
+            eff.does_input |= callee.does_input;
+            eff.modified_commons
+                .extend(callee.modified_commons.iter().copied());
+            eff.read_common_arrays
+                .extend(callee.read_common_arrays.iter().cloned());
+            eff.written_common_arrays
+                .extend(callee.written_common_arrays.iter().cloned());
+            // Translate formal effects to this unit's names.
+            for (pos, arg) in args.iter().enumerate() {
+                let touched_w = callee.modified_formals.contains(&pos);
+                let touched_r = callee.read_array_formals.contains(&pos)
+                    || callee.written_array_formals.contains(&pos);
+                if !(touched_w || touched_r) {
+                    continue;
+                }
+                if let Expr::Name(an) | Expr::Index { name: an, .. } = arg {
+                    if touched_w {
+                        record_write(&mut eff, sym, an);
+                    }
+                    if touched_r {
+                        record_read(&mut eff, an);
+                    }
+                }
+            }
+        }
+    });
+
+    eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn build(src: &str, caps: Capabilities) -> (ResolvedProgram, Summaries, SymMap) {
+        let rp = frontend(src).expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let mut sym = SymMap::new();
+        let s = Summaries::build(&rp, &cg, &mut sym, caps);
+        (rp, s, sym)
+    }
+
+    #[test]
+    fn direct_effects() {
+        let (rp, s, mut sym) = build(
+            "SUBROUTINE F(A, N)\nREAL A(*)\nCOMMON /C/ K, G(10)\nA(1) = G(2)\nK = N + 1\nEND\nPROGRAM P\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        let e = s.of("F");
+        assert!(!e.opaque);
+        assert!(e.written_array_formals.contains(&0));
+        assert!(e.modified_formals.contains(&0));
+        assert!(!e.modified_formals.contains(&1));
+        assert!(e.modified_commons.contains(&sym.var(&rp, "F", "K")));
+        assert_eq!(e.read_common_arrays.len(), 1);
+    }
+
+    #[test]
+    fn effects_propagate_through_calls() {
+        let (rp, s, mut sym) = build(
+            "PROGRAM P\nREAL X(5)\nCALL OUTER(X)\nEND\n\
+             SUBROUTINE OUTER(B)\nREAL B(*)\nCALL INNER(B)\nEND\n\
+             SUBROUTINE INNER(A)\nREAL A(*)\nCOMMON /C/ K\nA(3) = 1.0\nK = 2\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        let outer = s.of("OUTER");
+        assert!(outer.written_array_formals.contains(&0));
+        assert!(outer
+            .modified_commons
+            .contains(&sym.var(&rp, "INNER", "K")));
+        let p = s.of("P");
+        assert!(!p.opaque);
+    }
+
+    #[test]
+    fn c_units_are_opaque_in_baseline() {
+        let src = "PROGRAM P\nCALL CPROC\nEND\n!LANG C\nSUBROUTINE CPROC\nCOMMON /C/ K\nK = 1\nEND\n";
+        let (_, s, _) = build(src, Capabilities::polaris2008());
+        assert!(s.of("CPROC").opaque);
+        assert!(s.of("P").opaque, "opacity propagates to callers");
+        let (_, s2, _) = build(src, Capabilities::full());
+        assert!(!s2.of("CPROC").opaque, "multilingual analysis sees inside");
+        assert!(!s2.of("P").opaque);
+    }
+
+    #[test]
+    fn unknown_externals_are_opaque() {
+        let (_, s, _) = build(
+            "PROGRAM P\nCALL MYSTERY(X)\nEND\n",
+            Capabilities::full(),
+        );
+        assert!(s.of("P").opaque);
+    }
+
+    #[test]
+    fn read_statement_marks_input() {
+        let (_, s, _) = build(
+            "PROGRAM P\nCALL RD\nEND\nSUBROUTINE RD\nCOMMON /C/ N\nREAD(*,*) N\nEND\n",
+            Capabilities::polaris2008(),
+        );
+        assert!(s.of("RD").does_input);
+        assert!(s.of("P").does_input);
+    }
+}

@@ -1,0 +1,31 @@
+//! Ablation benchmark: compile cost of each capability profile on the
+//! SEISMIC suite (the design-choice study of DESIGN.md §5).
+
+use apar_core::{Compiler, CompilerProfile};
+use apar_workloads as wl;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_profiles");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let w = wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial);
+    let mut profiles = vec![CompilerProfile::polaris2008()];
+    profiles.extend(CompilerProfile::ablations());
+    profiles.push(CompilerProfile::full());
+    for p in profiles {
+        let name = p.name.clone();
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                Compiler::new(p.clone())
+                    .compile_source(&w.name, &w.source)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

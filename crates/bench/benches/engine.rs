@@ -1,0 +1,43 @@
+//! Engine microbenchmarks: the symbolic prover (Range Test core) and
+//! the interpreter's serial throughput.
+
+use apar_minifort::frontend;
+use apar_runtime::{run, ExecConfig};
+use apar_symbolic::{AssumeEnv, Expr, OpCounter, Prover, Range, VarId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(30);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    // Range Test core: the linearized-row disjointness proof.
+    let mut env = AssumeEnv::new();
+    let (ld, j, jp, i1, i2) = (VarId(0), VarId(1), VarId(2), VarId(3), VarId(4));
+    env.assume(ld, Range::at_least(Expr::int(1)));
+    env.assume(j, Range::between(Expr::int(1), Expr::int(100)));
+    env.assume(jp, Range::between(Expr::var(j).add(Expr::int(1)), Expr::int(100)));
+    env.assume(i1, Range::between(Expr::int(1), Expr::var(ld)));
+    env.assume(i2, Range::between(Expr::int(1), Expr::var(ld)));
+    let a = Expr::var(j).mul(Expr::var(ld)).add(Expr::var(i1));
+    let b = Expr::var(jp).mul(Expr::var(ld)).add(Expr::var(i2));
+    g.bench_function("range_test_nonlinear_disjointness", |bch| {
+        bch.iter(|| {
+            let ops = OpCounter::unlimited();
+            let p = Prover::new(&env, &ops);
+            assert!(p.prove_lt(&a, &b));
+        })
+    });
+    // Interpreter throughput on a tight numeric loop.
+    let rp = frontend(
+        "PROGRAM P\nS = 0.0\nDO I = 1, 20000\nS = S + SQRT(REAL(I)) * 0.001\nENDDO\nWRITE(*,*) S\nEND\n",
+    )
+    .unwrap();
+    g.bench_function("interpreter_20k_sqrt_loop", |bch| {
+        bch.iter(|| run(&rp, &[], &ExecConfig { seg_words: 1 << 12, ..Default::default() }).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

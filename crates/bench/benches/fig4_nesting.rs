@@ -1,0 +1,20 @@
+//! Figure 4 benchmark: nesting-metric computation over the suites.
+
+use apar_core::nesting::target_nesting;
+use apar_minifort::frontend;
+use apar_workloads as wl;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_nesting");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let w = wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial);
+    let rp = frontend(&w.source).unwrap();
+    g.bench_function("seismic_target_nesting", |b| b.iter(|| target_nesting(&rp)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 5 benchmark: full classification runs per application.
+
+use apar_core::{Compiler, CompilerProfile};
+use apar_workloads as wl;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_classify");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for w in [
+        wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial),
+        wl::gamess::suite(wl::DataSize::Small),
+        wl::sander::suite(wl::DataSize::Small),
+    ] {
+        g.bench_function(&w.name, |b| {
+            b.iter(|| {
+                Compiler::new(CompilerProfile::polaris2008())
+                    .compile_source(&w.name, &w.source)
+                    .unwrap()
+                    .target_histogram()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

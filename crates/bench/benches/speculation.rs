@@ -1,0 +1,82 @@
+//! Speculation benchmark: wall cost of the runtime dependence test on
+//! the gather kernel — committed (permutation index) vs rolled back
+//! (folding index) — against the non-speculative baseline. The modeled
+//! virtual-time comparison lives in the `speculation` binary; this
+//! bench tracks the real interpreter overhead of checkpoint + conflict
+//! logging.
+
+use apar_core::{Compiler, CompilerProfile};
+use apar_runtime::{run, ExecConfig, ExecMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn gather_src(collide: bool) -> String {
+    let c = if collide { 1 } else { 0 };
+    format!(
+        "PROGRAM SPECK
+  REAL A(16384), B(16384)
+  INTEGER IX(16384)
+  COMMON /DAT/ A, B, IX
+  DO I = 1, 16384
+    B(I) = REAL(I) * 0.5
+    IF ({c} .EQ. 1) THEN
+      IX(I) = MOD(I, 8) + 1
+    ELSE
+      IX(I) = 16385 - I
+    ENDIF
+  ENDDO
+!$TARGET GUPD
+  DO I = 1, 16384
+    A(IX(I)) = B(I) * 2.0 + 1.0 + B(I) * B(I) * 0.25 - B(I) / 3.0
+  ENDDO
+  S = 0.0
+  DO I = 1, 16384
+    S = S + A(I)
+  ENDDO
+  WRITE(*,*) 'SUM', S
+END
+"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speculation_gather");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let cases = [
+        ("baseline", CompilerProfile::polaris2008(), false),
+        (
+            "spec_commit",
+            CompilerProfile::polaris2008().with_runtime_test(),
+            false,
+        ),
+        (
+            "spec_rollback",
+            CompilerProfile::polaris2008().with_runtime_test(),
+            true,
+        ),
+    ];
+    for (name, profile, collide) in cases {
+        let r = Compiler::new(profile)
+            .compile_source("speck", &gather_src(collide))
+            .unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run(
+                    &r.rp,
+                    &[],
+                    &ExecConfig {
+                        mode: ExecMode::Auto,
+                        threads: 4,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

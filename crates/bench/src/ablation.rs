@@ -1,0 +1,74 @@
+//! Ablation: how many target loops each single enabling technique
+//! recovers over the baseline — the quantitative version of the paper's
+//! §3 conclusion that these techniques are "missing from the state of
+//! the art".
+
+use apar_core::{Classification, Compiler, CompilerProfile};
+use apar_workloads as wl;
+use serde::Serialize;
+
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationRow {
+    pub profile: String,
+    /// Per app: (name, autoparallelized target count).
+    pub per_app: Vec<(String, usize)>,
+    pub total: usize,
+}
+
+fn suites() -> Vec<wl::Workload> {
+    vec![
+        wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial),
+        wl::gamess::suite(wl::DataSize::Small),
+        wl::sander::suite(wl::DataSize::Small),
+    ]
+}
+
+fn count_auto(profile: CompilerProfile, w: &wl::Workload) -> usize {
+    let r = Compiler::new(profile)
+        .compile_source(&w.name, &w.source)
+        .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
+    r.target_loops()
+        .filter(|l| l.classification == Classification::Autoparallelized)
+        .count()
+}
+
+pub fn measure() -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let mut profiles = vec![CompilerProfile::polaris2008()];
+    profiles.extend(CompilerProfile::ablations());
+    profiles.push(CompilerProfile::full());
+    let suites = suites();
+    for p in profiles {
+        let per_app: Vec<(String, usize)> = suites
+            .iter()
+            .map(|w| (w.name.clone(), count_auto(p.clone(), w)))
+            .collect();
+        let total = per_app.iter().map(|(_, n)| n).sum();
+        rows.push(AblationRow {
+            profile: p.name.clone(),
+            per_app,
+            total,
+        });
+    }
+    rows
+}
+
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Ablation — target loops auto-parallelized per capability profile\n",
+    );
+    out.push_str(&format!("{:>28}", "profile"));
+    for (app, _) in &rows[0].per_app {
+        out.push_str(&format!(" {:>9}", app));
+    }
+    out.push_str(&format!(" {:>7}\n", "total"));
+    for r in rows {
+        out.push_str(&format!("{:>28}", r.profile));
+        for (_, n) in &r.per_app {
+            out.push_str(&format!(" {:>9}", n));
+        }
+        out.push_str(&format!(" {:>7}\n", r.total));
+    }
+    out
+}

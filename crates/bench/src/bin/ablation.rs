@@ -1,0 +1,8 @@
+//! Regenerates the ablation table (loops recovered per capability).
+
+fn main() {
+    let rows = apar_bench::ablation::measure();
+    print!("{}", apar_bench::ablation::render(&rows));
+    let path = apar_bench::write_artifact("ablation.json", &rows);
+    println!("(artifact: {})", path.display());
+}

@@ -1,0 +1,41 @@
+//! Regenerates every figure and the ablation table in one run.
+//! Usage: `all_figures [--quick]` (quick = Fig 1 on SMALL only).
+
+use apar_workloads::DataSize;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes = if quick {
+        vec![DataSize::Small]
+    } else {
+        vec![DataSize::Small, DataSize::Medium]
+    };
+    for size in sizes {
+        let d = apar_bench::fig1::measure(size);
+        print!("{}", apar_bench::fig1::render(&d));
+        apar_bench::write_artifact(&format!("fig1_{}.json", d.size.to_lowercase()), &d);
+        println!();
+    }
+    let rows = apar_bench::fig2::measure();
+    print!("{}", apar_bench::fig2::render_fig2(&rows));
+    println!();
+    print!("{}", apar_bench::fig2::render_fig3(&rows));
+    apar_bench::write_artifact("fig2.json", &rows);
+    println!();
+    let d4 = apar_bench::fig4::measure();
+    print!("{}", apar_bench::fig4::render(&d4));
+    apar_bench::write_artifact("fig4.json", &d4);
+    println!();
+    let d5 = apar_bench::fig5::measure();
+    print!("{}", apar_bench::fig5::render(&d5));
+    apar_bench::write_artifact("fig5.json", &d5);
+    println!();
+    let ab = apar_bench::ablation::measure();
+    print!("{}", apar_bench::ablation::render(&ab));
+    apar_bench::write_artifact("ablation.json", &ab);
+    println!();
+    let sp = apar_bench::spec::measure();
+    print!("{}", apar_bench::spec::render(&sp));
+    apar_bench::write_artifact("speculation.json", &sp);
+    println!("\nArtifacts written under target/figures/");
+}

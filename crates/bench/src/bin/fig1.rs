@@ -1,0 +1,30 @@
+//! Regenerates Figure 1. Usage: `fig1 [test|small|medium ...]`
+//! (default: small medium).
+
+use apar_bench::fig1;
+use apar_workloads::DataSize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes: Vec<DataSize> = if args.is_empty() {
+        vec![DataSize::Small, DataSize::Medium]
+    } else {
+        args.iter()
+            .map(|a| match a.as_str() {
+                "test" => DataSize::Test,
+                "small" => DataSize::Small,
+                "medium" => DataSize::Medium,
+                other => panic!("unknown size {}", other),
+            })
+            .collect()
+    };
+    for size in sizes {
+        let data = fig1::measure(size);
+        print!("{}", fig1::render(&data));
+        let path = apar_bench::write_artifact(
+            &format!("fig1_{}.json", data.size.to_lowercase()),
+            &data,
+        );
+        println!("(artifact: {})\n", path.display());
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2 (compile effort per statement).
+
+fn main() {
+    let rows = apar_bench::fig2::measure();
+    print!("{}", apar_bench::fig2::render_fig2(&rows));
+    let path = apar_bench::write_artifact("fig2.json", &rows);
+    println!("(artifact: {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3 (per-pass share of compile effort).
+
+fn main() {
+    let rows = apar_bench::fig2::measure();
+    print!("{}", apar_bench::fig2::render_fig3(&rows));
+    let path = apar_bench::write_artifact("fig3.json", &rows);
+    println!("(artifact: {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 (target-loop nesting characteristics).
+
+fn main() {
+    let d = apar_bench::fig4::measure();
+    print!("{}", apar_bench::fig4::render(&d));
+    let path = apar_bench::write_artifact("fig4.json", &d);
+    println!("(artifact: {})", path.display());
+}

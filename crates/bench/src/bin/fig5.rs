@@ -1,0 +1,8 @@
+//! Regenerates Figure 5 (hindrance categories of target loops).
+
+fn main() {
+    let rows = apar_bench::fig5::measure();
+    print!("{}", apar_bench::fig5::render(&rows));
+    let path = apar_bench::write_artifact("fig5.json", &rows);
+    println!("(artifact: {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the speculative runtime-test extension tables.
+
+fn main() {
+    let rep = apar_bench::spec::measure();
+    print!("{}", apar_bench::spec::render(&rep));
+    let path = apar_bench::write_artifact("speculation.json", &rep);
+    println!("(artifact: {})", path.display());
+}

@@ -1,0 +1,158 @@
+//! Figures 2 and 3: compile time per statement, broken down by pass.
+//!
+//! Each suite is compiled with the baseline profile; SEISMIC/GAMESS/
+//! SANDER are whole applications, PERFECT's codes are compiled
+//! separately and averaged, LINPACK is one small code — exactly the
+//! paper's accounting. Both wall seconds and deterministic symbolic ops
+//! are reported; the figure shapes hold in either metric.
+
+use apar_core::{CompileReport, Compiler, CompilerProfile, PassId};
+use apar_workloads as wl;
+use serde::Serialize;
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2Row {
+    pub app: String,
+    pub statements: usize,
+    pub total_seconds: f64,
+    pub total_ops: u64,
+    pub seconds_per_statement: f64,
+    pub ops_per_statement: f64,
+    /// `(pass label, seconds, ops)` in legend order.
+    pub per_pass: Vec<(String, f64, u64)>,
+}
+
+impl Fig2Row {
+    fn from_report(app: &str, r: &CompileReport) -> Fig2Row {
+        Fig2Row {
+            app: app.to_string(),
+            statements: r.statements,
+            total_seconds: r.total_seconds(),
+            total_ops: r.total_ops(),
+            seconds_per_statement: r.seconds_per_statement(),
+            ops_per_statement: r.ops_per_statement(),
+            per_pass: PassId::ALL
+                .iter()
+                .map(|&p| {
+                    let c = r.per_pass.get(&p).copied().unwrap_or_default();
+                    (p.label().to_string(), c.seconds, c.ops)
+                })
+                .collect(),
+        }
+    }
+
+    /// Averages rows (used for the PERFECT codes).
+    fn average(app: &str, rows: &[Fig2Row]) -> Fig2Row {
+        let n = rows.len().max(1) as f64;
+        let mut per_pass: Vec<(String, f64, u64)> = rows[0]
+            .per_pass
+            .iter()
+            .map(|(l, _, _)| (l.clone(), 0.0, 0u64))
+            .collect();
+        for r in rows {
+            for (k, (_, s, o)) in r.per_pass.iter().enumerate() {
+                per_pass[k].1 += s / n;
+                per_pass[k].2 += (*o as f64 / n) as u64;
+            }
+        }
+        let statements =
+            (rows.iter().map(|r| r.statements).sum::<usize>() as f64 / n) as usize;
+        let total_seconds = rows.iter().map(|r| r.total_seconds).sum::<f64>() / n;
+        let total_ops = (rows.iter().map(|r| r.total_ops).sum::<u64>() as f64 / n) as u64;
+        Fig2Row {
+            app: app.to_string(),
+            statements,
+            total_seconds,
+            total_ops,
+            seconds_per_statement: total_seconds / statements.max(1) as f64,
+            ops_per_statement: total_ops as f64 / statements.max(1) as f64,
+            per_pass,
+        }
+    }
+}
+
+/// Compiles every suite and collects the per-pass accounting.
+pub fn measure() -> Vec<Fig2Row> {
+    let compiler = Compiler::new(CompilerProfile::polaris2008());
+    let mut rows = Vec::new();
+    for w in [
+        wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial),
+        wl::gamess::suite(wl::DataSize::Small),
+        wl::sander::suite(wl::DataSize::Small),
+    ] {
+        let r = compiler
+            .compile_source(&w.name, &w.source)
+            .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
+        rows.push(Fig2Row::from_report(&w.name, &r.report));
+    }
+    // PERFECT: compile each code, average.
+    let perfect: Vec<Fig2Row> = wl::perfect::codes()
+        .iter()
+        .map(|w| {
+            let r = compiler
+                .compile_source(&w.name, &w.source)
+                .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
+            Fig2Row::from_report(&w.name, &r.report)
+        })
+        .collect();
+    rows.push(Fig2Row::average("PERFECT", &perfect));
+    let lin = wl::linpack::suite();
+    let r = compiler
+        .compile_source(&lin.name, &lin.source)
+        .expect("linpack");
+    rows.push(Fig2Row::from_report("LINPACK", &r.report));
+    rows
+}
+
+/// Figure 2 rendering: per-statement columns plus total dashes.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 2 — Compile effort per statement (deterministic symbolic ops; wall seconds alongside)\n");
+    out.push_str(&format!(
+        "{:>10} {:>8} {:>12} {:>14} {:>12} {:>12}\n",
+        "app", "stmts", "total ops", "ops/stmt", "total s", "s/stmt"
+    ));
+    let max = rows
+        .iter()
+        .map(|r| r.ops_per_statement)
+        .fold(0.0f64, f64::max);
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>8} {:>12} {:>14.1} {:>12.4} {:>12.6}  |{}\n",
+            r.app,
+            r.statements,
+            r.total_ops,
+            r.ops_per_statement,
+            r.total_seconds,
+            r.seconds_per_statement,
+            crate::bar(r.ops_per_statement, max, 40),
+        ));
+    }
+    out
+}
+
+/// Figure 3 rendering: percentage breakdown by pass.
+pub fn render_fig3(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3 — Share of compile effort per pass (% of symbolic ops)\n");
+    out.push_str(&format!("{:>38}", "pass \\ app"));
+    for r in rows {
+        out.push_str(&format!(" {:>9}", shorten(&r.app)));
+    }
+    out.push('\n');
+    let npasses = rows[0].per_pass.len();
+    for k in 0..npasses {
+        out.push_str(&format!("{:>38}", rows[0].per_pass[k].0));
+        for r in rows {
+            let total = r.total_ops.max(1) as f64;
+            let pct = 100.0 * r.per_pass[k].2 as f64 / total;
+            out.push_str(&format!(" {:>8.1}%", pct));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn shorten(app: &str) -> String {
+    app.chars().take(9).collect()
+}

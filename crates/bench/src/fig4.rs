@@ -1,0 +1,61 @@
+//! Figure 4: nesting characteristics of the hand-identified target
+//! loops — PERFECT vs SEISMIC averages of outer/enclosed subroutine and
+//! loop depths.
+
+use apar_core::nesting::{averages, target_nesting, NestingAverages};
+use apar_minifort::frontend;
+use apar_workloads as wl;
+use serde::Serialize;
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4Data {
+    pub perfect: NestingAverages,
+    pub seismic: NestingAverages,
+}
+
+pub fn measure() -> Fig4Data {
+    let seismic_w = wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial);
+    let rp = frontend(&seismic_w.source).expect("seismic frontend");
+    let seismic = averages(&target_nesting(&rp));
+
+    // PERFECT: pool the target loops of all codes.
+    let mut rows = Vec::new();
+    for w in wl::perfect::codes() {
+        let rp = frontend(&w.source).expect("perfect frontend");
+        rows.extend(target_nesting(&rp));
+    }
+    let perfect = averages(&rows);
+    Fig4Data { perfect, seismic }
+}
+
+pub fn render(d: &Fig4Data) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4 — Nesting characteristics of loops manually identified as parallel\n");
+    out.push_str(&format!(
+        "{:>16} {:>12} {:>12}\n",
+        "metric", "Perf. Bench.", "Seismic"
+    ));
+    for (label, p, s) in [
+        ("outer subs", d.perfect.outer_subs, d.seismic.outer_subs),
+        ("outer loops", d.perfect.outer_loops, d.seismic.outer_loops),
+        ("enclosed subs", d.perfect.enclosed_subs, d.seismic.enclosed_subs),
+        (
+            "enclosed loops",
+            d.perfect.enclosed_loops,
+            d.seismic.enclosed_loops,
+        ),
+    ] {
+        out.push_str(&format!(
+            "{:>16} {:>12.2} {:>12.2}  |{}\n",
+            label,
+            p,
+            s,
+            crate::bar(s, 6.0, 30)
+        ));
+    }
+    out.push_str(&format!(
+        "(averaged over {} PERFECT and {} SEISMIC target loops)\n",
+        d.perfect.n, d.seismic.n
+    ));
+    out
+}

@@ -1,0 +1,80 @@
+//! Figure 5: remaining hindrances to automatic parallelization of the
+//! target loops — per application, the count of target loops in each
+//! category under the baseline compiler.
+
+use apar_core::{Classification, Compiler, CompilerProfile};
+use apar_workloads as wl;
+use serde::Serialize;
+
+/// Legend order of the paper's stacked chart.
+pub const CATEGORIES: [Classification; 7] = [
+    Classification::Autoparallelized,
+    Classification::Aliasing,
+    Classification::Rangeless,
+    Classification::Indirection,
+    Classification::SymbolAnalysis,
+    Classification::AccessRepresentation,
+    Classification::Complexity,
+];
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Row {
+    pub app: String,
+    pub total_targets: usize,
+    /// Counts in [`CATEGORIES`] order.
+    pub counts: Vec<usize>,
+}
+
+pub fn measure() -> Vec<Fig5Row> {
+    let compiler = Compiler::new(CompilerProfile::polaris2008());
+    [
+        wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial),
+        wl::gamess::suite(wl::DataSize::Small),
+        wl::sander::suite(wl::DataSize::Small),
+    ]
+    .into_iter()
+    .map(|w| {
+        let r = compiler
+            .compile_source(&w.name, &w.source)
+            .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
+        let hist = r.target_histogram();
+        let counts: Vec<usize> = CATEGORIES
+            .iter()
+            .map(|c| {
+                hist.iter()
+                    .find(|(h, _)| h == c)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(0)
+            })
+            .collect();
+        Fig5Row {
+            app: w.name.clone(),
+            total_targets: r.target_loops().count(),
+            counts,
+        }
+    })
+    .collect()
+}
+
+pub fn render(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — Remaining hindrances to automatic parallelization of target loops\n");
+    out.push_str(&format!("{:>22}", "category \\ app"));
+    for r in rows {
+        out.push_str(&format!(" {:>9}", r.app));
+    }
+    out.push('\n');
+    for (k, c) in CATEGORIES.iter().enumerate() {
+        out.push_str(&format!("{:>22}", c.label()));
+        for r in rows {
+            out.push_str(&format!(" {:>9}", r.counts[k]));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>22}", "total target loops"));
+    for r in rows {
+        out.push_str(&format!(" {:>9}", r.total_targets));
+    }
+    out.push('\n');
+    out
+}

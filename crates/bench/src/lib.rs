@@ -1,0 +1,48 @@
+//! Figure and table harnesses.
+//!
+//! One module per experiment; each produces a serializable data struct,
+//! an ASCII rendering that mirrors the paper's figure, and is driven by
+//! both a standalone binary (`cargo run -p apar-bench --bin figN`) and a
+//! Criterion bench. `all_figures` writes the JSON artifacts that
+//! EXPERIMENTS.md records.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod spec;
+
+use apar_runtime::DeckVal;
+use apar_workloads::Workload;
+
+/// Converts a workload deck for the runtime.
+pub fn deck(w: &Workload) -> Vec<DeckVal> {
+    w.deck
+        .iter()
+        .map(|d| match d {
+            apar_workloads::DeckValue::Int(v) => DeckVal::Int(*v),
+            apar_workloads::DeckValue::Real(v) => DeckVal::Real(*v),
+        })
+        .collect()
+}
+
+/// Writes a JSON artifact under `target/figures/`.
+pub fn write_artifact(name: &str, value: &impl serde::Serialize) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(dir).expect("create target/figures");
+    let path = dir.join(name);
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("json"))
+        .expect("write artifact");
+    path
+}
+
+/// Renders a horizontal bar of `value` against `max` in `width` cells.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    "#".repeat(n.min(width))
+}

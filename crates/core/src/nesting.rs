@@ -1,0 +1,92 @@
+//! Figure 4: nesting metrics of the hand-identified target loops.
+
+use apar_analysis::callgraph::CallGraph;
+use apar_analysis::loops::{LoopForest, NestingMetrics};
+use apar_minifort::ResolvedProgram;
+use serde::Serialize;
+
+/// Metrics for one target loop.
+#[derive(Clone, Debug, Serialize)]
+pub struct TargetNesting {
+    pub target: String,
+    pub unit: String,
+    pub outer_subs: usize,
+    pub outer_loops: usize,
+    pub enclosed_subs: usize,
+    pub enclosed_loops: usize,
+}
+
+/// Averages across a suite — the four bars of Figure 4.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct NestingAverages {
+    pub outer_subs: f64,
+    pub outer_loops: f64,
+    pub enclosed_subs: f64,
+    pub enclosed_loops: f64,
+    pub n: usize,
+}
+
+/// Computes nesting metrics for every `!$TARGET` loop.
+pub fn target_nesting(rp: &ResolvedProgram) -> Vec<TargetNesting> {
+    let cg = CallGraph::build(rp);
+    let forest = LoopForest::build(rp);
+    forest
+        .targets()
+        .map(|info| {
+            let m = NestingMetrics::compute(rp, &cg, &forest, info);
+            TargetNesting {
+                target: info.target.clone().unwrap_or_default(),
+                unit: info.id.unit.clone(),
+                outer_subs: m.outer_subs,
+                outer_loops: m.outer_loops,
+                enclosed_subs: m.enclosed_subs,
+                enclosed_loops: m.enclosed_loops,
+            }
+        })
+        .collect()
+}
+
+/// Averages the per-loop metrics.
+pub fn averages(rows: &[TargetNesting]) -> NestingAverages {
+    if rows.is_empty() {
+        return NestingAverages::default();
+    }
+    let n = rows.len() as f64;
+    NestingAverages {
+        outer_subs: rows.iter().map(|r| r.outer_subs as f64).sum::<f64>() / n,
+        outer_loops: rows.iter().map(|r| r.outer_loops as f64).sum::<f64>() / n,
+        enclosed_subs: rows.iter().map(|r| r.enclosed_subs as f64).sum::<f64>() / n,
+        enclosed_loops: rows.iter().map(|r| r.enclosed_loops as f64).sum::<f64>() / n,
+        n: rows.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    #[test]
+    fn averages_of_framework_code() {
+        let rp = frontend(
+            "PROGRAM MAIN\nCALL DRIVER\nEND\n\
+             SUBROUTINE DRIVER\nDO IT = 1, 4\nCALL MODA\nENDDO\nEND\n\
+             SUBROUTINE MODA\n!$TARGET A1\nDO I = 1, 10\nX = 1.0\nENDDO\n!$TARGET A2\nDO J = 1, 10\nY = 2.0\nENDDO\nEND\n",
+        )
+        .expect("frontend");
+        let rows = target_nesting(&rp);
+        assert_eq!(rows.len(), 2);
+        let avg = averages(&rows);
+        assert_eq!(avg.n, 2);
+        assert!((avg.outer_subs - 2.0).abs() < 1e-9);
+        assert!((avg.outer_loops - 1.0).abs() < 1e-9);
+        assert_eq!(avg.enclosed_subs, 0.0);
+    }
+
+    #[test]
+    fn empty_suite_is_zeroes() {
+        let avg = averages(&[]);
+        assert_eq!(avg.n, 0);
+        assert_eq!(avg.outer_subs, 0.0);
+    }
+}

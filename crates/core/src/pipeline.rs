@@ -1,0 +1,594 @@
+//! The compiler driver: runs every pass of Figure 2 with wall-clock and
+//! symbolic-op accounting, decides per-loop parallelization, and
+//! annotates the program for the parallel runtime.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use apar_analysis::access;
+use apar_analysis::alias::AliasInfo;
+use apar_analysis::callgraph::CallGraph;
+use apar_analysis::constprop;
+use apar_analysis::ddtest::{self, DdInput};
+use apar_analysis::gsa;
+use apar_analysis::induction;
+use apar_analysis::inline;
+use apar_analysis::loops::LoopForest;
+use apar_analysis::privatize;
+use apar_analysis::ranges::ScalarState;
+use apar_analysis::reduction;
+use apar_analysis::summary::Summaries;
+use apar_analysis::symx::SymMap;
+use apar_minifort::ast::{Block, LoopDirective, StmtKind};
+use apar_minifort::{parse_program, resolve, Diag, Program, ResolvedProgram, StmtId};
+use apar_symbolic::OpCounter;
+use serde::Serialize;
+
+use crate::classify::{classify, Classification};
+use crate::profile::CompilerProfile;
+use crate::report::{CompileReport, PassId};
+
+/// The compiler.
+#[derive(Clone, Debug, Default)]
+pub struct Compiler {
+    pub profile: CompilerProfile,
+}
+
+/// Facts recorded about one analyzed loop.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoopReport {
+    pub unit: String,
+    #[serde(skip)]
+    pub stmt: StmtId,
+    pub var: String,
+    pub depth: usize,
+    pub target: Option<String>,
+    pub classification: Classification,
+    /// True when this loop received a parallel annotation (outermost
+    /// parallelizable loops only).
+    pub parallelized: bool,
+    /// True when the annotation is speculative: the runtime must
+    /// validate the parallel execution and fall back to serial on a
+    /// conflict (`CompilerProfile::with_runtime_test`).
+    pub speculative: bool,
+    pub pairs_tested: usize,
+    pub ops_spent: u64,
+}
+
+/// Everything the compiler produces.
+#[derive(Debug)]
+pub struct CompileResult {
+    /// The transformed, annotated, re-resolved program.
+    pub rp: ResolvedProgram,
+    pub report: CompileReport,
+    pub loops: Vec<LoopReport>,
+}
+
+impl CompileResult {
+    /// Reports for `!$TARGET` loops only.
+    pub fn target_loops(&self) -> impl Iterator<Item = &LoopReport> {
+        self.loops.iter().filter(|l| l.target.is_some())
+    }
+
+    /// Histogram of target-loop classifications (Figure 5 bars).
+    pub fn target_histogram(&self) -> Vec<(Classification, usize)> {
+        let mut counts: Vec<(Classification, usize)> = Vec::new();
+        for l in self.target_loops() {
+            match counts.iter_mut().find(|(c, _)| *c == l.classification) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((l.classification, 1)),
+            }
+        }
+        counts
+    }
+}
+
+impl Compiler {
+    pub fn new(profile: CompilerProfile) -> Self {
+        Compiler { profile }
+    }
+
+    /// Compiles source text.
+    pub fn compile_source(&self, app: &str, src: &str) -> Result<CompileResult, Diag> {
+        let prog = parse_program(src).map_err(Diag::Parse)?;
+        self.compile(app, prog)
+    }
+
+    /// Compiles a parsed program.
+    pub fn compile(&self, app: &str, prog: Program) -> Result<CompileResult, Diag> {
+        let caps = self.profile.caps;
+        let mut report = CompileReport {
+            app: app.to_string(),
+            profile: self.profile.name.clone(),
+            ..Default::default()
+        };
+
+        // ---- Frontend ("others") ----------------------------------------
+        let t = Instant::now();
+        let mut rp = resolve(prog).map_err(Diag::Resolve)?;
+        report.statements = rp.program.executable_statements();
+        report.units = rp.program.units.len();
+        report.charge(PassId::Others, t.elapsed(), rp.program.stmt_count as u64);
+
+        // ---- Induction variable substitution ------------------------------
+        let t = Instant::now();
+        let mut prog2 = rp.program.clone();
+        let mut next_id = prog2.stmt_count;
+        let mut substituted = 0u64;
+        for u in &mut prog2.units {
+            if u.lang == apar_minifort::Lang::C && !caps.multilingual {
+                continue;
+            }
+            let r = induction::run_on_unit(u, &rp.tables[&u.name], &mut next_id);
+            substituted += r.substituted.len() as u64;
+        }
+        prog2.stmt_count = next_id;
+        rp = resolve(prog2).map_err(Diag::Resolve)?;
+        report.charge(
+            PassId::InductionSubstitution,
+            t.elapsed(),
+            rp.program.stmt_count as u64 + substituted * 32,
+        );
+
+        // ---- GSA translation ----------------------------------------------
+        let t = Instant::now();
+        let mut gsa_ops = 0u64;
+        for u in &rp.program.units {
+            if u.lang == apar_minifort::Lang::C && !caps.multilingual {
+                continue;
+            }
+            let stats = gsa::translate_unit(&rp, u);
+            gsa_ops += (stats.gated_defs() as u64) * 8
+                + stats.cfg_nodes as u64
+                + (stats.option_branches as u64) * 16;
+        }
+        report.charge(PassId::GsaTranslation, t.elapsed(), gsa_ops);
+
+        // ---- Structural substrate ("others") -------------------------------
+        let t = Instant::now();
+        let cg = CallGraph::build(&rp);
+        let forest = LoopForest::build(&rp);
+        let mut sym = SymMap::new();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
+        let alias = AliasInfo::build(&rp, &cg, caps);
+        report.loops = forest.loops.len();
+        report.target_loops = forest.targets().count();
+        report.charge(PassId::Others, t.elapsed(), forest.loops.len() as u64);
+
+        // ---- Interprocedural constant propagation ---------------------------
+        let t = Instant::now();
+        let cp = constprop::propagate(&rp, &cg, &mut sym, caps, &summaries);
+        let cp_ops = rp.program.stmt_count as u64 * 2
+            + (cp.formal_constants as u64 + cp.common_facts as u64) * 16;
+        report.charge(PassId::InterproceduralConstProp, t.elapsed(), cp_ops);
+
+        // ---- Per-loop analysis ----------------------------------------------
+        let mut loops_out: Vec<LoopReport> = Vec::new();
+        let mut parallel_loops: HashSet<StmtId> = HashSet::new();
+        for info in &forest.loops {
+            let unit_name = info.id.unit.clone();
+            let Some(unit) = rp.unit(&unit_name) else {
+                continue;
+            };
+            if unit.lang == apar_minifort::Lang::C && !caps.multilingual {
+                continue;
+            }
+            let loop_ops = OpCounter::with_budget(self.profile.loop_op_budget);
+
+            // Choose the program to analyze: inline calls if any.
+            let has_calls = !info.calls.is_empty();
+            let (arp, inline_time, spliced) = if has_calls {
+                let t = Instant::now();
+                let mut scratch = rp.program.clone();
+                let (_n, _fails) = inline::inline_calls_in_loop(
+                    &mut scratch,
+                    &rp,
+                    &cg,
+                    caps,
+                    &unit_name,
+                    info.id.stmt,
+                    self.profile.inline_depth,
+                    self.profile.inline_stmt_budget,
+                );
+                match resolve(scratch) {
+                    Ok(srp) => {
+                        let spliced = srp.program.stmt_count - rp.program.stmt_count;
+                        (Some(srp), t.elapsed(), spliced as u64)
+                    }
+                    Err(_) => (None, t.elapsed(), 0),
+                }
+            } else {
+                (None, std::time::Duration::ZERO, 0)
+            };
+            if has_calls {
+                report.charge(PassId::InlineExpansion, inline_time, spliced * 4);
+            }
+            let arp_ref: &ResolvedProgram = arp.as_ref().unwrap_or(&rp);
+
+            // Ranges for the analyzed program (recomputed for the unit
+            // when inlining changed it).
+            let state: ScalarState = if arp.is_some() {
+                let seed = cp
+                    .seeds
+                    .get(&unit_name)
+                    .cloned()
+                    .unwrap_or_default();
+                let summaries2 = Summaries::build(
+                    arp_ref,
+                    &CallGraph::build(arp_ref),
+                    &mut sym,
+                    caps,
+                );
+                let ur = apar_analysis::ranges::analyze_unit(
+                    arp_ref, &unit_name, &mut sym, caps, &summaries2, &seed,
+                );
+                ur.at_loop.get(&info.id.stmt).cloned().unwrap_or_default()
+            } else {
+                cp.ranges
+                    .get(&unit_name)
+                    .and_then(|ur| ur.at_loop.get(&info.id.stmt))
+                    .cloned()
+                    .unwrap_or_default()
+            };
+
+            // Locate the loop body in the analyzed program.
+            let aunit = arp_ref.unit(&unit_name).expect("unit survives inlining");
+            let Some((var, lo, hi, step, body)) = find_do(aunit, info.id.stmt) else {
+                continue;
+            };
+
+            // Dependence test.
+            let t = Instant::now();
+            let la = access::collect(arp_ref, &unit_name, &body, &mut sym, &state);
+            let alias2;
+            let alias_ref = if arp.is_some() {
+                alias2 = AliasInfo::build(arp_ref, &CallGraph::build(arp_ref), caps);
+                &alias2
+            } else {
+                &alias
+            };
+            let summaries_dd;
+            let summaries_ref = if arp.is_some() {
+                summaries_dd =
+                    Summaries::build(arp_ref, &CallGraph::build(arp_ref), &mut sym, caps);
+                &summaries_dd
+            } else {
+                &summaries
+            };
+            let input = DdInput {
+                rp: arp_ref,
+                unit: &unit_name,
+                loop_var: &var,
+                lo: &lo,
+                hi: &hi,
+                step: step.as_ref(),
+                state: &state,
+                la: &la,
+            };
+            let dd = ddtest::test_loop(&input, &mut sym, caps, alias_ref, summaries_ref, &loop_ops);
+            let dd_ops = loop_ops.spent();
+            report.charge(PassId::DataDependence, t.elapsed(), dd_ops);
+
+            // Privatization.
+            let t = Instant::now();
+            let priv_res = privatize::analyze(
+                arp_ref,
+                aunit,
+                info.id.stmt,
+                &body,
+                &var,
+                &la,
+                &state,
+                &mut sym,
+                caps,
+                &loop_ops,
+            );
+            report.charge(
+                PassId::Privatization,
+                t.elapsed(),
+                loop_ops.spent() - dd_ops,
+            );
+
+            // Reduction recognition.
+            let t = Instant::now();
+            let table = arp_ref.table(&unit_name);
+            let reds = reduction::find_reductions(&body, &|n| table.is_array(n));
+            report.charge(PassId::Reduction, t.elapsed(), la.accesses.len() as u64);
+
+            // Decision.
+            let red_names: HashSet<&str> = reds.iter().map(|r| r.var.as_str()).collect();
+            let leftover = priv_res
+                .failed_scalars
+                .iter()
+                .filter(|s| !red_names.contains(s.as_str()))
+                .count();
+            let private_arrays: HashSet<&str> =
+                priv_res.private_arrays.iter().map(|s| s.as_str()).collect();
+            let classification = classify(&dd, la.has_io || la.has_escape, leftover, &|d| {
+                private_arrays.contains(d.array.as_str())
+            });
+            let parallel = classification == Classification::Autoparallelized;
+
+            // Annotate the outermost parallel loops on the ORIGINAL AST.
+            let mut annotated = false;
+            let mut speculative = false;
+            // Speculative candidates: hindrances a runtime dependence
+            // test can discharge (the array conflict is data-dependent),
+            // with no I/O or escaping effects to roll back and no
+            // unprivatizable scalars (those would conflict on every run).
+            let spec_candidate = self.profile.runtime_test
+                && matches!(
+                    classification,
+                    Classification::Indirection
+                        | Classification::Rangeless
+                        | Classification::SymbolAnalysis
+                )
+                && !la.has_io
+                && !la.has_escape
+                && leftover == 0;
+            if (parallel || spec_candidate)
+                && !has_parallel_ancestor(&forest, info, &parallel_loops)
+            {
+                let orig_table = rp.table(&unit_name);
+                let directive = LoopDirective {
+                    private: priv_res
+                        .private_scalars
+                        .iter()
+                        .chain(priv_res.private_arrays.iter())
+                        .filter(|n| orig_table.get(n).is_some())
+                        .cloned()
+                        .collect(),
+                    reductions: reds.iter().map(|r| (r.op, r.var.clone())).collect(),
+                    speculative: !parallel,
+                };
+                speculative = directive.speculative;
+                annotated = annotate_loop(&mut rp, &unit_name, info.id.stmt, directive);
+                if annotated {
+                    parallel_loops.insert(info.id.stmt);
+                } else {
+                    speculative = false;
+                }
+            }
+
+            loops_out.push(LoopReport {
+                unit: unit_name,
+                stmt: info.id.stmt,
+                var,
+                depth: info.depth,
+                target: info.target.clone(),
+                classification,
+                parallelized: annotated && !speculative,
+                speculative,
+                pairs_tested: dd.pairs_tested,
+                ops_spent: loop_ops.spent(),
+            });
+        }
+
+        Ok(CompileResult {
+            rp,
+            report,
+            loops: loops_out,
+        })
+    }
+}
+
+/// Finds a DO loop by id and clones its header and body.
+fn find_do(
+    unit: &apar_minifort::Unit,
+    id: StmtId,
+) -> Option<(
+    String,
+    apar_minifort::ast::Expr,
+    apar_minifort::ast::Expr,
+    Option<apar_minifort::ast::Expr>,
+    Block,
+)> {
+    let mut found = None;
+    unit.body.walk_stmts(&mut |s| {
+        if s.id == id && found.is_none() {
+            if let StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } = &s.kind
+            {
+                found = Some((
+                    var.clone(),
+                    lo.clone(),
+                    hi.clone(),
+                    step.clone(),
+                    body.clone(),
+                ));
+            }
+        }
+    });
+    found
+}
+
+fn has_parallel_ancestor(
+    forest: &LoopForest,
+    info: &apar_analysis::loops::LoopInfo,
+    parallel: &HashSet<StmtId>,
+) -> bool {
+    let mut cur = info.parent;
+    while let Some(p) = cur {
+        if parallel.contains(&p) {
+            return true;
+        }
+        cur = forest
+            .loops
+            .iter()
+            .find(|l| l.id.stmt == p && l.id.unit == info.id.unit)
+            .and_then(|l| l.parent);
+    }
+    false
+}
+
+/// Writes the `auto_par` annotation onto a DO statement.
+fn annotate_loop(
+    rp: &mut ResolvedProgram,
+    unit: &str,
+    id: StmtId,
+    directive: LoopDirective,
+) -> bool {
+    let Some(u) = rp.program.unit_mut(unit) else {
+        return false;
+    };
+    let mut done = false;
+    u.body.walk_stmts_mut(&mut |s| {
+        if s.id == id && !done {
+            if let StmtKind::Do { auto_par, .. } = &mut s.kind {
+                *auto_par = Some(directive.clone());
+                done = true;
+            }
+        }
+    });
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str, profile: CompilerProfile) -> CompileResult {
+        Compiler::new(profile)
+            .compile_source("test", src)
+            .expect("compile")
+    }
+
+    #[test]
+    fn simple_loop_is_parallelized_and_annotated() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100), B(100)\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert_eq!(r.loops.len(), 1);
+        assert_eq!(r.loops[0].classification, Classification::Autoparallelized);
+        assert!(r.loops[0].parallelized);
+        // The annotation landed in the AST.
+        let mut annotated = 0;
+        r.rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
+            if let StmtKind::Do { auto_par: Some(_), .. } = &s.kind {
+                annotated += 1;
+            }
+        });
+        assert_eq!(annotated, 1);
+    }
+
+    #[test]
+    fn nested_parallel_gets_outer_annotation_only() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100, 100)\nDO I = 1, 100\nDO J = 1, 100\nA(J, I) = 1.0\nENDDO\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert_eq!(r.loops.len(), 2);
+        assert!(r.loops.iter().all(|l| l.classification == Classification::Autoparallelized));
+        let outer = r.loops.iter().find(|l| l.depth == 0).unwrap();
+        let inner = r.loops.iter().find(|l| l.depth == 1).unwrap();
+        assert!(outer.parallelized);
+        assert!(!inner.parallelized, "inner loop must not be annotated");
+    }
+
+    #[test]
+    fn reduction_loop_parallelized_with_clause() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nS = 0.0\nDO I = 1, 100\nS = S + A(I)\nENDDO\nWRITE(*,*) S\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert_eq!(r.loops[0].classification, Classification::Autoparallelized);
+        let mut dir = None;
+        r.rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
+            if let StmtKind::Do { auto_par: Some(d), .. } = &s.kind {
+                dir = Some(d.clone());
+            }
+        });
+        let d = dir.expect("annotated");
+        assert_eq!(d.reductions.len(), 1);
+        assert_eq!(d.reductions[0].1, "S");
+    }
+
+    #[test]
+    fn private_scalar_listed_in_directive() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nT = A(I) * 2.0\nA(I) = T\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert!(r.loops[0].parallelized);
+        let mut dir = None;
+        r.rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
+            if let StmtKind::Do { auto_par: Some(d), .. } = &s.kind {
+                dir = Some(d.clone());
+            }
+        });
+        assert!(dir.expect("directive").private.contains(&"T".to_string()));
+    }
+
+    #[test]
+    fn induction_variable_loop_parallelizes() {
+        let r = compile(
+            "PROGRAM P\nREAL A(200)\nK = 0\nDO I = 1, 100\nK = K + 2\nA(K) = 1.0\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert_eq!(
+            r.loops[0].classification,
+            Classification::Autoparallelized,
+            "induction substitution should enable parallelization"
+        );
+    }
+
+    #[test]
+    fn call_inlined_then_parallelized() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nCALL SET(A, I)\nENDDO\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        let main_loop = r.loops.iter().find(|l| l.unit == "P").unwrap();
+        assert_eq!(main_loop.classification, Classification::Autoparallelized);
+        assert!(main_loop.parallelized);
+    }
+
+    #[test]
+    fn io_loop_is_control() {
+        let r = compile(
+            "PROGRAM P\nDO I = 1, 10\nWRITE(*,*) I\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert_eq!(r.loops[0].classification, Classification::Control);
+        assert!(!r.loops[0].parallelized);
+    }
+
+    #[test]
+    fn target_histogram_counts() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nINTEGER IA(100)\n!$TARGET GOOD\nDO I = 1, 100\nA(I) = 1.0\nENDDO\n!$TARGET GATHER\nDO I = 1, 100\nA(IA(I)) = A(IA(I)) + 1.0\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        let h = r.target_histogram();
+        assert!(h.contains(&(Classification::Autoparallelized, 1)));
+        assert!(h.contains(&(Classification::Indirection, 1)));
+    }
+
+    #[test]
+    fn pass_costs_recorded() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nA(I) = 1.0\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert!(r.report.total_ops() > 0);
+        assert!(r.report.per_pass.contains_key(&PassId::DataDependence));
+        assert!(r.report.statements > 0);
+    }
+
+    #[test]
+    fn true_dependence_stays_serial() {
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nDO I = 2, 100\nA(I) = A(I - 1)\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        assert_eq!(r.loops[0].classification, Classification::RealDependence);
+        assert!(!r.loops[0].parallelized);
+    }
+}

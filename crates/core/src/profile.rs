@@ -1,0 +1,128 @@
+//! Compiler capability profiles.
+
+use apar_analysis::Capabilities;
+
+/// Everything that bounds the compiler's precision and effort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompilerProfile {
+    /// Display name (appears in reports).
+    pub name: String,
+    /// Enabling techniques available to the analyses.
+    pub caps: Capabilities,
+    /// Symbolic-op budget per loop; exceeding it classifies the loop as
+    /// `Complexity` (the paper's "reasonable compile time" bound, made
+    /// deterministic).
+    pub loop_op_budget: u64,
+    /// Maximum call-inlining rounds inside one loop body.
+    pub inline_depth: usize,
+    /// Maximum statements spliced into one loop by inlining.
+    pub inline_stmt_budget: usize,
+    /// Emit speculative parallel annotations (runtime dependence test
+    /// with rollback) for loops whose only hindrance is dynamically
+    /// checkable — indirection, rangeless variables, or failed symbolic
+    /// analysis. Off in both paper profiles; models the runtime
+    /// techniques the paper's conclusion calls for beyond static
+    /// analysis.
+    pub runtime_test: bool,
+}
+
+impl CompilerProfile {
+    /// The 2008 state of the art the paper measures.
+    pub fn polaris2008() -> Self {
+        CompilerProfile {
+            name: "polaris2008".into(),
+            caps: Capabilities::polaris2008(),
+            // Calibrated so the deeply unrolled "monster" loops of the
+            // industrial suites exceed it (the paper's 12-hour bound,
+            // made deterministic) while ordinary loops stay far below.
+            loop_op_budget: 8_000,
+            inline_depth: 3,
+            inline_stmt_budget: 4_000,
+            runtime_test: false,
+        }
+    }
+
+    /// Every enabling technique on — the compiler the paper calls for.
+    pub fn full() -> Self {
+        CompilerProfile {
+            name: "full".into(),
+            caps: Capabilities::full(),
+            loop_op_budget: 4_000_000,
+            inline_depth: 4,
+            inline_stmt_budget: 16_000,
+            runtime_test: false,
+        }
+    }
+
+    /// This profile plus speculative runtime dependence testing: loops
+    /// blocked only by indirection / rangeless variables / symbolic
+    /// limits are annotated for LRPD-style parallel execution with
+    /// rollback. Composes with any base profile, e.g.
+    /// `CompilerProfile::polaris2008().with_runtime_test()`.
+    pub fn with_runtime_test(mut self) -> Self {
+        self.runtime_test = true;
+        self.name = format!("{}+runtime-test", self.name);
+        self
+    }
+
+    /// Baseline with exactly one capability flipped on (ablations).
+    pub fn baseline_plus(name: &str, f: impl FnOnce(&mut Capabilities)) -> Self {
+        let mut p = Self::polaris2008();
+        p.name = format!("polaris2008+{}", name);
+        f(&mut p.caps);
+        p
+    }
+
+    /// The named single-capability ablations, in a fixed order.
+    pub fn ablations() -> Vec<CompilerProfile> {
+        vec![
+            Self::baseline_plus("noalias", |c| c.interprocedural_noalias = true),
+            Self::baseline_plus("deck-ranges", |c| c.input_deck_ranges = true),
+            Self::baseline_plus("indirection", |c| c.indirection_analysis = true),
+            Self::baseline_plus("symbolic", |c| c.extended_symbolic = true),
+            Self::baseline_plus("reshape", |c| c.reshaped_access = true),
+            Self::baseline_plus("guards", |c| c.guarded_regions = true),
+            Self::baseline_plus("multilingual", |c| c.multilingual = true),
+        ]
+    }
+}
+
+impl Default for CompilerProfile {
+    fn default() -> Self {
+        Self::polaris2008()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_everything_off() {
+        let p = CompilerProfile::polaris2008();
+        assert!(!p.caps.multilingual);
+        assert!(!p.caps.extended_symbolic);
+        assert!(p.loop_op_budget > 0);
+    }
+
+    #[test]
+    fn ablations_flip_exactly_one_capability() {
+        let base = Capabilities::polaris2008();
+        for a in CompilerProfile::ablations() {
+            let c = a.caps;
+            let flips = [
+                c.multilingual != base.multilingual,
+                c.interprocedural_noalias != base.interprocedural_noalias,
+                c.input_deck_ranges != base.input_deck_ranges,
+                c.indirection_analysis != base.indirection_analysis,
+                c.extended_symbolic != base.extended_symbolic,
+                c.reshaped_access != base.reshaped_access,
+                c.guarded_regions != base.guarded_regions,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+            assert_eq!(flips, 1, "{}", a.name);
+        }
+    }
+}

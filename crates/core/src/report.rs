@@ -1,0 +1,164 @@
+//! Compile reports: the data behind Figures 2 and 3.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// The compiler passes of Figure 2's legend.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+pub enum PassId {
+    DataDependence,
+    Privatization,
+    InductionSubstitution,
+    InlineExpansion,
+    GsaTranslation,
+    InterproceduralConstProp,
+    Reduction,
+    Others,
+}
+
+impl PassId {
+    /// Every pass, in the figure's legend order.
+    pub const ALL: [PassId; 8] = [
+        PassId::DataDependence,
+        PassId::Privatization,
+        PassId::InductionSubstitution,
+        PassId::InlineExpansion,
+        PassId::GsaTranslation,
+        PassId::InterproceduralConstProp,
+        PassId::Reduction,
+        PassId::Others,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            PassId::DataDependence => "data-dependence test",
+            PassId::Privatization => "privatization",
+            PassId::InductionSubstitution => "induction variable substitution",
+            PassId::InlineExpansion => "inline expansion",
+            PassId::GsaTranslation => "GSA translation",
+            PassId::InterproceduralConstProp => "interprocedural constant propagation",
+            PassId::Reduction => "reduction",
+            PassId::Others => "others",
+        }
+    }
+}
+
+/// Wall time and deterministic op count of one pass.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct PassCost {
+    pub seconds: f64,
+    pub ops: u64,
+}
+
+/// Aggregate compile-time report for one application.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct CompileReport {
+    pub app: String,
+    pub profile: String,
+    /// Executable statement count (Figure 2's denominator).
+    pub statements: usize,
+    pub units: usize,
+    pub loops: usize,
+    pub target_loops: usize,
+    pub per_pass: HashMap<PassId, PassCost>,
+}
+
+impl CompileReport {
+    /// Adds cost to a pass bucket.
+    pub fn charge(&mut self, pass: PassId, wall: Duration, ops: u64) {
+        let e = self.per_pass.entry(pass).or_default();
+        e.seconds += wall.as_secs_f64();
+        e.ops += ops;
+    }
+
+    /// Total compile seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.per_pass.values().map(|c| c.seconds).sum()
+    }
+
+    /// Total symbolic ops.
+    pub fn total_ops(&self) -> u64 {
+        self.per_pass.values().map(|c| c.ops).sum()
+    }
+
+    /// Seconds per executable statement (Figure 2's columns).
+    pub fn seconds_per_statement(&self) -> f64 {
+        if self.statements == 0 {
+            0.0
+        } else {
+            self.total_seconds() / self.statements as f64
+        }
+    }
+
+    /// Ops per executable statement (deterministic Figure 2 analog).
+    pub fn ops_per_statement(&self) -> f64 {
+        if self.statements == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.statements as f64
+        }
+    }
+
+    /// Fraction of total ops per pass (Figure 3, deterministic form).
+    pub fn ops_fractions(&self) -> Vec<(PassId, f64)> {
+        let total = self.total_ops().max(1) as f64;
+        PassId::ALL
+            .iter()
+            .map(|&p| {
+                let ops = self.per_pass.get(&p).map_or(0, |c| c.ops) as f64;
+                (p, ops / total)
+            })
+            .collect()
+    }
+
+    /// Fraction of total seconds per pass (Figure 3 as published).
+    pub fn time_fractions(&self) -> Vec<(PassId, f64)> {
+        let total = self.total_seconds().max(f64::MIN_POSITIVE);
+        PassId::ALL
+            .iter()
+            .map(|&p| {
+                let s = self.per_pass.get(&p).map_or(0.0, |c| c.seconds);
+                (p, s / total)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut r = CompileReport {
+            statements: 100,
+            ..Default::default()
+        };
+        r.charge(PassId::DataDependence, Duration::from_millis(200), 600);
+        r.charge(PassId::DataDependence, Duration::from_millis(300), 400);
+        r.charge(PassId::Others, Duration::from_millis(500), 0);
+        assert!((r.total_seconds() - 1.0).abs() < 1e-9);
+        assert_eq!(r.total_ops(), 1000);
+        assert!((r.seconds_per_statement() - 0.01).abs() < 1e-12);
+        assert!((r.ops_per_statement() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut r = CompileReport::default();
+        r.charge(PassId::DataDependence, Duration::from_secs(3), 30);
+        r.charge(PassId::Privatization, Duration::from_secs(1), 10);
+        let fs = r.time_fractions();
+        let sum: f64 = fs.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let fo = r.ops_fractions();
+        let dd = fo
+            .iter()
+            .find(|(p, _)| *p == PassId::DataDependence)
+            .unwrap()
+            .1;
+        assert!((dd - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Trace synthesis: Ricker wavelets with time-variant gain — the native
+//! counterpart of the DGEN module.
+
+use crate::{par_rows, SeisParams, Strategy};
+
+/// Synthesizes `ntrc` traces of `nsamp` samples into a fresh buffer,
+/// applying the same gain the MiniFort module applies.
+pub fn generate(p: &SeisParams, strategy: Strategy) -> Vec<f64> {
+    let (ntrc, nsamp) = (p.ntrc(), p.nsamp);
+    let mut otra = vec![0.0; ntrc * nsamp];
+    let dt = p.dt;
+    let nfold = p.nfold;
+    par_rows(strategy, &mut otra, ntrc, nsamp, |itr0, row| {
+        // MiniFort's ITR is 1-based.
+        let itr = itr0 + 1;
+        let t0 = dt * (((itr - 1) % nfold) * 8 + 8) as f64;
+        // Ricker source through the DGWAVE one-pole smoothing filter.
+        let mut w = 0.0;
+        for (is0, out) in row.iter_mut().enumerate() {
+            let is = is0 + 1;
+            let t = (is - 1) as f64 * dt - t0;
+            let arg = 900.0 * t * t;
+            let amp = (1.0 - 2.0 * arg) * (-arg).exp();
+            w = w * 0.35 + amp * 0.65;
+            *out = w;
+        }
+        for (is0, out) in row.iter_mut().enumerate() {
+            *out *= 1.0 + (is0 + 1) as f64 * 0.002;
+        }
+    });
+    otra
+}
+
+/// The DGEN module's window QC passes (FILT, DIFF, XCOR), applied with
+/// the workload generator's deck offsets (IOFLT = 0, JOFLT = 2*NSAMP,
+/// NXCOR = max(1, NSAMP/32 - 1)) — replicated so native and interpreted
+/// pipelines produce identical buffers.
+pub fn apply_qc(p: &SeisParams, otra: &mut [f64]) {
+    let nsamp = p.nsamp;
+    let (ioflt, joflt) = (0usize, 2 * nsamp);
+    let nxcor = (nsamp / 32).saturating_sub(1).max(1);
+    // DGEN_FILT
+    for is in 1..=nsamp {
+        otra[joflt + is - 1] = otra[joflt + is - 1] * 0.9 + otra[ioflt + is - 1] * 0.1;
+    }
+    // DGEN_DIFF
+    for is in 1..=nsamp {
+        otra[joflt + is - 1] -= otra[ioflt + is - 1] * 0.05;
+    }
+    // DGEN_XCOR: element OTRA(IOFLT + (IW-1)*32 + K) is 0-based index
+    // ioflt + (iw-1)*32 + k - 1.
+    for iw in 1..=nxcor {
+        for k in 1..=20usize {
+            let o = (iw - 1) * 32 + k - 1;
+            otra[ioflt + o] = otra[joflt + o + 1] * 0.5 + otra[joflt + o] * 0.25;
+        }
+    }
+}
+
+/// Stride-8 checksum, matching the suite's CWRITE QC.
+pub fn checksum(buf: &[f64]) -> f64 {
+    buf.iter().step_by(8).sum()
+}
+
+/// Energy norm (sum of squares).
+pub fn energy(buf: &[f64]) -> f64 {
+    buf.iter().map(|x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelet_peak_near_onset() {
+        let p = SeisParams::demo();
+        let otra = generate(&p, Strategy::Serial);
+        // The smoothed Ricker peaks near the onset sample (is = 9 for
+        // trace 1) and decays far from it.
+        let itr = 1usize;
+        let peak = otra[(itr - 1) * p.nsamp + 8].abs();
+        let tail = otra[(itr - 1) * p.nsamp + p.nsamp - 1].abs();
+        assert!(peak > 0.3, "peak = {}", peak);
+        assert!(tail < 0.05 * peak, "tail = {} peak = {}", tail, peak);
+    }
+
+    #[test]
+    fn serial_threads_identical() {
+        let p = SeisParams::demo();
+        let a = generate(&p, Strategy::Serial);
+        let b = generate(&p, Strategy::Threads(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn energy_is_positive_and_stable() {
+        let p = SeisParams::demo();
+        let otra = generate(&p, Strategy::Serial);
+        let e = energy(&otra);
+        assert!(e > 0.0);
+        assert_eq!(e, energy(&generate(&p, Strategy::Serial)));
+    }
+}

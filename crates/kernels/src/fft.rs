@@ -1,0 +1,222 @@
+//! Radix-2 complex FFT and the 3-D transform — the native counterpart
+//! of the M3FK module (identical algorithm: doubling bit-reversal
+//! table, involution swap pass, recurrence twiddles), so interpreted and
+//! native spectra agree bit-for-bit-ish.
+
+use crate::{par_rows, SeisParams, Strategy};
+
+/// In-place complex FFT over `r` = `[re0, im0, re1, im1, ...]`, length
+/// `2 * n`, `n` a power of two. Sign convention matches CFFT1.
+pub fn cfft1(r: &mut [f64], n: usize) {
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two");
+    assert!(r.len() >= 2 * n);
+    // Bit-reversal table by doubling.
+    let mut ibr = vec![0usize; n];
+    let mut nbr = 1;
+    while nbr < n {
+        for k in 0..nbr {
+            ibr[k] *= 2;
+            ibr[k + nbr] = ibr[k] + 1;
+        }
+        nbr *= 2;
+    }
+    // Involution swap pass.
+    for i in 1..=n {
+        let j = ibr[i - 1] + 1;
+        if j > i {
+            r.swap(2 * j - 2, 2 * i - 2);
+            r.swap(2 * j - 1, 2 * i - 1);
+        }
+    }
+    // Butterfly stages with recurrence twiddles.
+    let mut le2 = 1usize;
+    while le2 < n {
+        let le = le2 * 2;
+        let ang = -std::f64::consts::PI / le2 as f64;
+        let (wpr, wpi) = (ang.cos(), ang.sin());
+        let ngrp = n / le;
+        for igrp in 0..ngrp {
+            let i0 = igrp * le;
+            let (mut wr, mut wi) = (1.0f64, 0.0f64);
+            for k in 1..=le2 {
+                let i1 = i0 + k;
+                let i2 = i1 + le2;
+                let tr = wr * r[2 * i2 - 2] - wi * r[2 * i2 - 1];
+                let ti = wr * r[2 * i2 - 1] + wi * r[2 * i2 - 2];
+                r[2 * i2 - 2] = r[2 * i1 - 2] - tr;
+                r[2 * i2 - 1] = r[2 * i1 - 1] - ti;
+                r[2 * i1 - 2] += tr;
+                r[2 * i1 - 1] += ti;
+                let tw = wr;
+                wr = tw * wpr - wi * wpi;
+                wi = tw * wpi + wi * wpr;
+            }
+        }
+        le2 = le;
+    }
+}
+
+/// The M3FK pipeline: synthesize the complex grid, transform along T for
+/// every (x, y) column, then along X for every (y, t) pencil, then scale
+/// by 1/NT — identical to the MiniFort module.
+pub fn m3fk(p: &SeisParams, strategy: Strategy) -> Vec<f64> {
+    let (nx, ny, nt) = (p.nx, p.ny, p.nt);
+    let ncol = nx * ny;
+    let mut ra = vec![0.0; 2 * ncol * nt];
+    // Grid synthesis + T transforms (column-parallel).
+    par_rows(strategy, &mut ra, ncol, 2 * nt, |icol0, col| {
+        let icol = icol0 + 1;
+        for it in 1..=nt {
+            let ph = (it * icol) as f64 * 0.001;
+            col[2 * it - 2] = ph.cos();
+            col[2 * it - 1] = ph.sin();
+        }
+        cfft1(col, nt);
+    });
+    // X pencils: gather the strided pencil into private scratch,
+    // transform, scatter back. Pencils write disjoint strided positions,
+    // so the parallel version double-buffers through a source copy.
+    let npen = ny * nt;
+    let workers = match strategy {
+        Strategy::Serial => 1,
+        Strategy::Threads(n) => n.max(1).min(npen.max(1)),
+    };
+    let src = ra.clone();
+    if workers <= 1 {
+        let mut cw = vec![0.0; 2 * nx];
+        for ipen in 1..=npen {
+            pencil(&src, &mut ra, &mut cw, nx, ny, nt, ipen);
+        }
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Disjoint strided writes: hand each worker a pencil range and a
+        // raw view; ranges never overlap in the flattened layout because
+        // each pencil owns positions ((ix-1)*ny*nt + ipen - 1) * 2.
+        struct Out(*mut f64, usize);
+        unsafe impl Sync for Out {}
+        let out = Out(ra.as_mut_ptr(), ra.len());
+        let next = AtomicUsize::new(1);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let (src, out, next) = (&src, &out, &next);
+                s.spawn(move |_| {
+                    let mut cw = vec![0.0; 2 * nx];
+                    loop {
+                        let ipen = next.fetch_add(1, Ordering::Relaxed);
+                        if ipen > npen {
+                            break;
+                        }
+                        // SAFETY: pencils touch disjoint positions.
+                        let view =
+                            unsafe { std::slice::from_raw_parts_mut(out.0, out.1) };
+                        pencil(src, view, &mut cw, nx, ny, nt, ipen);
+                    }
+                });
+            }
+        })
+        .expect("pencil scope");
+    }
+    // Half-grid spectral shift (M3FK_SHFT): real parts damped.
+    for icol in 1..=ncol {
+        let koff = (icol - 1) * 2 * nt;
+        for it in 1..=nt {
+            ra[koff + 2 * it - 2] *= 0.999;
+        }
+    }
+    let scale = 1.0 / nt as f64;
+    for x in ra.iter_mut() {
+        *x *= scale;
+    }
+    ra
+}
+
+fn pencil(src: &[f64], ra: &mut [f64], cw: &mut [f64], nx: usize, ny: usize, nt: usize, ipen: usize) {
+    for ix in 1..=nx {
+        let ksrc = ((ix - 1) * ny * nt + ipen - 1) * 2;
+        cw[2 * ix - 2] = src[ksrc];
+        cw[2 * ix - 1] = src[ksrc + 1];
+    }
+    cfft1(cw, nx);
+    for ix in 1..=nx {
+        let ksrc = ((ix - 1) * ny * nt + ipen - 1) * 2;
+        ra[ksrc] = cw[2 * ix - 2];
+        ra[ksrc + 1] = cw[2 * ix - 1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(input: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (j, &(re, im)) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    let (c, s) = (ang.cos(), ang.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 16;
+        let input: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos() * 0.5))
+            .collect();
+        let mut r = Vec::with_capacity(2 * n);
+        for &(re, im) in &input {
+            r.push(re);
+            r.push(im);
+        }
+        cfft1(&mut r, n);
+        let want = naive_dft(&input);
+        for k in 0..n {
+            assert!(
+                (r[2 * k] - want[k].0).abs() < 1e-9
+                    && (r[2 * k + 1] - want[k].1).abs() < 1e-9,
+                "bin {}: ({}, {}) vs {:?}",
+                k,
+                r[2 * k],
+                r[2 * k + 1],
+                want[k]
+            );
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let n = 32;
+        let mut r = vec![0.0; 2 * n];
+        r[0] = 1.0;
+        cfft1(&mut r, n);
+        for k in 0..n {
+            assert!((r[2 * k] - 1.0).abs() < 1e-12);
+            assert!(r[2 * k + 1].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 64;
+        let mut r: Vec<f64> = (0..2 * n).map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.1).collect();
+        let e_time: f64 = r.iter().map(|x| x * x).sum();
+        cfft1(&mut r, n);
+        let e_freq: f64 = r.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time, "{} vs {}", e_time, e_freq);
+    }
+
+    #[test]
+    fn m3fk_serial_threads_identical() {
+        let p = SeisParams::demo();
+        let a = m3fk(&p, Strategy::Serial);
+        let b = m3fk(&p, Strategy::Threads(4));
+        assert_eq!(a, b);
+    }
+}

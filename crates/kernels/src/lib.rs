@@ -1,0 +1,142 @@
+//! Native Rust implementations of the four SEISMIC components.
+//!
+//! These compute *exactly* the same numbers as the MiniFort modules in
+//! `apar-workloads` (same formulas, same operation order), which gives
+//! the repository a strong cross-validation: the interpreted pipeline
+//! and the native kernels must agree to the last ulp-ish tolerance. They
+//! also serve as the native-speed reference implementation a downstream
+//! user would adopt, with [`Strategy`]-selectable outer-loop threading
+//! (crossbeam scoped threads over contiguous chunks — the shape a
+//! parallelizing compiler emits for the hand-annotated loops).
+
+pub mod datagen;
+pub mod fft;
+pub mod findiff;
+pub mod stack;
+
+/// Execution strategy for a kernel's outer parallel loops.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    Serial,
+    /// Fork `n` worker threads per parallel region.
+    Threads(usize),
+}
+
+impl Strategy {
+    fn workers(&self) -> usize {
+        match self {
+            Strategy::Serial => 1,
+            Strategy::Threads(n) => (*n).max(1),
+        }
+    }
+}
+
+/// Runs `f(chunk_lo, chunk_hi, slice_disjoint_part)` over contiguous
+/// row-chunks of `data`, splitting by `rows` of `row_len` each.
+pub(crate) fn par_rows<T: Send>(
+    strategy: Strategy,
+    data: &mut [T],
+    rows: usize,
+    row_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(data.len() >= rows * row_len);
+    let workers = strategy.workers().min(rows.max(1));
+    if workers <= 1 {
+        for r in 0..rows {
+            f(r, &mut data[r * row_len..(r + 1) * row_len]);
+        }
+        return;
+    }
+    let (head, _) = data.split_at_mut(rows * row_len);
+    crossbeam::thread::scope(|s| {
+        let mut rest = head;
+        let mut row0 = 0usize;
+        for w in 0..workers {
+            let hi = rows * (w + 1) / workers;
+            let take = (hi - row0) * row_len;
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let lo = row0;
+            let f = &f;
+            s.spawn(move |_| {
+                for (k, chunk) in mine.chunks_mut(row_len).enumerate() {
+                    f(lo + k, chunk);
+                }
+            });
+            row0 = hi;
+        }
+    })
+    .expect("kernel scope");
+}
+
+/// Parameters shared by the native kernels (mirrors the workload decks).
+#[derive(Clone, Copy, Debug)]
+pub struct SeisParams {
+    pub ngath: usize,
+    pub nfold: usize,
+    pub nsamp: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nt: usize,
+    pub ntime: usize,
+    pub dt: f64,
+    pub dx: f64,
+    pub velo: f64,
+}
+
+impl SeisParams {
+    pub fn ntrc(&self) -> usize {
+        self.ngath * self.nfold
+    }
+
+    /// Matches `apar_workloads::seismic::SeismicParams` defaults.
+    pub fn demo() -> Self {
+        SeisParams {
+            ngath: 8,
+            nfold: 4,
+            nsamp: 128,
+            nx: 8,
+            ny: 8,
+            nt: 64,
+            ntime: 16,
+            dt: 0.002,
+            dx: 10.0,
+            velo: 2000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_rows_covers_everything() {
+        let mut v = vec![0u64; 8 * 5];
+        par_rows(Strategy::Threads(3), &mut v, 8, 5, |r, row| {
+            for (i, x) in row.iter_mut().enumerate() {
+                *x = (r * 10 + i) as u64;
+            }
+        });
+        for r in 0..8 {
+            for i in 0..5 {
+                assert_eq!(v[r * 5 + i], (r * 10 + i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_rows_serial_equals_threads() {
+        let work = |r: usize, row: &mut [f64]| {
+            for (i, x) in row.iter_mut().enumerate() {
+                *x = ((r + 1) * (i + 3)) as f64 * 0.5;
+            }
+        };
+        let mut a = vec![0.0; 60];
+        let mut b = vec![0.0; 60];
+        par_rows(Strategy::Serial, &mut a, 12, 5, work);
+        par_rows(Strategy::Threads(4), &mut b, 12, 5, work);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! Diagnostics for the MiniFort frontend.
+
+use std::fmt;
+
+/// A parse-time error with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A resolution-time error (undeclared storage conflicts, bad
+/// EQUIVALENCE, conflicting declarations, ...).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolveError {
+    pub unit: String,
+    pub msg: String,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unit {}: {}", self.unit, self.msg)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Any frontend failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Diag {
+    Parse(ParseError),
+    Resolve(ResolveError),
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diag::Parse(e) => write!(f, "parse error: {}", e),
+            Diag::Resolve(e) => write!(f, "resolve error: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for Diag {}

@@ -1,0 +1,539 @@
+//! The MiniFort lexer.
+//!
+//! Line-oriented: newlines end statements ([`Tok::Eos`]), a trailing `&`
+//! continues a statement onto the next line, `!` starts a comment unless
+//! it introduces a directive (`!$...` or `!LANG ...`). A line may begin
+//! with a numeric statement label. Keywords are not reserved; the parser
+//! decides from context (as in Fortran).
+
+use crate::diag::ParseError;
+use crate::token::{Tok, Token};
+
+/// Lexes the entire source, returning tokens ending with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    at_line_start: bool,
+    out: Vec<Token>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            at_line_start: true,
+            out: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Tok) {
+        self.out.push(Token {
+            kind,
+            line: self.line,
+        });
+        self.at_line_start = false;
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn last_meaningful_is_eos(&self) -> bool {
+        matches!(
+            self.out.last().map(|t| &t.kind),
+            None | Some(Tok::Eos) | Some(Tok::Directive(_))
+        )
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while let Some(c) = self.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                '\n' => {
+                    self.bump();
+                    if !self.last_meaningful_is_eos() {
+                        self.out.push(Token {
+                            kind: Tok::Eos,
+                            line: self.line,
+                        });
+                    }
+                    self.line += 1;
+                    self.at_line_start = true;
+                }
+                ';' => {
+                    self.bump();
+                    if !self.last_meaningful_is_eos() {
+                        self.push(Tok::Eos);
+                    }
+                }
+                '&' => {
+                    // Continuation: swallow to end of line including newline.
+                    self.bump();
+                    while let Some(c2) = self.peek() {
+                        self.bump();
+                        if c2 == '\n' {
+                            self.line += 1;
+                            break;
+                        }
+                        if !c2.is_whitespace() {
+                            return Err(self.err("unexpected text after continuation '&'"));
+                        }
+                    }
+                }
+                '!' => self.comment_or_directive()?,
+                'c' | 'C' if self.at_line_start && self.is_classic_comment() => {
+                    // Classic F77 full-line comment: 'C' in column 1
+                    // followed by whitespace.
+                    while let Some(c2) = self.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '0'..='9' => self.number()?,
+                '.' => self.dot_token()?,
+                '\'' => self.string()?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(),
+                '(' => {
+                    self.bump();
+                    self.push(Tok::LParen);
+                }
+                ')' => {
+                    self.bump();
+                    self.push(Tok::RParen);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(Tok::Comma);
+                }
+                ':' => {
+                    self.bump();
+                    self.push(Tok::Colon);
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Eq);
+                    } else {
+                        self.push(Tok::Assign);
+                    }
+                }
+                '+' => {
+                    self.bump();
+                    self.push(Tok::Plus);
+                }
+                '-' => {
+                    self.bump();
+                    self.push(Tok::Minus);
+                }
+                '*' => {
+                    self.bump();
+                    if self.peek() == Some('*') {
+                        self.bump();
+                        self.push(Tok::Pow);
+                    } else {
+                        self.push(Tok::Star);
+                    }
+                }
+                '/' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('/') => {
+                            self.bump();
+                            self.push(Tok::Concat);
+                        }
+                        Some('=') => {
+                            self.bump();
+                            self.push(Tok::Ne);
+                        }
+                        _ => self.push(Tok::Slash),
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Le);
+                    } else {
+                        self.push(Tok::Lt);
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Ge);
+                    } else {
+                        self.push(Tok::Gt);
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character '{}'", other))),
+            }
+        }
+        if !self.last_meaningful_is_eos() {
+            self.out.push(Token {
+                kind: Tok::Eos,
+                line: self.line,
+            });
+        }
+        self.out.push(Token {
+            kind: Tok::Eof,
+            line: self.line,
+        });
+        Ok(self.out)
+    }
+
+    fn is_classic_comment(&self) -> bool {
+        matches!(self.peek2(), Some(' ') | Some('\t') | Some('\n') | None)
+    }
+
+    fn comment_or_directive(&mut self) -> Result<(), ParseError> {
+        self.bump(); // '!'
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let upper = text.trim().to_ascii_uppercase();
+        if upper.starts_with('$') || upper.starts_with("LANG") {
+            // Directives conceptually occupy their own line.
+            if !self.last_meaningful_is_eos() {
+                self.out.push(Token {
+                    kind: Tok::Eos,
+                    line: self.line,
+                });
+            }
+            self.out.push(Token {
+                kind: Tok::Directive(upper),
+                line: self.line,
+            });
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), ParseError> {
+        let at_start = self.at_line_start;
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut is_real = false;
+        // A '.' continues a real literal unless it starts an operator
+        // like `.EQ.` (dot followed by a letter).
+        if self.peek() == Some('.') && !matches!(self.peek2(), Some(c) if c.is_ascii_alphabetic())
+        {
+            is_real = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E' | 'd' | 'D'))
+            && matches!(self.peek2(), Some(c) if c.is_ascii_digit() || c == '+' || c == '-')
+        {
+            is_real = true;
+            self.bump();
+            text.push('E');
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().expect("peeked"));
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if is_real {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad real literal '{}'", text)))?;
+            self.push(Tok::Real(v));
+        } else if at_start {
+            let v: u32 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad statement label '{}'", text)))?;
+            self.out.push(Token {
+                kind: Tok::Label(v),
+                line: start_line,
+            });
+            // Stay "at line start" for labels followed by statements.
+            self.at_line_start = false;
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad integer literal '{}'", text)))?;
+            self.push(Tok::Int(v));
+        }
+        Ok(())
+    }
+
+    fn dot_token(&mut self) -> Result<(), ParseError> {
+        // Either a real like `.5` or a dotted operator `.EQ.`
+        if matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            let mut text = String::from("0.");
+            self.bump(); // '.'
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad real literal '{}'", text)))?;
+            self.push(Tok::Real(v));
+            return Ok(());
+        }
+        self.bump(); // '.'
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                word.push(c.to_ascii_uppercase());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some('.') {
+            return Err(self.err(format!("malformed dotted operator '.{}'", word)));
+        }
+        self.bump(); // closing '.'
+        let tok = match word.as_str() {
+            "EQ" => Tok::Eq,
+            "NE" => Tok::Ne,
+            "LT" => Tok::Lt,
+            "LE" => Tok::Le,
+            "GT" => Tok::Gt,
+            "GE" => Tok::Ge,
+            "AND" => Tok::And,
+            "OR" => Tok::Or,
+            "NOT" => Tok::Not,
+            "TRUE" => Tok::Logical(true),
+            "FALSE" => Tok::Logical(false),
+            other => return Err(self.err(format!("unknown dotted operator '.{}.'", other))),
+        };
+        self.push(tok);
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<(), ParseError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return Err(self.err("unterminated character literal")),
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        break;
+                    }
+                }
+                Some(c) => s.push(c),
+            }
+        }
+        self.push(Tok::Str(s));
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c.to_ascii_uppercase());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        let t = kinds("A = B + 1\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Assign,
+                Tok::Ident("B".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn case_folding_and_labels() {
+        let t = kinds("100 continue\n      goto 100\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Label(100),
+                Tok::Ident("CONTINUE".into()),
+                Tok::Eos,
+                Tok::Ident("GOTO".into()),
+                Tok::Int(100),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_operators() {
+        let t = kinds("IF (X .GE. 1.5 .AND. .NOT. L) THEN\n");
+        assert!(t.contains(&Tok::Ge));
+        assert!(t.contains(&Tok::And));
+        assert!(t.contains(&Tok::Not));
+        assert!(t.contains(&Tok::Real(1.5)));
+    }
+
+    #[test]
+    fn real_literals() {
+        assert_eq!(kinds("X = 1.5E3\n")[2], Tok::Real(1500.0));
+        assert_eq!(kinds("X = 2.5D-1\n")[2], Tok::Real(0.25));
+        assert_eq!(kinds("X = .25\n")[2], Tok::Real(0.25));
+        // `1.EQ.2` is int, op, int — not reals.
+        let t = kinds("L = 1.EQ.2\n");
+        assert_eq!(t[2], Tok::Int(1));
+        assert_eq!(t[3], Tok::Eq);
+        assert_eq!(t[4], Tok::Int(2));
+    }
+
+    #[test]
+    fn comments_and_directives() {
+        let t = kinds("! plain comment\nC classic comment\nX = 1 ! trailing\n!$OMP PARALLEL DO\n!LANG C\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Eos,
+                Tok::Directive("$OMP PARALLEL DO".into()),
+                Tok::Directive("LANG C".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let t = kinds("X = 1 + &\n    2\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = kinds("WRITE(*,*) 'it''s fine'\n");
+        assert!(t.contains(&Tok::Str("it's fine".into())));
+    }
+
+    #[test]
+    fn power_and_slashes() {
+        let t = kinds("Y = X**2 / 4\n");
+        assert!(t.contains(&Tok::Pow));
+        assert!(t.contains(&Tok::Slash));
+        let t2 = kinds("COMMON /BLK/ X\n");
+        assert_eq!(t2[1], Tok::Slash);
+    }
+
+    #[test]
+    fn alternate_relational_spellings() {
+        let t = kinds("L = A <= B\nM = A >= B\nN = A == B\nP = A /= B\n");
+        assert!(t.contains(&Tok::Le));
+        assert!(t.contains(&Tok::Ge));
+        assert!(t.contains(&Tok::Eq));
+        assert!(t.contains(&Tok::Ne));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("X = 'oops\n").is_err());
+    }
+
+    #[test]
+    fn classic_comment_requires_column_one() {
+        // 'C' as a variable still lexes as an identifier mid-line.
+        let t = kinds("C = 1\n");
+        // "C = 1" — C followed by space IS a classic comment in column 1.
+        assert_eq!(t, vec![Tok::Eof]);
+        let t2 = kinds("CX = 1\n");
+        assert_eq!(t2[0], Tok::Ident("CX".into()));
+    }
+}

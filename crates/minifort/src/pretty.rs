@@ -1,0 +1,448 @@
+//! Pretty-printer: renders a [`Program`] back to parseable MiniFort
+//! source. Used for golden tests, round-trip property tests, and for
+//! inspecting compiler-transformed programs (e.g. after inlining or
+//! auto-parallelization, where `auto_par` annotations print as
+//! `!$OMP PARALLEL DO` directives with an `AUTO` note).
+
+use crate::ast::*;
+use crate::types::Lang;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for u in &p.units {
+        print_unit(u, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one unit.
+pub fn print_unit(u: &Unit, out: &mut String) {
+    if u.lang == Lang::C {
+        out.push_str("!LANG C\n");
+    }
+    match u.kind {
+        UnitKind::Main => {
+            let _ = writeln!(out, "PROGRAM {}", u.name);
+        }
+        UnitKind::Subroutine => {
+            let _ = writeln!(out, "SUBROUTINE {}({})", u.name, u.formals.join(", "));
+        }
+        UnitKind::Function => {
+            let _ = writeln!(out, "FUNCTION {}({})", u.name, u.formals.join(", "));
+        }
+    }
+    for d in &u.decls {
+        print_decl(d, out);
+    }
+    print_block(&u.body, 1, out);
+    out.push_str("END\n");
+}
+
+fn print_decl(d: &Decl, out: &mut String) {
+    match d {
+        Decl::Type { ty, names } => {
+            let _ = writeln!(out, "  {} {}", ty, decl_names(names));
+        }
+        Decl::Dimension { names } => {
+            let _ = writeln!(out, "  DIMENSION {}", decl_names(names));
+        }
+        Decl::Common { block, names } => {
+            let _ = writeln!(out, "  COMMON /{}/ {}", block, decl_names(names));
+        }
+        Decl::Equivalence { groups } => {
+            let gs: Vec<String> = groups
+                .iter()
+                .map(|g| {
+                    let refs: Vec<String> = g
+                        .iter()
+                        .map(|r| {
+                            if r.subs.is_empty() {
+                                r.name.clone()
+                            } else {
+                                format!("{}({})", r.name, exprs(&r.subs))
+                            }
+                        })
+                        .collect();
+                    format!("({})", refs.join(", "))
+                })
+                .collect();
+            let _ = writeln!(out, "  EQUIVALENCE {}", gs.join(", "));
+        }
+        Decl::Parameter { defs } => {
+            let ds: Vec<String> = defs
+                .iter()
+                .map(|(n, e)| format!("{} = {}", n, expr(e)))
+                .collect();
+            let _ = writeln!(out, "  PARAMETER ({})", ds.join(", "));
+        }
+        Decl::External { names } => {
+            let _ = writeln!(out, "  EXTERNAL {}", names.join(", "));
+        }
+        Decl::Data { items } => {
+            let is: Vec<String> = items
+                .iter()
+                .map(|i| {
+                    let target = if i.subs.is_empty() {
+                        i.name.clone()
+                    } else {
+                        format!("{}({})", i.name, exprs(&i.subs))
+                    };
+                    let vals: Vec<String> = i
+                        .values
+                        .iter()
+                        .map(|(rep, lit)| {
+                            let l = literal(lit);
+                            if *rep == 1 {
+                                l
+                            } else {
+                                format!("{}*{}", rep, l)
+                            }
+                        })
+                        .collect();
+                    format!("{} /{}/", target, vals.join(", "))
+                })
+                .collect();
+            let _ = writeln!(out, "  DATA {}", is.join(", "));
+        }
+    }
+}
+
+fn literal(l: &Literal) -> String {
+    match l {
+        Literal::Int(v) => v.to_string(),
+        Literal::Real(v) => real(*v),
+        Literal::Logical(b) => if *b { ".TRUE." } else { ".FALSE." }.to_string(),
+    }
+}
+
+fn decl_names(names: &[DeclName]) -> String {
+    names
+        .iter()
+        .map(|n| {
+            if n.dims.is_empty() {
+                n.name.clone()
+            } else {
+                let ds: Vec<String> = n.dims.iter().map(dim_spec).collect();
+                format!("{}({})", n.name, ds.join(", "))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn dim_spec(d: &DimSpec) -> String {
+    match (&d.lo, &d.hi) {
+        (None, None) => "*".to_string(),
+        (None, Some(hi)) => expr(hi),
+        (Some(lo), None) => format!("{}:*", expr(lo)),
+        (Some(lo), Some(hi)) => format!("{}:{}", expr(lo), expr(hi)),
+    }
+}
+
+fn print_block(b: &Block, depth: usize, out: &mut String) {
+    for s in &b.stmts {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    let label_prefix = |out: &mut String| {
+        if let Some(l) = s.label {
+            let _ = write!(out, "{} ", l);
+        }
+    };
+    match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            indent(depth, out);
+            label_prefix(out);
+            let _ = writeln!(out, "{} = {}", expr(lhs), expr(rhs));
+        }
+        StmtKind::If { arms, else_blk } => {
+            indent(depth, out);
+            label_prefix(out);
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                if i == 0 {
+                    let _ = writeln!(out, "IF ({}) THEN", expr(cond));
+                } else {
+                    indent(depth, out);
+                    let _ = writeln!(out, "ELSE IF ({}) THEN", expr(cond));
+                }
+                print_block(body, depth + 1, out);
+            }
+            if let Some(b) = else_blk {
+                indent(depth, out);
+                out.push_str("ELSE\n");
+                print_block(b, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("ENDIF\n");
+        }
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            omp,
+            auto_par,
+            target,
+        } => {
+            if let Some(t) = target {
+                indent(depth, out);
+                let _ = writeln!(out, "!$TARGET {}", t);
+            }
+            if let Some(d) = omp {
+                indent(depth, out);
+                let _ = writeln!(out, "!$OMP PARALLEL DO{}", directive_clauses(d));
+            }
+            if let Some(d) = auto_par {
+                indent(depth, out);
+                let _ = writeln!(out, "!$OMP PARALLEL DO{} ", directive_clauses(d));
+            }
+            indent(depth, out);
+            label_prefix(out);
+            let _ = write!(out, "DO {} = {}, {}", var, expr(lo), expr(hi));
+            if let Some(st) = step {
+                let _ = write!(out, ", {}", expr(st));
+            }
+            out.push('\n');
+            print_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("ENDDO\n");
+        }
+        StmtKind::DoWhile { cond, body } => {
+            indent(depth, out);
+            label_prefix(out);
+            let _ = writeln!(out, "DO WHILE ({})", expr(cond));
+            print_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("ENDDO\n");
+        }
+        StmtKind::Call { name, args } => {
+            indent(depth, out);
+            label_prefix(out);
+            if args.is_empty() {
+                let _ = writeln!(out, "CALL {}", name);
+            } else {
+                let _ = writeln!(out, "CALL {}({})", name, exprs(args));
+            }
+        }
+        StmtKind::Return => {
+            indent(depth, out);
+            label_prefix(out);
+            out.push_str("RETURN\n");
+        }
+        StmtKind::Stop => {
+            indent(depth, out);
+            label_prefix(out);
+            out.push_str("STOP\n");
+        }
+        StmtKind::Continue => {
+            indent(depth, out);
+            label_prefix(out);
+            out.push_str("CONTINUE\n");
+        }
+        StmtKind::Goto(l) => {
+            indent(depth, out);
+            label_prefix(out);
+            let _ = writeln!(out, "GOTO {}", l);
+        }
+        StmtKind::Read { items } => {
+            indent(depth, out);
+            label_prefix(out);
+            let _ = writeln!(out, "READ(*, *) {}", exprs(items));
+        }
+        StmtKind::Write { items } => {
+            indent(depth, out);
+            label_prefix(out);
+            let _ = writeln!(out, "WRITE(*, *) {}", exprs(items));
+        }
+    }
+}
+
+fn directive_clauses(d: &LoopDirective) -> String {
+    let mut s = String::new();
+    if !d.private.is_empty() {
+        let _ = write!(s, " PRIVATE({})", d.private.join(", "));
+    }
+    for (op, v) in &d.reductions {
+        let _ = write!(s, " REDUCTION({}:{})", op, v);
+    }
+    s
+}
+
+fn exprs(es: &[Expr]) -> String {
+    es.iter().map(expr).collect::<Vec<_>>().join(", ")
+}
+
+fn real(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        // Exponent form survives round-trips exactly enough for tests.
+        format!("{:E}", v)
+    }
+}
+
+/// Renders one expression with minimal parenthesization.
+pub fn expr(e: &Expr) -> String {
+    prec_expr(e, 0)
+}
+
+fn prec_of(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+        BinOp::Pow => 6,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => " + ",
+        BinOp::Sub => " - ",
+        BinOp::Mul => " * ",
+        BinOp::Div => " / ",
+        BinOp::Pow => " ** ",
+        BinOp::Eq => " .EQ. ",
+        BinOp::Ne => " .NE. ",
+        BinOp::Lt => " .LT. ",
+        BinOp::Le => " .LE. ",
+        BinOp::Gt => " .GT. ",
+        BinOp::Ge => " .GE. ",
+        BinOp::And => " .AND. ",
+        BinOp::Or => " .OR. ",
+    }
+}
+
+fn prec_expr(e: &Expr, min_prec: u8) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                format!("({})", v)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Real(v) => {
+            if *v < 0.0 {
+                format!("({})", real(*v))
+            } else {
+                real(*v)
+            }
+        }
+        Expr::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Logical(b) => if *b { ".TRUE." } else { ".FALSE." }.to_string(),
+        Expr::Name(n) => n.clone(),
+        Expr::Sub { name, args } | Expr::CallF { name, args } => {
+            format!("{}({})", name, exprs(args))
+        }
+        Expr::Index { name, subs } => format!("{}({})", name, exprs(subs)),
+        Expr::Bin(op, l, r) => {
+            let p = prec_of(*op);
+            // Left-associative except **; give the right child a higher
+            // floor so re-parsing groups identically.
+            let (lp, rp) = if *op == BinOp::Pow { (p + 1, p) } else { (p, p + 1) };
+            let s = format!("{}{}{}", prec_expr(l, lp), op_str(*op), prec_expr(r, rp));
+            if p < min_prec {
+                format!("({})", s)
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Neg, i) => {
+            let s = format!("-{}", prec_expr(i, 5));
+            if min_prec > 4 {
+                format!("({})", s)
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Not, i) => format!(".NOT. {}", prec_expr(i, 3)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n--- printed ---\n{}", e, printed));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "print->parse->print not stable");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("PROGRAM P\nX = 1 + 2 * 3\nEND\n");
+    }
+
+    #[test]
+    fn roundtrip_full_unit() {
+        roundtrip(
+            "SUBROUTINE STAK(OTRA, RA, SA, NTRI, NTRO)\n\
+             INTEGER NTRI, NTRO\n\
+             REAL OTRA(*), RA(*), SA(*)\n\
+             COMMON /CTRL/ NGATH, NSAMP\n\
+             !$TARGET STAK_MAIN\n\
+             !$OMP PARALLEL DO PRIVATE(T) REDUCTION(+:S)\n\
+             DO I = 1, NTRI\n\
+             T = OTRA(I)\n\
+             S = S + T\n\
+             IF (T .GT. 0.0) THEN\n\
+             RA(I) = T\n\
+             ELSE\n\
+             RA(I) = -T\n\
+             ENDIF\n\
+             ENDDO\n\
+             RETURN\n\
+             END\n",
+        );
+    }
+
+    #[test]
+    fn roundtrip_precedence() {
+        roundtrip("PROGRAM P\nX = (A + B) * C - -D ** 2\nL = A .LT. B .AND. .NOT. (C .GT. D)\nEND\n");
+    }
+
+    #[test]
+    fn roundtrip_declarations() {
+        roundtrip(
+            "PROGRAM P\nPARAMETER (N = 8)\nREAL A(N, 0:N), B(10)\nEQUIVALENCE (A(1, 0), B(1))\nDATA B /10*0.0/\nEND\n",
+        );
+    }
+
+    #[test]
+    fn negative_literals_parenthesized() {
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Name("X".into())),
+            Box::new(Expr::Int(-2)),
+        );
+        assert_eq!(expr(&e), "X * (-2)");
+    }
+
+    #[test]
+    fn pow_right_associates() {
+        roundtrip("PROGRAM P\nX = A ** B ** C\nEND\n");
+        let p = parse_program("PROGRAM P\nX = A ** B ** C\nEND\n").unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("A ** B ** C"), "{}", printed);
+    }
+}

@@ -1,0 +1,342 @@
+//! Symbol tables produced by name resolution.
+//!
+//! A [`SymbolTable`] describes every name used in one program unit: its
+//! type, shape, and — crucially for the aliasing experiments — its
+//! *storage association*. Fortran's `COMMON` and `EQUIVALENCE` let
+//! distinct names denote overlapping storage; MiniFort computes explicit
+//! word offsets so both the runtime and the alias analysis see the real
+//! overlap (§2.3 of the paper).
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Literal};
+use crate::types::Ty;
+
+/// Compile-time constant value of a PARAMETER.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ConstVal {
+    Int(i64),
+    Real(f64),
+    Logical(bool),
+}
+
+impl ConstVal {
+    /// Integer value, when the constant is integral.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ConstVal::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved dimension declarator.
+#[derive(Clone, Debug)]
+pub struct ResolvedDim {
+    /// Lower bound (constant-folded; `Expr::Int(1)` by default).
+    pub lo: Expr,
+    /// Upper bound; `None` for `*` (assumed size, formals only).
+    pub hi: Option<Expr>,
+}
+
+impl ResolvedDim {
+    /// Constant extent, when both bounds are literal.
+    pub fn const_extent(&self) -> Option<i64> {
+        let lo = as_const_int(&self.lo)?;
+        let hi = as_const_int(self.hi.as_ref()?)?;
+        Some(hi - lo + 1)
+    }
+}
+
+/// Array shape: the declared dimension list.
+#[derive(Clone, Debug)]
+pub struct ArrayShape {
+    pub dims: Vec<ResolvedDim>,
+}
+
+impl ArrayShape {
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total element count when all extents are constant.
+    pub fn const_elems(&self) -> Option<i64> {
+        self.dims.iter().map(ResolvedDim::const_extent).product()
+    }
+
+    /// True if the last dimension is `*`.
+    pub fn assumed_size(&self) -> bool {
+        self.dims.last().is_some_and(|d| d.hi.is_none())
+    }
+}
+
+/// What kind of thing a name denotes.
+#[derive(Clone, Debug)]
+pub enum SymbolKind {
+    Scalar,
+    Array(ArrayShape),
+    /// PARAMETER constant.
+    Param(ConstVal),
+    /// Subroutine/function name (EXTERNAL, defined unit, or intrinsic
+    /// referenced in a call).
+    Routine,
+}
+
+/// Where a name's storage lives.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Storage {
+    /// Unit-local storage area (areas merge under EQUIVALENCE);
+    /// `offset` is in words from the area base.
+    Local { area: u32, offset: i64 },
+    /// Member of a named COMMON block at a word offset.
+    Common { block: String, offset: i64 },
+    /// Dummy argument: storage belongs to the caller.
+    Formal { position: usize },
+    /// Routines and parameters occupy no data storage.
+    None,
+}
+
+/// One resolved symbol.
+#[derive(Clone, Debug)]
+pub struct Symbol {
+    pub name: String,
+    pub ty: Ty,
+    pub kind: SymbolKind,
+    pub storage: Storage,
+}
+
+impl Symbol {
+    /// Size in words (constant shapes only).
+    pub fn size_words(&self) -> Option<i64> {
+        match &self.kind {
+            SymbolKind::Scalar => Some(self.ty.words()),
+            SymbolKind::Array(shape) => Some(self.ty.words() * shape.const_elems()?),
+            _ => None,
+        }
+    }
+
+    /// The array shape, if this is an array.
+    pub fn shape(&self) -> Option<&ArrayShape> {
+        match &self.kind {
+            SymbolKind::Array(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved DATA initialization.
+#[derive(Clone, Debug)]
+pub struct DataInit {
+    pub name: String,
+    /// Constant linear element index (0-based) where the fill starts.
+    pub start_elem: i64,
+    pub values: Vec<(u32, Literal)>,
+}
+
+/// Per-unit symbol table.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    pub unit: String,
+    syms: HashMap<String, Symbol>,
+    /// Sizes (words) of local storage areas, indexed by area id.
+    pub area_sizes: Vec<i64>,
+    /// DATA initializations in source order.
+    pub data: Vec<DataInit>,
+}
+
+impl SymbolTable {
+    pub fn new(unit: &str) -> Self {
+        SymbolTable {
+            unit: unit.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Inserts or replaces a symbol.
+    pub fn insert(&mut self, sym: Symbol) {
+        self.syms.insert(sym.name.clone(), sym);
+    }
+
+    /// Looks up a symbol by (uppercase) name.
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.syms.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Symbol> {
+        self.syms.get_mut(name)
+    }
+
+    /// Whether `name` denotes an array here.
+    pub fn is_array(&self, name: &str) -> bool {
+        matches!(
+            self.syms.get(name).map(|s| &s.kind),
+            Some(SymbolKind::Array(_))
+        )
+    }
+
+    /// Declared type of a name, falling back to implicit typing.
+    pub fn type_of(&self, name: &str) -> Ty {
+        self.syms
+            .get(name)
+            .map(|s| s.ty)
+            .unwrap_or_else(|| Ty::implicit_for(name))
+    }
+
+    /// PARAMETER value of `name`, if it is one.
+    pub fn param_val(&self, name: &str) -> Option<ConstVal> {
+        match self.syms.get(name).map(|s| &s.kind) {
+            Some(SymbolKind::Param(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates all symbols.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.syms.values()
+    }
+
+    /// Names of all COMMON blocks this unit references, with the extent
+    /// (in words) the unit implies for each.
+    pub fn common_blocks(&self) -> HashMap<String, i64> {
+        let mut out: HashMap<String, i64> = HashMap::new();
+        for s in self.syms.values() {
+            if let Storage::Common { block, offset } = &s.storage {
+                let sz = s.size_words().unwrap_or(1);
+                let end = offset + sz;
+                let e = out.entry(block.clone()).or_insert(0);
+                if end > *e {
+                    *e = end;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Constant-folds an expression that must be a literal integer.
+pub fn as_const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(v) => Some(*v),
+        Expr::Un(crate::ast::UnOp::Neg, inner) => Some(-as_const_int(inner)?),
+        Expr::Bin(op, l, r) => {
+            let (a, b) = (as_const_int(l)?, as_const_int(r)?);
+            use crate::ast::BinOp::*;
+            Some(match op {
+                Add => a.checked_add(b)?,
+                Sub => a.checked_sub(b)?,
+                Mul => a.checked_mul(b)?,
+                Div => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a / b
+                }
+                Pow => {
+                    let bp = u32::try_from(b).ok()?;
+                    a.checked_pow(bp)?
+                }
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_folding() {
+        use crate::ast::BinOp;
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Int(3)),
+            Box::new(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Int(4)),
+                Box::new(Expr::Int(1)),
+            )),
+        );
+        assert_eq!(as_const_int(&e), Some(15));
+        assert_eq!(as_const_int(&Expr::Name("N".into())), None);
+    }
+
+    #[test]
+    fn shape_extents() {
+        let shape = ArrayShape {
+            dims: vec![
+                ResolvedDim {
+                    lo: Expr::Int(1),
+                    hi: Some(Expr::Int(10)),
+                },
+                ResolvedDim {
+                    lo: Expr::Int(0),
+                    hi: Some(Expr::Int(4)),
+                },
+            ],
+        };
+        assert_eq!(shape.rank(), 2);
+        assert_eq!(shape.const_elems(), Some(50));
+        assert!(!shape.assumed_size());
+    }
+
+    #[test]
+    fn assumed_size_detection() {
+        let shape = ArrayShape {
+            dims: vec![ResolvedDim {
+                lo: Expr::Int(1),
+                hi: None,
+            }],
+        };
+        assert!(shape.assumed_size());
+        assert_eq!(shape.const_elems(), None);
+    }
+
+    #[test]
+    fn symbol_sizes() {
+        let s = Symbol {
+            name: "Z".into(),
+            ty: Ty::Complex,
+            kind: SymbolKind::Array(ArrayShape {
+                dims: vec![ResolvedDim {
+                    lo: Expr::Int(1),
+                    hi: Some(Expr::Int(8)),
+                }],
+            }),
+            storage: Storage::Local { area: 0, offset: 0 },
+        };
+        assert_eq!(s.size_words(), Some(16));
+    }
+
+    #[test]
+    fn common_extent_accumulates() {
+        let mut t = SymbolTable::new("U");
+        t.insert(Symbol {
+            name: "A".into(),
+            ty: Ty::Real,
+            kind: SymbolKind::Array(ArrayShape {
+                dims: vec![ResolvedDim {
+                    lo: Expr::Int(1),
+                    hi: Some(Expr::Int(100)),
+                }],
+            }),
+            storage: Storage::Common {
+                block: "BLK".into(),
+                offset: 0,
+            },
+        });
+        t.insert(Symbol {
+            name: "Q".into(),
+            ty: Ty::Real,
+            kind: SymbolKind::Scalar,
+            storage: Storage::Common {
+                block: "BLK".into(),
+                offset: 100,
+            },
+        });
+        assert_eq!(t.common_blocks()["BLK"], 101);
+    }
+}

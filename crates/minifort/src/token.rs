@@ -1,0 +1,100 @@
+//! Token definitions for the MiniFort lexer.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token kinds. Identifiers and keywords are uppercased by the lexer
+/// (Fortran is case-insensitive).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword, uppercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (covers `1.5`, `1E3`, `2.5D-2`).
+    Real(f64),
+    /// Character literal `'...'`.
+    Str(String),
+    /// `.TRUE.` / `.FALSE.`
+    Logical(bool),
+    /// Statement label at the start of a line.
+    Label(u32),
+    /// End of statement (newline or `;`).
+    Eos,
+    /// End of file.
+    Eof,
+    /// A directive line: `!$OMP ...`, `!$TARGET ...`, `!LANG ...`
+    /// (payload is the uppercased text after `!`).
+    Directive(String),
+
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Assign, // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Pow,   // **
+    Concat, // // (unused in numerics, accepted for completeness)
+
+    Eq, // .EQ.
+    Ne, // .NE.
+    Lt, // .LT.
+    Le, // .LE.
+    Gt, // .GT.
+    Ge, // .GE.
+    And,
+    Or,
+    Not,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{}", s),
+            Tok::Int(v) => write!(f, "{}", v),
+            Tok::Real(v) => write!(f, "{}", v),
+            Tok::Str(s) => write!(f, "'{}'", s),
+            Tok::Logical(b) => write!(f, ".{}.", if *b { "TRUE" } else { "FALSE" }),
+            Tok::Label(l) => write!(f, "label {}", l),
+            Tok::Eos => write!(f, "end of statement"),
+            Tok::Eof => write!(f, "end of file"),
+            Tok::Directive(d) => write!(f, "!{}", d),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Pow => write!(f, "**"),
+            Tok::Concat => write!(f, "//"),
+            Tok::Eq => write!(f, ".EQ."),
+            Tok::Ne => write!(f, ".NE."),
+            Tok::Lt => write!(f, ".LT."),
+            Tok::Le => write!(f, ".LE."),
+            Tok::Gt => write!(f, ".GT."),
+            Tok::Ge => write!(f, ".GE."),
+            Tok::And => write!(f, ".AND."),
+            Tok::Or => write!(f, ".OR."),
+            Tok::Not => write!(f, ".NOT."),
+        }
+    }
+}
+
+impl Tok {
+    /// True if this token is the given keyword (case already folded).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests for the frontend: randomly generated programs
+//! pretty-print to source that re-parses to an equivalent program, and
+//! resolution is deterministic.
+
+use apar_minifort::ast::*;
+use apar_minifort::pretty::print_program;
+use apar_minifort::{parse_program, resolve};
+use proptest::prelude::*;
+
+/// A tiny structured-program generator: no GOTOs, unique loop vars per
+/// nesting path, plain scalar/array assignments.
+#[derive(Clone, Debug)]
+enum GStmt {
+    AssignScalar(u8, GExpr),
+    AssignElem(u8, GExpr, GExpr),
+    If(GExpr, Vec<GStmt>, Vec<GStmt>),
+    Do(u8, GExpr, GExpr, Vec<GStmt>),
+    Write(GExpr),
+}
+
+#[derive(Clone, Debug)]
+enum GExpr {
+    Int(i8),
+    Real(i8),
+    Scalar(u8),
+    Elem(u8, Box<GExpr>),
+    Add(Box<GExpr>, Box<GExpr>),
+    Mul(Box<GExpr>, Box<GExpr>),
+    Intr(Box<GExpr>),
+}
+
+fn gexpr() -> impl Strategy<Value = GExpr> {
+    let leaf = prop_oneof![
+        (-99i8..=99).prop_map(GExpr::Int),
+        (-99i8..=99).prop_map(GExpr::Real),
+        (0u8..4).prop_map(GExpr::Scalar),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (0u8..2, inner.clone()).prop_map(|(a, e)| GExpr::Elem(a, Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Mul(Box::new(a), Box::new(b))),
+            inner.prop_map(|e| GExpr::Intr(Box::new(e))),
+        ]
+    })
+}
+
+fn gstmt(depth: u32) -> BoxedStrategy<GStmt> {
+    let leaf = prop_oneof![
+        (0u8..4, gexpr()).prop_map(|(s, e)| GStmt::AssignScalar(s, e)),
+        (0u8..2, gexpr(), gexpr()).prop_map(|(a, i, e)| GStmt::AssignElem(a, i, e)),
+        gexpr().prop_map(GStmt::Write),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf,
+            (
+                gexpr(),
+                proptest::collection::vec(gstmt(depth - 1), 0..3),
+                proptest::collection::vec(gstmt(depth - 1), 0..2)
+            )
+                .prop_map(|(c, t, e)| GStmt::If(c, t, e)),
+            (
+                4u8..8,
+                gexpr(),
+                gexpr(),
+                proptest::collection::vec(gstmt(depth - 1), 0..3)
+            )
+                .prop_map(|(v, lo, hi, b)| GStmt::Do(v, lo, hi, b)),
+        ]
+        .boxed()
+    }
+}
+
+fn scalar_name(i: u8) -> String {
+    // X0..X3 are reals; loop vars I4..I7 are integers.
+    if i < 4 {
+        format!("X{}", i)
+    } else {
+        format!("I{}", i)
+    }
+}
+
+fn render_expr(e: &GExpr, out: &mut String) {
+    match e {
+        GExpr::Int(v) => {
+            if *v < 0 {
+                out.push_str(&format!("({})", v));
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        GExpr::Real(v) => out.push_str(&format!("({}.5)", v.abs())),
+        GExpr::Scalar(s) => out.push_str(&scalar_name(*s)),
+        GExpr::Elem(a, i) => {
+            out.push_str(&format!("ARR{}(1 + MOD(ABS(INT(", a));
+            render_expr(i, out);
+            out.push_str(")), 9))");
+        }
+        GExpr::Add(a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(" + ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        GExpr::Mul(a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(" * ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        GExpr::Intr(a) => {
+            out.push_str("ABS(");
+            render_expr(a, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmt(s: &GStmt, ind: usize, out: &mut String) {
+    let pad = "  ".repeat(ind);
+    match s {
+        GStmt::AssignScalar(v, e) => {
+            out.push_str(&format!("{}{} = ", pad, scalar_name(*v)));
+            render_expr(e, out);
+            out.push('\n');
+        }
+        GStmt::AssignElem(a, i, e) => {
+            out.push_str(&format!("{}ARR{}(1 + MOD(ABS(INT(", pad, a));
+            render_expr(i, out);
+            out.push_str(")), 9)) = ");
+            render_expr(e, out);
+            out.push('\n');
+        }
+        GStmt::If(c, t, e) => {
+            out.push_str(&format!("{}IF (", pad));
+            render_expr(c, out);
+            out.push_str(" .GT. 0.0) THEN\n");
+            for st in t {
+                render_stmt(st, ind + 1, out);
+            }
+            if !e.is_empty() {
+                out.push_str(&format!("{}ELSE\n", pad));
+                for st in e {
+                    render_stmt(st, ind + 1, out);
+                }
+            }
+            out.push_str(&format!("{}ENDIF\n", pad));
+        }
+        GStmt::Do(v, lo, hi, b) => {
+            out.push_str(&format!("{}DO {} = INT(", pad, scalar_name(*v)));
+            render_expr(lo, out);
+            out.push_str("), INT(");
+            render_expr(hi, out);
+            out.push_str(")\n");
+            for st in b {
+                render_stmt(st, ind + 1, out);
+            }
+            out.push_str(&format!("{}ENDDO\n", pad));
+        }
+        GStmt::Write(e) => {
+            out.push_str(&format!("{}WRITE(*,*) ", pad));
+            render_expr(e, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn render_program(stmts: &[GStmt]) -> String {
+    let mut out = String::from("PROGRAM GEN\n  REAL ARR0(10), ARR1(10)\n");
+    for s in stmts {
+        render_stmt(s, 1, &mut out);
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Structural equality modulo statement ids and source lines.
+fn strip(p: &Program) -> String {
+    // The pretty form IS the canonical structural rendering.
+    print_program(p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print -> parse -> print is a fixpoint on generated programs.
+    #[test]
+    fn pretty_parse_roundtrip(stmts in proptest::collection::vec(gstmt(2), 0..6)) {
+        let src = render_program(&stmts);
+        let p1 = parse_program(&src)
+            .unwrap_or_else(|e| panic!("parse failed: {}\n{}", e, src));
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n{}", e, printed));
+        prop_assert_eq!(strip(&p1), strip(&p2));
+    }
+
+    /// Resolution succeeds and is deterministic on generated programs.
+    #[test]
+    fn resolution_is_deterministic(stmts in proptest::collection::vec(gstmt(2), 0..6)) {
+        let src = render_program(&stmts);
+        let p1 = parse_program(&src).expect("parse");
+        let p2 = parse_program(&src).expect("parse");
+        let r1 = resolve(p1).expect("resolve");
+        let r2 = resolve(p2).expect("resolve");
+        let t1 = r1.table("GEN");
+        let t2 = r2.table("GEN");
+        prop_assert_eq!(t1.area_sizes.clone(), t2.area_sizes.clone());
+        for s in t1.iter() {
+            let o = t2.get(&s.name).expect("same symbols");
+            prop_assert_eq!(format!("{:?}", s.storage), format!("{:?}", o.storage));
+        }
+    }
+}

@@ -1,0 +1,1022 @@
+//! The interpreter: serial and thread-parallel execution of lowered
+//! MiniFort programs.
+//!
+//! Parallel `DO` regions fork real scoped threads (fork/join cost is
+//! *part of the measurement*, as in the paper's Figure 1), give each
+//! worker a private activation overlay for the directive's
+//! private/reduction variables, execute contiguous chunks, combine
+//! reduction partials in worker order, and apply lastprivate copy-back
+//! from the worker that ran the final iteration. An optional race
+//! checker records shared-cell accesses per worker and fails the run on
+//! any cross-chunk write conflict — the dynamic validation of the
+//! static dependence analysis.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use apar_minifort::ast::{BinOp, RedOp};
+use apar_minifort::{ResolvedProgram, Ty};
+
+use crate::memory::{Arena, BumpStack, Cell};
+use crate::mpi::MpiEnv;
+use crate::rprog::*;
+use crate::DeckVal;
+
+/// Which annotations drive parallel execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Ignore all annotations.
+    Serial,
+    /// Honor hand-written `!$OMP` directives.
+    Manual,
+    /// Honor compiler-produced `auto_par` directives.
+    Auto,
+}
+
+/// Execution configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    pub mode: ExecMode,
+    /// Worker count for parallel regions (the paper's machine: 4).
+    pub threads: usize,
+    /// Record and verify shared accesses of parallel regions.
+    pub check_races: bool,
+    /// Words per thread stack segment.
+    pub seg_words: usize,
+    /// Hard cap on emitted output lines.
+    pub max_output: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            mode: ExecMode::Serial,
+            threads: 4,
+            check_races: false,
+            seg_words: 1 << 20,
+            max_output: 10_000,
+        }
+    }
+}
+
+/// Runtime failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtError {
+    Lower(String),
+    StackOverflow,
+    Trap(String),
+    Race(String),
+    DeckExhausted,
+    OutputLimit,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Lower(m) => write!(f, "lowering error: {}", m),
+            RtError::StackOverflow => write!(f, "activation stack overflow"),
+            RtError::Trap(m) => write!(f, "runtime trap: {}", m),
+            RtError::Race(m) => write!(f, "data race detected: {}", m),
+            RtError::DeckExhausted => write!(f, "READ past end of input deck"),
+            RtError::OutputLimit => write!(f, "output line limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Result of one execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub output: Vec<String>,
+    pub wall: Duration,
+    /// Parallel regions entered.
+    pub regions: u64,
+    /// Threads forked across all regions.
+    pub forks: u64,
+    /// The program executed STOP.
+    pub stopped: bool,
+    /// Virtual machine time in abstract operation units: the modeled
+    /// elapsed time on the paper's multiprocessor. Serial sections
+    /// accumulate per-operation costs; a parallel region adds the
+    /// *maximum* worker cost plus fork/join overhead; MPI messages add
+    /// latency along the critical path.
+    pub virt: u64,
+    /// Speculative regions that committed (runtime test passed).
+    pub speculations: u64,
+    /// Speculative regions that conflicted and re-ran serially.
+    pub rollbacks: u64,
+}
+
+/// Modeled cost (virtual ops) of forking one parallel region.
+pub const FORK_REGION_COST: u64 = 1_500;
+/// Additional modeled cost per forked thread.
+pub const FORK_THREAD_COST: u64 = 800;
+/// Modeled per-iteration cost of the speculative runtime test's access
+/// monitoring (the LRPD shadow-array maintenance).
+pub const SPEC_MONITOR_COST: u64 = 2;
+/// Conversion used by the figure harnesses: virtual ops per modeled
+/// second (calibrated to this interpreter's own serial throughput, so
+/// virtual seconds are comparable to wall seconds of the serial run).
+pub const OPS_PER_SECOND: f64 = 25_000_000.0;
+
+impl RunResult {
+    /// Virtual time in modeled seconds.
+    pub fn virt_seconds(&self) -> f64 {
+        self.virt as f64 / OPS_PER_SECOND
+    }
+}
+
+/// Runs a resolved program.
+pub fn run(
+    rp: &ResolvedProgram,
+    deck: &[DeckVal],
+    cfg: &ExecConfig,
+) -> Result<RunResult, RtError> {
+    let prog = RProgram::lower(rp)?;
+    run_lowered(&prog, deck, cfg, None)
+}
+
+/// Runs an already-lowered program. `mpi` attaches a rank environment.
+pub fn run_lowered(
+    prog: &RProgram,
+    deck: &[DeckVal],
+    cfg: &ExecConfig,
+    mpi: Option<MpiEnv<'_>>,
+) -> Result<RunResult, RtError> {
+    let segments = cfg.threads + 1;
+    let arena = Arena::new(prog.commons_total, segments, cfg.seg_words);
+    for (base, values) in &prog.common_data {
+        for (k, v) in values.iter().enumerate() {
+            arena.write(base + k, *v);
+        }
+    }
+    let shared = Shared {
+        prog,
+        arena: &arena,
+        out: Mutex::new(Vec::new()),
+        deck: Mutex::new(deck.iter().copied().collect()),
+        cfg: cfg.clone(),
+        regions: AtomicU64::new(0),
+        forks: AtomicU64::new(0),
+        speculations: AtomicU64::new(0),
+        rollbacks: AtomicU64::new(0),
+    };
+    let t0 = Instant::now();
+    let mut ex = Exec {
+        sh: &shared,
+        stack: BumpStack::new(arena.segment_base(0), cfg.seg_words),
+        in_parallel: false,
+        race: None,
+        mpi,
+        virt: 0,
+    };
+    let flow = ex.call_unit(prog.main, &[])?;
+    let wall = t0.elapsed();
+    let virt = ex.virt;
+    drop(ex);
+    Ok(RunResult {
+        output: shared.out.into_inner().expect("output lock"),
+        wall,
+        regions: shared.regions.load(Ordering::Relaxed),
+        forks: shared.forks.load(Ordering::Relaxed),
+        stopped: flow == Flow::Stop,
+        virt,
+        speculations: shared.speculations.load(Ordering::Relaxed),
+        rollbacks: shared.rollbacks.load(Ordering::Relaxed),
+    })
+}
+
+struct Shared<'p> {
+    prog: &'p RProgram,
+    arena: &'p Arena,
+    out: Mutex<Vec<String>>,
+    deck: Mutex<VecDeque<DeckVal>>,
+    cfg: ExecConfig,
+    regions: AtomicU64,
+    forks: AtomicU64,
+    speculations: AtomicU64,
+    rollbacks: AtomicU64,
+}
+
+/// Per-activation resolved addressing.
+#[derive(Clone)]
+struct Frame<'p> {
+    unit: &'p RUnit,
+    scalars: Vec<usize>,
+    arrays: Vec<ArrDesc>,
+    mark: usize,
+}
+
+#[derive(Clone, Copy, Default)]
+struct ArrDesc {
+    base: usize,
+    rank: u8,
+    lo: [i64; 4],
+    stride: [i64; 4],
+    /// Total words, or -1 when unknown (assumed-size).
+    total: i64,
+}
+
+/// A caller-prepared argument.
+#[derive(Clone, Copy)]
+pub(crate) enum Bound {
+    Addr(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Flow {
+    Normal,
+    Return,
+    Stop,
+}
+
+/// Access log for the race checker.
+#[derive(Default)]
+struct RaceLog {
+    reads: HashSet<usize>,
+    writes: HashSet<usize>,
+}
+
+struct WorkerOut {
+    partials: Vec<Cell>,
+    /// `(slot address in parent frame, value)` pairs from the last chunk.
+    last_privates: Vec<(usize, Cell)>,
+    race: Option<RaceLog>,
+    /// Worker's virtual cost.
+    virt: u64,
+}
+
+pub(crate) struct Exec<'p, 's> {
+    sh: &'s Shared<'p>,
+    stack: BumpStack,
+    in_parallel: bool,
+    race: Option<RaceLog>,
+    pub(crate) mpi: Option<MpiEnv<'s>>,
+    /// Virtual clock (operation units).
+    pub(crate) virt: u64,
+}
+
+impl<'p, 's> Exec<'p, 's> {
+    #[inline]
+    fn rd(&mut self, addr: usize) -> Result<Cell, RtError> {
+        if addr >= self.sh.arena.total_len() {
+            return Err(RtError::Trap(format!("address {} out of range", addr)));
+        }
+        if let Some(r) = &mut self.race {
+            r.reads.insert(addr);
+        }
+        Ok(self.sh.arena.read(addr))
+    }
+
+    #[inline]
+    fn wr(&mut self, addr: usize, v: Cell) -> Result<(), RtError> {
+        if addr >= self.sh.arena.total_len() {
+            return Err(RtError::Trap(format!("address {} out of range", addr)));
+        }
+        if let Some(r) = &mut self.race {
+            r.writes.insert(addr);
+        }
+        self.sh.arena.write(addr, v);
+        Ok(())
+    }
+
+    fn trap(&self, msg: impl Into<String>) -> RtError {
+        RtError::Trap(msg.into())
+    }
+
+    // ---------------- activation ----------------
+
+    fn call_unit(&mut self, uid: UnitId, actuals: &[Bound]) -> Result<Flow, RtError> {
+        let unit = &self.sh.prog.units[uid];
+        if actuals.len() < unit.nformals {
+            return Err(self.trap(format!(
+                "{}: expected {} arguments, got {}",
+                unit.name,
+                unit.nformals,
+                actuals.len()
+            )));
+        }
+        let frame = self.activate(unit, actuals)?;
+        let flow = self.exec_block(&frame, &unit.body)?;
+        self.stack.release_to(frame.mark);
+        Ok(match flow {
+            Flow::Stop => Flow::Stop,
+            _ => Flow::Normal,
+        })
+    }
+
+    /// Calls a FUNCTION and returns its value.
+    fn call_function(&mut self, uid: UnitId, actuals: &[Bound]) -> Result<Cell, RtError> {
+        let unit = &self.sh.prog.units[uid];
+        let Some(fn_slot) = unit.fn_slot else {
+            return Err(self.trap(format!("{} is not a function", unit.name)));
+        };
+        let frame = self.activate(unit, actuals)?;
+        let flow = self.exec_block(&frame, &unit.body)?;
+        if flow == Flow::Stop {
+            return Err(self.trap("STOP inside function"));
+        }
+        let v = self.rd(frame.scalars[fn_slot as usize])?;
+        self.stack.release_to(frame.mark);
+        Ok(v)
+    }
+
+    fn activate(&mut self, unit: &'p RUnit, actuals: &[Bound]) -> Result<Frame<'p>, RtError> {
+        self.virt += 16 + unit.scalars.len() as u64 + 2 * unit.arrays.len() as u64;
+        let mark = self.stack.top;
+        // Local areas. Small areas (scalars and tiny arrays) are reset
+        // to Uninit; large arrays are left undefined on entry, exactly
+        // as Fortran 77 specifies for local storage — activations must
+        // write before reading, and the serial-vs-parallel comparison
+        // tests expose any violation.
+        let mut area_bases = Vec::with_capacity(unit.area_sizes.len());
+        for &sz in &unit.area_sizes {
+            let base = self.stack.alloc(sz)?;
+            if sz <= 32 {
+                for i in 0..sz {
+                    self.sh.arena.write(base + i, Cell::Uninit);
+                }
+            }
+            area_bases.push(base);
+        }
+        // Scalars.
+        let mut scalars = Vec::with_capacity(unit.scalars.len());
+        for s in &unit.scalars {
+            scalars.push(match s.loc {
+                SLoc::Abs(a) => a,
+                SLoc::Local { area, offset } => area_bases[area as usize] + offset as usize,
+                SLoc::Formal { pos } => match actuals[pos as usize] {
+                    Bound::Addr(a) => a,
+                },
+            });
+        }
+        let mut frame = Frame {
+            unit,
+            scalars,
+            arrays: vec![ArrDesc::default(); unit.arrays.len()],
+            mark,
+        };
+        // Arrays: bases then dims (dims may read scalars).
+        for (i, a) in unit.arrays.iter().enumerate() {
+            let base = match a.base {
+                ABase::Abs(x) => x,
+                ABase::Local { area, offset } => area_bases[area as usize] + offset as usize,
+                ABase::Formal { pos } => match actuals[pos as usize] {
+                    Bound::Addr(x) => x,
+                },
+            };
+            let mut desc = ArrDesc {
+                base,
+                rank: a.dims.len() as u8,
+                ..Default::default()
+            };
+            let mut stride: i64 = 1;
+            let mut total: i64 = 1;
+            for (k, (lo, extent)) in a.dims.iter().enumerate() {
+                desc.lo[k] = self.eval(&frame, lo)?.as_int();
+                desc.stride[k] = stride;
+                match extent {
+                    Some(e) => {
+                        let ext = self.eval(&frame, e)?.as_int().max(0);
+                        stride *= ext;
+                        if total >= 0 {
+                            total *= ext;
+                        }
+                    }
+                    None => total = -1,
+                }
+            }
+            desc.total = total;
+            frame.arrays[i] = desc;
+        }
+        // DATA initializations (per activation for locals).
+        for d in &unit.data {
+            if let Some(aid) = d.array {
+                let base = frame.arrays[aid as usize].base + d.start_elem as usize;
+                for (k, v) in d.values.iter().enumerate() {
+                    self.sh.arena.write(base + k, *v);
+                }
+            } else if let Some(sid) = d.scalar {
+                if let Some(v) = d.values.first() {
+                    self.sh.arena.write(frame.scalars[sid as usize], *v);
+                }
+            }
+        }
+        Ok(frame)
+    }
+
+    // ---------------- execution ----------------
+
+    fn exec_block(&mut self, f: &Frame<'p>, stmts: &[RStmt]) -> Result<Flow, RtError> {
+        for s in stmts {
+            match self.exec_stmt(f, s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, f: &Frame<'p>, s: &RStmt) -> Result<Flow, RtError> {
+        self.virt += 1;
+        match s {
+            RStmt::Assign(lv, e) => {
+                let v = self.eval(f, e)?;
+                self.store(f, lv, v)?;
+                Ok(Flow::Normal)
+            }
+            RStmt::If(arms, else_blk) => {
+                for (c, body) in arms {
+                    if self.eval(f, c)?.as_int() != 0 {
+                        return self.exec_block(f, body);
+                    }
+                }
+                if let Some(b) = else_blk {
+                    return self.exec_block(f, b);
+                }
+                Ok(Flow::Normal)
+            }
+            RStmt::DoWhile { cond, body } => {
+                let mut guard = 0u64;
+                while self.eval(f, cond)?.as_int() != 0 {
+                    match self.exec_block(f, body)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                    guard += 1;
+                    if guard > 1_000_000_000 {
+                        return Err(self.trap("runaway DO WHILE"));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                manual,
+                auto,
+                inner_vars,
+            } => {
+                let lo_v = self.eval(f, lo)?.as_int();
+                let hi_v = self.eval(f, hi)?.as_int();
+                let step_v = match step {
+                    None => 1,
+                    Some(e) => self.eval(f, e)?.as_int(),
+                };
+                if step_v == 0 {
+                    return Err(self.trap("zero DO step"));
+                }
+                let trip = ((hi_v - lo_v + step_v) / step_v).max(0);
+                let directive = match self.sh.cfg.mode {
+                    ExecMode::Serial => None,
+                    ExecMode::Manual => manual.as_ref(),
+                    ExecMode::Auto => auto.as_ref(),
+                };
+                if let Some(dir) = directive {
+                    if !self.in_parallel && self.sh.cfg.threads > 1 && trip >= 2 {
+                        if dir.speculative {
+                            return self.exec_speculative(
+                                f, *var, lo_v, step_v, trip, body, dir, inner_vars,
+                            );
+                        }
+                        return self.exec_parallel(
+                            f, *var, lo_v, step_v, trip, body, dir, inner_vars, false,
+                        );
+                    }
+                }
+                let var_addr = f.scalars[*var as usize];
+                for t in 0..trip {
+                    self.wr(var_addr, Cell::Int(lo_v + t * step_v))?;
+                    match self.exec_block(f, body)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                self.wr(var_addr, Cell::Int(lo_v + trip * step_v))?;
+                Ok(Flow::Normal)
+            }
+            RStmt::Call(target, actuals) => match target {
+                CallTarget::Unit(uid) => {
+                    let (bound, temps_mark) = self.bind_actuals(f, actuals)?;
+                    let flow = self.call_unit(*uid, &bound)?;
+                    self.stack.release_to(temps_mark);
+                    Ok(flow)
+                }
+                CallTarget::Mpi(op) => {
+                    let (bound, temps_mark) = self.bind_actuals(f, actuals)?;
+                    crate::mpi::exec_builtin(self, *op, &bound)?;
+                    self.stack.release_to(temps_mark);
+                    Ok(Flow::Normal)
+                }
+            },
+            RStmt::Read(items) => {
+                for it in items {
+                    let v = {
+                        let mut deck = self.sh.deck.lock().expect("deck lock");
+                        deck.pop_front().ok_or(RtError::DeckExhausted)?
+                    };
+                    let cell = match v {
+                        DeckVal::Int(i) => Cell::Int(i),
+                        DeckVal::Real(r) => Cell::Real(r),
+                    };
+                    self.store(f, it, cell)?;
+                }
+                Ok(Flow::Normal)
+            }
+            RStmt::Write(items) => {
+                let mut line = String::new();
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        line.push(' ');
+                    }
+                    match it {
+                        WItem::Str(s) => line.push_str(s),
+                        WItem::E(e) => {
+                            let v = self.eval(f, e)?;
+                            match v {
+                                Cell::Int(x) => line.push_str(&x.to_string()),
+                                other => {
+                                    line.push_str(&format!("{:.6}", other.as_real()))
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut out = self.sh.out.lock().expect("out lock");
+                if out.len() >= self.sh.cfg.max_output {
+                    return Err(RtError::OutputLimit);
+                }
+                out.push(line);
+                Ok(Flow::Normal)
+            }
+            RStmt::Return => Ok(Flow::Return),
+            RStmt::Stop => Ok(Flow::Stop),
+        }
+    }
+
+    /// Prepares arguments; by-value temporaries live on this thread's
+    /// stack until released by the caller.
+    fn bind_actuals(
+        &mut self,
+        f: &Frame<'p>,
+        actuals: &[RActual],
+    ) -> Result<(Vec<Bound>, usize), RtError> {
+        let temps_mark = self.stack.top;
+        let mut bound = Vec::with_capacity(actuals.len());
+        for a in actuals {
+            bound.push(match a {
+                RActual::Val(e) => {
+                    let v = self.eval(f, e)?;
+                    let addr = self.stack.alloc(1)?;
+                    self.sh.arena.write(addr, v);
+                    Bound::Addr(addr)
+                }
+                RActual::ScalarRef(id) => Bound::Addr(f.scalars[*id as usize]),
+                RActual::ArrayRef(id) => Bound::Addr(f.arrays[*id as usize].base),
+                RActual::Section(id, subs) => {
+                    let addr = self.elem_addr(f, *id, subs)?;
+                    Bound::Addr(addr)
+                }
+            });
+        }
+        Ok((bound, temps_mark))
+    }
+
+    fn elem_addr(&mut self, f: &Frame<'p>, aid: ArrId, subs: &[RExpr]) -> Result<usize, RtError> {
+        let desc = f.arrays[aid as usize];
+        let mut off: i64 = 0;
+        for (k, sub) in subs.iter().enumerate() {
+            let sv = self.eval(f, sub)?.as_int();
+            if k >= desc.rank as usize {
+                return Err(self.trap("too many subscripts"));
+            }
+            off += (sv - desc.lo[k]) * desc.stride[k];
+        }
+        let addr = desc.base as i64 + off;
+        if addr < 0 || addr as usize >= self.sh.arena.total_len() {
+            return Err(self.trap(format!("subscript out of range (addr {})", addr)));
+        }
+        Ok(addr as usize)
+    }
+
+    fn store(&mut self, f: &Frame<'p>, lv: &RLval, v: Cell) -> Result<(), RtError> {
+        match lv {
+            RLval::S(id) => {
+                let cv = self.slot_ty_store(v, f.unit.scalars[*id as usize].ty);
+                self.wr(f.scalars[*id as usize], cv)
+            }
+            RLval::A(id, subs) => {
+                let addr = self.elem_addr(f, *id, subs)?;
+                let cv = self.slot_ty_store(v, f.unit.arrays[*id as usize].ty);
+                self.wr(addr, cv)
+            }
+        }
+    }
+
+    fn slot_ty_store(&self, v: Cell, ty: Ty) -> Cell {
+        match ty {
+            Ty::Integer | Ty::Logical => Cell::Int(v.as_int()),
+            _ => match v {
+                Cell::Int(x) => Cell::Real(x as f64),
+                other => other,
+            },
+        }
+    }
+
+    // ---------------- parallel regions ----------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_parallel(
+        &mut self,
+        f: &Frame<'p>,
+        var: ScalarId,
+        lo: i64,
+        step: i64,
+        trip: i64,
+        body: &[RStmt],
+        dir: &RDirective,
+        inner_vars: &[ScalarId],
+        force_check: bool,
+    ) -> Result<Flow, RtError> {
+        let nthreads = (self.sh.cfg.threads).min(trip.max(1) as usize);
+        self.sh.regions.fetch_add(1, Ordering::Relaxed);
+        self.sh.forks.fetch_add(nthreads as u64, Ordering::Relaxed);
+
+        // Private scalar slots: loop variable, nested DO variables, and
+        // directive-listed scalars.
+        let mut priv_scalars: Vec<ScalarId> = vec![var];
+        priv_scalars.extend_from_slice(inner_vars);
+        priv_scalars.extend_from_slice(&dir.private_scalars);
+        priv_scalars.sort_unstable();
+        priv_scalars.dedup();
+        // Reduction vars must not also be private.
+        priv_scalars.retain(|s| !dir.reductions.iter().any(|(_, r)| r == s));
+
+        let check = self.sh.cfg.check_races || force_check;
+        let sh = self.sh;
+        let results: Vec<Result<WorkerOut, RtError>> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for w in 0..nthreads {
+                    let t_lo = trip * w as i64 / nthreads as i64;
+                    let t_hi = trip * (w as i64 + 1) / nthreads as i64;
+                    let priv_scalars = &priv_scalars;
+                    let frame = f;
+                    let mpi = self.mpi.clone();
+                    handles.push(scope.spawn(move |_| -> Result<WorkerOut, RtError> {
+                        let mut ex = Exec {
+                            sh,
+                            stack: BumpStack::new(
+                                sh.arena.segment_base(w + 1),
+                                sh.cfg.seg_words,
+                            ),
+                            in_parallel: true,
+                            race: check.then(RaceLog::default),
+                            mpi,
+                            virt: 0,
+                        };
+                        let mut wf = frame.clone();
+                        // Private scalar overlays.
+                        for &sid in priv_scalars.iter() {
+                            let a = ex.stack.alloc(1)?;
+                            sh.arena.write(a, Cell::Uninit);
+                            wf.scalars[sid as usize] = a;
+                        }
+                        // Private array overlays.
+                        for &aid in &dir.private_arrays {
+                            let total = wf.arrays[aid as usize].total;
+                            if total < 0 {
+                                return Err(RtError::Trap(
+                                    "cannot privatize assumed-size array".into(),
+                                ));
+                            }
+                            let a = ex.stack.alloc(total as usize)?;
+                            for i in 0..total as usize {
+                                sh.arena.write(a + i, Cell::Uninit);
+                            }
+                            wf.arrays[aid as usize].base = a;
+                        }
+                        // Reduction accumulators.
+                        let mut red_addrs = Vec::new();
+                        for &(op, sid) in &dir.reductions {
+                            let a = ex.stack.alloc(1)?;
+                            sh.arena.write(a, red_identity(op));
+                            wf.scalars[sid as usize] = a;
+                            red_addrs.push(a);
+                        }
+                        let var_addr = wf.scalars[var as usize];
+                        for t in t_lo..t_hi {
+                            sh.arena.write(var_addr, Cell::Int(lo + t * step));
+                            match ex.exec_block(&wf, body)? {
+                                Flow::Normal => {}
+                                _ => {
+                                    return Err(RtError::Trap(
+                                        "control flow escaping a parallel loop".into(),
+                                    ))
+                                }
+                            }
+                        }
+                        // Reduction partials.
+                        let partials =
+                            red_addrs.iter().map(|&a| sh.arena.read(a)).collect();
+                        // Lastprivate values from the final chunk.
+                        let mut last_privates = Vec::new();
+                        if t_hi == trip && t_hi > t_lo {
+                            for &sid in priv_scalars.iter() {
+                                if sid == var {
+                                    continue;
+                                }
+                                last_privates.push((
+                                    frame.scalars[sid as usize],
+                                    sh.arena.read(wf.scalars[sid as usize]),
+                                ));
+                            }
+                        }
+                        Ok(WorkerOut {
+                            partials,
+                            last_privates,
+                            race: ex.race.take(),
+                            virt: ex.virt,
+                        })
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope");
+
+        let mut outs = Vec::with_capacity(results.len());
+        for r in results {
+            outs.push(r?);
+        }
+        // Virtual clock: the region costs the slowest worker plus the
+        // fork/join overhead — the quantity the paper's Polaris version
+        // pays per (tiny) inner loop.
+        let worst = outs.iter().map(|o| o.virt).max().unwrap_or(0);
+        self.virt += worst + FORK_REGION_COST + FORK_THREAD_COST * nthreads as u64;
+        // Race verification across chunks.
+        if check {
+            for i in 0..outs.len() {
+                for j in i + 1..outs.len() {
+                    if let (Some(a), Some(b)) = (&outs[i].race, &outs[j].race) {
+                        if let Some(addr) = conflict(a, b) {
+                            return Err(RtError::Race(format!(
+                                "chunks {} and {} conflict at address {}",
+                                i, j, addr
+                            )));
+                        }
+                    }
+                }
+            }
+            // Propagate shared accesses to an enclosing checker (none:
+            // outermost-only parallelism).
+        }
+        // Combine reductions deterministically (worker order).
+        for (k, &(op, sid)) in dir.reductions.iter().enumerate() {
+            let addr = f.scalars[sid as usize];
+            let mut acc = self.rd(addr)?;
+            for o in &outs {
+                acc = red_combine(op, acc, o.partials[k]);
+            }
+            self.wr(addr, acc)?;
+        }
+        // Lastprivate copy-back.
+        for o in &outs {
+            for &(addr, v) in &o.last_privates {
+                self.wr(addr, v)?;
+            }
+        }
+        // Loop variable's sequential exit value.
+        self.wr(f.scalars[var as usize], Cell::Int(lo + trip * step))?;
+        Ok(Flow::Normal)
+    }
+
+    /// Speculative parallel execution with a runtime dependence test
+    /// (LRPD-style): checkpoint the shared state the region could
+    /// touch, attempt the parallel schedule with conflict logging
+    /// forced on, and on a detected cross-chunk conflict restore the
+    /// checkpoint and re-execute serially. The virtual clock keeps the
+    /// cost of the failed attempt — misspeculation is not free.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_speculative(
+        &mut self,
+        f: &Frame<'p>,
+        var: ScalarId,
+        lo: i64,
+        step: i64,
+        trip: i64,
+        body: &[RStmt],
+        dir: &RDirective,
+        inner_vars: &[ScalarId],
+    ) -> Result<Flow, RtError> {
+        let arena = self.sh.arena;
+        // Checkpoint: all global storage plus this thread's live stack
+        // (the frame locals workers share). Worker segments need no
+        // checkpoint — they are scratch.
+        let commons = arena.snapshot_range(0, arena.commons_len());
+        let seg0_base = arena.segment_base(0);
+        let locals = arena.snapshot_range(seg0_base, self.stack.top);
+        let out_mark = self.sh.out.lock().expect("out lock").len();
+        self.virt += (commons.len() + locals.len()) as u64 / 8; // checkpoint cost
+
+        match self.exec_parallel(f, var, lo, step, trip, body, dir, inner_vars, true) {
+            Ok(flow) => {
+                self.sh.speculations.fetch_add(1, Ordering::Relaxed);
+                self.virt += trip as u64 * SPEC_MONITOR_COST;
+                Ok(flow)
+            }
+            Err(RtError::Race(_)) => {
+                self.sh.rollbacks.fetch_add(1, Ordering::Relaxed);
+                arena.restore_range(0, &commons);
+                arena.restore_range(seg0_base, &locals);
+                self.sh
+                    .out
+                    .lock()
+                    .expect("out lock")
+                    .truncate(out_mark);
+                self.virt += (commons.len() + locals.len()) as u64 / 8; // restore cost
+                // Serial re-execution.
+                let var_addr = f.scalars[var as usize];
+                for t in 0..trip {
+                    self.wr(var_addr, Cell::Int(lo + t * step))?;
+                    match self.exec_block(f, body)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                self.wr(var_addr, Cell::Int(lo + trip * step))?;
+                Ok(Flow::Normal)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    fn eval(&mut self, f: &Frame<'p>, e: &RExpr) -> Result<Cell, RtError> {
+        self.virt += 1;
+        Ok(match e {
+            RExpr::Ci(v) => Cell::Int(*v),
+            RExpr::Cr(v) => Cell::Real(*v),
+            RExpr::LoadS(id) => self.rd(f.scalars[*id as usize])?,
+            RExpr::LoadA(id, subs) => {
+                let addr = self.elem_addr(f, *id, subs)?;
+                self.rd(addr)?
+            }
+            RExpr::Bin(op, l, r) => {
+                let a = self.eval(f, l)?;
+                let b = self.eval(f, r)?;
+                bin_op(*op, a, b)
+            }
+            RExpr::Neg(i) => match self.eval(f, i)? {
+                Cell::Int(v) => Cell::Int(-v),
+                other => Cell::Real(-other.as_real()),
+            },
+            RExpr::Not(i) => Cell::Int((self.eval(f, i)?.as_int() == 0) as i64),
+            RExpr::Intr(intr, args) => {
+                self.virt += 3;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(f, a)?);
+                }
+                intr.apply(&vals)
+            }
+            RExpr::CallF(uid, actuals) => {
+                let (bound, mark) = self.bind_actuals(f, actuals)?;
+                let v = self.call_function(*uid, &bound)?;
+                self.stack.release_to(mark);
+                v
+            }
+        })
+    }
+
+    /// Address of a scalar slot (used by the MPI builtins).
+    pub(crate) fn bound_addr(b: &Bound) -> usize {
+        match b {
+            Bound::Addr(a) => *a,
+        }
+    }
+
+    /// Raw cell read for the MPI builtins.
+    pub(crate) fn peek(&mut self, addr: usize) -> Result<Cell, RtError> {
+        self.rd(addr)
+    }
+
+    /// Raw cell write for the MPI builtins.
+    pub(crate) fn poke(&mut self, addr: usize, v: Cell) -> Result<(), RtError> {
+        self.wr(addr, v)
+    }
+}
+
+fn conflict(a: &RaceLog, b: &RaceLog) -> Option<usize> {
+    for w in &a.writes {
+        if b.writes.contains(w) || b.reads.contains(w) {
+            return Some(*w);
+        }
+    }
+    for w in &b.writes {
+        if a.reads.contains(w) {
+            return Some(*w);
+        }
+    }
+    None
+}
+
+fn red_identity(op: RedOp) -> Cell {
+    match op {
+        RedOp::Add => Cell::Real(0.0),
+        RedOp::Mul => Cell::Real(1.0),
+        RedOp::Min => Cell::Real(f64::INFINITY),
+        RedOp::Max => Cell::Real(f64::NEG_INFINITY),
+    }
+}
+
+fn red_combine(op: RedOp, a: Cell, b: Cell) -> Cell {
+    // Reductions accumulate in the slot's own type where possible; the
+    // identity is Real, so integer reductions coerce on final store.
+    match op {
+        RedOp::Add => match (a, b) {
+            (Cell::Int(x), Cell::Int(y)) => Cell::Int(x.wrapping_add(y)),
+            (x, y) => Cell::Real(x.as_real() + y.as_real()),
+        },
+        RedOp::Mul => match (a, b) {
+            (Cell::Int(x), Cell::Int(y)) => Cell::Int(x.wrapping_mul(y)),
+            (x, y) => Cell::Real(x.as_real() * y.as_real()),
+        },
+        RedOp::Min => Cell::Real(a.as_real().min(b.as_real())),
+        RedOp::Max => Cell::Real(a.as_real().max(b.as_real())),
+    }
+}
+
+fn bin_op(op: BinOp, a: Cell, b: Cell) -> Cell {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Pow => match (a, b) {
+            (Cell::Int(x), Cell::Int(y)) => Cell::Int(match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                Pow => {
+                    if y >= 0 {
+                        x.wrapping_pow(y.min(63) as u32)
+                    } else {
+                        0
+                    }
+                }
+                _ => unreachable!(),
+            }),
+            (x, y) => {
+                let (xf, yf) = (x.as_real(), y.as_real());
+                Cell::Real(match op {
+                    Add => xf + yf,
+                    Sub => xf - yf,
+                    Mul => xf * yf,
+                    Div => xf / yf,
+                    Pow => {
+                        if let Cell::Int(p) = b {
+                            xf.powi(p as i32)
+                        } else {
+                            xf.powf(yf)
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+            }
+        },
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let c = match (a, b) {
+                (Cell::Int(x), Cell::Int(y)) => x.cmp(&y),
+                (x, y) => x
+                    .as_real()
+                    .partial_cmp(&y.as_real())
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            };
+            let t = match op {
+                Eq => c.is_eq(),
+                Ne => c.is_ne(),
+                Lt => c.is_lt(),
+                Le => c.is_le(),
+                Gt => c.is_gt(),
+                Ge => c.is_ge(),
+                _ => unreachable!(),
+            };
+            Cell::Int(t as i64)
+        }
+        And => Cell::Int(((a.as_int() != 0) && (b.as_int() != 0)) as i64),
+        Or => Cell::Int(((a.as_int() != 0) || (b.as_int() != 0)) as i64),
+    }
+}

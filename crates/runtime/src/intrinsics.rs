@@ -1,0 +1,227 @@
+//! Fortran intrinsic functions supported by the runtime.
+
+use crate::memory::Cell;
+
+/// Intrinsic identifiers, parsed once at lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Intr {
+    Abs,
+    Sqrt,
+    Sin,
+    Cos,
+    Tan,
+    Atan,
+    Atan2,
+    Asin,
+    Acos,
+    Exp,
+    Log,
+    Log10,
+    Mod,
+    Min,
+    Max,
+    Int,
+    Nint,
+    Real,
+    Sign,
+}
+
+impl Intr {
+    /// Maps a (uppercased) intrinsic name, folding type-specific
+    /// variants together (MiniFort reals are 64-bit).
+    pub fn parse(name: &str) -> Option<Intr> {
+        Some(match name {
+            "ABS" | "IABS" => Intr::Abs,
+            "SQRT" => Intr::Sqrt,
+            "SIN" => Intr::Sin,
+            "COS" => Intr::Cos,
+            "TAN" => Intr::Tan,
+            "ATAN" => Intr::Atan,
+            "ATAN2" => Intr::Atan2,
+            "ASIN" => Intr::Asin,
+            "ACOS" => Intr::Acos,
+            "EXP" => Intr::Exp,
+            "LOG" => Intr::Log,
+            "LOG10" => Intr::Log10,
+            "MOD" | "AMOD" => Intr::Mod,
+            "MIN" | "MIN0" | "AMIN1" => Intr::Min,
+            "MAX" | "MAX0" | "AMAX1" => Intr::Max,
+            "INT" | "IFIX" => Intr::Int,
+            "NINT" => Intr::Nint,
+            "REAL" | "FLOAT" | "SNGL" | "DBLE" => Intr::Real,
+            "SIGN" | "ISIGN" => Intr::Sign,
+            _ => return None,
+        })
+    }
+
+    /// Applies the intrinsic to evaluated arguments.
+    pub fn apply(self, args: &[Cell]) -> Cell {
+        let r = |i: usize| args[i].as_real();
+        match self {
+            Intr::Abs => match args[0] {
+                Cell::Int(v) => Cell::Int(v.abs()),
+                other => Cell::Real(other.as_real().abs()),
+            },
+            Intr::Sqrt => Cell::Real(r(0).sqrt()),
+            Intr::Sin => Cell::Real(r(0).sin()),
+            Intr::Cos => Cell::Real(r(0).cos()),
+            Intr::Tan => Cell::Real(r(0).tan()),
+            Intr::Atan => Cell::Real(r(0).atan()),
+            Intr::Atan2 => Cell::Real(r(0).atan2(r(1))),
+            Intr::Asin => Cell::Real(r(0).asin()),
+            Intr::Acos => Cell::Real(r(0).acos()),
+            Intr::Exp => Cell::Real(r(0).exp()),
+            Intr::Log => Cell::Real(r(0).ln()),
+            Intr::Log10 => Cell::Real(r(0).log10()),
+            Intr::Mod => match (args[0], args[1]) {
+                (Cell::Int(a), Cell::Int(b)) => {
+                    Cell::Int(if b == 0 { 0 } else { a.wrapping_rem(b) })
+                }
+                (a, b) => Cell::Real(a.as_real() % b.as_real()),
+            },
+            Intr::Min => fold(args, |a, b| a < b),
+            Intr::Max => fold(args, |a, b| a > b),
+            Intr::Int => Cell::Int(r(0) as i64),
+            Intr::Nint => Cell::Int(r(0).round() as i64),
+            Intr::Real => Cell::Real(r(0)),
+            Intr::Sign => match (args[0], args[1]) {
+                (Cell::Int(a), Cell::Int(b)) => {
+                    Cell::Int(if b >= 0 { a.abs() } else { -a.abs() })
+                }
+                (a, b) => Cell::Real(if b.as_real() >= 0.0 {
+                    a.as_real().abs()
+                } else {
+                    -a.as_real().abs()
+                }),
+            },
+        }
+    }
+}
+
+fn fold(args: &[Cell], pick_left: impl Fn(f64, f64) -> bool) -> Cell {
+    let all_int = args.iter().all(|c| matches!(c, Cell::Int(_)));
+    let mut best = args[0];
+    for &a in &args[1..] {
+        if pick_left(a.as_real(), best.as_real()) {
+            best = a;
+        }
+    }
+    if all_int {
+        Cell::Int(best.as_int())
+    } else {
+        Cell::Real(best.as_real())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_folds_variants() {
+        assert_eq!(Intr::parse("IABS"), Some(Intr::Abs));
+        assert_eq!(Intr::parse("AMIN1"), Some(Intr::Min));
+        assert_eq!(Intr::parse("FLOAT"), Some(Intr::Real));
+        assert_eq!(Intr::parse("CMPLX"), None);
+    }
+
+    #[test]
+    fn numeric_behaviour() {
+        assert_eq!(Intr::Abs.apply(&[Cell::Int(-4)]), Cell::Int(4));
+        assert_eq!(Intr::Mod.apply(&[Cell::Int(-7), Cell::Int(3)]), Cell::Int(-1));
+        assert_eq!(
+            Intr::Min.apply(&[Cell::Int(3), Cell::Int(1), Cell::Int(2)]),
+            Cell::Int(1)
+        );
+        assert_eq!(
+            Intr::Max.apply(&[Cell::Real(1.5), Cell::Int(2)]),
+            Cell::Real(2.0)
+        );
+        assert_eq!(Intr::Nint.apply(&[Cell::Real(2.6)]), Cell::Int(3));
+        assert_eq!(
+            Intr::Sign.apply(&[Cell::Real(3.0), Cell::Real(-1.0)]),
+            Cell::Real(-3.0)
+        );
+        let s = Intr::Sqrt.apply(&[Cell::Real(9.0)]);
+        assert_eq!(s, Cell::Real(3.0));
+    }
+
+    #[test]
+    fn mod_matches_fortran_sign_convention() {
+        // F77 MOD truncates toward zero: result has the sign of the
+        // first argument.
+        assert_eq!(Intr::Mod.apply(&[Cell::Int(7), Cell::Int(3)]), Cell::Int(1));
+        assert_eq!(Intr::Mod.apply(&[Cell::Int(-7), Cell::Int(3)]), Cell::Int(-1));
+        assert_eq!(Intr::Mod.apply(&[Cell::Int(7), Cell::Int(-3)]), Cell::Int(1));
+        assert_eq!(Intr::Mod.apply(&[Cell::Int(-7), Cell::Int(-3)]), Cell::Int(-1));
+        // Division-by-zero degrades to 0 rather than trapping.
+        assert_eq!(Intr::Mod.apply(&[Cell::Int(7), Cell::Int(0)]), Cell::Int(0));
+        // Real MOD follows the % convention.
+        assert_eq!(
+            Intr::Mod.apply(&[Cell::Real(7.5), Cell::Real(2.0)]),
+            Cell::Real(1.5)
+        );
+    }
+
+    #[test]
+    fn int_truncates_nint_rounds() {
+        assert_eq!(Intr::Int.apply(&[Cell::Real(2.9)]), Cell::Int(2));
+        assert_eq!(Intr::Int.apply(&[Cell::Real(-2.9)]), Cell::Int(-2));
+        assert_eq!(Intr::Nint.apply(&[Cell::Real(-2.6)]), Cell::Int(-3));
+        assert_eq!(Intr::Nint.apply(&[Cell::Real(2.5)]), Cell::Int(3));
+        // Uninit coerces to zero everywhere.
+        assert_eq!(Intr::Int.apply(&[Cell::Uninit]), Cell::Int(0));
+    }
+
+    #[test]
+    fn minmax_mixed_types_promote_to_real() {
+        assert_eq!(
+            Intr::Min.apply(&[Cell::Int(3), Cell::Real(2.5)]),
+            Cell::Real(2.5)
+        );
+        assert_eq!(
+            Intr::Max.apply(&[Cell::Int(3), Cell::Real(2.5)]),
+            Cell::Real(3.0)
+        );
+        // All-int stays int.
+        assert_eq!(
+            Intr::Max.apply(&[Cell::Int(3), Cell::Int(9), Cell::Int(5)]),
+            Cell::Int(9)
+        );
+    }
+
+    #[test]
+    fn sign_transfers_sign_of_second_argument() {
+        assert_eq!(
+            Intr::Sign.apply(&[Cell::Int(-3), Cell::Int(5)]),
+            Cell::Int(3)
+        );
+        assert_eq!(
+            Intr::Sign.apply(&[Cell::Int(3), Cell::Int(-5)]),
+            Cell::Int(-3)
+        );
+        // Zero second argument counts as non-negative (F77).
+        assert_eq!(
+            Intr::Sign.apply(&[Cell::Real(-2.0), Cell::Real(0.0)]),
+            Cell::Real(2.0)
+        );
+    }
+
+    #[test]
+    fn transcendentals_hit_libm() {
+        let pi = std::f64::consts::PI;
+        let c = |v: Cell| match v {
+            Cell::Real(x) => x,
+            _ => panic!("expected real"),
+        };
+        assert!((c(Intr::Sin.apply(&[Cell::Real(pi / 2.0)])) - 1.0).abs() < 1e-12);
+        assert!((c(Intr::Cos.apply(&[Cell::Real(0.0)])) - 1.0).abs() < 1e-12);
+        assert!(
+            (c(Intr::Atan2.apply(&[Cell::Real(1.0), Cell::Real(1.0)])) - pi / 4.0).abs()
+                < 1e-12
+        );
+        assert!((c(Intr::Exp.apply(&[Cell::Real(1.0)])) - std::f64::consts::E).abs() < 1e-12);
+        assert!((c(Intr::Log.apply(&[Cell::Real(std::f64::consts::E)])) - 1.0).abs() < 1e-12);
+        assert!((c(Intr::Log10.apply(&[Cell::Real(1000.0)])) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! The MiniFort execution substrate.
+//!
+//! The paper measures wall-clock speedups of four program versions on a
+//! 4-processor machine (Figure 1). This crate supplies the machine: a
+//! tree-walking interpreter whose parallel loops execute on real OS
+//! threads over shared memory, with fork/join overhead genuinely
+//! incurred per parallel region — the mechanism behind the paper's
+//! observation that Polaris's inner-loop parallelization *loses* time.
+//!
+//! * [`rprog`] — lowers a resolved program to a slot-addressed runtime
+//!   form (no name lookups on the hot path).
+//! * [`memory`] — one shared cell arena: COMMON blocks plus per-thread
+//!   activation stacks; Fortran storage association is preserved because
+//!   offsets come straight from the resolver.
+//! * [`interp`] — the interpreter: serial execution, `!$OMP`-driven
+//!   (manual) or `auto_par`-driven (compiler) parallel loops with
+//!   private/lastprivate/reduction handling, and an optional dynamic
+//!   race checker that validates the static analysis.
+//! * [`mpi`] — message-passing simulation: ranks as threads with private
+//!   memories, `MP*` builtins over channels and collectives.
+//!
+//! Interpretation multiplies per-operation cost uniformly across all
+//! program versions, so *relative* speedups — the figure's shape — are
+//! preserved.
+
+pub mod interp;
+pub mod intrinsics;
+pub mod memory;
+pub mod mpi;
+pub mod rprog;
+
+pub use interp::{
+    run, ExecConfig, ExecMode, RtError, RunResult, FORK_REGION_COST, FORK_THREAD_COST,
+    OPS_PER_SECOND, SPEC_MONITOR_COST,
+};
+pub use mpi::run_mpi;
+pub use rprog::RProgram;
+
+/// Deck values accepted by `READ(*,*)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeckVal {
+    Int(i64),
+    Real(f64),
+}

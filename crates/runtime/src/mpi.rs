@@ -1,0 +1,294 @@
+//! Message-passing simulation: ranks as OS threads.
+//!
+//! Each rank runs the whole program against its own private memory (its
+//! own COMMON storage), connected by per-pair channels and generation-
+//! counted collectives — the execution model of the paper's hand-written
+//! MPI versions. `MP*` builtins:
+//!
+//! | builtin | semantics |
+//! |---|---|
+//! | `MPMYID(R)` | rank id (0-based) |
+//! | `MPNPROC(N)` | rank count |
+//! | `MPSEND(A, IOFF, N, DEST, TAG)` | send `A(IOFF..IOFF+N-1)` |
+//! | `MPRECV(A, IOFF, N, SRC, TAG)` | receive into `A(IOFF..)` |
+//! | `MPREDS(X)` | allreduce-sum of scalar `X` |
+//! | `MPALLG(A, IOFF, N)` | allgather: every rank's slice to all |
+//! | `MPBAR` | barrier |
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::interp::{run_lowered, Bound, Exec, ExecConfig, ExecMode, RtError, RunResult};
+use crate::memory::Cell;
+use crate::rprog::{MpOp, RProgram};
+use crate::DeckVal;
+
+type Msg = (i64, Vec<Cell>, u64); // (tag, payload, sender's virtual clock)
+
+/// Modeled message latency (virtual ops).
+const MSG_LATENCY: u64 = 2_000;
+/// Modeled per-word transfer cost.
+const MSG_WORD_COST: u64 = 2;
+/// Modeled collective cost (plus per-rank term).
+const COLL_BASE_COST: u64 = 4_000;
+const COLL_RANK_COST: u64 = 500;
+
+/// Shared world state.
+pub struct MpiWorld {
+    ranks: usize,
+    /// `chans[src * ranks + dst]`.
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Receiver<Msg>>,
+    coll: Collective,
+}
+
+/// A rank's handle on the world.
+#[derive(Clone)]
+pub struct MpiEnv<'w> {
+    pub rank: usize,
+    world: &'w MpiWorld,
+}
+
+struct Collective {
+    m: Mutex<CollInner>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CollInner {
+    arriving: usize,
+    gen: u64,
+    sum_acc: f64,
+    clock_acc: u64,
+    parts_acc: Vec<(usize, Vec<Cell>)>,
+    published_sum: f64,
+    published_parts: Vec<(usize, Vec<Cell>)>,
+    published_clock: u64,
+}
+
+impl MpiWorld {
+    fn new(ranks: usize) -> MpiWorld {
+        let mut senders = Vec::with_capacity(ranks * ranks);
+        let mut receivers = Vec::with_capacity(ranks * ranks);
+        for _ in 0..ranks * ranks {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        MpiWorld {
+            ranks,
+            senders,
+            receivers,
+            coll: Collective {
+                m: Mutex::new(CollInner::default()),
+                cv: Condvar::new(),
+            },
+        }
+    }
+
+    /// Deposit-then-wait collective; returns `(sum, parts, clock)`
+    /// published by the completing rank. Every rank leaves with its
+    /// virtual clock advanced to the collective's completion time.
+    fn sync(
+        &self,
+        add: f64,
+        part: Option<(usize, Vec<Cell>)>,
+        clock: u64,
+    ) -> (f64, Vec<(usize, Vec<Cell>)>, u64) {
+        let mut g = self.coll.m.lock().expect("collective lock");
+        let my_gen = g.gen;
+        g.sum_acc += add;
+        g.clock_acc = g.clock_acc.max(clock);
+        if let Some(p) = part {
+            g.parts_acc.push(p);
+        }
+        g.arriving += 1;
+        if g.arriving == self.ranks {
+            g.published_sum = g.sum_acc;
+            g.published_parts = std::mem::take(&mut g.parts_acc);
+            g.published_clock = g.clock_acc
+                + COLL_BASE_COST
+                + COLL_RANK_COST * self.ranks as u64;
+            g.sum_acc = 0.0;
+            g.clock_acc = 0;
+            g.arriving = 0;
+            g.gen += 1;
+            self.coll.cv.notify_all();
+        } else {
+            while g.gen == my_gen {
+                g = self.coll.cv.wait(g).expect("collective wait");
+            }
+        }
+        (g.published_sum, g.published_parts.clone(), g.published_clock)
+    }
+}
+
+/// Executes one `MP*` builtin from inside the interpreter.
+pub(crate) fn exec_builtin(
+    ex: &mut Exec<'_, '_>,
+    op: MpOp,
+    args: &[Bound],
+) -> Result<(), RtError> {
+    let Some(env) = ex.mpi.clone() else {
+        return Err(RtError::Trap(
+            "MP* builtin outside an MPI execution".into(),
+        ));
+    };
+    let w = env.world;
+    let addr = |i: usize| -> Result<usize, RtError> {
+        args.get(i)
+            .map(Exec::bound_addr)
+            .ok_or_else(|| RtError::Trap("missing MP* argument".into()))
+    };
+    match op {
+        MpOp::MyId => ex.poke(addr(0)?, Cell::Int(env.rank as i64))?,
+        MpOp::NProc => ex.poke(addr(0)?, Cell::Int(w.ranks as i64))?,
+        MpOp::Send => {
+            // (ARR, IOFF, COUNT, DEST, TAG): ARR bound = base address.
+            let base = addr(0)?;
+            let ioff = ex.peek(addr(1)?)?.as_int();
+            let count = ex.peek(addr(2)?)?.as_int().max(0) as usize;
+            let dest = ex.peek(addr(3)?)?.as_int() as usize;
+            let tag = ex.peek(addr(4)?)?.as_int();
+            if dest >= w.ranks {
+                return Err(RtError::Trap(format!("MPSEND to rank {}", dest)));
+            }
+            let start = base + (ioff - 1).max(0) as usize;
+            let mut buf = Vec::with_capacity(count);
+            for k in 0..count {
+                buf.push(ex.peek(start + k)?);
+            }
+            let words = buf.len() as u64;
+            w.senders[env.rank * w.ranks + dest]
+                .send((tag, buf, ex.virt))
+                .map_err(|_| RtError::Trap("MPSEND on closed channel".into()))?;
+            ex.virt += MSG_WORD_COST * words;
+        }
+        MpOp::Recv => {
+            let base = addr(0)?;
+            let ioff = ex.peek(addr(1)?)?.as_int();
+            let count = ex.peek(addr(2)?)?.as_int().max(0) as usize;
+            let src = ex.peek(addr(3)?)?.as_int() as usize;
+            let tag = ex.peek(addr(4)?)?.as_int();
+            if src >= w.ranks {
+                return Err(RtError::Trap(format!("MPRECV from rank {}", src)));
+            }
+            let (mtag, buf, sent_at) = w.receivers[src * w.ranks + env.rank]
+                .recv()
+                .map_err(|_| RtError::Trap("MPRECV on closed channel".into()))?;
+            ex.virt = ex
+                .virt
+                .max(sent_at + MSG_LATENCY + MSG_WORD_COST * buf.len() as u64);
+            if mtag != tag {
+                return Err(RtError::Trap(format!(
+                    "MPRECV tag mismatch: want {}, got {}",
+                    tag, mtag
+                )));
+            }
+            let start = base + (ioff - 1).max(0) as usize;
+            for (k, v) in buf.into_iter().enumerate().take(count) {
+                ex.poke(start + k, v)?;
+            }
+        }
+        MpOp::RedSum => {
+            let a = addr(0)?;
+            let v = ex.peek(a)?.as_real();
+            let (sum, _, clock) = w.sync(v, None, ex.virt);
+            ex.virt = ex.virt.max(clock);
+            ex.poke(a, Cell::Real(sum))?;
+        }
+        MpOp::AllGather => {
+            let base = addr(0)?;
+            let ioff = ex.peek(addr(1)?)?.as_int();
+            let count = ex.peek(addr(2)?)?.as_int().max(0) as usize;
+            let start = (ioff - 1).max(0) as usize;
+            let mut slice = Vec::with_capacity(count);
+            for k in 0..count {
+                slice.push(ex.peek(base + start + k)?);
+            }
+            let (_, parts, clock) = w.sync(0.0, Some((start, slice)), ex.virt);
+            ex.virt = ex.virt.max(clock);
+            let mut moved = 0u64;
+            for (off, cells) in parts {
+                moved += cells.len() as u64;
+                for (k, v) in cells.into_iter().enumerate() {
+                    ex.poke(base + off + k, v)?;
+                }
+            }
+            ex.virt += MSG_WORD_COST * moved;
+        }
+        MpOp::Barrier => {
+            let (_, _, clock) = w.sync(0.0, None, ex.virt);
+            ex.virt = ex.virt.max(clock);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the program on `ranks` simulated processes; returns rank 0's
+/// output with the overall wall time.
+pub fn run_mpi(
+    rp: &apar_minifort::ResolvedProgram,
+    deck: &[DeckVal],
+    ranks: usize,
+    seg_words: usize,
+) -> Result<RunResult, RtError> {
+    let prog = RProgram::lower(rp)?;
+    run_mpi_lowered(&prog, deck, ranks, seg_words)
+}
+
+/// Runs a lowered program under MPI simulation.
+pub fn run_mpi_lowered(
+    prog: &RProgram,
+    deck: &[DeckVal],
+    ranks: usize,
+    seg_words: usize,
+) -> Result<RunResult, RtError> {
+    assert!(ranks >= 1);
+    let world = MpiWorld::new(ranks);
+    let t0 = Instant::now();
+    let results: Vec<Result<RunResult, RtError>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for r in 0..ranks {
+            let world = &world;
+            let prog = &prog;
+            handles.push(s.spawn(move |_| {
+                let cfg = ExecConfig {
+                    mode: ExecMode::Serial,
+                    threads: 1,
+                    seg_words,
+                    ..Default::default()
+                };
+                run_lowered(
+                    prog,
+                    deck,
+                    &cfg,
+                    Some(MpiEnv { rank: r, world }),
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+    .expect("mpi scope");
+    let wall: Duration = t0.elapsed();
+    let mut rank0 = None;
+    let mut max_virt = 0u64;
+    for (r, res) in results.into_iter().enumerate() {
+        let out = res?;
+        max_virt = max_virt.max(out.virt);
+        if r == 0 {
+            rank0 = Some(out);
+        }
+    }
+    let mut out = rank0.expect("rank 0 result");
+    out.wall = wall;
+    out.forks = ranks as u64;
+    // Modeled elapsed time: the slowest rank, plus per-rank startup.
+    out.virt = max_virt + 5_000 * ranks as u64;
+    Ok(out)
+}

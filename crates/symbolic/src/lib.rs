@@ -1,0 +1,60 @@
+//! Symbolic expression algebra for the autopar parallelizing compiler.
+//!
+//! This crate provides the symbolic machinery that the paper identifies as
+//! the dominant cost of automatic parallelization (Figures 2 and 3 of
+//! Armstrong & Eigenmann, ICPP 2008): canonicalized integer expressions,
+//! symbolic value ranges, an assumption environment, and a prover able to
+//! establish facts such as `a < b` or `gcd`-style divisibility needed by
+//! the data-dependence tests and array privatization.
+//!
+//! Every potentially expensive operation charges *symbolic ops* to an
+//! [`ops::OpCounter`], giving the compiler a deterministic complexity
+//! measure in addition to wall-clock time. The paper's "compile-time
+//! complexity" hindrance category is modeled as exhausting an op budget.
+//!
+//! # Overview
+//!
+//! * [`intern`] — cheap `u32` identifiers for variable names.
+//! * [`expr`] — the [`expr::Expr`] type with canonicalizing constructors.
+//! * [`linform`] — linear-combination-of-monomials normal form.
+//! * [`range`] — symbolic ranges `[lo, hi]` with optional endpoints; a
+//!   variable whose range has no endpoints is *rangeless* (the paper's
+//!   `rangeless` hindrance).
+//! * [`env`] — assumption environments binding variables to ranges.
+//! * [`prove`] — the comparison prover used by the Range Test.
+//!
+//! # Example
+//!
+//! ```
+//! use apar_symbolic::{Interner, Expr, AssumeEnv, Range, Prover, OpCounter};
+//!
+//! let mut ints = Interner::new();
+//! let n = ints.intern("N");
+//! let i = ints.intern("I");
+//!
+//! let mut env = AssumeEnv::new();
+//! env.assume(n, Range::at_least(Expr::int(1)));
+//! env.assume(i, Range::between(Expr::int(1), Expr::var(n)));
+//!
+//! let ops = OpCounter::unlimited();
+//! let prover = Prover::new(&env, &ops);
+//! // I <= N is provable; I <= N - 1 is not.
+//! assert!(prover.prove_le(&Expr::var(i), &Expr::var(n)));
+//! assert!(!prover.prove_le(&Expr::var(i), &Expr::var(n).sub(Expr::int(1))));
+//! ```
+
+pub mod env;
+pub mod expr;
+pub mod intern;
+pub mod linform;
+pub mod ops;
+pub mod prove;
+pub mod range;
+
+pub use env::AssumeEnv;
+pub use expr::{Atom, Expr};
+pub use intern::{Interner, VarId};
+pub use linform::{LinForm, Monomial};
+pub use ops::{BudgetExceeded, OpCounter};
+pub use prove::{Prover, Tristate};
+pub use range::Range;

@@ -1,0 +1,121 @@
+//! Deterministic accounting of symbolic-analysis work.
+//!
+//! The paper bounds "reasonable" compilation at twelve hours and four
+//! gigabytes; loops whose analysis exceeds the bound fall into the
+//! `complexity` hindrance category. Wall-clock limits are not
+//! reproducible in tests, so the prover charges every unit of symbolic
+//! work to an [`OpCounter`] with an optional hard budget. Pass timings
+//! for Figures 2/3 report both ops and seconds.
+
+use std::cell::Cell;
+
+/// Error-marker returned when a charge would exceed the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded;
+
+/// A single-threaded counter of symbolic operations with an optional
+/// budget. Once the budget trips, the counter stays in the exceeded
+/// state until [`OpCounter::reset`].
+#[derive(Debug)]
+pub struct OpCounter {
+    spent: Cell<u64>,
+    budget: Option<u64>,
+    exceeded: Cell<bool>,
+}
+
+impl OpCounter {
+    /// A counter that never trips.
+    pub fn unlimited() -> Self {
+        OpCounter {
+            spent: Cell::new(0),
+            budget: None,
+            exceeded: Cell::new(false),
+        }
+    }
+
+    /// A counter that trips once more than `budget` ops are charged.
+    pub fn with_budget(budget: u64) -> Self {
+        OpCounter {
+            spent: Cell::new(0),
+            budget: Some(budget),
+            exceeded: Cell::new(false),
+        }
+    }
+
+    /// Charges `n` ops. On exceeding the budget the counter latches the
+    /// exceeded flag and reports [`BudgetExceeded`].
+    pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
+        let spent = self.spent.get().saturating_add(n);
+        self.spent.set(spent);
+        if let Some(b) = self.budget {
+            if spent > b {
+                self.exceeded.set(true);
+                return Err(BudgetExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total ops charged so far (including any charge that tripped).
+    pub fn spent(&self) -> u64 {
+        self.spent.get()
+    }
+
+    /// Whether the budget has ever been exceeded since the last reset.
+    pub fn exceeded(&self) -> bool {
+        self.exceeded.get()
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Clears the spent count and the exceeded latch.
+    pub fn reset(&self) {
+        self.spent.set(0);
+        self.exceeded.set(false);
+    }
+}
+
+impl Default for OpCounter {
+    fn default() -> Self {
+        OpCounter::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let c = OpCounter::unlimited();
+        assert!(c.charge(u64::MAX).is_ok());
+        assert!(!c.exceeded());
+        assert_eq!(c.spent(), u64::MAX);
+    }
+
+    #[test]
+    fn budget_latches() {
+        let c = OpCounter::with_budget(10);
+        assert!(c.charge(10).is_ok());
+        assert!(!c.exceeded());
+        assert_eq!(c.charge(1), Err(BudgetExceeded));
+        assert!(c.exceeded());
+        // Still exceeded even for a free charge.
+        assert_eq!(c.charge(0), Err(BudgetExceeded));
+        c.reset();
+        assert!(!c.exceeded());
+        assert_eq!(c.spent(), 0);
+        assert!(c.charge(5).is_ok());
+    }
+
+    #[test]
+    fn spent_saturates() {
+        let c = OpCounter::unlimited();
+        c.charge(u64::MAX).unwrap();
+        c.charge(10).unwrap();
+        assert_eq!(c.spent(), u64::MAX);
+    }
+}

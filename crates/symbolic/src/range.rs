@@ -1,0 +1,231 @@
+//! Symbolic value ranges.
+//!
+//! A [`Range`] bounds an integer value by optional symbolic expressions
+//! `[lo, hi]` (inclusive). A variable whose environment entry has neither
+//! endpoint — or no entry at all — is *rangeless*: the paper observes that
+//! comparisons of subscripts involving such variables make symbolic
+//! analysis futile and force conservative assumptions (§3, the
+//! `rangeless` hindrance category).
+
+use crate::expr::Expr;
+
+/// An inclusive symbolic interval; either endpoint may be absent.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Range {
+    /// Greatest known lower bound, if any.
+    pub lo: Option<Expr>,
+    /// Least known upper bound, if any.
+    pub hi: Option<Expr>,
+}
+
+impl Range {
+    /// The range with no information (rangeless).
+    pub fn unbounded() -> Self {
+        Range { lo: None, hi: None }
+    }
+
+    /// The singleton range `[e, e]`.
+    pub fn exact(e: Expr) -> Self {
+        Range {
+            lo: Some(e.clone()),
+            hi: Some(e),
+        }
+    }
+
+    /// `[lo, hi]`.
+    pub fn between(lo: Expr, hi: Expr) -> Self {
+        Range {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// `[lo, +inf)`.
+    pub fn at_least(lo: Expr) -> Self {
+        Range {
+            lo: Some(lo),
+            hi: None,
+        }
+    }
+
+    /// `(-inf, hi]`.
+    pub fn at_most(hi: Expr) -> Self {
+        Range {
+            lo: None,
+            hi: Some(hi),
+        }
+    }
+
+    /// True when neither endpoint is known.
+    pub fn is_rangeless(&self) -> bool {
+        self.lo.is_none() && self.hi.is_none()
+    }
+
+    /// True when both endpoints are known and equal.
+    pub fn as_exact(&self) -> Option<&Expr> {
+        match (&self.lo, &self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Constant value, when the range is an exact integer.
+    pub fn as_const(&self) -> Option<i64> {
+        self.as_exact().and_then(Expr::as_int)
+    }
+
+    /// Pointwise sum: `[a,b] + [c,d] = [a+c, b+d]` (absent stays absent).
+    pub fn add(&self, other: &Range) -> Range {
+        Range {
+            lo: both(&self.lo, &other.lo, |a, b| a.add(b.clone())),
+            hi: both(&self.hi, &other.hi, |a, b| a.add(b.clone())),
+        }
+    }
+
+    /// Shift by a known expression.
+    pub fn shift(&self, by: &Expr) -> Range {
+        Range {
+            lo: self.lo.as_ref().map(|e| e.add(by.clone())),
+            hi: self.hi.as_ref().map(|e| e.add(by.clone())),
+        }
+    }
+
+    /// Multiplication by a constant; negative constants swap endpoints.
+    pub fn scale(&self, k: i64) -> Range {
+        if k >= 0 {
+            Range {
+                lo: self.lo.as_ref().map(|e| e.scale(k)),
+                hi: self.hi.as_ref().map(|e| e.scale(k)),
+            }
+        } else {
+            Range {
+                lo: self.hi.as_ref().map(|e| e.scale(k)),
+                hi: self.lo.as_ref().map(|e| e.scale(k)),
+            }
+        }
+    }
+
+    /// Interval union using MIN/MAX expressions on matching endpoints;
+    /// a missing endpoint on either side erases it in the result.
+    pub fn union(&self, other: &Range) -> Range {
+        Range {
+            lo: both(&self.lo, &other.lo, |a, b| {
+                Expr::min_of(vec![a.clone(), b.clone()])
+            }),
+            hi: both(&self.hi, &other.hi, |a, b| {
+                Expr::max_of(vec![a.clone(), b.clone()])
+            }),
+        }
+    }
+
+    /// Interval intersection: keeps the tighter endpoint where both exist,
+    /// either endpoint where only one exists.
+    pub fn intersect(&self, other: &Range) -> Range {
+        Range {
+            lo: merge(&self.lo, &other.lo, |a, b| {
+                Expr::max_of(vec![a.clone(), b.clone()])
+            }),
+            hi: merge(&self.hi, &other.hi, |a, b| {
+                Expr::min_of(vec![a.clone(), b.clone()])
+            }),
+        }
+    }
+
+    /// Substitutes a variable in both endpoints.
+    pub fn subst(&self, v: crate::VarId, repl: &Expr) -> Range {
+        Range {
+            lo: self.lo.as_ref().map(|e| e.subst(v, repl)),
+            hi: self.hi.as_ref().map(|e| e.subst(v, repl)),
+        }
+    }
+}
+
+fn both(
+    a: &Option<Expr>,
+    b: &Option<Expr>,
+    f: impl FnOnce(&Expr, &Expr) -> Expr,
+) -> Option<Expr> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(f(a, b)),
+        _ => None,
+    }
+}
+
+fn merge(
+    a: &Option<Expr>,
+    b: &Option<Expr>,
+    f: impl FnOnce(&Expr, &Expr) -> Expr,
+) -> Option<Expr> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(f(a, b)),
+        (Some(a), None) => Some(a.clone()),
+        (None, Some(b)) => Some(b.clone()),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::VarId;
+
+    fn v(i: u32) -> Expr {
+        Expr::var(VarId(i))
+    }
+
+    #[test]
+    fn rangeless_detection() {
+        assert!(Range::unbounded().is_rangeless());
+        assert!(!Range::at_least(Expr::int(0)).is_rangeless());
+        assert!(!Range::exact(v(0)).is_rangeless());
+    }
+
+    #[test]
+    fn exact_and_const() {
+        let r = Range::exact(Expr::int(7));
+        assert_eq!(r.as_const(), Some(7));
+        assert_eq!(Range::between(Expr::int(1), Expr::int(2)).as_const(), None);
+    }
+
+    #[test]
+    fn add_shift_scale() {
+        let r = Range::between(Expr::int(1), v(0));
+        let s = r.add(&Range::exact(Expr::int(3)));
+        assert_eq!(s, Range::between(Expr::int(4), v(0).add(Expr::int(3))));
+        assert_eq!(r.shift(&Expr::int(3)), s);
+        let neg = r.scale(-2);
+        assert_eq!(neg.lo, Some(v(0).scale(-2)));
+        assert_eq!(neg.hi, Some(Expr::int(-2)));
+    }
+
+    #[test]
+    fn union_keeps_sound_bounds() {
+        let a = Range::between(Expr::int(1), Expr::int(5));
+        let b = Range::between(Expr::int(3), Expr::int(9));
+        let u = a.union(&b);
+        assert_eq!(u, Range::between(Expr::int(1), Expr::int(9)));
+        let half = Range::at_least(Expr::int(0)).union(&a);
+        assert_eq!(half.lo, Some(Expr::int(0)));
+        assert_eq!(half.hi, None);
+    }
+
+    #[test]
+    fn intersect_tightens() {
+        let a = Range::at_least(Expr::int(1));
+        let b = Range::at_most(v(0));
+        let i = a.intersect(&b);
+        assert_eq!(i, Range::between(Expr::int(1), v(0)));
+        let c = Range::between(Expr::int(0), Expr::int(10)).intersect(&Range::between(
+            Expr::int(5),
+            Expr::int(20),
+        ));
+        assert_eq!(c, Range::between(Expr::int(5), Expr::int(10)));
+    }
+
+    #[test]
+    fn subst_hits_both_ends() {
+        let r = Range::between(v(0), v(0).add(Expr::int(1)));
+        let s = r.subst(VarId(0), &Expr::int(4));
+        assert_eq!(s, Range::between(Expr::int(4), Expr::int(5)));
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests: canonicalization preserves semantics, and the prover
+//! is sound (it never proves a relation that a concrete valuation
+//! falsifies).
+
+use proptest::prelude::*;
+
+use apar_symbolic::{AssumeEnv, Expr, Interner, OpCounter, Prover, Range, VarId};
+
+/// A reference AST evaluated naively, used to cross-check `Expr`'s
+/// canonicalizing constructors.
+#[derive(Clone, Debug)]
+enum Raw {
+    Const(i64),
+    Var(u32),
+    Add(Box<Raw>, Box<Raw>),
+    Sub(Box<Raw>, Box<Raw>),
+    Mul(Box<Raw>, Box<Raw>),
+    Div(Box<Raw>, Box<Raw>),
+    Mod(Box<Raw>, Box<Raw>),
+    Min(Box<Raw>, Box<Raw>),
+    Max(Box<Raw>, Box<Raw>),
+    Neg(Box<Raw>),
+}
+
+impl Raw {
+    fn eval(&self, vals: &[i64]) -> Option<i64> {
+        Some(match self {
+            Raw::Const(k) => *k,
+            Raw::Var(i) => vals[*i as usize % vals.len()],
+            Raw::Add(a, b) => a.eval(vals)?.checked_add(b.eval(vals)?)?,
+            Raw::Sub(a, b) => a.eval(vals)?.checked_sub(b.eval(vals)?)?,
+            Raw::Mul(a, b) => a.eval(vals)?.checked_mul(b.eval(vals)?)?,
+            Raw::Div(a, b) => {
+                let d = b.eval(vals)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(vals)?.checked_div(d)?
+            }
+            Raw::Mod(a, b) => {
+                let d = b.eval(vals)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(vals)?.checked_rem(d)?
+            }
+            Raw::Min(a, b) => a.eval(vals)?.min(b.eval(vals)?),
+            Raw::Max(a, b) => a.eval(vals)?.max(b.eval(vals)?),
+            Raw::Neg(a) => a.eval(vals)?.checked_neg()?,
+        })
+    }
+
+    fn to_expr(&self, nvars: u32) -> Expr {
+        match self {
+            Raw::Const(k) => Expr::int(*k),
+            Raw::Var(i) => Expr::var(VarId(i % nvars)),
+            Raw::Add(a, b) => a.to_expr(nvars).add(b.to_expr(nvars)),
+            Raw::Sub(a, b) => a.to_expr(nvars).sub(b.to_expr(nvars)),
+            Raw::Mul(a, b) => a.to_expr(nvars).mul(b.to_expr(nvars)),
+            Raw::Div(a, b) => a.to_expr(nvars).div(b.to_expr(nvars)),
+            Raw::Mod(a, b) => a.to_expr(nvars).modulo(b.to_expr(nvars)),
+            Raw::Min(a, b) => Expr::min_of(vec![a.to_expr(nvars), b.to_expr(nvars)]),
+            Raw::Max(a, b) => Expr::max_of(vec![a.to_expr(nvars), b.to_expr(nvars)]),
+            Raw::Neg(a) => a.to_expr(nvars).neg(),
+        }
+    }
+}
+
+const NVARS: u32 = 4;
+
+fn raw_strategy() -> impl Strategy<Value = Raw> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(Raw::Const),
+        (0u32..NVARS).prop_map(Raw::Var),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Mod(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Max(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Raw::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    /// Canonicalization is evaluation-preserving wherever the reference
+    /// evaluation is defined.
+    #[test]
+    fn canonical_form_preserves_semantics(
+        raw in raw_strategy(),
+        vals in proptest::collection::vec(-9i64..=9, NVARS as usize),
+    ) {
+        let expr = raw.to_expr(NVARS);
+        let reference = raw.eval(&vals);
+        let canonical = expr.eval(&|v: VarId| vals.get(v.index()).copied());
+        // The canonical evaluator may fail (overflow in a rearranged
+        // order, unknowns from constructor overflow); when both sides are
+        // defined they must agree.
+        if let (Some(a), Some(b)) = (reference, canonical) {
+            prop_assert_eq!(a, b, "raw {:?}", raw);
+        }
+    }
+
+    /// Substitution commutes with evaluation.
+    #[test]
+    fn subst_commutes_with_eval(
+        raw in raw_strategy(),
+        vals in proptest::collection::vec(-9i64..=9, NVARS as usize),
+        k in -9i64..=9,
+    ) {
+        let expr = raw.to_expr(NVARS);
+        let target = VarId(0);
+        let substituted = expr.subst(target, &Expr::int(k));
+        let mut patched = vals.clone();
+        patched[0] = k;
+        let direct = expr.eval(&|v: VarId| patched.get(v.index()).copied());
+        let via_subst = substituted.eval(&|v: VarId| patched.get(v.index()).copied());
+        if let (Some(a), Some(b)) = (direct, via_subst) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The prover never proves `a <= b` when a concrete valuation inside
+    /// the assumed ranges gives `a > b` (soundness of the Range Test
+    /// foundation).
+    #[test]
+    fn prover_le_is_sound(
+        raw_a in raw_strategy(),
+        raw_b in raw_strategy(),
+        bounds in proptest::collection::vec((-10i64..=10, 0i64..=10), NVARS as usize),
+        // fractional positions used to pick concrete values inside ranges
+        picks in proptest::collection::vec(0.0f64..1.0, NVARS as usize),
+    ) {
+        let a = raw_a.to_expr(NVARS);
+        let b = raw_b.to_expr(NVARS);
+        let mut env = AssumeEnv::new();
+        let mut vals = vec![0i64; NVARS as usize];
+        for (i, ((lo, width), t)) in bounds.iter().zip(&picks).enumerate() {
+            let hi = lo + width;
+            env.assume(VarId(i as u32), Range::between(Expr::int(*lo), Expr::int(hi)));
+            vals[i] = lo + ((*t * (*width as f64 + 1.0)) as i64).min(*width);
+        }
+        let ops = OpCounter::unlimited();
+        let prover = Prover::new(&env, &ops);
+        if prover.prove_le(&a, &b) {
+            if let (Some(va), Some(vb)) = (
+                a.eval(&|v: VarId| vals.get(v.index()).copied()),
+                b.eval(&|v: VarId| vals.get(v.index()).copied()),
+            ) {
+                prop_assert!(va <= vb, "proved {:?} <= {:?} but {} > {}", a, b, va, vb);
+            }
+        }
+        if prover.prove_ne(&a, &b) {
+            if let (Some(va), Some(vb)) = (
+                a.eval(&|v: VarId| vals.get(v.index()).copied()),
+                b.eval(&|v: VarId| vals.get(v.index()).copied()),
+            ) {
+                prop_assert!(va != vb, "proved {:?} != {:?} but both = {}", a, b, va);
+            }
+        }
+    }
+
+    /// `range_of` endpoints really bound the expression.
+    #[test]
+    fn range_of_is_sound(
+        raw in raw_strategy(),
+        bounds in proptest::collection::vec((-10i64..=10, 0i64..=10), NVARS as usize),
+        picks in proptest::collection::vec(0.0f64..1.0, NVARS as usize),
+    ) {
+        let e = raw.to_expr(NVARS);
+        let mut env = AssumeEnv::new();
+        let mut vals = vec![0i64; NVARS as usize];
+        for (i, ((lo, width), t)) in bounds.iter().zip(&picks).enumerate() {
+            let hi = lo + width;
+            env.assume(VarId(i as u32), Range::between(Expr::int(*lo), Expr::int(hi)));
+            vals[i] = lo + ((*t * (*width as f64 + 1.0)) as i64).min(*width);
+        }
+        let ops = OpCounter::unlimited();
+        let prover = Prover::new(&env, &ops);
+        let r = prover.range_of(&e);
+        let lookup = |v: VarId| vals.get(v.index()).copied();
+        if let Some(val) = e.eval(&lookup) {
+            if let Some(klo) = r.lo.as_ref().and_then(Expr::as_int) {
+                prop_assert!(klo <= val, "lo {} > value {} for {:?}", klo, val, e);
+            }
+            if let Some(khi) = r.hi.as_ref().and_then(Expr::as_int) {
+                prop_assert!(val <= khi, "hi {} < value {} for {:?}", khi, val, e);
+            }
+        }
+    }
+}
+
+#[test]
+fn display_round_trip_sanity() {
+    let mut ints = Interner::new();
+    let n = ints.intern("N");
+    let e = Expr::var(n).scale(3).add(Expr::int(2));
+    assert_eq!(format!("{}", e.display(&ints)), "2 + 3*N");
+}

@@ -1,0 +1,134 @@
+//! LINPACK-style linear-algebra code.
+//!
+//! Anchors the cheap end of Figure 2: trivially analyzable vector loops
+//! over statically shaped arrays. The factorization's outer K loop is a
+//! genuine recurrence; the column-elimination and scaling loops are the
+//! classic targets Polaris handled.
+
+use crate::{TargetSpec, Workload};
+use apar_core::Classification as C;
+
+pub fn suite() -> Workload {
+    let source = "\
+PROGRAM LINPK
+  PARAMETER (N = 48)
+  REAL A(N, N), B(N), XS(N)
+!$TARGET LIN_MGEN
+  DO J = 1, N
+    DO I = 1, N
+      A(I, J) = REAL(MOD(I * 13 + J * 7, 19)) * 0.1 + 0.01
+    ENDDO
+    A(J, J) = A(J, J) + REAL(N)
+  ENDDO
+!$TARGET LIN_BGEN
+  DO I = 1, N
+    B(I) = 1.0
+  ENDDO
+! LU factorization without pivoting (diagonally dominant by
+! construction). The K loop is serial; its inner loops are the targets.
+  DO K = 1, N - 1
+!$TARGET LIN_SCAL
+    DO I = K + 1, N
+      A(I, K) = A(I, K) / A(K, K)
+    ENDDO
+!$TARGET LIN_ELIM
+    DO J = K + 1, N
+      DO I = K + 1, N
+        A(I, J) = A(I, J) - A(I, K) * A(K, J)
+      ENDDO
+    ENDDO
+  ENDDO
+! forward solve (serial recurrence over rows)
+  DO I = 1, N
+    S = B(I)
+    DO K = 1, I - 1
+      S = S - A(I, K) * XS(K)
+    ENDDO
+    XS(I) = S
+  ENDDO
+! back substitution (serial)
+  DO II = 1, N
+    I = N - II + 1
+    S = XS(I)
+    DO K = I + 1, N
+      S = S - A(I, K) * XS(K)
+    ENDDO
+    XS(I) = S / A(I, I)
+  ENDDO
+  R = 0.0
+!$TARGET LIN_RNRM
+  DO I = 1, N
+    R = R + XS(I) * XS(I)
+  ENDDO
+  CALL DSCAL(XS, N, 0.5)
+  CALL DAXPY(XS, B, N, 2.0)
+  R2 = DDOT(XS, B, N)
+  CALL DCOPY(B, XS, N)
+  WRITE(*,*) 'XNRM', R + R2 * 0.0001
+END
+SUBROUTINE DSCAL(X, N, C)
+  REAL X(*)
+  INTEGER N
+!$TARGET LIN_VSCAL
+  DO I = 1, N
+    X(I) = X(I) * C
+  ENDDO
+  RETURN
+END
+SUBROUTINE DAXPY(X, Y, N, C)
+  REAL X(*), Y(*)
+  INTEGER N
+!$TARGET LIN_VAXPY
+  DO I = 1, N
+    Y(I) = Y(I) + C * X(I)
+  ENDDO
+  RETURN
+END
+REAL FUNCTION DDOT(X, Y, N)
+  REAL X(*), Y(*)
+  INTEGER N
+  DDOT = 0.0
+  DO I = 1, N
+    DDOT = DDOT + X(I) * Y(I)
+  ENDDO
+  RETURN
+END
+SUBROUTINE DCOPY(X, Y, N)
+  REAL X(*), Y(*)
+  INTEGER N
+!$TARGET LIN_VCOPY
+  DO I = 1, N
+    Y(I) = X(I)
+  ENDDO
+  RETURN
+END
+";
+    Workload {
+        name: "LINPACK".into(),
+        source: source.into(),
+        deck: vec![],
+        targets: vec![
+            TargetSpec::new("LIN_MGEN", C::Autoparallelized, true),
+            TargetSpec::new("LIN_BGEN", C::Autoparallelized, true),
+            TargetSpec::new("LIN_SCAL", C::Autoparallelized, true),
+            TargetSpec::new("LIN_ELIM", C::Autoparallelized, true),
+            TargetSpec::new("LIN_RNRM", C::Autoparallelized, true),
+            TargetSpec::new("LIN_VSCAL", C::Autoparallelized, true),
+            // X and Y alias in the baseline (formal pair); call-site
+            // inspection recovers them.
+            TargetSpec::new("LIN_VAXPY", C::Aliasing, true),
+            TargetSpec::new("LIN_VCOPY", C::Aliasing, true),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_resolves() {
+        let w = suite();
+        apar_minifort::frontend(&w.source).unwrap_or_else(|e| panic!("{}", e));
+    }
+}

@@ -1,0 +1,240 @@
+//! PERFECT-BENCHMARKS-style kernel codes.
+//!
+//! The paper (§2.5.1) explains why these are easy: they were created by
+//! extracting the computationally intensive part of applications and
+//! *statically assigning* the variables their outer contexts would have
+//! provided. The generators below follow that recipe — PARAMETER sizes,
+//! shallow call nesting, and target loops sitting at (or one call below)
+//! the main program.
+
+use crate::{TargetSpec, Workload};
+use apar_core::Classification as C;
+
+/// All four kernel codes (compiled separately, like the real suite).
+pub fn codes() -> Vec<Workload> {
+    vec![adm(), trf(), mdg(), bdn()]
+}
+
+/// A representative single code (for quick tests).
+pub fn suite() -> Workload {
+    adm()
+}
+
+/// ADM-like: Jacobi sweeps on a static 2-D grid.
+fn adm() -> Workload {
+    let source = "\
+PROGRAM PFADM
+  PARAMETER (N = 64, NSTEP = 20)
+  COMMON /GRID/ U(N, N), UN(N, N)
+!$TARGET PF_INIT
+  DO J = 1, N
+    DO I = 1, N
+      U(I, J) = REAL(I + J) * 0.01
+      UN(I, J) = 0.0
+    ENDDO
+  ENDDO
+  DO ISTEP = 1, NSTEP
+    CALL ADMSTP
+  ENDDO
+  R = 0.0
+!$TARGET PF_RESID
+  DO J = 1, N
+    DO I = 1, N
+      R = R + U(I, J) * U(I, J)
+    ENDDO
+  ENDDO
+  WRITE(*,*) 'RESID', R
+END
+SUBROUTINE ADMSTP
+  PARAMETER (N = 64)
+  COMMON /GRID/ U(N, N), UN(N, N)
+!$TARGET PF_SWEEP
+  DO J = 2, N - 1
+    DO I = 2, N - 1
+      UN(I, J) = 0.25 * (U(I - 1, J) + U(I + 1, J) + U(I, J - 1) + U(I, J + 1))
+    ENDDO
+  ENDDO
+!$TARGET PF_COPY
+  DO J = 2, N - 1
+    DO I = 2, N - 1
+      U(I, J) = UN(I, J)
+    ENDDO
+  ENDDO
+  RETURN
+END
+";
+    Workload {
+        name: "PERFECT/ADM".into(),
+        source: source.into(),
+        deck: vec![],
+        targets: vec![
+            TargetSpec::new("PF_INIT", C::Autoparallelized, true),
+            TargetSpec::new("PF_SWEEP", C::Autoparallelized, true),
+            TargetSpec::new("PF_COPY", C::Autoparallelized, true),
+            TargetSpec::new("PF_RESID", C::Autoparallelized, true),
+        ],
+    }
+}
+
+/// TRFD-like: dense transform plus triangular packing.
+fn trf() -> Workload {
+    let source = "\
+PROGRAM PFTRF
+  PARAMETER (N = 40)
+  REAL A(N, N), B(N, N), CC(N, N), XT(1024)
+!$TARGET PF_TGEN
+  DO J = 1, N
+    DO I = 1, N
+      A(I, J) = REAL(I) * 0.01 + REAL(J) * 0.02
+      B(I, J) = REAL(I - J) * 0.005
+    ENDDO
+  ENDDO
+!$TARGET PF_MXM
+  DO J = 1, N
+    DO I = 1, N
+      S = 0.0
+      DO K = 1, N
+        S = S + A(I, K) * B(K, J)
+      ENDDO
+      CC(I, J) = S
+    ENDDO
+  ENDDO
+!$TARGET PF_TRI
+  DO I = 1, N
+    DO J = 1, I
+      XT(I * (I - 1) / 2 + J) = CC(I, J)
+    ENDDO
+  ENDDO
+  WRITE(*,*) 'T11', XT(1)
+END
+";
+    Workload {
+        name: "PERFECT/TRFD".into(),
+        source: source.into(),
+        deck: vec![],
+        targets: vec![
+            TargetSpec::new("PF_TGEN", C::Autoparallelized, true),
+            TargetSpec::new("PF_MXM", C::Autoparallelized, true),
+            TargetSpec::new("PF_TRI", C::SymbolAnalysis, false),
+        ],
+    }
+}
+
+/// MDG-like: O(N^2) pair interactions with a cutoff guard.
+fn mdg() -> Workload {
+    let source = "\
+PROGRAM PFMDG
+  PARAMETER (N = 256, NSTEP = 4)
+  COMMON /ATOMS/ X(N), V(N), F(N)
+!$TARGET PF_PINIT
+  DO I = 1, N
+    X(I) = REAL(I) * 0.3
+    V(I) = 0.0
+  ENDDO
+  DO ISTEP = 1, NSTEP
+    CALL MDSTEP
+  ENDDO
+  EK = 0.0
+!$TARGET PF_EKIN
+  DO I = 1, N
+    EK = EK + V(I) * V(I)
+  ENDDO
+  WRITE(*,*) 'EK', EK
+END
+SUBROUTINE MDSTEP
+  PARAMETER (N = 256)
+  COMMON /ATOMS/ X(N), V(N), F(N)
+!$TARGET PF_PAIRS
+  DO I = 1, N
+    FI = 0.0
+    DO J = 1, N
+      D = X(I) - X(J)
+      IF (ABS(D) .LT. 2.5) THEN
+        FI = FI + D * (1.0 - ABS(D) * 0.4)
+      ENDIF
+    ENDDO
+    F(I) = FI
+  ENDDO
+!$TARGET PF_VUPD
+  DO I = 1, N
+    V(I) = V(I) + F(I) * 0.01
+    X(I) = X(I) + V(I) * 0.01
+  ENDDO
+  RETURN
+END
+";
+    Workload {
+        name: "PERFECT/MDG".into(),
+        source: source.into(),
+        deck: vec![],
+        targets: vec![
+            TargetSpec::new("PF_PINIT", C::Autoparallelized, true),
+            TargetSpec::new("PF_PAIRS", C::Autoparallelized, true),
+            TargetSpec::new("PF_VUPD", C::Autoparallelized, true),
+            TargetSpec::new("PF_EKIN", C::Autoparallelized, true),
+        ],
+    }
+}
+
+/// BDNA-like: vector utilities with one genuine recurrence.
+fn bdn() -> Workload {
+    let source = "\
+PROGRAM PFBDN
+  PARAMETER (N = 2048)
+  REAL W(N), Y(N), Z(N)
+!$TARGET PF_VINIT
+  DO I = 1, N
+    W(I) = REAL(MOD(I, 17)) * 0.1
+    Y(I) = REAL(MOD(I, 23)) * 0.05
+  ENDDO
+!$TARGET PF_AXPY
+  DO I = 1, N
+    Z(I) = Y(I) + 2.5 * W(I)
+  ENDDO
+! first-order recurrence: genuinely serial
+  Z(1) = Z(1) + 1.0
+  DO I = 2, N
+    Z(I) = Z(I) + 0.5 * Z(I - 1)
+  ENDDO
+  S = 0.0
+!$TARGET PF_DOT
+  DO I = 1, N
+    S = S + Z(I) * W(I)
+  ENDDO
+  WRITE(*,*) 'DOT', S
+END
+";
+    Workload {
+        name: "PERFECT/BDNA".into(),
+        source: source.into(),
+        deck: vec![],
+        targets: vec![
+            TargetSpec::new("PF_VINIT", C::Autoparallelized, true),
+            TargetSpec::new("PF_AXPY", C::Autoparallelized, true),
+            TargetSpec::new("PF_DOT", C::Autoparallelized, true),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_codes_parse() {
+        for w in codes() {
+            apar_minifort::frontend(&w.source)
+                .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
+        }
+    }
+
+    #[test]
+    fn kernel_shape_is_shallow() {
+        // Perfect-style codes keep their targets in the main program.
+        for w in codes() {
+            let rp = apar_minifort::frontend(&w.source).expect("frontend");
+            let main = rp.main_unit().expect("main");
+            assert!(!main.target_loops().is_empty(), "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The SANDER-like molecular-dynamics application (the FORTRAN 77
+//! computational core of AMBER, per the paper's footnote).
+//!
+//! Reproduces the `imin` multifunctionality (§2.1 — minimization vs
+//! molecular dynamics chosen from the input deck), neighbor-list force
+//! loops with array indirection, bonded-term loops indexed through
+//! partner tables, and deck-driven solute/solvent partition offsets.
+//! SANDER appears in Figure 5 with indirection as the dominant
+//! hindrance; this mimic preserves that shape.
+
+use crate::{DataSize, DeckValue, TargetSpec, Workload};
+use apar_core::Classification as C;
+use std::fmt::Write as _;
+
+/// Problem dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct SanderParams {
+    pub natom: i64,
+    pub nstep: i64,
+    pub npair_per_atom: i64,
+    /// 1 = minimization, 0 = molecular dynamics.
+    pub imin: i64,
+}
+
+impl SanderParams {
+    pub fn for_size(size: DataSize) -> Self {
+        match size {
+            DataSize::Test => SanderParams {
+                natom: 16,
+                nstep: 2,
+                npair_per_atom: 4,
+                imin: 0,
+            },
+            DataSize::Small => SanderParams {
+                natom: 256,
+                nstep: 5,
+                npair_per_atom: 16,
+                imin: 0,
+            },
+            DataSize::Medium => SanderParams {
+                natom: 1024,
+                nstep: 8,
+                npair_per_atom: 24,
+                imin: 0,
+            },
+        }
+    }
+
+    fn nbond(&self) -> i64 {
+        self.natom - 1
+    }
+
+    fn npair(&self) -> i64 {
+        self.natom * self.npair_per_atom
+    }
+
+    /// Solvent window starts past the solute atoms.
+    fn isolu(&self) -> i64 {
+        0
+    }
+    fn isolv(&self) -> i64 {
+        self.natom
+    }
+
+    pub fn maxatm(&self) -> i64 {
+        self.natom * 2 + 64
+    }
+    pub fn maxpr(&self) -> i64 {
+        self.npair() + 64
+    }
+}
+
+const CTRL: &str = "  COMMON /MDCTRL/ IMIN, NATOM, NSTEP, NBOND, NPAIR, ISOLU, ISOLV, NK, NDIH\n";
+
+pub fn suite(size: DataSize) -> Workload {
+    let p = SanderParams::for_size(size);
+    let mut s = String::new();
+
+    let _ = write!(
+        s,
+        "PROGRAM SANDER\n\
+         {CTRL}\
+         \x20 PARAMETER (MAXATM = {maxatm}, MAXPR = {maxpr})\n\
+         \x20 COMMON /CRDS/ X(MAXATM), V(MAXATM), F(MAXATM)\n\
+         \x20 COMMON /TOPO/ IBND(MAXATM), JBND(MAXATM), NBLST(MAXPR), IPOF(MAXATM)\n\
+         \x20 READ(*,*) IMIN, NATOM, NSTEP\n\
+         \x20 READ(*,*) NBOND, NPAIR\n\
+         \x20 READ(*,*) ISOLU, ISOLV, NK, NDIH\n\
+         \x20 IF (IMIN .LT. 0) STOP\n\
+         \x20 IF (IMIN .GT. 1) STOP\n\
+         \x20 IF (NATOM .LT. 4) STOP\n\
+         \x20 IF (NATOM .GT. 65536) STOP\n\
+         \x20 IF (NSTEP .LT. 1) STOP\n\
+         \x20 IF (NSTEP .GT. 100000) STOP\n\
+         \x20 IF (NBOND .LT. 1) STOP\n\
+         \x20 IF (NBOND .GE. NATOM) STOP\n\
+         \x20 IF (NPAIR .LT. 1) STOP\n\
+         \x20 IF (NPAIR .GT. {maxpr}) STOP\n\
+         \x20 IF (ISOLU .LT. 0) STOP\n\
+         \x20 IF (ISOLV .LT. ISOLU + NATOM) STOP\n\
+         \x20 IF (NK .LT. 2) STOP\n\
+         \x20 IF (NK .GT. 16) STOP\n\
+         \x20 IF (NDIH .LT. 1) STOP\n\
+         \x20 CALL MDINIT\n\
+         \x20 IF (IMIN .EQ. 1) THEN\n\
+         \x20   CALL RUNMIN\n\
+         \x20 ELSE\n\
+         \x20   CALL RUNMD\n\
+         \x20 ENDIF\n\
+         \x20 CALL MDOUT\n\
+         END\n\n",
+        maxatm = p.maxatm(),
+        maxpr = p.maxpr(),
+    );
+
+    // ---- Initialization -----------------------------------------------------
+    let _ = write!(
+        s,
+        "SUBROUTINE MDINIT\n\
+         {CTRL}\
+         \x20 PARAMETER (MAXATM = {maxatm}, MAXPR = {maxpr})\n\
+         \x20 COMMON /CRDS/ X(MAXATM), V(MAXATM), F(MAXATM)\n\
+         \x20 COMMON /TOPO/ IBND(MAXATM), JBND(MAXATM), NBLST(MAXPR), IPOF(MAXATM)\n\
+         !$TARGET MD_XINIT\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   X(I) = REAL(I) * 0.5\n\
+         \x20   V(I) = 0.0\n\
+         \x20   F(I) = 0.0\n\
+         \x20 ENDDO\n\
+         \x20 DO K = 1, NBOND\n\
+         \x20   IBND(K) = K\n\
+         \x20   JBND(K) = K + 1\n\
+         \x20 ENDDO\n\
+         \x20 NPP = NPAIR / NATOM\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   IPOF(I) = (I - 1) * NPP\n\
+         \x20   DO K = 1, NPP\n\
+         \x20     NBLST(IPOF(I) + K) = MOD(I + K * 7, NATOM) + 1\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n",
+        maxatm = p.maxatm(),
+        maxpr = p.maxpr(),
+    );
+
+    // ---- Force evaluation -----------------------------------------------------
+    let _ = write!(
+        s,
+        "SUBROUTINE FORCE\n\
+         {CTRL}\
+         \x20 PARAMETER (MAXATM = {maxatm}, MAXPR = {maxpr})\n\
+         \x20 COMMON /CRDS/ X(MAXATM), V(MAXATM), F(MAXATM)\n\
+         \x20 COMMON /TOPO/ IBND(MAXATM), JBND(MAXATM), NBLST(MAXPR), IPOF(MAXATM)\n\
+         !$TARGET FRC_CLEAR\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   F(I) = 0.0\n\
+         \x20 ENDDO\n\
+         ! Nonbonded: per-atom neighbor-list gather (reads indirect,\n\
+         ! writes direct) — hand-parallel over atoms.\n\
+         !$TARGET NB_FORCE\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   FI = 0.0\n\
+         \x20   DO K = 1, NPAIR / NATOM\n\
+         \x20     J = NBLST(IPOF(I) + K)\n\
+         \x20     D = X(I) - X(J)\n\
+         \x20     FI = FI + D / (1.0 + D * D)\n\
+         \x20   ENDDO\n\
+         \x20   F(I) = F(I) + FI\n\
+         \x20 ENDDO\n\
+         ! Bonded terms: scatter through partner tables (3rd-law update).\n\
+         !$TARGET BOND_FRC\n\
+         \x20 DO K = 1, NBOND\n\
+         \x20   I = IBND(K)\n\
+         \x20   J = JBND(K)\n\
+         \x20   D = X(J) - X(I)\n\
+         \x20   F(I) = F(I) + D * 0.1\n\
+         \x20   F(J) = F(J) - D * 0.1\n\
+         \x20 ENDDO\n\
+         !$TARGET ANGL_FRC\n\
+         \x20 DO K = 1, NBOND - 1\n\
+         \x20   I = IBND(K)\n\
+         \x20   J = JBND(K + 1)\n\
+         \x20   F(I) = F(I) + (X(J) - X(I)) * 0.01\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n",
+        maxatm = p.maxatm(),
+        maxpr = p.maxpr(),
+    );
+
+    // ---- MD / minimization drivers ---------------------------------------------
+    let _ = write!(
+        s,
+        "SUBROUTINE RUNMD\n\
+         {CTRL}\
+         \x20 PARAMETER (MAXATM = {maxatm}, MAXPR = {maxpr})\n\
+         \x20 COMMON /CRDS/ X(MAXATM), V(MAXATM), F(MAXATM)\n\
+         \x20 DO ISTEP = 1, NSTEP\n\
+         \x20   CALL FORCE\n\
+         !$TARGET VERLET_V\n\
+         \x20   DO I = 1, NATOM\n\
+         \x20     V(I) = V(I) + F(I) * 0.001\n\
+         \x20   ENDDO\n\
+         !$TARGET VERLET_X\n\
+         \x20   DO I = 1, NATOM\n\
+         \x20     X(I) = X(I) + V(I) * 0.001\n\
+         \x20   ENDDO\n\
+         \x20   CALL SHAKE\n\
+         \x20 ENDDO\n\
+         \x20 TMAX = -1.0E30\n\
+         !$TARGET MD_TMAX\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   TMAX = MAX(TMAX, V(I) * V(I))\n\
+         \x20 ENDDO\n\
+         \x20 EK = 0.0\n\
+         !$TARGET MD_KINE\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   EK = EK + V(I) * V(I)\n\
+         \x20 ENDDO\n\
+         \x20 WRITE(*,*) 'EK', EK\n\
+         \x20 RETURN\n\
+         END\n\n\
+         SUBROUTINE RUNMIN\n\
+         {CTRL}\
+         \x20 PARAMETER (MAXATM = {maxatm}, MAXPR = {maxpr})\n\
+         \x20 COMMON /CRDS/ X(MAXATM), V(MAXATM), F(MAXATM)\n\
+         \x20 DO ISTEP = 1, NSTEP\n\
+         \x20   CALL FORCE\n\
+         !$TARGET MIN_STEP\n\
+         \x20   DO I = 1, NATOM\n\
+         \x20     X(I) = X(I) + F(I) * 0.0001\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n",
+        maxatm = p.maxatm(),
+        maxpr = p.maxpr(),
+    );
+
+    // ---- SHAKE-like constraint pass (identical gathers) -------------------------
+    let _ = write!(
+        s,
+        "SUBROUTINE SHAKE\n\
+         {CTRL}\
+         \x20 PARAMETER (MAXATM = {maxatm}, MAXPR = {maxpr})\n\
+         \x20 COMMON /CRDS/ X(MAXATM), V(MAXATM), F(MAXATM)\n\
+         \x20 COMMON /TOPO/ IBND(MAXATM), JBND(MAXATM), NBLST(MAXPR), IPOF(MAXATM)\n\
+         \x20 INTEGER IPRM({maxatm})\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   IPRM(I) = NATOM - I + 1\n\
+         \x20 ENDDO\n\
+         !$TARGET SHAKE_GATH\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   V(IPRM(I)) = V(IPRM(I)) * 0.9999\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n",
+        maxatm = p.maxatm(),
+        maxpr = p.maxpr(),
+    );
+
+    // ---- Ewald-like reciprocal sums + solute/solvent windows + output -----------
+    let _ = write!(
+        s,
+        "SUBROUTINE MDOUT\n\
+         {CTRL}\
+         \x20 PARAMETER (MAXATM = {maxatm}, MAXPR = {maxpr})\n\
+         \x20 COMMON /CRDS/ X(MAXATM), V(MAXATM), F(MAXATM)\n\
+         \x20 REAL GRID(4096)\n\
+         ! k-space accumulation over a 3-D grid (linearized).\n\
+         !$TARGET EWALD_K\n\
+         \x20 DO KZ = 1, NK\n\
+         \x20   DO KY = 1, NK\n\
+         \x20     DO KX = 1, NK\n\
+         \x20       KG = ((KZ - 1) * NK + KY - 1) * NK + KX\n\
+         \x20       GRID(KG) = REAL(KX + KY + KZ) * 0.01\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         !$TARGET EWALD_SC\n\
+         \x20 DO KZ = 1, NK\n\
+         \x20   DO KY = 1, NK\n\
+         \x20     DO KX = 1, NK\n\
+         \x20       KG = ((KZ - 1) * NK + KY - 1) * NK + KX\n\
+         \x20       GRID(KG) = GRID(KG) * 0.5\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         ! Solute / solvent deck windows (validated: ISOLV >= ISOLU + NATOM).\n\
+         !$TARGET SOLV_SCAL\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   X(ISOLV + I) = X(ISOLV + I) * 0.5 + X(ISOLU + I) * 0.5\n\
+         \x20 ENDDO\n\
+         !$TARGET SOLV_MIX\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   V(ISOLV + I) = V(ISOLV + I) + V(ISOLU + I) * 0.1\n\
+         \x20 ENDDO\n\
+         !$TARGET SOLV_DMP\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   F(ISOLV + I) = F(ISOLU + I) * 0.25\n\
+         \x20 ENDDO\n\
+         \x20 CALL PAIRE(X, F, NATOM)\n\
+         \x20 CALL VDWMX(V, F, NATOM)\n\
+         \x20 EP = 0.0\n\
+         !$TARGET MD_EPOT\n\
+         \x20 DO I = 1, NATOM\n\
+         \x20   EP = EP + F(I) * X(I)\n\
+         \x20 ENDDO\n\
+         ! Dihedral cross-term sweep (heavy unrolled analysis).\n\
+         !$TARGET DIHE_XTRM\n\
+         \x20 DO IQ = 1, NDIH\n",
+        maxatm = p.maxatm(),
+        maxpr = p.maxpr(),
+    );
+    for t in 0..16 {
+        let _ = writeln!(
+            s,
+            "    F(ISOLU + (IQ - 1) * 32 + {a}) = F(ISOLV + (IQ - 1) * 32 + {b}) * 0.5 + X(ISOLV + (IQ - 1) * 32 + {a}) * 0.1",
+            a = t + 1,
+            b = t + 2,
+        );
+    }
+    s.push_str(
+        "  ENDDO\n\
+         \x20 WRITE(*,*) 'EP', EP\n\
+         \x20 RETURN\n\
+         END\n\n\
+         SUBROUTINE PAIRE(A, B, N)\n\
+         \x20 REAL A(*), B(*)\n\
+         \x20 INTEGER N\n\
+         !$TARGET MD_PAIRE\n\
+         \x20 DO K = 1, N\n\
+         \x20   B(K) = B(K) + A(K) * 0.001\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n\
+         SUBROUTINE VDWMX(A, B, N)\n\
+         \x20 REAL A(*), B(*)\n\
+         \x20 INTEGER N\n\
+         !$TARGET MD_VDWMX\n\
+         \x20 DO K = 1, N\n\
+         \x20   B(K) = A(K) * 0.5 + B(K) * 0.5\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+
+    Workload {
+        name: "SANDER".into(),
+        source: s,
+        deck: vec![
+            DeckValue::Int(p.imin),
+            DeckValue::Int(p.natom),
+            DeckValue::Int(p.nstep),
+            DeckValue::Int(p.nbond()),
+            DeckValue::Int(p.npair()),
+            DeckValue::Int(p.isolu()),
+            DeckValue::Int(p.isolv()),
+            DeckValue::Int(8),
+            DeckValue::Int(((p.natom - 32) / 32).max(1)),
+        ],
+        targets: targets(),
+    }
+}
+
+/// The SANDER target manifest (~20 loops, indirection-heavy).
+pub fn targets() -> Vec<TargetSpec> {
+    vec![
+        TargetSpec::new("MD_XINIT", C::Autoparallelized, true),
+        TargetSpec::new("FRC_CLEAR", C::Autoparallelized, true),
+        TargetSpec::new("NB_FORCE", C::Autoparallelized, true),
+        TargetSpec::new("BOND_FRC", C::Indirection, false),
+        TargetSpec::new("ANGL_FRC", C::Indirection, true),
+        TargetSpec::new("VERLET_V", C::Autoparallelized, true),
+        TargetSpec::new("VERLET_X", C::Autoparallelized, true),
+        TargetSpec::new("MD_TMAX", C::Autoparallelized, true),
+        TargetSpec::new("MD_KINE", C::Autoparallelized, true),
+        TargetSpec::new("MIN_STEP", C::Autoparallelized, true),
+        TargetSpec::new("SHAKE_GATH", C::Indirection, true),
+        TargetSpec::new("EWALD_K", C::SymbolAnalysis, true),
+        TargetSpec::new("EWALD_SC", C::SymbolAnalysis, true),
+        TargetSpec::new("SOLV_SCAL", C::Rangeless, true),
+        TargetSpec::new("SOLV_MIX", C::Rangeless, true),
+        TargetSpec::new("SOLV_DMP", C::Rangeless, true),
+        TargetSpec::new("MD_EPOT", C::Autoparallelized, true),
+        TargetSpec::new("DIHE_XTRM", C::Complexity, false),
+        TargetSpec::new("MD_PAIRE", C::Aliasing, true),
+        TargetSpec::new("MD_VDWMX", C::Aliasing, true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_resolves() {
+        let w = suite(DataSize::Test);
+        apar_minifort::frontend(&w.source).unwrap_or_else(|e| panic!("{}", e));
+    }
+
+    #[test]
+    fn target_scale_matches_paper() {
+        let n = targets().len();
+        assert!((15..=25).contains(&n), "targets = {}", n);
+    }
+}

@@ -1,0 +1,1326 @@
+//! The SEISMIC application suite.
+//!
+//! Mirrors the structure the paper describes: a main program that reads
+//! an input deck and validates it, a `SEISPREP` relations routine, a
+//! C-language `CPROC` that owns the working storage and launches the
+//! Fortran `SEISPROC` driver (§2.4), a driver loop dispatching on
+//! user-selected modules (§2.1/2.2), and four computational modules —
+//! data generation (DGEN), CMP stacking (STAK), 3-D FFT (M3FK), and
+//! finite differencing (FDIF) — that follow the MODULEPREP/MODULECOMP
+//! template and share the OTRA/RA/SA storage (§2.3).
+//!
+//! Every hand-parallelizable loop carries `!$TARGET`; the OpenMP variant
+//! adds `!$OMP PARALLEL DO` exactly where a human would (including the
+//! hand rewrite of the `KOFF` running offset in STAK). The MPI variant
+//! is a set of standalone distributed programs per component — industry
+//! keeps separate message-passing versions, as the paper notes.
+
+use crate::{DataSize, DeckValue, TargetSpec, Variant, Workload};
+use apar_core::Classification as C;
+use std::fmt::Write as _;
+
+/// Deck-level problem dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct SeismicParams {
+    pub ngath: i64,
+    pub nfold: i64,
+    pub nsamp: i64,
+    pub nx: i64,
+    pub ny: i64,
+    pub nt: i64,
+    pub ntime: i64,
+}
+
+impl SeismicParams {
+    pub fn for_size(size: DataSize) -> Self {
+        match size {
+            DataSize::Test => SeismicParams {
+                ngath: 4,
+                nfold: 2,
+                nsamp: 32,
+                nx: 4,
+                // NY >= ranks + 2 keeps the MPI row decomposition
+                // non-degenerate on 4 ranks.
+                ny: 8,
+                nt: 8,
+                ntime: 3,
+            },
+            DataSize::Small => SeismicParams {
+                ngath: 48,
+                nfold: 12,
+                nsamp: 1250,
+                nx: 8,
+                ny: 16,
+                nt: 512,
+                ntime: 600,
+            },
+            // MEDIUM: roughly 10x the memory of SMALL.
+            DataSize::Medium => SeismicParams {
+                ngath: 120,
+                nfold: 24,
+                nsamp: 2500,
+                nx: 16,
+                ny: 32,
+                nt: 1024,
+                ntime: 1200,
+            },
+        }
+    }
+
+    pub fn ntrc(&self) -> i64 {
+        self.ngath * self.nfold
+    }
+
+    /// OTRA capacity (words).
+    pub fn capo(&self) -> i64 {
+        self.ntrc() * self.nsamp + 4 * self.nsamp + 64
+    }
+
+    /// RA capacity.
+    pub fn capr(&self) -> i64 {
+        let fft = 2 * self.nx * self.ny * self.nt;
+        let fd = 3 * self.nbuf();
+        (self.ntrc() * self.nsamp).max(fft).max(fd) + 64
+    }
+
+    /// SA capacity.
+    pub fn caps(&self) -> i64 {
+        4 * self.nsamp.max(2 * self.nt).max(self.nx * self.ny) + 64
+    }
+
+    /// FDIF plane stride (deck value, validated >= NX*NY).
+    pub fn nbuf(&self) -> i64 {
+        self.nx * self.ny + 8
+    }
+
+    /// Deck filter window offsets (JOFLT >= IOFLT + NSAMP holds).
+    pub fn ioflt(&self) -> i64 {
+        0
+    }
+    pub fn joflt(&self) -> i64 {
+        2 * self.nsamp
+    }
+    /// Cross-correlation window count (NXCOR * 32 <= NSAMP).
+    pub fn nxcor(&self) -> i64 {
+        (self.nsamp / 32 - 1).max(1)
+    }
+}
+
+/// The four measured components of Figure 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Component {
+    DataGen,
+    Stack,
+    Fft3d,
+    FinDiff,
+}
+
+impl Component {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::DataGen => "data gen.",
+            Component::Stack => "stack",
+            Component::Fft3d => "3D FFT",
+            Component::FinDiff => "finite diff.",
+        }
+    }
+
+    /// Module-selection deck for this component (DGEN feeds STAK).
+    fn modsel(&self) -> Vec<i64> {
+        match self {
+            Component::DataGen => vec![1],
+            Component::Stack => vec![1, 2],
+            Component::Fft3d => vec![3],
+            Component::FinDiff => vec![4],
+        }
+    }
+}
+
+fn omp(v: Variant, clauses: &str) -> String {
+    if v == Variant::OpenMp {
+        format!("!$OMP PARALLEL DO{}\n", clauses)
+    } else {
+        String::new()
+    }
+}
+
+/// Used RA extent for a module schedule (what CPROC must zero).
+fn nwork(p: &SeismicParams, modsel: &[i64]) -> i64 {
+    modsel
+        .iter()
+        .map(|m| match m {
+            1 | 2 => p.ngath.max(p.ntrc()) * p.nsamp,
+            3 => 2 * p.nx * p.ny * p.nt,
+            4 => 3 * p.nbuf(),
+            _ => 1,
+        })
+        .max()
+        .unwrap_or(1)
+        .max(p.ngath * p.nsamp) // SEISOUT checksums RA(1..NGATH*NSAMP)
+}
+
+/// Builds the deck for a given module sequence.
+fn deck(p: &SeismicParams, modsel: &[i64]) -> Vec<DeckValue> {
+    assert!(modsel.len() <= 8);
+    let mut d = vec![
+        DeckValue::Int(p.ngath),
+        DeckValue::Int(p.nfold),
+        DeckValue::Int(p.nsamp),
+        DeckValue::Int(p.nx),
+        DeckValue::Int(p.ny),
+        DeckValue::Int(p.nt),
+        DeckValue::Int(p.ntime),
+        DeckValue::Int(p.ioflt()),
+        DeckValue::Int(p.joflt()),
+        DeckValue::Int(p.nbuf()),
+        DeckValue::Int(p.nxcor()),
+        DeckValue::Int(nwork(p, modsel)),
+        DeckValue::Int(modsel.len() as i64),
+    ];
+    for k in 0..8 {
+        d.push(DeckValue::Int(*modsel.get(k).unwrap_or(&0)));
+    }
+    d
+}
+
+const CTRL: &str = "  COMMON /CTRL/ NGATH, NFOLD, NSAMP, NX, NY, NT, NTIME, IOFLT, JOFLT, NBUF, NXCOR, NWORK, NSTEPS, MODSEL(8), NTRC, LDIM, MAXTRC, NRA, NSA\n";
+const PHYS: &str = "  COMMON /PHYS/ DT, DX, VELO\n";
+
+/// MAIN + SEISPREP + C glue + SEISPROC + SEISOUT.
+fn framework(p: &SeismicParams) -> String {
+    let mut s = String::new();
+    // ---- MAIN ---------------------------------------------------------
+    s.push_str("PROGRAM SEISMAIN\n");
+    s.push_str(CTRL);
+    s.push_str(PHYS);
+    s.push_str(
+        "  READ(*,*) NGATH, NFOLD, NSAMP\n\
+         \x20 READ(*,*) NX, NY, NT, NTIME\n\
+         \x20 READ(*,*) IOFLT, JOFLT, NBUF, NXCOR, NWORK\n\
+         \x20 READ(*,*) NSTEPS\n\
+         \x20 READ(*,*) MODSEL(1), MODSEL(2), MODSEL(3), MODSEL(4), MODSEL(5), MODSEL(6), MODSEL(7), MODSEL(8)\n\
+         \x20 IF (NGATH .LT. 1) STOP\n\
+         \x20 IF (NGATH .GT. 4096) STOP\n\
+         \x20 IF (NFOLD .LT. 1) STOP\n\
+         \x20 IF (NFOLD .GT. 64) STOP\n\
+         \x20 IF (NSAMP .LT. 8) STOP\n\
+         \x20 IF (NSAMP .GT. 8192) STOP\n\
+         \x20 IF (NX .LT. 4) STOP\n\
+         \x20 IF (NX .GT. 512) STOP\n\
+         \x20 IF (NY .LT. 4) STOP\n\
+         \x20 IF (NY .GT. 512) STOP\n\
+         \x20 IF (NT .LT. 8) STOP\n\
+         \x20 IF (NT .GT. 4096) STOP\n\
+         \x20 IF (NTIME .LT. 1) STOP\n\
+         \x20 IF (NTIME .GT. 100000) STOP\n\
+         \x20 IF (IOFLT .LT. 0) STOP\n\
+         \x20 IF (JOFLT .LT. IOFLT + NSAMP) STOP\n\
+         \x20 IF (NBUF .LT. NX * NY) STOP\n\
+         \x20 IF (NXCOR .LT. 1) STOP\n\
+         \x20 IF (NWORK .LT. 1) STOP\n\
+         \x20 IF (NSTEPS .LT. 1) STOP\n\
+         \x20 IF (NSTEPS .GT. 8) STOP\n\
+         \x20 NTRC = NGATH * NFOLD\n\
+         \x20 DT = 0.002\n\
+         \x20 DX = 10.0\n\
+         \x20 VELO = 2000.0\n\
+         \x20 CALL SEISPREP\n\
+         \x20 CALL CPROC\n\
+         END\n\n",
+    );
+    // ---- SEISPREP: template relations ----------------------------------
+    s.push_str("SUBROUTINE SEISPREP\n");
+    s.push_str(CTRL);
+    s.push_str(
+        "  LDIM = NSAMP\n\
+         \x20 MAXTRC = NTRC\n\
+         \x20 NRA = LDIM * MAXTRC\n\
+         \x20 NSA = 4 * LDIM\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    // ---- CPROC: C-language allocator ------------------------------------
+    let _ = write!(
+        s,
+        "!LANG C\n\
+         SUBROUTINE CPROC\n\
+         {CTRL}\
+         \x20 PARAMETER (MCAPO = {capo}, MCAPR = {capr}, MCAPS = {caps})\n\
+         \x20 COMMON /WORK/ OTRA(MCAPO), RA(MCAPR), SA(MCAPS)\n\
+         \x20 DO I = NTRC * NSAMP + 1, NTRC * NSAMP + 4 * NSAMP\n\
+         \x20   OTRA(I) = 0.0\n\
+         \x20 ENDDO\n\
+         \x20 DO I = 1, MCAPS\n\
+         \x20   SA(I) = 0.0\n\
+         \x20 ENDDO\n\
+         \x20 NWORK = NWORK\n\
+         \x20 CALL SEISPROC(OTRA, RA, SA)\n\
+         END\n\n",
+        capo = p.capo(),
+        capr = p.capr(),
+        caps = p.caps(),
+    );
+    // ---- C file I/O glue --------------------------------------------------
+    s.push_str(
+        "!LANG C\n\
+         SUBROUTINE CWRITE(BUF, N)\n\
+         \x20 REAL BUF(*)\n\
+         \x20 INTEGER N\n\
+         \x20 CK = 0.0\n\
+         \x20 DO I = 1, N, 8\n\
+         \x20   CK = CK + BUF(I)\n\
+         \x20 ENDDO\n\
+         \x20 WRITE(*,*) 'CWRITE', CK\n\
+         END\n\n\
+         !LANG C\n\
+         SUBROUTINE CREAD(BUF, N, ISEED)\n\
+         \x20 REAL BUF(*)\n\
+         \x20 INTEGER N, ISEED\n\
+         \x20 DO I = 1, N\n\
+         \x20   BUF(I) = REAL(MOD(I * 1103 + ISEED, 1000)) * 0.001\n\
+         \x20 ENDDO\n\
+         END\n\n",
+    );
+    // ---- SEISPROC: the driver (multifunctional dispatch) -----------------
+    s.push_str(
+        "SUBROUTINE SEISPROC(OTRA, RA, SA)\n\
+         \x20 REAL OTRA(*), RA(*), SA(*)\n",
+    );
+    s.push_str(CTRL);
+    s.push_str(
+        "  NTRI = NTRC\n\
+         \x20 DO ISTEP = 1, NSTEPS\n\
+         \x20   MODE = MODSEL(ISTEP)\n\
+         \x20   IF (MODE .EQ. 1) THEN\n\
+         \x20     CALL DGENP\n\
+         \x20     CALL DGENB(OTRA, RA, SA, NTRI, NTRO)\n\
+         \x20   ELSE IF (MODE .EQ. 2) THEN\n\
+         \x20     CALL STAKP\n\
+         \x20     CALL STAKB(OTRA, RA, SA, NTRI, NTRO)\n\
+         \x20   ELSE IF (MODE .EQ. 3) THEN\n\
+         \x20     CALL M3FKP\n\
+         \x20     CALL M3FKB(OTRA, RA, SA, NTRI, NTRO)\n\
+         \x20   ELSE IF (MODE .EQ. 4) THEN\n\
+         \x20     CALL FDIFP\n\
+         \x20     CALL FDIFB(OTRA, RA, SA, NTRI, NTRO)\n\
+         \x20   ENDIF\n\
+         \x20   NTRI = NTRO\n\
+         \x20 ENDDO\n\
+         \x20 CALL SEISOUT(RA, SA)\n\
+         \x20 RETURN\n\
+         END\n\n\
+         SUBROUTINE SEISOUT(RA, SA)\n\
+         \x20 REAL RA(*), SA(*)\n",
+    );
+    s.push_str(CTRL);
+    s.push_str(
+        "  CALL CWRITE(RA, NGATH * NSAMP)\n\
+         \x20 WRITE(*,*) 'SA1', SA(1)\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s
+}
+
+/// The DGEN (data generation) module.
+fn dgen(v: Variant) -> String {
+    let mut s = String::new();
+    s.push_str("SUBROUTINE DGENP\n");
+    s.push_str(CTRL);
+    s.push_str(
+        "  LDIM = NSAMP\n\
+         \x20 MAXTRC = NTRC\n\
+         \x20 NRA = LDIM * MAXTRC\n\
+         \x20 NSA = 4 * LDIM\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s.push_str("SUBROUTINE DGENB(OTRA, RA, SA, NTRI, NTRO)\n");
+    s.push_str("  REAL OTRA(*), RA(*), SA(*)\n  INTEGER NTRI, NTRO\n");
+    s.push_str(CTRL);
+    s.push_str(PHYS);
+    // Simple scratch loop (baseline-parallelizable).
+    let _ = write!(
+        s,
+        "!$TARGET DGEN_SCRATCH\n{}",
+        omp(v, "")
+    );
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   SA(IS) = 0.0\n\
+         \x20 ENDDO\n",
+    );
+    // Main synthesis: Ricker wavelets per trace, through the per-trace
+    // helper (a section actual: the baseline cannot relate the callee's
+    // view of OTRA to the caller's — §2.3).
+    let _ = write!(s, "!$TARGET DGEN_TRACES\n{}", omp(v, " PRIVATE(IOFF, T0)"));
+    s.push_str(
+        "  DO ITR = 1, NTRC\n\
+         \x20   IOFF = (ITR - 1) * NSAMP\n\
+         \x20   T0 = DT * REAL(MOD(ITR - 1, NFOLD) * 8 + 8)\n\
+         \x20   CALL DGWAVE(OTRA(IOFF + 1), NSAMP, 1, T0)\n\
+         \x20 ENDDO\n",
+    );
+    // Gain application (same shape).
+    let _ = write!(s, "!$TARGET DGEN_GAIN\n{}", omp(v, " PRIVATE(IOFF, IS)"));
+    s.push_str(
+        "  DO ITR = 1, NTRC\n\
+         \x20   IOFF = (ITR - 1) * NSAMP\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     OTRA(IOFF + IS) = OTRA(IOFF + IS) * (1.0 + REAL(IS) * 0.002)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n",
+    );
+    // Deck-offset filter (rangeless in the baseline).
+    let _ = write!(s, "!$TARGET DGEN_FILT\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   OTRA(JOFLT + IS) = OTRA(JOFLT + IS) * 0.9 + OTRA(IOFLT + IS) * 0.1\n\
+         \x20 ENDDO\n",
+    );
+    // Taper over the front half of the filter window (rangeless).
+    let _ = write!(s, "!$TARGET DGEN_TAPR\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP / 2\n\
+         \x20   OTRA(JOFLT + IS) = OTRA(JOFLT + IS) * 0.98 + OTRA(IOFLT + IS) * 0.02\n\
+         \x20 ENDDO\n",
+    );
+    // Second deck-offset utility (smoothing into the filter window).
+    let _ = write!(s, "!$TARGET DGEN_DIFF\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   OTRA(JOFLT + IS) = OTRA(JOFLT + IS) - OTRA(IOFLT + IS) * 0.05\n\
+         \x20 ENDDO\n",
+    );
+    // Energy norm (reduction).
+    let _ = write!(s, "  S = 0.0\n!$TARGET DGEN_NORM\n{}", omp(v, " REDUCTION(+:S)"));
+    s.push_str(
+        "  DO K = 1, NTRC * NSAMP\n\
+         \x20   S = S + OTRA(K) * OTRA(K)\n\
+         \x20 ENDDO\n\
+         \x20 SA(1) = SQRT(S)\n",
+    );
+    // Cross-correlation monster (compile-time complexity): each
+    // iteration owns a disjoint 32-word window, but proving that for
+    // every pair of the unrolled references exhausts the op budget.
+    let _ = write!(s, "!$TARGET DGEN_XCOR\n{}", omp(v, ""));
+    s.push_str("  DO IW = 1, NXCOR\n");
+    for k in 0..20 {
+        let _ = writeln!(
+            s,
+            "    OTRA(IOFLT + (IW - 1) * 32 + {k}) = OTRA(JOFLT + (IW - 1) * 32 + {k1}) * 0.5 + OTRA(JOFLT + (IW - 1) * 32 + {k}) * 0.25",
+            k = k + 1,
+            k1 = k + 2,
+        );
+    }
+    s.push_str("  ENDDO\n");
+    // Aliasing utilities (framework formals passed on).
+    let _ = write!(s, "  CALL SAGC(OTRA, SA, 4, NSAMP)\n  CALL SBLD(OTRA, RA, 4, NSAMP)\n  CALL SFLT(OTRA, SA, 2, NSAMP)\n");
+    // Archive via C I/O.
+    s.push_str(
+        "  CALL CWRITE(OTRA, NTRC * NSAMP)\n\
+         \x20 NTRO = NTRI\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    // Per-trace wavelet kernel (module template helper).
+    s.push_str(
+        "SUBROUTINE DGWAVE(TR, NS, INC, T0)\n\
+         \x20 REAL TR(*)\n\
+         \x20 INTEGER NS, INC\n",
+    );
+    s.push_str(PHYS);
+    // Ricker source through a one-pole smoothing filter: the recursive
+    // update makes the sample loop genuinely serial (parallelism lives
+    // at the trace level, where the hand annotations put it).
+    s.push_str(
+        "  W = 0.0\n\
+         \x20 DO IS = 1, NS\n\
+         \x20   T = REAL(IS - 1) * DT - T0\n\
+         \x20   ARG = 900.0 * T * T\n\
+         \x20   AMP = (1.0 - 2.0 * ARG) * EXP(-ARG)\n\
+         \x20   W = W * 0.35 + AMP * 0.65\n\
+         \x20   TR(1 + (IS - 1) * INC) = W\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s
+}
+
+/// The STAK (CMP stacking) module.
+fn stak(v: Variant) -> String {
+    let mut s = String::new();
+    s.push_str("SUBROUTINE STAKP\n");
+    s.push_str(CTRL);
+    s.push_str(
+        "  LDIM = NSAMP\n\
+         \x20 MAXTRC = NGATH\n\
+         \x20 NRA = LDIM * MAXTRC\n\
+         \x20 NSA = 4 * LDIM\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s.push_str("SUBROUTINE STAKB(OTRA, RA, SA, NTRI, NTRO)\n");
+    s.push_str("  REAL OTRA(*), RA(*), SA(*)\n  INTEGER NTRI, NTRO\n");
+    s.push_str("  REAL WRK(8192)\n  INTEGER IRVS(8192)\n");
+    s.push_str(CTRL);
+    // Clear the stack output.
+    let _ = write!(s, "!$TARGET STAK_CLEAR\n{}", omp(v, ""));
+    s.push_str(
+        "  DO K = 1, NGATH * NSAMP\n\
+         \x20   RA(K) = 0.0\n\
+         \x20 ENDDO\n",
+    );
+    // Main stack. The serial source uses a running offset (induction
+    // variable); the hand-parallelized version computes it per gather.
+    match v {
+        Variant::OpenMp => {
+            let _ = write!(
+                s,
+                "!$TARGET STAK_GATHERS\n{}",
+                omp(v, " PRIVATE(KOFF, IFO, JOFF, IS)")
+            );
+            s.push_str(
+                "  DO IG = 1, NGATH\n\
+                 \x20   KOFF = (IG - 1) * NSAMP\n\
+                 \x20   DO IFO = 1, NFOLD\n\
+                 \x20     JOFF = ((IG - 1) * NFOLD + IFO - 1) * NSAMP\n\
+                 \x20     DO IS = 1, NSAMP\n\
+                 \x20       RA(KOFF + IS) = RA(KOFF + IS) + OTRA(JOFF + IS)\n\
+                 \x20     ENDDO\n\
+                 \x20   ENDDO\n\
+                 \x20 ENDDO\n",
+            );
+        }
+        _ => {
+            s.push_str(
+                "  KOFF = 0\n\
+                 !$TARGET STAK_GATHERS\n\
+                 \x20 DO IG = 1, NGATH\n\
+                 \x20   DO IFO = 1, NFOLD\n\
+                 \x20     JOFF = ((IG - 1) * NFOLD + IFO - 1) * NSAMP\n\
+                 \x20     DO IS = 1, NSAMP\n\
+                 \x20       RA(KOFF + IS) = RA(KOFF + IS) + OTRA(JOFF + IS)\n\
+                 \x20     ENDDO\n\
+                 \x20   ENDDO\n\
+                 \x20   KOFF = KOFF + NSAMP\n\
+                 \x20 ENDDO\n",
+            );
+        }
+    }
+    // Normalize by fold.
+    let _ = write!(s, "!$TARGET STAK_SCALE\n{}", omp(v, ""));
+    s.push_str(
+        "  DO K = 1, NGATH * NSAMP\n\
+         \x20   RA(K) = RA(K) / REAL(NFOLD)\n\
+         \x20 ENDDO\n",
+    );
+    // Resequencing through a permutation (indirection).
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   IRVS(IS) = NSAMP - IS + 1\n\
+         \x20 ENDDO\n",
+    );
+    let _ = write!(s, "!$TARGET STAK_RESEQ\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   WRK(IRVS(IS)) = RA(IS)\n\
+         \x20 ENDDO\n",
+    );
+    let _ = write!(s, "!$TARGET STAK_PUTB\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   SA(IS) = WRK(IS)\n\
+         \x20 ENDDO\n",
+    );
+    // Residual-statics shift into the deck window (rangeless).
+    let _ = write!(s, "!$TARGET STAK_SHFT\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP - 1\n\
+         \x20   OTRA(JOFLT + IS) = OTRA(IOFLT + IS + 1) * 0.5\n\
+         \x20 ENDDO\n",
+    );
+    // Deck-window difference (rangeless).
+    let _ = write!(s, "!$TARGET STAK_MUTE\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   OTRA(JOFLT + IS) = OTRA(JOFLT + IS) - OTRA(IOFLT + IS)\n\
+         \x20 ENDDO\n",
+    );
+    // Aliasing utilities.
+    s.push_str("  CALL SMUT(RA, SA, 4, NSAMP)\n  CALL SSCL(OTRA, RA, 4, NSAMP)\n  CALL SNRM(RA, SA, 2, NSAMP)\n");
+    s.push_str(
+        "  CALL CWRITE(RA, NGATH * NSAMP)\n\
+         \x20 NTRO = NGATH\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s
+}
+
+/// The M3FK (3-D FFT) module, including the CFFT1 kernel.
+fn m3fk(v: Variant) -> String {
+    let mut s = String::new();
+    s.push_str("SUBROUTINE M3FKP\n");
+    s.push_str(CTRL);
+    s.push_str(
+        "  LDIM = 2 * NT\n\
+         \x20 MAXTRC = NX * NY\n\
+         \x20 NRA = LDIM * MAXTRC\n\
+         \x20 NSA = 4 * LDIM\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s.push_str("SUBROUTINE M3FKB(OTRA, RA, SA, NTRI, NTRO)\n");
+    s.push_str("  REAL OTRA(*), RA(*), SA(*)\n  INTEGER NTRI, NTRO\n");
+    s.push_str("  REAL CW(16384)\n");
+    s.push_str(CTRL);
+    // Grid synthesis (complex data viewed as stride-2 reals in RA — the
+    // shared-structure reshaping of §2.3).
+    let _ = write!(s, "!$TARGET M3FK_GRID\n{}", omp(v, " PRIVATE(KOFF, IT, PH)"));
+    s.push_str(
+        "  DO ICOL = 1, NX * NY\n\
+         \x20   KOFF = (ICOL - 1) * 2 * NT\n\
+         \x20   DO IT = 1, NT\n\
+         \x20     PH = REAL(IT * ICOL) * 0.001\n\
+         \x20     RA(KOFF + 2 * IT - 1) = COS(PH)\n\
+         \x20     RA(KOFF + 2 * IT) = SIN(PH)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n",
+    );
+    // Transform along T: contiguous complex columns, section actuals.
+    let _ = write!(s, "!$TARGET M3FK_TCOLS\n{}", omp(v, ""));
+    s.push_str(
+        "  DO ICOL = 1, NX * NY\n\
+         \x20   CALL CFFT1(RA((ICOL - 1) * 2 * NT + 1), NT)\n\
+         \x20 ENDDO\n",
+    );
+    // Transform along X: gather a strided pencil into private scratch,
+    // transform, scatter back (transpose-free strided FFT).
+    let _ = write!(s, "!$TARGET M3FK_XPEN\n{}", omp(v, " PRIVATE(CW, IX, KSRC)"));
+    s.push_str(
+        "  DO IPEN = 1, NY * NT\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     KSRC = ((IX - 1) * NY * NT + IPEN - 1) * 2\n\
+         \x20     CW(2 * IX - 1) = RA(KSRC + 1)\n\
+         \x20     CW(2 * IX) = RA(KSRC + 2)\n\
+         \x20   ENDDO\n\
+         \x20   CALL CFFT1(CW, NX)\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     KSRC = ((IX - 1) * NY * NT + IPEN - 1) * 2\n\
+         \x20     RA(KSRC + 1) = CW(2 * IX - 1)\n\
+         \x20     RA(KSRC + 2) = CW(2 * IX)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n",
+    );
+    // Half-grid spectral shift (linearized symbolic subscripts).
+    let _ = write!(s, "!$TARGET M3FK_SHFT\n{}", omp(v, " PRIVATE(IT)"));
+    s.push_str(
+        "  DO ICOL = 1, NX * NY\n\
+         \x20   DO IT = 1, NT\n\
+         \x20     RA((ICOL - 1) * 2 * NT + 2 * IT - 1) = RA((ICOL - 1) * 2 * NT + 2 * IT - 1) * 0.999\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n",
+    );
+    // Spectral scaling.
+    let _ = write!(s, "!$TARGET M3FK_SCALE\n{}", omp(v, ""));
+    s.push_str(
+        "  DO K = 1, 2 * NX * NY * NT\n\
+         \x20   RA(K) = RA(K) * (1.0 / REAL(NT))\n\
+         \x20 ENDDO\n",
+    );
+    // Deck-window pad utility (rangeless).
+    let _ = write!(s, "!$TARGET M3FK_PAD\n{}", omp(v, ""));
+    s.push_str(
+        "  DO IS = 1, NSAMP\n\
+         \x20   OTRA(JOFLT + IS) = OTRA(JOFLT + IS) * 0.5 + OTRA(IOFLT + IS) * 0.5\n\
+         \x20 ENDDO\n",
+    );
+    s.push_str("  CALL SDMP(RA, SA, 4, NSAMP)\n  CALL SWIN(OTRA, SA, 4, NSAMP)\n  CALL SCLP(RA, SA, 2, NSAMP)\n");
+    s.push_str(
+        "  CALL CWRITE(RA, 2 * NX * NY * NT)\n\
+         \x20 NTRO = NTRI\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    // ---- CFFT1: in-place radix-2 complex FFT -----------------------------
+    s.push_str("SUBROUTINE CFFT1(R, N)\n");
+    s.push_str("  REAL R(*)\n  INTEGER N\n  INTEGER IBR(8192)\n");
+    // Bit-reversal table by doubling.
+    s.push_str(
+        "  NBR = 1\n\
+         \x20 IBR(1) = 0\n\
+         \x20 DO WHILE (NBR .LT. N)\n\
+         \x20   DO K = 1, NBR\n\
+         \x20     IBR(K) = IBR(K) * 2\n\
+         \x20     IBR(K + NBR) = IBR(K) + 1\n\
+         \x20   ENDDO\n\
+         \x20   NBR = NBR * 2\n\
+         \x20 ENDDO\n",
+    );
+    // Parallel-safe swap pass (each involution pair touched once).
+    let _ = write!(s, "!$TARGET M3FK_BREV\n{}", omp(v, " PRIVATE(J, TR, TI)"));
+    s.push_str(
+        "  DO I = 1, N\n\
+         \x20   J = IBR(I) + 1\n\
+         \x20   IF (J .GT. I) THEN\n\
+         \x20     TR = R(2 * J - 1)\n\
+         \x20     TI = R(2 * J)\n\
+         \x20     R(2 * J - 1) = R(2 * I - 1)\n\
+         \x20     R(2 * J) = R(2 * I)\n\
+         \x20     R(2 * I - 1) = TR\n\
+         \x20     R(2 * I) = TI\n\
+         \x20   ENDIF\n\
+         \x20 ENDDO\n",
+    );
+    // Butterfly stages.
+    s.push_str("  LE2 = 1\n  DO WHILE (LE2 .LT. N)\n    LE = LE2 * 2\n");
+    s.push_str(
+        "    ANG = -3.14159265 / REAL(LE2)\n\
+         \x20   WPR = COS(ANG)\n\
+         \x20   WPI = SIN(ANG)\n\
+         \x20   NGRP = N / LE\n",
+    );
+    let _ = write!(
+        s,
+        "!$TARGET M3FK_BFLY\n{}",
+        omp(v, " PRIVATE(I0, WR, WI, K, I1, I2, TR, TI, TW)")
+    );
+    s.push_str(
+        "    DO IGRP = 1, NGRP\n\
+         \x20     I0 = (IGRP - 1) * LE\n\
+         \x20     WR = 1.0\n\
+         \x20     WI = 0.0\n\
+         \x20     DO K = 1, LE2\n\
+         \x20       I1 = I0 + K\n\
+         \x20       I2 = I1 + LE2\n\
+         \x20       TR = WR * R(2 * I2 - 1) - WI * R(2 * I2)\n\
+         \x20       TI = WR * R(2 * I2) + WI * R(2 * I2 - 1)\n\
+         \x20       R(2 * I2 - 1) = R(2 * I1 - 1) - TR\n\
+         \x20       R(2 * I2) = R(2 * I1) - TI\n\
+         \x20       R(2 * I1 - 1) = R(2 * I1 - 1) + TR\n\
+         \x20       R(2 * I1) = R(2 * I1) + TI\n\
+         \x20       TW = WR\n\
+         \x20       WR = TW * WPR - WI * WPI\n\
+         \x20       WI = TW * WPI + WI * WPR\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20   LE2 = LE\n\
+         \x20 ENDDO\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s
+}
+
+/// The FDIF (finite difference) module.
+fn fdif(v: Variant) -> String {
+    let mut s = String::new();
+    s.push_str("SUBROUTINE FDIFP\n");
+    s.push_str(CTRL);
+    s.push_str(
+        "  LDIM = NX\n\
+         \x20 MAXTRC = NY\n\
+         \x20 NRA = 3 * NBUF\n\
+         \x20 NSA = 4 * NX\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s.push_str("SUBROUTINE FDIFB(OTRA, RA, SA, NTRI, NTRO)\n");
+    s.push_str("  REAL OTRA(*), RA(*), SA(*)\n  INTEGER NTRI, NTRO\n");
+    s.push_str(CTRL);
+    s.push_str(PHYS);
+    // Initialize three wavefield planes.
+    let _ = write!(s, "!$TARGET FDIF_INIT\n{}", omp(v, " PRIVATE(IX, K)"));
+    s.push_str(
+        "  DO IY = 1, NY\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     K = (IY - 1) * NX + IX\n\
+         \x20     RA(K) = 0.0\n\
+         \x20     RA(NBUF + K) = 0.0\n\
+         \x20     RA(2 * NBUF + K) = 0.0\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n",
+    );
+    // Point source.
+    s.push_str("  RA(NBUF + (NY / 2 - 1) * NX + NX / 2) = 1.0\n");
+    s.push_str("  C2 = (VELO * DT / DX) * (VELO * DT / DX) * 0.2\n");
+    // Time stepping (serial recurrence across steps).
+    s.push_str("  DO ISTEP = 1, NTIME\n");
+    let _ = write!(s, "!$TARGET FDIF_ROWS\n{}", omp(v, " PRIVATE(IX, K)"));
+    s.push_str(
+        "    DO IY = 2, NY - 1\n\
+         \x20     DO IX = 2, NX - 1\n\
+         \x20       K = (IY - 1) * NX + IX\n\
+         \x20       RA(2 * NBUF + K) = 2.0 * RA(NBUF + K) - RA(K) + C2 * (RA(NBUF + K - 1) + RA(NBUF + K + 1) + RA(NBUF + K - NX) + RA(NBUF + K + NX) - 4.0 * RA(NBUF + K))\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n",
+    );
+    let _ = write!(s, "!$TARGET FDIF_SWAP\n{}", omp(v, ""));
+    s.push_str(
+        "    DO K = 1, NBUF\n\
+         \x20     RA(K) = RA(NBUF + K)\n\
+         \x20     RA(NBUF + K) = RA(2 * NBUF + K)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n",
+    );
+    // Absorbing-boundary damping over the live plane (simple loop).
+    let _ = write!(s, "!$TARGET FDIF_DAMP\n{}", omp(v, ""));
+    s.push_str(
+        "  DO K = 1, NBUF\n\
+         \x20   RA(NBUF + K) = RA(NBUF + K) * 0.9999\n\
+         \x20 ENDDO\n",
+    );
+    // Field energy (reduction over reads only).
+    let _ = write!(s, "  S = 0.0\n!$TARGET FDIF_ENER\n{}", omp(v, " REDUCTION(+:S)"));
+    s.push_str(
+        "  DO K = 1, NBUF\n\
+         \x20   S = S + RA(NBUF + K) * RA(NBUF + K)\n\
+         \x20 ENDDO\n\
+         \x20 SA(1) = S\n\
+         \x20 WRITE(*,*) 'FDE', S\n",
+    );
+    s.push_str("  CALL SADD(RA, SA, 4, NX)\n  CALL SSUB(OTRA, SA, 4, NX)\n  CALL SREV(RA, SA, 2, NX)\n");
+    s.push_str(
+        "  CALL CWRITE(RA, NBUF)\n\
+         \x20 NTRO = NTRI\n\
+         \x20 RETURN\n\
+         END\n\n",
+    );
+    s
+}
+
+/// Eight small trace utilities whose formal parameters alias in the
+/// baseline (the framework passes disjoint storage, but only call-site
+/// analysis can prove it).
+fn utilities(v: Variant) -> String {
+    let specs: &[(&str, &str)] = &[
+        ("SAGC", "B(K) = B(K) * 0.99 + A(K) * 0.01"),
+        ("SBLD", "B(K) = B(K) + A(K) * 0.3"),
+        ("SMUT", "B(K) = B(K) * 0.5 + A(K) * 0.5"),
+        ("SSCL", "B(K) = A(K) * 1.25"),
+        ("SDMP", "B(K) = B(K) * 0.9 + A(K) * 0.05"),
+        ("SWIN", "B(K) = A(K) * 0.75 + 0.1"),
+        ("SADD", "B(K) = B(K) + A(K)"),
+        ("SSUB", "B(K) = B(K) - A(K) * 0.2"),
+        ("SFLT", "B(K) = B(K) * 0.8 + A(K) * 0.2"),
+        ("SNRM", "B(K) = A(K) * 0.5 + B(K) * 0.1"),
+        ("SCLP", "B(K) = MIN(A(K), B(K))"),
+        ("SREV", "B(K) = A(K) - B(K) * 0.01"),
+    ];
+    let mut s = String::new();
+    for (name, body) in specs {
+        let _ = write!(
+            s,
+            "SUBROUTINE {name}(A, B, NR, NC)\n\
+             \x20 REAL A(*), B(*)\n\
+             \x20 INTEGER NR, NC\n\
+             !$TARGET SEIS_{name}\n\
+             {omp}\
+             \x20 DO IR = 1, NR\n\
+             \x20   DO K0 = 1, NC\n\
+             \x20     K = (IR - 1) * NC + K0\n\
+             \x20     {body}\n\
+             \x20   ENDDO\n\
+             \x20 ENDDO\n\
+             \x20 RETURN\n\
+             END\n\n",
+            name = name,
+            body = body,
+            omp = omp(v, " PRIVATE(K0, K)"),
+        );
+    }
+    s
+}
+
+/// The manifest of hand-identified target loops.
+pub fn targets() -> Vec<TargetSpec> {
+    let mut t = vec![
+        // DGEN
+        TargetSpec::new("DGEN_SCRATCH", C::Autoparallelized, true),
+        TargetSpec::new("DGEN_TRACES", C::AccessRepresentation, true),
+        TargetSpec::new("DGEN_GAIN", C::SymbolAnalysis, true),
+        TargetSpec::new("DGEN_FILT", C::Rangeless, true),
+        TargetSpec::new("DGEN_TAPR", C::Rangeless, true),
+        TargetSpec::new("DGEN_DIFF", C::Rangeless, true),
+        TargetSpec::new("DGEN_NORM", C::Autoparallelized, true),
+        TargetSpec::new("DGEN_XCOR", C::Complexity, false),
+        // STAK
+        TargetSpec::new("STAK_CLEAR", C::Autoparallelized, true),
+        TargetSpec::new("STAK_GATHERS", C::Aliasing, true),
+        TargetSpec::new("STAK_SCALE", C::Autoparallelized, true),
+        TargetSpec::new("STAK_RESEQ", C::Indirection, true),
+        TargetSpec::new("STAK_PUTB", C::Autoparallelized, true),
+        TargetSpec::new("STAK_SHFT", C::Rangeless, true),
+        TargetSpec::new("STAK_MUTE", C::Rangeless, true),
+        // M3FK
+        TargetSpec::new("M3FK_GRID", C::SymbolAnalysis, true),
+        TargetSpec::new("M3FK_TCOLS", C::AccessRepresentation, true),
+        TargetSpec::new("M3FK_XPEN", C::SymbolAnalysis, false),
+        TargetSpec::new("M3FK_SHFT", C::SymbolAnalysis, true),
+        TargetSpec::new("M3FK_SCALE", C::Autoparallelized, true),
+        TargetSpec::new("M3FK_PAD", C::Rangeless, true),
+        TargetSpec::new("M3FK_BREV", C::Indirection, false),
+        TargetSpec::new("M3FK_BFLY", C::SymbolAnalysis, false),
+        // FDIF
+        TargetSpec::new("FDIF_INIT", C::SymbolAnalysis, true),
+        TargetSpec::new("FDIF_ROWS", C::SymbolAnalysis, true),
+        TargetSpec::new("FDIF_SWAP", C::Rangeless, true),
+        TargetSpec::new("FDIF_DAMP", C::Autoparallelized, true),
+        TargetSpec::new("FDIF_ENER", C::Autoparallelized, true),
+    ];
+    for name in [
+        "SAGC", "SBLD", "SMUT", "SSCL", "SDMP", "SWIN", "SADD", "SSUB", "SFLT", "SNRM",
+        "SCLP", "SREV",
+    ] {
+        t.push(TargetSpec::new(
+            &format!("SEIS_{}", name),
+            C::Aliasing,
+            true,
+        ));
+    }
+    t
+}
+
+/// Builds a SEISMIC program for an arbitrary module schedule.
+pub fn program(p: &SeismicParams, modsel: &[i64], v: Variant, name: &str) -> Workload {
+    if v == Variant::Mpi {
+        panic!("use mpi_component() for the message-passing versions");
+    }
+    let mut source = framework(p);
+    source.push_str(&dgen(v));
+    source.push_str(&stak(v));
+    source.push_str(&m3fk(v));
+    source.push_str(&fdif(v));
+    source.push_str(&utilities(v));
+    Workload {
+        name: name.to_string(),
+        source,
+        deck: deck(p, modsel),
+        targets: targets(),
+    }
+}
+
+/// The full application suite (all four modules in sequence).
+pub fn full_suite(size: DataSize, v: Variant) -> Workload {
+    let p = SeismicParams::for_size(size);
+    program(&p, &[1, 2, 3, 4], v, "SEISMIC")
+}
+
+/// One measured component (Figure 1). Dimensions the component does
+/// not exercise shrink to their minimum so each phase is measured on
+/// its own working set.
+pub fn component(c: Component, size: DataSize, v: Variant) -> Workload {
+    let p = component_params(c, size);
+    if v == Variant::Mpi {
+        return mpi_component(c, size);
+    }
+    program(
+        &p,
+        &c.modsel(),
+        v,
+        &format!("SEISMIC/{}", c.label()),
+    )
+}
+
+/// Per-component problem dimensions.
+pub fn component_params(c: Component, size: DataSize) -> SeismicParams {
+    let mut p = SeismicParams::for_size(size);
+    match c {
+        Component::DataGen | Component::Stack => {
+            p.nx = 4;
+            p.ny = 8;
+            p.nt = 8;
+            p.ntime = 1;
+        }
+        Component::Fft3d => {
+            p.ngath = 4;
+            p.nfold = 2;
+            p.nsamp = 32;
+            p.ntime = 1;
+        }
+        Component::FinDiff => {
+            p.ngath = 4;
+            p.nfold = 2;
+            p.nsamp = 32;
+            p.nt = 8;
+            // The paper's finite-difference phase runs on a real grid;
+            // the shared suite dimensions are FFT-sized.
+            let (nx, ny, ntime) = match size {
+                DataSize::Test => (6, 8, 3),
+                DataSize::Small => (48, 48, 400),
+                DataSize::Medium => (96, 96, 900),
+            };
+            p.nx = nx;
+            p.ny = ny;
+            p.ntime = ntime;
+        }
+    }
+    p
+}
+
+/// Standalone distributed (message-passing) version of one component —
+/// industry maintains separate MPI versions of each code.
+pub fn mpi_component(c: Component, size: DataSize) -> Workload {
+    let p = component_params(c, size);
+    let source = match c {
+        Component::DataGen => mpi_datagen(&p),
+        Component::Stack => mpi_stack(&p),
+        Component::Fft3d => mpi_fft(&p),
+        Component::FinDiff => mpi_findiff(&p),
+    };
+    Workload {
+        name: format!("SEISMIC-MPI/{}", c.label()),
+        source,
+        deck: deck(&p, &c.modsel()),
+        targets: Vec::new(),
+    }
+}
+
+const MPI_DECK_READS: &str = "  READ(*,*) NGATH, NFOLD, NSAMP\n\
+    \x20 READ(*,*) NX, NY, NT, NTIME\n\
+    \x20 READ(*,*) IOFLT, JOFLT, NBUF, NXCOR, NWORK\n\
+    \x20 READ(*,*) NSTEPS\n\
+    \x20 READ(*,*) MD1, MD2, MD3, MD4, MD5, MD6, MD7, MD8\n\
+    \x20 NTRC = NGATH * NFOLD\n\
+    \x20 DT = 0.002\n\
+    \x20 CALL MPMYID(MYID)\n\
+    \x20 CALL MPNPROC(NP)\n";
+
+fn mpi_datagen(p: &SeismicParams) -> String {
+    format!(
+        "PROGRAM DGENMPI\n\
+         \x20 PARAMETER (MCAPO = {capo})\n\
+         \x20 COMMON /WORK/ OTRA(MCAPO)\n\
+         {reads}\
+         \x20 ILO = MYID * NTRC / NP + 1\n\
+         \x20 IHI = (MYID + 1) * NTRC / NP\n\
+         \x20 DO ITR = ILO, IHI\n\
+         \x20   IOFF = (ITR - 1) * NSAMP\n\
+         \x20   T0 = DT * REAL(MOD(ITR - 1, NFOLD) * 8 + 8)\n\
+         \x20   W = 0.0\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     T = REAL(IS - 1) * DT - T0\n\
+         \x20     ARG = 900.0 * T * T\n\
+         \x20     AMP = (1.0 - 2.0 * ARG) * EXP(-ARG)\n\
+         \x20     W = W * 0.35 + AMP * 0.65\n\
+         \x20     OTRA(IOFF + IS) = W\n\
+         \x20   ENDDO\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     OTRA(IOFF + IS) = OTRA(IOFF + IS) * (1.0 + REAL(IS) * 0.002)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         ! window QC passes (small, rank 0 only, as in the framework)\n\
+         \x20 IF (MYID .EQ. 0) THEN\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     OTRA(JOFLT + IS) = OTRA(JOFLT + IS) * 0.9 + OTRA(IOFLT + IS) * 0.1\n\
+         \x20     OTRA(JOFLT + IS) = OTRA(JOFLT + IS) - OTRA(IOFLT + IS) * 0.05\n\
+         \x20   ENDDO\n\
+         \x20   DO IW = 1, NXCOR\n\
+         \x20     DO K = 1, 20\n\
+         \x20       OTRA(IOFLT + (IW - 1) * 32 + K) = OTRA(JOFLT + (IW - 1) * 32 + K + 1) * 0.5 + OTRA(JOFLT + (IW - 1) * 32 + K) * 0.25\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20 ENDIF\n\
+         \x20 S = 0.0\n\
+         \x20 DO ITR = ILO, IHI\n\
+         \x20   IOFF = (ITR - 1) * NSAMP\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     S = S + OTRA(IOFF + IS) * OTRA(IOFF + IS)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 CALL MPREDS(S)\n\
+         \x20 IF (MYID .EQ. 0) THEN\n\
+         \x20   WRITE(*,*) 'CWRITE', S\n\
+         \x20 ENDIF\n\
+         END\n",
+        capo = p.capo(),
+        reads = MPI_DECK_READS,
+    )
+}
+
+fn mpi_stack(p: &SeismicParams) -> String {
+    format!(
+        "PROGRAM STAKMPI\n\
+         \x20 PARAMETER (MCAPO = {capo}, MCAPR = {capr})\n\
+         \x20 COMMON /WORK/ OTRA(MCAPO), RA(MCAPR)\n\
+         {reads}\
+         \x20 IGLO = MYID * NGATH / NP + 1\n\
+         \x20 IGHI = (MYID + 1) * NGATH / NP\n\
+         \x20 DO IG = IGLO, IGHI\n\
+         \x20   DO IFO = 1, NFOLD\n\
+         \x20     ITR = (IG - 1) * NFOLD + IFO\n\
+         \x20     IOFF = (ITR - 1) * NSAMP\n\
+         \x20     T0 = DT * REAL(MOD(ITR - 1, NFOLD) * 8 + 8)\n\
+         \x20     W = 0.0\n\
+         \x20     DO IS = 1, NSAMP\n\
+         \x20       T = REAL(IS - 1) * DT - T0\n\
+         \x20       ARG = 900.0 * T * T\n\
+         \x20       AMP = (1.0 - 2.0 * ARG) * EXP(-ARG)\n\
+         \x20       W = W * 0.35 + AMP * 0.65\n\
+         \x20       OTRA(IOFF + IS) = W\n\
+         \x20     ENDDO\n\
+         \x20     DO IS = 1, NSAMP\n\
+         \x20       OTRA(IOFF + IS) = OTRA(IOFF + IS) * (1.0 + REAL(IS) * 0.002)\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 DO IG = IGLO, IGHI\n\
+         \x20   KOFF = (IG - 1) * NSAMP\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     RA(KOFF + IS) = 0.0\n\
+         \x20   ENDDO\n\
+         \x20   DO IFO = 1, NFOLD\n\
+         \x20     JOFF = ((IG - 1) * NFOLD + IFO - 1) * NSAMP\n\
+         \x20     DO IS = 1, NSAMP\n\
+         \x20       RA(KOFF + IS) = RA(KOFF + IS) + OTRA(JOFF + IS)\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     RA(KOFF + IS) = RA(KOFF + IS) / REAL(NFOLD)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         ! trace-energy norm over the local slice (allreduced)\n\
+         \x20 S2 = 0.0\n\
+         \x20 DO IG = IGLO, IGHI\n\
+         \x20   DO IFO = 1, NFOLD\n\
+         \x20     IOFF = ((IG - 1) * NFOLD + IFO - 1) * NSAMP\n\
+         \x20     DO IS = 1, NSAMP\n\
+         \x20       S2 = S2 + OTRA(IOFF + IS) * OTRA(IOFF + IS)\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 CALL MPREDS(S2)\n\
+         ! pipeline QC / resequencing passes (rank 0, as in the framework)\n\
+         \x20 IF (MYID .EQ. 0) THEN\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     OTRA(JOFLT + IS) = OTRA(JOFLT + IS) * 0.9 + OTRA(IOFLT + IS) * 0.1\n\
+         \x20     OTRA(JOFLT + IS) = OTRA(JOFLT + IS) - OTRA(IOFLT + IS)\n\
+         \x20   ENDDO\n\
+         \x20   DO IW = 1, NXCOR\n\
+         \x20     DO K = 1, 20\n\
+         \x20       OTRA(IOFLT + (IW - 1) * 32 + K) = OTRA(JOFLT + (IW - 1) * 32 + K + 1) * 0.5 + OTRA(JOFLT + (IW - 1) * 32 + K) * 0.25\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     RA(NSAMP - IS + 1) = RA(NSAMP - IS + 1) * 1.0\n\
+         \x20   ENDDO\n\
+         \x20 ENDIF\n\
+         \x20 S = 0.0\n\
+         \x20 DO IG = IGLO, IGHI\n\
+         \x20   KOFF = (IG - 1) * NSAMP\n\
+         \x20   DO IS = 1, NSAMP\n\
+         \x20     S = S + RA(KOFF + IS)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 CALL MPREDS(S)\n\
+         \x20 IF (MYID .EQ. 0) THEN\n\
+         \x20   WRITE(*,*) 'CWRITE', S\n\
+         \x20 ENDIF\n\
+         END\n",
+        capo = p.capo(),
+        capr = p.capr(),
+        reads = MPI_DECK_READS,
+    )
+}
+
+fn mpi_fft(p: &SeismicParams) -> String {
+    // Columns (T-transforms) are distributed; the X-pencil pass gathers
+    // the full grid first (allgather), then each rank transforms its
+    // pencil slice and the results are re-gathered.
+    format!(
+        "PROGRAM M3FKMPI\n\
+         \x20 PARAMETER (MCAPR = {capr})\n\
+         \x20 COMMON /WORK/ RA(MCAPR)\n\
+         \x20 REAL CW(16384)\n\
+         {reads}\
+         \x20 NCOL = NX * NY\n\
+         \x20 ICLO = MYID * NCOL / NP + 1\n\
+         \x20 ICHI = (MYID + 1) * NCOL / NP\n\
+         \x20 DO ICOL = ICLO, ICHI\n\
+         \x20   KOFF = (ICOL - 1) * 2 * NT\n\
+         \x20   DO IT = 1, NT\n\
+         \x20     PH = REAL(IT * ICOL) * 0.001\n\
+         \x20     RA(KOFF + 2 * IT - 1) = COS(PH)\n\
+         \x20     RA(KOFF + 2 * IT) = SIN(PH)\n\
+         \x20   ENDDO\n\
+         \x20   CALL CFFT1(RA(KOFF + 1), NT)\n\
+         \x20 ENDDO\n\
+         \x20 CALL MPALLG(RA, (ICLO - 1) * 2 * NT + 1, (ICHI - ICLO + 1) * 2 * NT)\n\
+         \x20 NPEN = NY * NT\n\
+         \x20 IPLO = MYID * NPEN / NP + 1\n\
+         \x20 IPHI = (MYID + 1) * NPEN / NP\n\
+         \x20 DO IPEN = IPLO, IPHI\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     KSRC = ((IX - 1) * NY * NT + IPEN - 1) * 2\n\
+         \x20     CW(2 * IX - 1) = RA(KSRC + 1)\n\
+         \x20     CW(2 * IX) = RA(KSRC + 2)\n\
+         \x20   ENDDO\n\
+         \x20   CALL CFFT1(CW, NX)\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     KSRC = ((IX - 1) * NY * NT + IPEN - 1) * 2\n\
+         \x20     RA(KSRC + 1) = CW(2 * IX - 1)\n\
+         \x20     RA(KSRC + 2) = CW(2 * IX)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 S = 0.0\n\
+         \x20 DO IPEN = IPLO, IPHI\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     KSRC = ((IX - 1) * NY * NT + IPEN - 1) * 2\n\
+         \x20     S = S + RA(KSRC + 1) * RA(KSRC + 1) + RA(KSRC + 2) * RA(KSRC + 2)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 CALL MPREDS(S)\n\
+         \x20 IF (MYID .EQ. 0) THEN\n\
+         \x20   WRITE(*,*) 'CWRITE', S / REAL(NT)\n\
+         \x20 ENDIF\n\
+         END\n\n{cfft}",
+        capr = p.capr(),
+        reads = MPI_DECK_READS,
+        cfft = cfft_standalone(),
+    )
+}
+
+fn cfft_standalone() -> String {
+    // Same CFFT1 kernel, without target markers (not compiler input).
+    let full = m3fk(Variant::Serial);
+    let start = full.find("SUBROUTINE CFFT1").expect("kernel present");
+    full[start..]
+        .lines()
+        .filter(|l| !l.starts_with("!$"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+fn mpi_findiff(p: &SeismicParams) -> String {
+    // Row-block decomposition with halo exchange each step. Plane layout
+    // is identical to the shared-memory version, but each rank only
+    // touches rows [IYLO-1, IYHI+1].
+    format!(
+        "PROGRAM FDIFMPI\n\
+         \x20 PARAMETER (MCAPR = {capr})\n\
+         \x20 COMMON /WORK/ RA(MCAPR)\n\
+         {reads}\
+         \x20 VELO = 2000.0\n\
+         \x20 DX = 10.0\n\
+         \x20 IYLO = MYID * (NY - 2) / NP + 2\n\
+         \x20 IYHI = (MYID + 1) * (NY - 2) / NP + 1\n\
+         \x20 DO IY = IYLO - 1, IYHI + 1\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     K = (IY - 1) * NX + IX\n\
+         \x20     RA(K) = 0.0\n\
+         \x20     RA(NBUF + K) = 0.0\n\
+         \x20     RA(2 * NBUF + K) = 0.0\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 ISRC = (NY / 2 - 1) * NX + NX / 2\n\
+         \x20 IYSRC = NY / 2\n\
+         \x20 IF (IYSRC .GE. IYLO .AND. IYSRC .LE. IYHI) THEN\n\
+         \x20   RA(NBUF + ISRC) = 1.0\n\
+         \x20 ENDIF\n\
+         \x20 C2 = (VELO * DT / DX) * (VELO * DT / DX) * 0.2\n\
+         \x20 DO ISTEP = 1, NTIME\n\
+         \x20   IF (MYID .GT. 0) THEN\n\
+         \x20     CALL MPSEND(RA, NBUF + (IYLO - 1) * NX + 1, NX, MYID - 1, 1)\n\
+         \x20     CALL MPRECV(RA, NBUF + (IYLO - 2) * NX + 1, NX, MYID - 1, 2)\n\
+         \x20   ENDIF\n\
+         \x20   IF (MYID .LT. NP - 1) THEN\n\
+         \x20     CALL MPRECV(RA, NBUF + IYHI * NX + 1, NX, MYID + 1, 1)\n\
+         \x20     CALL MPSEND(RA, NBUF + (IYHI - 1) * NX + 1, NX, MYID + 1, 2)\n\
+         \x20   ENDIF\n\
+         \x20   DO IY = IYLO, IYHI\n\
+         \x20     DO IX = 2, NX - 1\n\
+         \x20       K = (IY - 1) * NX + IX\n\
+         \x20       RA(2 * NBUF + K) = 2.0 * RA(NBUF + K) - RA(K) + C2 * (RA(NBUF + K - 1) + RA(NBUF + K + 1) + RA(NBUF + K - NX) + RA(NBUF + K + NX) - 4.0 * RA(NBUF + K))\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20   DO IY = IYLO, IYHI\n\
+         \x20     DO IX = 2, NX - 1\n\
+         \x20       K = (IY - 1) * NX + IX\n\
+         \x20       RA(K) = RA(NBUF + K)\n\
+         \x20       RA(NBUF + K) = RA(2 * NBUF + K)\n\
+         \x20     ENDDO\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         ! absorbing-boundary damping over the local rows\n\
+         \x20 DO IY = IYLO, IYHI\n\
+         \x20   DO IX = 1, NX\n\
+         \x20     K = (IY - 1) * NX + IX\n\
+         \x20     RA(NBUF + K) = RA(NBUF + K) * 0.9999\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 S = 0.0\n\
+         \x20 DO IY = IYLO, IYHI\n\
+         \x20   DO IX = 2, NX - 1\n\
+         \x20     K = (IY - 1) * NX + IX\n\
+         \x20     S = S + RA(NBUF + K) * RA(NBUF + K)\n\
+         \x20   ENDDO\n\
+         \x20 ENDDO\n\
+         \x20 CALL MPREDS(S)\n\
+         \x20 IF (MYID .EQ. 0) THEN\n\
+         \x20   WRITE(*,*) 'FDE', S\n\
+         \x20 ENDIF\n\
+         END\n",
+        capr = p.capr(),
+        reads = MPI_DECK_READS,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    #[test]
+    fn all_variants_parse() {
+        for v in [Variant::Serial, Variant::OpenMp] {
+            let w = full_suite(DataSize::Test, v);
+            frontend(&w.source).unwrap_or_else(|e| panic!("{:?}: {}", v, e));
+        }
+        for c in [
+            Component::DataGen,
+            Component::Stack,
+            Component::Fft3d,
+            Component::FinDiff,
+        ] {
+            for v in [Variant::Serial, Variant::OpenMp, Variant::Mpi] {
+                let w = component(c, DataSize::Test, v);
+                frontend(&w.source).unwrap_or_else(|e| panic!("{:?}/{:?}: {}", c, v, e));
+            }
+        }
+    }
+
+    #[test]
+    fn target_count_matches_paper_scale() {
+        // The paper reports roughly 40 target loops for SEISMIC.
+        let n = targets().len();
+        assert!((35..=45).contains(&n), "targets = {}", n);
+    }
+
+    #[test]
+    fn medium_is_order_of_magnitude_larger() {
+        let s = SeismicParams::for_size(DataSize::Small);
+        let m = SeismicParams::for_size(DataSize::Medium);
+        let mem_s = s.capo() + s.capr() + s.caps();
+        let mem_m = m.capo() + m.capr() + m.caps();
+        let ratio = mem_m as f64 / mem_s as f64;
+        assert!((6.0..=14.0).contains(&ratio), "ratio = {}", ratio);
+    }
+
+    #[test]
+    fn openmp_variant_annotates_targets() {
+        let w = full_suite(DataSize::Test, Variant::OpenMp);
+        let rp = frontend(&w.source).expect("frontend");
+        let mut omp_count = 0;
+        for u in &rp.program.units {
+            u.body.walk_stmts(&mut |s| {
+                if let apar_minifort::StmtKind::Do { omp: Some(_), .. } = &s.kind {
+                    omp_count += 1;
+                }
+            });
+        }
+        assert!(omp_count >= 20, "OMP loops = {}", omp_count);
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end classification: compiling each generated suite with the
+//! baseline profile must reproduce the manifest's hindrance categories
+//! (Figure 5), and the full-capability profile must recover exactly the
+//! loops marked recoverable.
+
+use apar_core::{Classification, Compiler, CompilerProfile};
+use apar_workloads::all_suites;
+
+fn classifications(
+    w: &apar_workloads::Workload,
+    profile: CompilerProfile,
+) -> Vec<(String, Classification, bool)> {
+    let r = Compiler::new(profile)
+        .compile_source(&w.name, &w.source)
+        .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
+    r.target_loops()
+        .map(|l| {
+            (
+                l.target.clone().expect("target"),
+                l.classification,
+                l.parallelized
+                    || l.classification == Classification::Autoparallelized,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn baseline_reproduces_manifest_categories() {
+    let mut failures = Vec::new();
+    for w in all_suites() {
+        let got = classifications(&w, CompilerProfile::polaris2008());
+        for spec in &w.targets {
+            match got.iter().find(|(n, _, _)| n == &spec.name) {
+                None => failures.push(format!("{}/{}: not analyzed", w.name, spec.name)),
+                Some((_, c, _)) if *c != spec.expected_baseline => failures.push(format!(
+                    "{}/{}: expected {:?}, got {:?}",
+                    w.name, spec.name, spec.expected_baseline, c
+                )),
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn full_profile_recovers_marked_loops() {
+    let mut failures = Vec::new();
+    for w in all_suites() {
+        let got = classifications(&w, CompilerProfile::full());
+        for spec in &w.targets {
+            let Some((_, c, _)) = got.iter().find(|(n, _, _)| n == &spec.name) else {
+                failures.push(format!("{}/{}: not analyzed", w.name, spec.name));
+                continue;
+            };
+            let recovered = *c == Classification::Autoparallelized;
+            if recovered != spec.recovered_by_full {
+                failures.push(format!(
+                    "{}/{}: recovered={} (classified {:?}), manifest says {}",
+                    w.name, spec.name, recovered, c, spec.recovered_by_full
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,12 @@
+//! The Figure 2/3 story: compile every suite with the baseline profile
+//! and show where the effort goes — data dependence testing and array
+//! privatization dominate for the industrial codes.
+//!
+//! Run with: `cargo run --release --example compile_time_study`
+
+fn main() {
+    let rows = apar_bench::fig2::measure();
+    print!("{}", apar_bench::fig2::render_fig2(&rows));
+    println!();
+    print!("{}", apar_bench::fig2::render_fig3(&rows));
+}

@@ -1,0 +1,40 @@
+//! Per-loop hindrance report (the data behind Figure 5): every target
+//! loop of the three industrial suites, its baseline category, and
+//! whether the full-capability compiler recovers it.
+//!
+//! Run with: `cargo run --release --example hindrance_report`
+
+use autopar::core::{Classification, Compiler, CompilerProfile};
+use autopar::workloads::{self, DataSize, Variant};
+
+fn main() {
+    let suites = [
+        workloads::seismic::full_suite(DataSize::Small, Variant::Serial),
+        workloads::gamess::suite(DataSize::Small),
+        workloads::sander::suite(DataSize::Small),
+    ];
+    for w in suites {
+        let base = Compiler::new(CompilerProfile::polaris2008())
+            .compile_source(&w.name, &w.source)
+            .expect("compile");
+        let full = Compiler::new(CompilerProfile::full())
+            .compile_source(&w.name, &w.source)
+            .expect("compile");
+        println!("== {}", w.name);
+        for l in base.target_loops() {
+            let name = l.target.clone().unwrap();
+            let recovered = full
+                .target_loops()
+                .find(|f| f.target.as_deref() == Some(name.as_str()))
+                .map(|f| f.classification == Classification::Autoparallelized)
+                .unwrap_or(false);
+            println!(
+                "  {:>14} {:<24} {}",
+                name,
+                l.classification.label(),
+                if recovered { "recovered by full profile" } else { "" }
+            );
+        }
+        println!();
+    }
+}

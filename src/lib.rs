@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the autopar workspace.
+pub use apar_analysis as analysis;
+pub use apar_core as core;
+pub use apar_kernels as kernels;
+pub use apar_minifort as minifort;
+pub use apar_runtime as runtime;
+pub use apar_symbolic as symbolic;
+pub use apar_workloads as workloads;

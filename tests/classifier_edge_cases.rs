@@ -1,0 +1,320 @@
+//! Pointed end-to-end classifier tests: tiny programs, each isolating
+//! one corner of the dependence machinery (GCD strides, triangular
+//! bounds, zero-trip loops, negative steps, EQUIVALENCE aliasing,
+//! min/max reductions), compiled with the full profile and — where the
+//! loop is parallelized — executed serial vs. auto under the race
+//! checker.
+
+use autopar::core::{Classification as C, Compiler, CompilerProfile};
+use autopar::runtime::{run, ExecConfig, ExecMode};
+
+fn compile(src: &str) -> autopar::core::CompileResult {
+    Compiler::new(CompilerProfile::full())
+        .compile_source("edge", src)
+        .unwrap_or_else(|e| panic!("compile failed: {}\n{}", e, src))
+}
+
+fn classify(src: &str, target: &str) -> (C, bool) {
+    let r = compile(src);
+    let l = r
+        .target_loops()
+        .find(|l| l.target.as_deref() == Some(target))
+        .unwrap_or_else(|| panic!("no target {} in\n{}", target, src));
+    (l.classification, l.parallelized)
+}
+
+/// Serial and auto-parallel runs of the compiled program agree.
+fn check_exec(src: &str) {
+    let r = compile(src);
+    let ser = run(&r.rp, &[], &ExecConfig::default()).expect("serial");
+    let par = run(
+        &r.rp,
+        &[],
+        &ExecConfig {
+            mode: ExecMode::Auto,
+            threads: 4,
+            check_races: true,
+            ..Default::default()
+        },
+    )
+    .expect("auto run");
+    assert_eq!(ser.output, par.output, "serial vs auto mismatch\n{}", src);
+}
+
+#[test]
+fn disjoint_gcd_strides_parallelize() {
+    // Writes touch even cells, reads odd cells: the GCD/range machinery
+    // must prove independence.
+    let src = "PROGRAM G1
+  REAL A(200)
+  DO I = 1, 200
+    A(I) = REAL(I)
+  ENDDO
+!$TARGET EVENODD
+  DO I = 1, 99
+    A(2 * I) = A(2 * I + 1) * 2.0
+  ENDDO
+  WRITE(*,*) A(100)
+END
+";
+    let (c, par) = classify(src, "EVENODD");
+    assert_eq!(c, C::Autoparallelized);
+    assert!(par);
+    check_exec(src);
+}
+
+#[test]
+fn overlapping_strides_stay_serial() {
+    // A(2I) written, A(I) read: iterations collide (e.g. I=2 reads the
+    // cell I=1 wrote).
+    let src = "PROGRAM G2
+  REAL A(200)
+  DO I = 1, 200
+    A(I) = REAL(I)
+  ENDDO
+!$TARGET COLLIDE
+  DO I = 1, 99
+    A(2 * I) = A(I) + 1.0
+  ENDDO
+  WRITE(*,*) A(100)
+END
+";
+    let (c, par) = classify(src, "COLLIDE");
+    assert_ne!(c, C::Autoparallelized);
+    assert!(!par);
+}
+
+#[test]
+fn triangular_nest_parallelizes_outer() {
+    // Row I writes A(I, 1..I): disjoint rows, triangular inner bound.
+    let src = "PROGRAM G3
+  REAL A(64, 64)
+!$TARGET TRI
+  DO I = 1, 64
+    DO J = 1, I
+      A(I, J) = REAL(I * 64 + J)
+    ENDDO
+  ENDDO
+  WRITE(*,*) A(64, 64)
+END
+";
+    let (c, par) = classify(src, "TRI");
+    assert_eq!(c, C::Autoparallelized);
+    assert!(par);
+    check_exec(src);
+}
+
+#[test]
+fn zero_trip_loop_is_harmless() {
+    // DO I = 5, 1 never executes; the surrounding program must still
+    // compile, and a parallel region over it must not misbehave.
+    let src = "PROGRAM G4
+  REAL A(10)
+  DO I = 1, 10
+    A(I) = 1.0
+  ENDDO
+!$TARGET ZTRIP
+  DO I = 5, 1
+    A(I) = 99.0
+  ENDDO
+  WRITE(*,*) A(1)
+END
+";
+    compile(src);
+    check_exec(src);
+}
+
+#[test]
+fn negative_step_copy_parallelizes() {
+    let src = "PROGRAM G5
+  REAL A(100), B(100)
+  DO I = 1, 100
+    B(I) = REAL(I)
+  ENDDO
+!$TARGET NSTEP
+  DO I = 100, 1, -1
+    A(I) = B(I) * 3.0
+  ENDDO
+  WRITE(*,*) A(1)
+END
+";
+    let (c, par) = classify(src, "NSTEP");
+    assert_eq!(c, C::Autoparallelized);
+    assert!(par);
+    check_exec(src);
+}
+
+#[test]
+fn equivalence_overlap_blocks() {
+    // X and Y share storage through EQUIVALENCE: writing X(I) while
+    // reading Y(I+1) is a real dependence through the overlay.
+    let src = "PROGRAM G6
+  REAL X(100), Y(100)
+  EQUIVALENCE (X(1), Y(1))
+  DO I = 1, 100
+    X(I) = REAL(I)
+  ENDDO
+!$TARGET EQOV
+  DO I = 1, 99
+    X(I) = Y(I + 1) * 0.5
+  ENDDO
+  WRITE(*,*) X(1)
+END
+";
+    let (c, par) = classify(src, "EQOV");
+    assert_ne!(c, C::Autoparallelized);
+    assert!(!par);
+}
+
+#[test]
+fn min_reduction_is_recognized() {
+    let src = "PROGRAM G7
+  REAL A(128)
+  DO I = 1, 128
+    A(I) = REAL(MOD(I * 37, 101))
+  ENDDO
+  S = 1.0E9
+!$TARGET RMIN
+  DO I = 1, 128
+    S = MIN(S, A(I))
+  ENDDO
+  WRITE(*,*) S
+END
+";
+    let (c, par) = classify(src, "RMIN");
+    assert_eq!(c, C::Autoparallelized);
+    assert!(par);
+    check_exec(src);
+}
+
+#[test]
+fn max_reduction_is_recognized() {
+    let src = "PROGRAM G8
+  REAL A(128)
+  DO I = 1, 128
+    A(I) = REAL(MOD(I * 37, 101))
+  ENDDO
+  S = -1.0E9
+!$TARGET RMAX
+  DO I = 1, 128
+    S = MAX(S, A(I))
+  ENDDO
+  WRITE(*,*) S
+END
+";
+    let (c, par) = classify(src, "RMAX");
+    assert_eq!(c, C::Autoparallelized);
+    assert!(par);
+    check_exec(src);
+}
+
+#[test]
+fn scalar_recurrence_stays_serial() {
+    let src = "PROGRAM G9
+  REAL A(100)
+  X = 1.0
+!$TARGET SREC
+  DO I = 1, 100
+    X = X * 0.5 + REAL(I)
+    A(I) = X
+  ENDDO
+  WRITE(*,*) A(100)
+END
+";
+    let (c, par) = classify(src, "SREC");
+    assert_ne!(c, C::Autoparallelized);
+    assert!(!par);
+}
+
+#[test]
+fn wraparound_read_blocks() {
+    // First iteration reads A(100) (last cell), the rest read A(I-1):
+    // classic wraparound; must not parallelize.
+    let src = "PROGRAM G10
+  REAL A(100), B(100)
+  DO I = 1, 100
+    A(I) = REAL(I)
+  ENDDO
+!$TARGET WRAP
+  DO I = 2, 100
+    A(I) = A(I - 1) + 1.0
+  ENDDO
+  WRITE(*,*) A(100)
+END
+";
+    let (c, par) = classify(src, "WRAP");
+    assert_ne!(c, C::Autoparallelized);
+    assert!(!par);
+}
+
+#[test]
+fn crossing_diagonal_pair_blocks() {
+    // A(I) = A(N+1-I): iterations i and N+1-i exchange cells — the
+    // range test must not be fooled by the monotone-decreasing read.
+    let src = "PROGRAM G11
+  REAL A(101)
+  DO I = 1, 101
+    A(I) = REAL(I)
+  ENDDO
+!$TARGET XDIAG
+  DO I = 1, 100
+    A(I) = A(101 - I) * 2.0
+  ENDDO
+  WRITE(*,*) A(1)
+END
+";
+    let (c, par) = classify(src, "XDIAG");
+    assert_ne!(c, C::Autoparallelized);
+    assert!(!par);
+}
+
+#[test]
+fn first_private_style_read_only_scalar_is_fine() {
+    // K is read-only inside the loop: no privatization needed, no race.
+    let src = "PROGRAM G12
+  REAL A(100)
+  K = 7
+!$TARGET ROSC
+  DO I = 1, 100
+    A(I) = REAL(I + K)
+  ENDDO
+  WRITE(*,*) A(100)
+END
+";
+    let (c, par) = classify(src, "ROSC");
+    assert_eq!(c, C::Autoparallelized);
+    assert!(par);
+    check_exec(src);
+}
+
+#[test]
+fn lastprivate_scalar_value_survives_loop() {
+    // T is assigned every iteration and read after the loop: runtime
+    // lastprivate must hand back the final iteration's value.
+    let src = "PROGRAM G13
+  REAL A(100)
+  DO I = 1, 100
+    A(I) = REAL(I)
+  ENDDO
+  T = 0.0
+!$TARGET LPRIV
+  DO I = 1, 100
+    T = A(I) * 2.0
+    A(I) = T + 1.0
+  ENDDO
+  WRITE(*,*) T
+END
+";
+    let r = compile(src);
+    let l = r
+        .target_loops()
+        .find(|l| l.target.as_deref() == Some("LPRIV"))
+        .unwrap();
+    if l.parallelized {
+        check_exec(src);
+    }
+    // Whether or not the compiler chose to parallelize, the serial
+    // answer is fixed:
+    let ser = run(&r.rp, &[], &ExecConfig::default()).expect("serial");
+    assert_eq!(ser.output, vec!["200.000000".to_string()]);
+}

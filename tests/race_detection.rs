@@ -1,0 +1,273 @@
+//! Failure-injection tests for the dynamic race checker.
+//!
+//! The soundness argument for the whole pipeline rests on the checker
+//! actually *catching* bad parallelizations, so these tests feed it
+//! hand-annotated `!$OMP PARALLEL DO` directives that are wrong on
+//! purpose and assert the run aborts with a race — and that the
+//! correctly-annotated twins pass.
+
+use autopar::minifort::frontend;
+use autopar::runtime::{run, ExecConfig, ExecMode, RtError};
+
+fn manual(threads: usize) -> ExecConfig {
+    ExecConfig {
+        mode: ExecMode::Manual,
+        threads,
+        check_races: true,
+        ..Default::default()
+    }
+}
+
+fn run_manual(src: &str) -> Result<Vec<String>, RtError> {
+    let rp = frontend(src).unwrap_or_else(|e| panic!("{}", e));
+    run(&rp, &[], &manual(4)).map(|r| r.output)
+}
+
+fn assert_race(src: &str) {
+    match run_manual(src) {
+        Err(RtError::Race(_)) => {}
+        Err(e) => panic!("expected a race, got different error: {}", e),
+        Ok(out) => panic!("expected a race, run succeeded: {:?}", out),
+    }
+}
+
+#[test]
+fn loop_carried_flow_dependence_is_caught() {
+    assert_race(
+        "PROGRAM RC1
+  REAL A(100)
+  DO I = 1, 100
+    A(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 99
+    A(I + 1) = A(I) + 1.0
+  ENDDO
+  WRITE(*,*) A(100)
+END
+",
+    );
+}
+
+#[test]
+fn independent_twin_of_flow_dependence_passes() {
+    let out = run_manual(
+        "PROGRAM RC2
+  REAL A(100), B(100)
+  DO I = 1, 100
+    A(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 99
+    B(I + 1) = A(I) + 1.0
+  ENDDO
+  WRITE(*,*) B(100)
+END
+",
+    )
+    .expect("independent loop must not race");
+    assert_eq!(out, vec!["100.000000".to_string()]);
+}
+
+#[test]
+fn unguarded_reduction_scalar_is_caught() {
+    assert_race(
+        "PROGRAM RC3
+  REAL A(64)
+  DO I = 1, 64
+    A(I) = 1.0
+  ENDDO
+  S = 0.0
+!$OMP PARALLEL DO
+  DO I = 1, 64
+    S = S + A(I)
+  ENDDO
+  WRITE(*,*) S
+END
+",
+    );
+}
+
+#[test]
+fn declared_reduction_scalar_passes() {
+    let out = run_manual(
+        "PROGRAM RC4
+  REAL A(64)
+  DO I = 1, 64
+    A(I) = 1.0
+  ENDDO
+  S = 0.0
+!$OMP PARALLEL DO REDUCTION(+:S)
+  DO I = 1, 64
+    S = S + A(I)
+  ENDDO
+  WRITE(*,*) S
+END
+",
+    )
+    .expect("declared reduction must not race");
+    assert_eq!(out, vec!["64.000000".to_string()]);
+}
+
+#[test]
+fn shared_temporary_scalar_is_caught() {
+    assert_race(
+        "PROGRAM RC5
+  REAL A(64), B(64)
+  DO I = 1, 64
+    A(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 64
+    T = A(I) * 2.0
+    B(I) = T + 1.0
+  ENDDO
+  WRITE(*,*) B(64)
+END
+",
+    );
+}
+
+#[test]
+fn privatized_temporary_scalar_passes() {
+    let out = run_manual(
+        "PROGRAM RC6
+  REAL A(64), B(64)
+  DO I = 1, 64
+    A(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO PRIVATE(T)
+  DO I = 1, 64
+    T = A(I) * 2.0
+    B(I) = T + 1.0
+  ENDDO
+  WRITE(*,*) B(64)
+END
+",
+    )
+    .expect("privatized temporary must not race");
+    assert_eq!(out, vec!["129.000000".to_string()]);
+}
+
+#[test]
+fn antidependence_across_chunks_is_caught() {
+    // A(I) = A(I+1): iteration i reads the cell iteration i+1 writes.
+    // Within one chunk the accesses are ordered; across the chunk
+    // boundary they race.
+    assert_race(
+        "PROGRAM RC7
+  REAL A(100)
+  DO I = 1, 100
+    A(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 99
+    A(I) = A(I + 1)
+  ENDDO
+  WRITE(*,*) A(1)
+END
+",
+    );
+}
+
+#[test]
+fn write_write_collision_through_gather_is_caught() {
+    // Indirection that maps two iterations to the same cell.
+    assert_race(
+        "PROGRAM RC8
+  REAL A(64)
+  INTEGER IX(64)
+  DO I = 1, 64
+    A(I) = 0.0
+    IX(I) = MOD(I, 8) + 1
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 64
+    A(IX(I)) = REAL(I)
+  ENDDO
+  WRITE(*,*) A(1)
+END
+",
+    );
+}
+
+#[test]
+fn permutation_gather_passes() {
+    let out = run_manual(
+        "PROGRAM RC9
+  REAL A(64), B(64)
+  INTEGER IX(64)
+  DO I = 1, 64
+    B(I) = REAL(I)
+    IX(I) = 65 - I
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 64
+    A(IX(I)) = B(I)
+  ENDDO
+  WRITE(*,*) A(64)
+END
+",
+    )
+    .expect("permutation scatter must not race");
+    assert_eq!(out, vec!["1.000000".to_string()]);
+}
+
+#[test]
+fn race_not_reported_when_checker_disabled_serially() {
+    // With the checker on but the loop run serially, no race fires even
+    // for the dependent loop — the checker only inspects cross-worker
+    // overlap.
+    let rp = frontend(
+        "PROGRAM RC10
+  REAL A(100)
+  DO I = 1, 100
+    A(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 99
+    A(I + 1) = A(I) + 1.0
+  ENDDO
+  WRITE(*,*) A(100)
+END
+",
+    )
+    .unwrap();
+    let r = run(
+        &rp,
+        &[],
+        &ExecConfig {
+            mode: ExecMode::Serial,
+            check_races: true,
+            ..Default::default()
+        },
+    )
+    .expect("serial run never races");
+    assert_eq!(r.output, vec!["100.000000".to_string()]);
+    assert_eq!(r.regions, 0);
+}
+
+#[test]
+fn single_thread_parallel_region_never_races() {
+    // One worker = no cross-worker pair = no race, even for the
+    // dependent loop. (And the answer is the serial one.)
+    let out = {
+        let rp = frontend(
+            "PROGRAM RC11
+  REAL A(100)
+  DO I = 1, 100
+    A(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, 99
+    A(I + 1) = A(I) + 1.0
+  ENDDO
+  WRITE(*,*) A(100)
+END
+",
+        )
+        .unwrap();
+        run(&rp, &[], &manual(1)).expect("1-thread run").output
+    };
+    assert_eq!(out, vec!["100.000000".to_string()]);
+}

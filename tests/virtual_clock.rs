@@ -1,0 +1,147 @@
+//! Properties of the deterministic virtual-time model that Figure 1 is
+//! built on: determinism across real-thread schedules, speedup for
+//! independent work, fork/join overhead drowning tiny loops, and
+//! monotonicity in trip count.
+
+use autopar::minifort::frontend;
+use autopar::runtime::{
+    run, ExecConfig, ExecMode, RunResult, FORK_REGION_COST, FORK_THREAD_COST,
+};
+use proptest::prelude::*;
+
+fn exec(src: &str, mode: ExecMode, threads: usize) -> RunResult {
+    let rp = frontend(src).unwrap_or_else(|e| panic!("{}", e));
+    run(
+        &rp,
+        &[],
+        &ExecConfig {
+            mode,
+            threads,
+            check_races: true,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}\n{}", e, src))
+}
+
+fn wide_loop(trip: u32) -> String {
+    format!(
+        "PROGRAM VC
+  REAL A({trip}), B({trip})
+  DO I = 1, {trip}
+    B(I) = REAL(I)
+  ENDDO
+!$OMP PARALLEL DO
+  DO I = 1, {trip}
+    A(I) = B(I) * 2.0 + B(I) * B(I) - 1.0 + B(I) / 3.0
+  ENDDO
+  WRITE(*,*) A({trip})
+END
+"
+    )
+}
+
+#[test]
+fn virtual_time_is_deterministic_across_schedules() {
+    // Real threads race over chunks, but virtual time is a pure
+    // function of the program: 10 repeat runs must agree exactly.
+    let src = wide_loop(4000);
+    let base = exec(&src, ExecMode::Manual, 4).virt;
+    for _ in 0..9 {
+        assert_eq!(exec(&src, ExecMode::Manual, 4).virt, base);
+    }
+}
+
+#[test]
+fn independent_work_speeds_up_with_threads() {
+    let src = wide_loop(20_000);
+    let t1 = exec(&src, ExecMode::Manual, 1).virt;
+    let t2 = exec(&src, ExecMode::Manual, 2).virt;
+    let t4 = exec(&src, ExecMode::Manual, 4).virt;
+    // The init loop and I/O stay serial, so expect Amdahl-limited but
+    // clearly increasing speedups, never above the thread count.
+    let s2 = t1 as f64 / t2 as f64;
+    let s4 = t1 as f64 / t4 as f64;
+    assert!(s2 > 1.35 && s2 <= 2.0, "2-thread speedup {}", s2);
+    assert!(s4 > s2 && s4 <= 4.0, "4-thread speedup {}", s4);
+}
+
+#[test]
+fn serial_and_parallel_virt_agree_outside_regions() {
+    // Serial execution of the same program costs at least as much as
+    // the 4-thread run minus overhead, and the parallel run is never
+    // cheaper than serial/threads (no free lunch).
+    let src = wide_loop(20_000);
+    let ser = exec(&src, ExecMode::Serial, 1);
+    let par = exec(&src, ExecMode::Manual, 4);
+    assert_eq!(ser.regions, 0);
+    assert_eq!(par.regions, 1);
+    assert!(par.virt < ser.virt);
+    assert!(par.virt as f64 > ser.virt as f64 / 4.0);
+}
+
+#[test]
+fn fork_overhead_makes_tiny_regions_lose() {
+    // A region whose body is one statement over 4 iterations can never
+    // amortize FORK_REGION_COST + 4 * FORK_THREAD_COST: parallel virt
+    // must exceed serial virt. This is the Figure-1 Polaris mechanism.
+    let src = "PROGRAM VC2
+  REAL A(1000), B(1000)
+  DO I = 1, 1000
+    B(I) = REAL(I)
+  ENDDO
+  DO K = 1, 200
+!$OMP PARALLEL DO
+    DO I = 1, 4
+      A(I) = B(I) + REAL(K)
+    ENDDO
+  ENDDO
+  WRITE(*,*) A(4)
+END
+";
+    let ser = exec(src, ExecMode::Serial, 1);
+    let par = exec(src, ExecMode::Manual, 4);
+    assert_eq!(par.regions, 200);
+    assert!(
+        par.virt > ser.virt,
+        "tiny regions must lose: par {} vs ser {}",
+        par.virt,
+        ser.virt
+    );
+    // The slowdown is at least the modeled fork bill for 200 regions
+    // minus what the 4-wide body could possibly save.
+    let bill = 200 * (FORK_REGION_COST + 4 * FORK_THREAD_COST);
+    assert!(par.virt - ser.virt > bill / 2);
+}
+
+#[test]
+fn forks_counter_matches_regions_times_threads() {
+    let src = wide_loop(256);
+    let par = exec(&src, ExecMode::Manual, 4);
+    assert_eq!(par.regions, 1);
+    assert_eq!(par.forks, 4);
+}
+
+#[test]
+fn virt_seconds_conversion_is_linear() {
+    let src = wide_loop(256);
+    let r = exec(&src, ExecMode::Serial, 1);
+    let s = r.virt_seconds();
+    assert!(s > 0.0);
+    assert!((s * 25_000_000.0 - r.virt as f64).abs() < 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Virtual time grows strictly with trip count (serial), and the
+    /// parallel run of independent work never beats serial/threads.
+    #[test]
+    fn virt_monotone_in_trip(a in 100u32..2000, b in 2001u32..8000) {
+        let ra = exec(&wide_loop(a), ExecMode::Serial, 1);
+        let rb = exec(&wide_loop(b), ExecMode::Serial, 1);
+        prop_assert!(ra.virt < rb.virt);
+        let pa = exec(&wide_loop(b), ExecMode::Manual, 4);
+        prop_assert!(pa.virt as f64 >= rb.virt as f64 / 4.0);
+    }
+}

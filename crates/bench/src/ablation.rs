@@ -5,9 +5,7 @@
 
 use apar_core::{Classification, Compiler, CompilerProfile};
 use apar_workloads as wl;
-use serde::Serialize;
-
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationRow {
     pub profile: String,
     /// Per app: (name, autoparallelized target count).

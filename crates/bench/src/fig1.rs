@@ -12,14 +12,12 @@ use apar_minifort::frontend;
 use apar_runtime::{run, run_mpi, ExecConfig, ExecMode};
 use apar_workloads::seismic::{component, Component};
 use apar_workloads::{DataSize, Variant};
-use serde::Serialize;
-
 use crate::deck;
 
 pub const THREADS: usize = 4;
 const SEG: usize = 1 << 22;
 
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig1Row {
     pub component: String,
     pub serial_s: f64,
@@ -30,7 +28,7 @@ pub struct Fig1Row {
     pub polaris_regions: u64,
 }
 
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig1Data {
     pub size: String,
     pub threads: usize,

@@ -8,9 +8,7 @@
 
 use apar_core::{CompileReport, Compiler, CompilerProfile, PassId};
 use apar_workloads as wl;
-use serde::Serialize;
-
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig2Row {
     pub app: String,
     pub statements: usize,

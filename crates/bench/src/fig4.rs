@@ -5,9 +5,7 @@
 use apar_core::nesting::{averages, target_nesting, NestingAverages};
 use apar_minifort::frontend;
 use apar_workloads as wl;
-use serde::Serialize;
-
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4Data {
     pub perfect: NestingAverages,
     pub seismic: NestingAverages,

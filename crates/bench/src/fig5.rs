@@ -4,8 +4,6 @@
 
 use apar_core::{Classification, Compiler, CompilerProfile};
 use apar_workloads as wl;
-use serde::Serialize;
-
 /// Legend order of the paper's stacked chart.
 pub const CATEGORIES: [Classification; 7] = [
     Classification::Autoparallelized,
@@ -17,7 +15,7 @@ pub const CATEGORIES: [Classification; 7] = [
     Classification::Complexity,
 ];
 
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Row {
     pub app: String,
     pub total_targets: usize,

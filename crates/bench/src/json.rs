@@ -1,0 +1,292 @@
+//! Minimal JSON output for figure artifacts.
+//!
+//! The offline workspace has no serde; artifacts are small and their
+//! shapes are fixed, so a hand-rolled value tree is enough. Rendering
+//! is pretty-printed with two-space indentation to keep the artifact
+//! files diffable, matching what `serde_json::to_string_pretty` used to
+//! produce for these structs.
+
+use apar_core::nesting::NestingAverages;
+
+use crate::ablation::AblationRow;
+use crate::fig1::{Fig1Data, Fig1Row};
+use crate::fig2::Fig2Row;
+use crate::fig4::Fig4Data;
+use crate::fig5::Fig5Row;
+use crate::spec::{DynamicRow, ReachRow, SpecReport};
+
+/// A JSON value.
+#[derive(Clone, Debug)]
+pub enum Json {
+    Bool(bool),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = |n: usize| "  ".repeat(n);
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    out.push_str("null");
+                } else if v.fract() == 0.0 && v.abs() < 1e15 {
+                    // Keep a decimal point so the value reads back as float.
+                    out.push_str(&format!("{:.1}", v));
+                } else {
+                    out.push_str(&format!("{}", v));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, it) in items.iter().enumerate() {
+                    out.push_str(&pad(indent + 1));
+                    it.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad(indent + 1));
+                    out.push_str(&format!("\"{}\": ", k));
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Conversion into a [`Json`] value tree.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl ToJson for NestingAverages {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("outer_subs", self.outer_subs.to_json()),
+            ("outer_loops", self.outer_loops.to_json()),
+            ("enclosed_subs", self.enclosed_subs.to_json()),
+            ("enclosed_loops", self.enclosed_loops.to_json()),
+            ("n", self.n.to_json()),
+        ])
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("profile", self.profile.to_json()),
+            ("per_app", self.per_app.to_json()),
+            ("total", self.total.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig1Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("component", self.component.to_json()),
+            ("serial_s", self.serial_s.to_json()),
+            ("mpi_s", self.mpi_s.to_json()),
+            ("openmp_s", self.openmp_s.to_json()),
+            ("polaris_s", self.polaris_s.to_json()),
+            ("serial_wall_s", self.serial_wall_s.to_json()),
+            ("polaris_regions", self.polaris_regions.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig1Data {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("size", self.size.to_json()),
+            ("threads", self.threads.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig2Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("app", self.app.to_json()),
+            ("statements", self.statements.to_json()),
+            ("total_seconds", self.total_seconds.to_json()),
+            ("total_ops", self.total_ops.to_json()),
+            ("seconds_per_statement", self.seconds_per_statement.to_json()),
+            ("ops_per_statement", self.ops_per_statement.to_json()),
+            ("per_pass", self.per_pass.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig4Data {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("perfect", self.perfect.to_json()),
+            ("seismic", self.seismic.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig5Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("app", self.app.to_json()),
+            ("total_targets", self.total_targets.to_json()),
+            ("counts", self.counts.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ReachRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("profile", self.profile.to_json()),
+            ("per_app", self.per_app.to_json()),
+            ("total_static", self.total_static.to_json()),
+            ("total_speculative", self.total_speculative.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DynamicRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario", self.scenario.to_json()),
+            ("baseline_virt_s", self.baseline_virt_s.to_json()),
+            ("spec_virt_s", self.spec_virt_s.to_json()),
+            ("speculations", self.speculations.to_json()),
+            ("rollbacks", self.rollbacks.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SpecReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("reach", self.reach.to_json()),
+            ("dynamic", self.dynamic.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("a \"b\"".into())),
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("f", Json::Num(1.5)),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"a \\\"b\\\"\""), "{}", s);
+        assert!(s.contains("\"f\": 1.5"), "{}", s);
+        assert!(s.contains("\"empty\": []"), "{}", s);
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Json::Num(2.0).render(), "2.0");
+        assert_eq!(Json::Num(2.5).render(), "2.5");
+        assert_eq!(Json::Int(2).render(), "2");
+    }
+}

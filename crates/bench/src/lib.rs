@@ -11,6 +11,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;
+pub mod json;
 pub mod spec;
 
 use apar_runtime::DeckVal;
@@ -28,12 +29,11 @@ pub fn deck(w: &Workload) -> Vec<DeckVal> {
 }
 
 /// Writes a JSON artifact under `target/figures/`.
-pub fn write_artifact(name: &str, value: &impl serde::Serialize) -> std::path::PathBuf {
+pub fn write_artifact(name: &str, value: &impl json::ToJson) -> std::path::PathBuf {
     let dir = std::path::Path::new("target/figures");
     std::fs::create_dir_all(dir).expect("create target/figures");
     let path = dir.join(name);
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("json"))
-        .expect("write artifact");
+    std::fs::write(&path, value.to_json().render()).expect("write artifact");
     path
 }
 

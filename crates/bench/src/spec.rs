@@ -15,9 +15,7 @@
 use apar_core::{Compiler, CompilerProfile};
 use apar_runtime::{run, ExecConfig, ExecMode};
 use apar_workloads as wl;
-use serde::Serialize;
-
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ReachRow {
     pub profile: String,
     /// Per app: (name, statically parallel targets, speculative targets).
@@ -26,7 +24,7 @@ pub struct ReachRow {
     pub total_speculative: usize,
 }
 
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DynamicRow {
     pub scenario: String,
     pub baseline_virt_s: f64,
@@ -35,7 +33,7 @@ pub struct DynamicRow {
     pub rollbacks: u64,
 }
 
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SpecReport {
     pub reach: Vec<ReachRow>,
     pub dynamic: Vec<DynamicRow>,

@@ -3,11 +3,9 @@
 use std::collections::HashMap;
 
 use apar_analysis::ddtest::{DdOutcome, Hindrance};
-use serde::Serialize;
-
 /// The Figure 5 categories, plus bookkeeping variants for loops the
 /// paper's target set would exclude.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Classification {
     /// Parallelized by the compiler under the active profile.
     Autoparallelized,

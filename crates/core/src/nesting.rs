@@ -3,10 +3,8 @@
 use apar_analysis::callgraph::CallGraph;
 use apar_analysis::loops::{LoopForest, NestingMetrics};
 use apar_minifort::ResolvedProgram;
-use serde::Serialize;
-
 /// Metrics for one target loop.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TargetNesting {
     pub target: String,
     pub unit: String,
@@ -17,7 +15,7 @@ pub struct TargetNesting {
 }
 
 /// Averages across a suite — the four bars of Figure 4.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct NestingAverages {
     pub outer_subs: f64,
     pub outer_loops: f64,

@@ -5,7 +5,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use apar_analysis::access;
+use apar_analysis::access::{self, AccessKind};
 use apar_analysis::alias::AliasInfo;
 use apar_analysis::callgraph::CallGraph;
 use apar_analysis::constprop;
@@ -22,8 +22,6 @@ use apar_analysis::symx::SymMap;
 use apar_minifort::ast::{Block, LoopDirective, StmtKind};
 use apar_minifort::{parse_program, resolve, Diag, Program, ResolvedProgram, StmtId};
 use apar_symbolic::OpCounter;
-use serde::Serialize;
-
 use crate::classify::{classify, Classification};
 use crate::profile::CompilerProfile;
 use crate::report::{CompileReport, PassId};
@@ -35,10 +33,9 @@ pub struct Compiler {
 }
 
 /// Facts recorded about one analyzed loop.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LoopReport {
     pub unit: String,
-    #[serde(skip)]
     pub stmt: StmtId,
     pub var: String,
     pub depth: usize,
@@ -231,8 +228,12 @@ impl Compiler {
                     .unwrap_or_default()
             };
 
-            // Locate the loop body in the analyzed program.
-            let aunit = arp_ref.unit(&unit_name).expect("unit survives inlining");
+            // Locate the loop body in the analyzed program. A unit can
+            // legitimately disappear (fully inlined away); its loops
+            // are simply not candidates any more.
+            let Some(aunit) = arp_ref.unit(&unit_name) else {
+                continue;
+            };
             let Some((var, lo, hi, step, body)) = find_do(aunit, info.id.stmt) else {
                 continue;
             };
@@ -330,6 +331,31 @@ impl Compiler {
                 && !has_parallel_ancestor(&forest, info, &parallel_loops)
             {
                 let orig_table = rp.table(&unit_name);
+                // Write summary for speculative regions: the cells a
+                // rollback must restore. Only exact summaries are
+                // emitted — a body with calls may write through its
+                // callees, and an analysis access list can reference
+                // transform-introduced temporaries absent from the
+                // original program; either case leaves `writes` unset
+                // so the runtime falls back to a full checkpoint.
+                let writes = if !parallel && la.calls.is_empty() {
+                    let mut w: Vec<String> = la
+                        .accesses
+                        .iter()
+                        .filter(|a| a.kind == AccessKind::Write)
+                        .map(|a| a.array.clone())
+                        .chain(la.scalar_writes.iter().map(|(n, _, _)| n.clone()))
+                        .collect();
+                    w.sort_unstable();
+                    w.dedup();
+                    if w.iter().all(|n| orig_table.get(n).is_some()) {
+                        Some(w)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
                 let directive = LoopDirective {
                     private: priv_res
                         .private_scalars
@@ -340,6 +366,7 @@ impl Compiler {
                         .collect(),
                     reductions: reds.iter().map(|r| (r.op, r.var.clone())).collect(),
                     speculative: !parallel,
+                    writes,
                 };
                 speculative = directive.speculative;
                 annotated = annotate_loop(&mut rp, &unit_name, info.id.stmt, directive);

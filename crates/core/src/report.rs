@@ -3,10 +3,8 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use serde::Serialize;
-
 /// The compiler passes of Figure 2's legend.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PassId {
     DataDependence,
     Privatization,
@@ -46,14 +44,14 @@ impl PassId {
 }
 
 /// Wall time and deterministic op count of one pass.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PassCost {
     pub seconds: f64,
     pub ops: u64,
 }
 
 /// Aggregate compile-time report for one application.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CompileReport {
     pub app: String,
     pub profile: String,

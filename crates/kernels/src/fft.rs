@@ -96,10 +96,10 @@ pub fn m3fk(p: &SeisParams, strategy: Strategy) -> Vec<f64> {
         unsafe impl Sync for Out {}
         let out = Out(ra.as_mut_ptr(), ra.len());
         let next = AtomicUsize::new(1);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..workers {
                 let (src, out, next) = (&src, &out, &next);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut cw = vec![0.0; 2 * nx];
                     loop {
                         let ipen = next.fetch_add(1, Ordering::Relaxed);
@@ -113,8 +113,7 @@ pub fn m3fk(p: &SeisParams, strategy: Strategy) -> Vec<f64> {
                     }
                 });
             }
-        })
-        .expect("pencil scope");
+        });
     }
     // Half-grid spectral shift (M3FK_SHFT): real parts damped.
     for icol in 1..=ncol {

@@ -26,7 +26,7 @@ pub fn propagate(p: &SeisParams, strategy: Strategy) -> (Vec<f64>, f64) {
             stencil_rows(&mut un, &u, &up, nx, 2, ny - 1, c2);
         } else {
             let un_rows = &mut un[nx..nx * (ny - 1)];
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let mut rest = un_rows;
                 let mut row0 = 0usize;
                 for k in 0..w {
@@ -35,7 +35,7 @@ pub fn propagate(p: &SeisParams, strategy: Strategy) -> (Vec<f64>, f64) {
                     rest = tail;
                     let iy_lo = 2 + row0;
                     let (u, up) = (&u, &up);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for (r, row) in mine.chunks_mut(nx).enumerate() {
                             let iy = iy_lo + r;
                             stencil_one_row(row, u, up, nx, iy, c2);
@@ -43,8 +43,7 @@ pub fn propagate(p: &SeisParams, strategy: Strategy) -> (Vec<f64>, f64) {
                     });
                     row0 = hi;
                 }
-            })
-            .expect("stencil scope");
+            });
         }
         // Plane rotation, same order as FDIF_SWAP.
         let n = nx * ny;

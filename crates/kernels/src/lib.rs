@@ -6,7 +6,7 @@
 //! and the native kernels must agree to the last ulp-ish tolerance. They
 //! also serve as the native-speed reference implementation a downstream
 //! user would adopt, with [`Strategy`]-selectable outer-loop threading
-//! (crossbeam scoped threads over contiguous chunks — the shape a
+//! (std scoped threads over contiguous chunks — the shape a
 //! parallelizing compiler emits for the hand-annotated loops).
 
 pub mod datagen;
@@ -49,7 +49,7 @@ pub(crate) fn par_rows<T: Send>(
         return;
     }
     let (head, _) = data.split_at_mut(rows * row_len);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = head;
         let mut row0 = 0usize;
         for w in 0..workers {
@@ -59,15 +59,14 @@ pub(crate) fn par_rows<T: Send>(
             rest = tail;
             let lo = row0;
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (k, chunk) in mine.chunks_mut(row_len).enumerate() {
                     f(lo + k, chunk);
                 }
             });
             row0 = hi;
         }
-    })
-    .expect("kernel scope");
+    });
 }
 
 /// Parameters shared by the native kernels (mirrors the workload decks).

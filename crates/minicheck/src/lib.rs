@@ -1,0 +1,148 @@
+//! Dependency-free property testing.
+//!
+//! The container this workspace builds in has no registry access, so
+//! the property tests run on this tiny harness instead of `proptest`:
+//! a deterministic splitmix64 generator plus a [`forall`] driver that
+//! replays failures by case index. Generators are plain functions
+//! `fn(&mut Rng) -> T`; there is no shrinking — the failure report
+//! carries the case seed so a failing input is reproducible by
+//! construction.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic splitmix64 generator.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "int_in: empty range {}..={}", lo, hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.int_in(lo as i64, hi as i64) as usize
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `p`.
+    pub fn weighted(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Picks one element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+
+    /// A vector of `gen`-produced values, length in `[lo, hi]`.
+    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut gen: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        let n = self.usize_in(lo, hi);
+        (0..n).map(|_| gen(self)).collect()
+    }
+}
+
+/// Base seed shared by every `forall` run; case `i` uses
+/// `BASE_SEED ^ (i * GOLDEN)` so each case is independent and
+/// reproducible without any global state.
+pub const BASE_SEED: u64 = 0x005E_ED0F_A07A_9A12;
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+/// Runs `property` for `cases` deterministic cases. On a panic inside
+/// the property, reports the failing case index and seed, then
+/// re-panics with that context so the test harness shows it.
+pub fn forall(name: &str, cases: usize, mut property: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = BASE_SEED ^ (case as u64).wrapping_mul(GOLDEN);
+        let mut rng = Rng::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!(
+                "property '{}' failed at case {}/{} (seed {:#x}): {}",
+                name, case, cases, seed, msg
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn int_in_stays_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.int_in(-3, 9);
+            assert!((-3..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_unit_stays_in_range() {
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            let v = r.f64_unit();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn forall_reports_case_context() {
+        let err = std::panic::catch_unwind(|| {
+            forall("always_fails", 3, |_| panic!("boom"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{}", msg);
+        assert!(msg.contains("case 0"), "{}", msg);
+        assert!(msg.contains("boom"), "{}", msg);
+    }
+
+    #[test]
+    fn forall_passes_quietly() {
+        forall("trivial", 16, |rng| {
+            let v = rng.int_in(0, 10);
+            assert!(v <= 10);
+        });
+    }
+}

@@ -192,6 +192,12 @@ pub struct LoopDirective {
     /// parallel execution (LRPD-style test) and roll back to serial on
     /// a detected conflict. Never set on manual `!$OMP` directives.
     pub speculative: bool,
+    /// Compiler-produced write summary for speculative regions: names
+    /// of the arrays and scalars the loop body may write. `Some` means
+    /// the summary is exact, letting the runtime checkpoint only those
+    /// cells for rollback; `None` (always the case for manual
+    /// directives) forces a full checkpoint.
+    pub writes: Option<Vec<String>>,
 }
 
 /// Statement kinds.

@@ -2,10 +2,10 @@
 //! pretty-print to source that re-parses to an equivalent program, and
 //! resolution is deterministic.
 
+use apar_minicheck::{forall, Rng};
 use apar_minifort::ast::*;
 use apar_minifort::pretty::print_program;
 use apar_minifort::{parse_program, resolve};
-use proptest::prelude::*;
 
 /// A tiny structured-program generator: no GOTOs, unique loop vars per
 /// nesting path, plain scalar/array assignments.
@@ -29,48 +29,57 @@ enum GExpr {
     Intr(Box<GExpr>),
 }
 
-fn gexpr() -> impl Strategy<Value = GExpr> {
-    let leaf = prop_oneof![
-        (-99i8..=99).prop_map(GExpr::Int),
-        (-99i8..=99).prop_map(GExpr::Real),
-        (0u8..4).prop_map(GExpr::Scalar),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (0u8..2, inner.clone()).prop_map(|(a, e)| GExpr::Elem(a, Box::new(e))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Mul(Box::new(a), Box::new(b))),
-            inner.prop_map(|e| GExpr::Intr(Box::new(e))),
-        ]
-    })
+fn gexpr(rng: &mut Rng, depth: u32) -> GExpr {
+    if depth == 0 || rng.weighted(0.4) {
+        return match rng.int_in(0, 2) {
+            0 => GExpr::Int(rng.int_in(-99, 99) as i8),
+            1 => GExpr::Real(rng.int_in(-99, 99) as i8),
+            _ => GExpr::Scalar(rng.int_in(0, 3) as u8),
+        };
+    }
+    match rng.int_in(0, 3) {
+        0 => {
+            let a = rng.int_in(0, 1) as u8;
+            GExpr::Elem(a, Box::new(gexpr(rng, depth - 1)))
+        }
+        1 => {
+            let a = gexpr(rng, depth - 1);
+            let b = gexpr(rng, depth - 1);
+            GExpr::Add(Box::new(a), Box::new(b))
+        }
+        2 => {
+            let a = gexpr(rng, depth - 1);
+            let b = gexpr(rng, depth - 1);
+            GExpr::Mul(Box::new(a), Box::new(b))
+        }
+        _ => GExpr::Intr(Box::new(gexpr(rng, depth - 1))),
+    }
 }
 
-fn gstmt(depth: u32) -> BoxedStrategy<GStmt> {
-    let leaf = prop_oneof![
-        (0u8..4, gexpr()).prop_map(|(s, e)| GStmt::AssignScalar(s, e)),
-        (0u8..2, gexpr(), gexpr()).prop_map(|(a, i, e)| GStmt::AssignElem(a, i, e)),
-        gexpr().prop_map(GStmt::Write),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        prop_oneof![
-            leaf,
-            (
-                gexpr(),
-                proptest::collection::vec(gstmt(depth - 1), 0..3),
-                proptest::collection::vec(gstmt(depth - 1), 0..2)
-            )
-                .prop_map(|(c, t, e)| GStmt::If(c, t, e)),
-            (
-                4u8..8,
-                gexpr(),
-                gexpr(),
-                proptest::collection::vec(gstmt(depth - 1), 0..3)
-            )
-                .prop_map(|(v, lo, hi, b)| GStmt::Do(v, lo, hi, b)),
-        ]
-        .boxed()
+fn gstmt(rng: &mut Rng, depth: u32) -> GStmt {
+    let kind = if depth == 0 { rng.int_in(0, 2) } else { rng.int_in(0, 4) };
+    match kind {
+        0 => GStmt::AssignScalar(rng.int_in(0, 3) as u8, gexpr(rng, 3)),
+        1 => {
+            let a = rng.int_in(0, 1) as u8;
+            let i = gexpr(rng, 3);
+            let e = gexpr(rng, 3);
+            GStmt::AssignElem(a, i, e)
+        }
+        2 => GStmt::Write(gexpr(rng, 3)),
+        3 => {
+            let c = gexpr(rng, 3);
+            let t = rng.vec_of(0, 2, |r| gstmt(r, depth - 1));
+            let e = rng.vec_of(0, 1, |r| gstmt(r, depth - 1));
+            GStmt::If(c, t, e)
+        }
+        _ => {
+            let v = rng.int_in(4, 7) as u8;
+            let lo = gexpr(rng, 3);
+            let hi = gexpr(rng, 3);
+            let b = rng.vec_of(0, 2, |r| gstmt(r, depth - 1));
+            GStmt::Do(v, lo, hi, b)
+        }
     }
 }
 
@@ -185,24 +194,26 @@ fn strip(p: &Program) -> String {
     print_program(p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// print -> parse -> print is a fixpoint on generated programs.
-    #[test]
-    fn pretty_parse_roundtrip(stmts in proptest::collection::vec(gstmt(2), 0..6)) {
+/// print -> parse -> print is a fixpoint on generated programs.
+#[test]
+fn pretty_parse_roundtrip() {
+    forall("pretty_parse_roundtrip", 64, |rng| {
+        let stmts = rng.vec_of(0, 5, |r| gstmt(r, 2));
         let src = render_program(&stmts);
         let p1 = parse_program(&src)
             .unwrap_or_else(|e| panic!("parse failed: {}\n{}", e, src));
         let printed = print_program(&p1);
         let p2 = parse_program(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {}\n{}", e, printed));
-        prop_assert_eq!(strip(&p1), strip(&p2));
-    }
+        assert_eq!(strip(&p1), strip(&p2));
+    });
+}
 
-    /// Resolution succeeds and is deterministic on generated programs.
-    #[test]
-    fn resolution_is_deterministic(stmts in proptest::collection::vec(gstmt(2), 0..6)) {
+/// Resolution succeeds and is deterministic on generated programs.
+#[test]
+fn resolution_is_deterministic() {
+    forall("resolution_is_deterministic", 64, |rng| {
+        let stmts = rng.vec_of(0, 5, |r| gstmt(r, 2));
         let src = render_program(&stmts);
         let p1 = parse_program(&src).expect("parse");
         let p2 = parse_program(&src).expect("parse");
@@ -210,10 +221,10 @@ proptest! {
         let r2 = resolve(p2).expect("resolve");
         let t1 = r1.table("GEN");
         let t2 = r2.table("GEN");
-        prop_assert_eq!(t1.area_sizes.clone(), t2.area_sizes.clone());
+        assert_eq!(t1.area_sizes, t2.area_sizes);
         for s in t1.iter() {
             let o = t2.get(&s.name).expect("same symbols");
-            prop_assert_eq!(format!("{:?}", s.storage), format!("{:?}", o.storage));
+            assert_eq!(format!("{:?}", s.storage), format!("{:?}", o.storage));
         }
-    }
+    });
 }

@@ -1,0 +1,119 @@
+//! Checkpoints for speculative rollback.
+//!
+//! A speculative region must be able to undo every shared write of a
+//! failed parallel attempt. The compiler's access analysis knows which
+//! arrays and scalars the region body can write; when that summary is
+//! available (and trustworthy — no calls, no assumed-size shapes) the
+//! checkpoint snapshots only those cells. Otherwise it falls back to
+//! the full shared state: every COMMON cell plus the forking thread's
+//! live stack. Either way the snapshot/restore cost is charged to the
+//! virtual clock by the caller, proportional to the words copied —
+//! mis-speculation is not free, and a targeted checkpoint is the paper
+//! generation's answer to making it affordable.
+
+use crate::memory::{Arena, Cell};
+
+/// How a checkpoint chose its coverage (reported for diagnostics and
+/// asserted on by the rollback tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// Only the cells the compiler's write summary names.
+    Targeted,
+    /// All commons plus the forking thread's live stack.
+    Full,
+}
+
+/// A saved copy of selected arena ranges.
+pub struct Checkpoint {
+    kind: CheckpointKind,
+    /// `(start address, saved cells)` per range.
+    saved: Vec<(usize, Vec<Cell>)>,
+    words: usize,
+}
+
+impl Checkpoint {
+    /// Snapshots `(start, len)` ranges of the arena.
+    pub fn capture(arena: &Arena, kind: CheckpointKind, ranges: &[(usize, usize)]) -> Checkpoint {
+        let mut saved = Vec::with_capacity(ranges.len());
+        let mut words = 0;
+        let total = arena.total_len();
+        for &(start, len) in ranges {
+            let end = start.saturating_add(len).min(total);
+            let start = start.min(total);
+            if end <= start {
+                continue;
+            }
+            saved.push((start, arena.snapshot_range(start, end)));
+            words += end - start;
+        }
+        Checkpoint { kind, saved, words }
+    }
+
+    /// Snapshots all commons plus the live prefix of segment 0 (the
+    /// forking thread's stack). Worker segments are scratch and need no
+    /// checkpoint.
+    pub fn capture_full(arena: &Arena, stack_top: usize) -> Checkpoint {
+        let seg0 = arena.segment_base(0);
+        Checkpoint::capture(
+            arena,
+            CheckpointKind::Full,
+            &[(0, arena.commons_len()), (seg0, stack_top.saturating_sub(seg0))],
+        )
+    }
+
+    /// Restores every saved range.
+    pub fn restore(&self, arena: &Arena) {
+        for (start, cells) in &self.saved {
+            arena.restore_range(*start, cells);
+        }
+    }
+
+    /// Words held by the checkpoint (drives the modeled cost).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    pub fn kind(&self) -> CheckpointKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_and_restore_roundtrip() {
+        let arena = Arena::new(8, 1, 16);
+        for i in 0..8 {
+            arena.write(i, Cell::Int(i as i64));
+        }
+        let cp = Checkpoint::capture(&arena, CheckpointKind::Targeted, &[(2, 3)]);
+        assert_eq!(cp.words(), 3);
+        assert_eq!(cp.kind(), CheckpointKind::Targeted);
+        for i in 0..8 {
+            arena.write(i, Cell::Int(-1));
+        }
+        cp.restore(&arena);
+        for i in 0..8 {
+            let want = if (2..5).contains(&i) { i as i64 } else { -1 };
+            assert_eq!(arena.read(i), Cell::Int(want), "cell {}", i);
+        }
+    }
+
+    #[test]
+    fn out_of_range_requests_are_clamped() {
+        let arena = Arena::new(4, 1, 4);
+        let cp = Checkpoint::capture(&arena, CheckpointKind::Targeted, &[(2, 100), (50, 3)]);
+        assert_eq!(cp.words(), arena.total_len() - 2);
+        cp.restore(&arena); // must not panic
+    }
+
+    #[test]
+    fn full_checkpoint_covers_commons_and_stack_prefix() {
+        let arena = Arena::new(6, 2, 8);
+        let cp = Checkpoint::capture_full(&arena, arena.segment_base(0) + 3);
+        assert_eq!(cp.kind(), CheckpointKind::Full);
+        assert_eq!(cp.words(), 6 + 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] rides in [`ExecConfig`](crate::ExecConfig) and lets a
+//! test (or a chaos harness) perturb an execution deterministically:
+//! drop or delay point-to-point messages, kill a rank after a number of
+//! `MP*` operations, panic a shared-memory worker, or force a
+//! speculative region to mis-speculate. The runtime must survive every
+//! one of these with a structured [`RtError`](crate::RtError) — never a
+//! hang, never an escaped panic.
+
+/// Matches a point-to-point message by source, destination, and tag.
+/// `None` fields match anything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgPat {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    pub tag: Option<i64>,
+}
+
+impl MsgPat {
+    /// Matches every message.
+    pub fn any() -> MsgPat {
+        MsgPat::default()
+    }
+
+    /// Restricts the pattern to messages sent by `rank`.
+    pub fn from_rank(mut self, rank: usize) -> MsgPat {
+        self.src = Some(rank);
+        self
+    }
+
+    /// Restricts the pattern to messages addressed to `rank`.
+    pub fn to_rank(mut self, rank: usize) -> MsgPat {
+        self.dst = Some(rank);
+        self
+    }
+
+    /// Restricts the pattern to messages carrying `tag`.
+    pub fn with_tag(mut self, tag: i64) -> MsgPat {
+        self.tag = Some(tag);
+        self
+    }
+
+    pub(crate) fn matches(&self, src: usize, dst: usize, tag: i64) -> bool {
+        self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+            && self.tag.is_none_or(|t| t == tag)
+    }
+}
+
+/// A deterministic set of faults to inject into one execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Messages matching any of these patterns are silently lost: the
+    /// sender completes normally, the receiver never sees the payload
+    /// (and must eventually report a deadlock, not hang).
+    pub drop_msgs: Vec<MsgPat>,
+    /// Matching messages are delivered with this much extra modeled
+    /// latency (virtual ops) added to their arrival time.
+    pub delay_msgs: Vec<(MsgPat, u64)>,
+    /// `(rank, after_ops)`: the rank dies with
+    /// [`RtError::RankKilled`](crate::RtError::RankKilled) when it
+    /// begins its `after_ops`-th `MP*` operation (0 = the first).
+    pub kill_rank: Option<(usize, u64)>,
+    /// This worker index panics on entry to every parallel region; the
+    /// panic must be contained as
+    /// [`RtError::WorkerPanic`](crate::RtError::WorkerPanic).
+    pub panic_worker: Option<usize>,
+    /// Every speculative region reports a conflict even when the
+    /// parallel schedule was clean, forcing the rollback + serial
+    /// re-execution path.
+    pub force_speculation_conflict: bool,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Adds a message-loss pattern.
+    pub fn drop_message(mut self, pat: MsgPat) -> FaultPlan {
+        self.drop_msgs.push(pat);
+        self
+    }
+
+    /// Adds a message-delay pattern (extra virtual-clock latency).
+    pub fn delay_message(mut self, pat: MsgPat, extra_virt: u64) -> FaultPlan {
+        self.delay_msgs.push((pat, extra_virt));
+        self
+    }
+
+    /// Kills `rank` when it begins its `after_ops`-th `MP*` operation.
+    pub fn kill_rank(mut self, rank: usize, after_ops: u64) -> FaultPlan {
+        self.kill_rank = Some((rank, after_ops));
+        self
+    }
+
+    /// Panics worker `w` on entry to every parallel region.
+    pub fn panic_worker(mut self, w: usize) -> FaultPlan {
+        self.panic_worker = Some(w);
+        self
+    }
+
+    /// Forces every speculative region to roll back.
+    pub fn force_conflict(mut self) -> FaultPlan {
+        self.force_speculation_conflict = true;
+        self
+    }
+
+    /// Should a `src -> dst` message with `tag` be dropped?
+    pub(crate) fn drops(&self, src: usize, dst: usize, tag: i64) -> bool {
+        self.drop_msgs.iter().any(|p| p.matches(src, dst, tag))
+    }
+
+    /// Extra delivery latency for a `src -> dst` message with `tag`.
+    pub(crate) fn delay(&self, src: usize, dst: usize, tag: i64) -> u64 {
+        self.delay_msgs
+            .iter()
+            .filter(|(p, _)| p.matches(src, dst, tag))
+            .map(|&(_, d)| d)
+            .sum()
+    }
+
+    /// Should `rank` die before its `op_index`-th MP operation?
+    pub(crate) fn kills(&self, rank: usize, op_index: u64) -> bool {
+        self.kill_rank == Some((rank, op_index))
+            || matches!(self.kill_rank, Some((r, n)) if r == rank && op_index >= n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_pat_matching() {
+        assert!(MsgPat::any().matches(0, 1, 7));
+        let p = MsgPat::any().from_rank(2).with_tag(5);
+        assert!(p.matches(2, 0, 5));
+        assert!(!p.matches(1, 0, 5));
+        assert!(!p.matches(2, 0, 6));
+    }
+
+    #[test]
+    fn plan_kill_threshold() {
+        let plan = FaultPlan::none().kill_rank(1, 3);
+        assert!(!plan.kills(1, 2));
+        assert!(plan.kills(1, 3));
+        assert!(plan.kills(1, 4));
+        assert!(!plan.kills(0, 9));
+    }
+
+    #[test]
+    fn empty_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::none().force_conflict().is_none());
+    }
+}

@@ -15,16 +15,34 @@ use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use apar_minifort::ast::{BinOp, RedOp};
 use apar_minifort::{ResolvedProgram, Ty};
 
+use crate::checkpoint::{Checkpoint, CheckpointKind};
+use crate::fault::FaultPlan;
 use crate::memory::{Arena, BumpStack, Cell};
 use crate::mpi::MpiEnv;
 use crate::rprog::*;
 use crate::DeckVal;
+
+/// Locks a mutex, recovering the data if a contained worker panic
+/// poisoned it: panic containment means a poisoned lock is an expected
+/// state, not a secondary failure.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Renders a panic payload for error reporting.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
 
 /// Which annotations drive parallel execution.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -49,6 +67,11 @@ pub struct ExecConfig {
     pub seg_words: usize,
     /// Hard cap on emitted output lines.
     pub max_output: usize,
+    /// How long a blocked MPI operation may wait before the runtime
+    /// declares a deadlock and reports the blocked ranks.
+    pub mpi_timeout_ms: u64,
+    /// Deterministic fault injection (tests and chaos harnesses).
+    pub fault: FaultPlan,
 }
 
 impl Default for ExecConfig {
@@ -59,6 +82,8 @@ impl Default for ExecConfig {
             check_races: false,
             seg_words: 1 << 20,
             max_output: 10_000,
+            mpi_timeout_ms: 2_000,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -72,6 +97,23 @@ pub enum RtError {
     Race(String),
     DeckExhausted,
     OutputLimit,
+    /// A parallel worker panicked; the panic was contained at the fork
+    /// scope and converted to this error with its provenance.
+    WorkerPanic {
+        worker: usize,
+        unit: String,
+        message: String,
+    },
+    /// An MPI rank's thread panicked; contained at the world scope.
+    RankPanic { rank: usize, message: String },
+    /// Blocked MPI operations exceeded the configured timeout; the
+    /// diagnostic names every blocked rank with what it waits on.
+    Deadlock(String),
+    /// The fault plan killed this rank mid-run.
+    RankKilled { rank: usize },
+    /// This rank aborted because another rank failed first; `cause`
+    /// carries the originating diagnostic.
+    Aborted { rank: usize, cause: String },
 }
 
 impl fmt::Display for RtError {
@@ -83,6 +125,25 @@ impl fmt::Display for RtError {
             RtError::Race(m) => write!(f, "data race detected: {}", m),
             RtError::DeckExhausted => write!(f, "READ past end of input deck"),
             RtError::OutputLimit => write!(f, "output line limit exceeded"),
+            RtError::WorkerPanic {
+                worker,
+                unit,
+                message,
+            } => write!(
+                f,
+                "worker {} panicked in parallel region of {}: {}",
+                worker, unit, message
+            ),
+            RtError::RankPanic { rank, message } => {
+                write!(f, "MPI rank {} panicked: {}", rank, message)
+            }
+            RtError::Deadlock(m) => write!(f, "MPI deadlock: {}", m),
+            RtError::RankKilled { rank } => {
+                write!(f, "MPI rank {} killed by fault injection", rank)
+            }
+            RtError::Aborted { rank, cause } => {
+                write!(f, "MPI rank {} aborted: {}", rank, cause)
+            }
         }
     }
 }
@@ -180,7 +241,10 @@ pub fn run_lowered(
     let virt = ex.virt;
     drop(ex);
     Ok(RunResult {
-        output: shared.out.into_inner().expect("output lock"),
+        output: shared
+            .out
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner()),
         wall,
         regions: shared.regions.load(Ordering::Relaxed),
         forks: shared.forks.load(Ordering::Relaxed),
@@ -520,7 +584,7 @@ impl<'p, 's> Exec<'p, 's> {
             RStmt::Read(items) => {
                 for it in items {
                     let v = {
-                        let mut deck = self.sh.deck.lock().expect("deck lock");
+                        let mut deck = lock_unpoisoned(&self.sh.deck);
                         deck.pop_front().ok_or(RtError::DeckExhausted)?
                     };
                     let cell = match v {
@@ -550,7 +614,7 @@ impl<'p, 's> Exec<'p, 's> {
                         }
                     }
                 }
-                let mut out = self.sh.out.lock().expect("out lock");
+                let mut out = lock_unpoisoned(&self.sh.out);
                 if out.len() >= self.sh.cfg.max_output {
                     return Err(RtError::OutputLimit);
                 }
@@ -662,17 +726,21 @@ impl<'p, 's> Exec<'p, 's> {
 
         let check = self.sh.cfg.check_races || force_check;
         let sh = self.sh;
-        let results: Vec<Result<WorkerOut, RtError>> =
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for w in 0..nthreads {
-                    let t_lo = trip * w as i64 / nthreads as i64;
-                    let t_hi = trip * (w as i64 + 1) / nthreads as i64;
-                    let priv_scalars = &priv_scalars;
-                    let frame = f;
-                    let mpi = self.mpi.clone();
-                    handles.push(scope.spawn(move |_| -> Result<WorkerOut, RtError> {
-                        let mut ex = Exec {
+        let results: Vec<Result<WorkerOut, RtError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..nthreads {
+                let t_lo = trip * w as i64 / nthreads as i64;
+                let t_hi = trip * (w as i64 + 1) / nthreads as i64;
+                let priv_scalars = &priv_scalars;
+                let frame = f;
+                let mpi = self.mpi.clone();
+                handles.push(scope.spawn(move || -> Result<WorkerOut, RtError> {
+                    // Injected fault: this worker dies before doing any
+                    // work; the join below must contain the panic.
+                    if sh.cfg.fault.panic_worker == Some(w) {
+                        panic!("injected fault: worker {} panic", w);
+                    }
+                    let mut ex = Exec {
                             sh,
                             stack: BumpStack::new(
                                 sh.arena.segment_base(w + 1),
@@ -748,9 +816,23 @@ impl<'p, 's> Exec<'p, 's> {
                         })
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("scope");
+            // Panic containment: a worker panic becomes a structured
+            // error with its provenance instead of tearing the process
+            // down. Joining the handle consumes the panic payload, so
+            // the scope does not re-raise it.
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(w, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => Err(RtError::WorkerPanic {
+                        worker: w,
+                        unit: f.unit.name.clone(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                })
+                .collect()
+        });
 
         let mut outs = Vec::with_capacity(results.len());
         for r in results {
@@ -761,6 +843,12 @@ impl<'p, 's> Exec<'p, 's> {
         // pays per (tiny) inner loop.
         let worst = outs.iter().map(|o| o.virt).max().unwrap_or(0);
         self.virt += worst + FORK_REGION_COST + FORK_THREAD_COST * nthreads as u64;
+        // Injected fault: report a conflict even on a clean schedule so
+        // the speculative rollback path can be exercised on demand.
+        // `force_check` is only set by speculative regions.
+        if force_check && self.sh.cfg.fault.force_speculation_conflict {
+            return Err(RtError::Race("injected speculation conflict".into()));
+        }
         // Race verification across chunks.
         if check {
             for i in 0..outs.len() {
@@ -798,12 +886,43 @@ impl<'p, 's> Exec<'p, 's> {
         Ok(Flow::Normal)
     }
 
+    /// Builds the cheapest safe checkpoint for a speculative region.
+    ///
+    /// When the compiler supplied a write summary and the body is
+    /// call-free (so the summary is exact for the lowered body) with no
+    /// assumed-size write targets, only the named cells are saved.
+    /// Otherwise everything shared is: all commons plus this thread's
+    /// live stack. Worker segments are scratch either way.
+    fn spec_checkpoint(&self, f: &Frame<'p>, body: &[RStmt], dir: &RDirective) -> Checkpoint {
+        let arena = self.sh.arena;
+        if dir.writes_known && !body_has_calls(body) {
+            let mut ranges = Vec::new();
+            let mut exact = true;
+            for &aid in &dir.write_arrays {
+                let d = f.arrays[aid as usize];
+                if d.total < 0 {
+                    exact = false; // assumed-size: extent unknown
+                    break;
+                }
+                ranges.push((d.base, d.total as usize));
+            }
+            if exact {
+                for &sid in &dir.write_scalars {
+                    ranges.push((f.scalars[sid as usize], 1));
+                }
+                return Checkpoint::capture(arena, CheckpointKind::Targeted, &ranges);
+            }
+        }
+        Checkpoint::capture_full(arena, self.stack.top)
+    }
+
     /// Speculative parallel execution with a runtime dependence test
-    /// (LRPD-style): checkpoint the shared state the region could
-    /// touch, attempt the parallel schedule with conflict logging
-    /// forced on, and on a detected cross-chunk conflict restore the
-    /// checkpoint and re-execute serially. The virtual clock keeps the
-    /// cost of the failed attempt — misspeculation is not free.
+    /// (LRPD-style): checkpoint the shared state the region may write,
+    /// attempt the parallel schedule with conflict logging forced on,
+    /// and on a detected cross-chunk conflict restore the checkpoint
+    /// and re-execute serially. The virtual clock keeps the cost of the
+    /// failed attempt plus both checkpoint copies — misspeculation is
+    /// not free.
     #[allow(clippy::too_many_arguments)]
     fn exec_speculative(
         &mut self,
@@ -817,31 +936,36 @@ impl<'p, 's> Exec<'p, 's> {
         inner_vars: &[ScalarId],
     ) -> Result<Flow, RtError> {
         let arena = self.sh.arena;
-        // Checkpoint: all global storage plus this thread's live stack
-        // (the frame locals workers share). Worker segments need no
-        // checkpoint — they are scratch.
-        let commons = arena.snapshot_range(0, arena.commons_len());
-        let seg0_base = arena.segment_base(0);
-        let locals = arena.snapshot_range(seg0_base, self.stack.top);
-        let out_mark = self.sh.out.lock().expect("out lock").len();
-        self.virt += (commons.len() + locals.len()) as u64 / 8; // checkpoint cost
+        let cp = self.spec_checkpoint(f, body, dir);
+        let out_mark = lock_unpoisoned(&self.sh.out).len();
+        self.virt += cp.words() as u64 / 8; // checkpoint cost
 
-        match self.exec_parallel(f, var, lo, step, trip, body, dir, inner_vars, true) {
+        let attempt = self.exec_parallel(f, var, lo, step, trip, body, dir, inner_vars, true);
+        // Which failures roll back? A detected conflict always does. A
+        // trap, worker panic, or overflow inside the attempt may be an
+        // artifact of the unsound parallel schedule, so it rolls back
+        // too — but only under a full checkpoint: a faulting attempt
+        // can have written outside the compiler's write summary, and a
+        // targeted restore could not undo that.
+        let roll_back = match &attempt {
+            Err(RtError::Race(_)) => true,
+            Err(
+                RtError::Trap(_) | RtError::WorkerPanic { .. } | RtError::StackOverflow,
+            ) => cp.kind() == CheckpointKind::Full,
+            _ => false,
+        };
+        match attempt {
             Ok(flow) => {
                 self.sh.speculations.fetch_add(1, Ordering::Relaxed);
                 self.virt += trip as u64 * SPEC_MONITOR_COST;
                 Ok(flow)
             }
-            Err(RtError::Race(_)) => {
+            Err(e) if !roll_back => Err(e),
+            Err(_) => {
                 self.sh.rollbacks.fetch_add(1, Ordering::Relaxed);
-                arena.restore_range(0, &commons);
-                arena.restore_range(seg0_base, &locals);
-                self.sh
-                    .out
-                    .lock()
-                    .expect("out lock")
-                    .truncate(out_mark);
-                self.virt += (commons.len() + locals.len()) as u64 / 8; // restore cost
+                cp.restore(arena);
+                lock_unpoisoned(&self.sh.out).truncate(out_mark);
+                self.virt += cp.words() as u64 / 8; // restore cost
                 // Serial re-execution.
                 let var_addr = f.scalars[var as usize];
                 for t in 0..trip {
@@ -854,7 +978,6 @@ impl<'p, 's> Exec<'p, 's> {
                 self.wr(var_addr, Cell::Int(lo + trip * step))?;
                 Ok(Flow::Normal)
             }
-            Err(e) => Err(e),
         }
     }
 
@@ -913,6 +1036,54 @@ impl<'p, 's> Exec<'p, 's> {
     pub(crate) fn poke(&mut self, addr: usize, v: Cell) -> Result<(), RtError> {
         self.wr(addr, v)
     }
+}
+
+/// Does a lowered body contain any CALL statement or function call?
+/// Called code can write cells the loop's own write summary does not
+/// name, so its presence forces the full-checkpoint fallback.
+fn body_has_calls(body: &[RStmt]) -> bool {
+    fn expr(e: &RExpr) -> bool {
+        match e {
+            RExpr::CallF(..) => true,
+            RExpr::Ci(_) | RExpr::Cr(_) | RExpr::LoadS(_) => false,
+            RExpr::LoadA(_, subs) => subs.iter().any(expr),
+            RExpr::Bin(_, l, r) => expr(l) || expr(r),
+            RExpr::Neg(i) | RExpr::Not(i) => expr(i),
+            RExpr::Intr(_, args) => args.iter().any(expr),
+        }
+    }
+    fn lval(lv: &RLval) -> bool {
+        match lv {
+            RLval::S(_) => false,
+            RLval::A(_, subs) => subs.iter().any(expr),
+        }
+    }
+    fn stmt(s: &RStmt) -> bool {
+        match s {
+            RStmt::Call(..) => true,
+            RStmt::Assign(lv, e) => lval(lv) || expr(e),
+            RStmt::If(arms, else_blk) => {
+                arms.iter().any(|(c, b)| expr(c) || b.iter().any(stmt))
+                    || else_blk.as_ref().is_some_and(|b| b.iter().any(stmt))
+            }
+            RStmt::Do {
+                lo, hi, step, body, ..
+            } => {
+                expr(lo)
+                    || expr(hi)
+                    || step.as_ref().is_some_and(expr)
+                    || body.iter().any(stmt)
+            }
+            RStmt::DoWhile { cond, body } => expr(cond) || body.iter().any(stmt),
+            RStmt::Read(items) => items.iter().any(lval),
+            RStmt::Write(items) => items.iter().any(|it| match it {
+                WItem::Str(_) => false,
+                WItem::E(e) => expr(e),
+            }),
+            RStmt::Return | RStmt::Stop => false,
+        }
+    }
+    body.iter().any(stmt)
 }
 
 fn conflict(a: &RaceLog, b: &RaceLog) -> Option<usize> {

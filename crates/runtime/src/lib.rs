@@ -17,23 +17,31 @@
 //!   private/lastprivate/reduction handling, and an optional dynamic
 //!   race checker that validates the static analysis.
 //! * [`mpi`] — message-passing simulation: ranks as threads with private
-//!   memories, `MP*` builtins over channels and collectives.
+//!   memories, `MP*` builtins over tag-selective queues and collectives,
+//!   with timeout-based deadlock detection and world poisoning.
+//! * [`checkpoint`] — targeted or full snapshots of shared state for
+//!   speculative rollback.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]): drop or
+//!   delay messages, kill ranks, panic workers, force mis-speculation.
 //!
 //! Interpretation multiplies per-operation cost uniformly across all
 //! program versions, so *relative* speedups — the figure's shape — are
 //! preserved.
 
+pub mod checkpoint;
+pub mod fault;
 pub mod interp;
 pub mod intrinsics;
 pub mod memory;
 pub mod mpi;
 pub mod rprog;
 
+pub use fault::{FaultPlan, MsgPat};
 pub use interp::{
     run, ExecConfig, ExecMode, RtError, RunResult, FORK_REGION_COST, FORK_THREAD_COST,
     OPS_PER_SECOND, SPEC_MONITOR_COST,
 };
-pub use mpi::run_mpi;
+pub use mpi::{run_mpi, run_mpi_cfg};
 pub use rprog::RProgram;
 
 /// Deck values accepted by `READ(*,*)`.

@@ -83,6 +83,14 @@ pub struct RDirective {
     /// checkpoint shared state, execute in parallel with conflict
     /// logging, and re-execute serially on a detected conflict.
     pub speculative: bool,
+    /// True when `write_scalars`/`write_arrays` exactly cover the
+    /// body's possible shared writes (compiler write summary), letting
+    /// the speculative checkpoint save only those cells.
+    pub writes_known: bool,
+    /// Scalars the body may write (valid when `writes_known`).
+    pub write_scalars: Vec<ScalarId>,
+    /// Arrays the body may write (valid when `writes_known`).
+    pub write_arrays: Vec<ArrId>,
 }
 
 /// Output list items.
@@ -274,7 +282,9 @@ impl<'a> Lowerer<'a> {
         let mut names: Vec<&str> = table.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         for name in names {
-            let sym = table.get(name).expect("listed");
+            let sym = table
+                .get(name)
+                .ok_or_else(|| self.err(format!("symbol {} vanished from its table", name)))?;
             let loc = |storage: &Storage| -> Option<SLoc> {
                 Some(match storage {
                     Storage::Common { block, offset } => SLoc::Abs(
@@ -321,8 +331,12 @@ impl<'a> Lowerer<'a> {
         let arr_names: Vec<(String, ArrId)> =
             self.arr_ids.iter().map(|(n, i)| (n.clone(), *i)).collect();
         for (name, id) in arr_names {
-            let sym = table.get(&name).expect("array");
-            let shape = sym.shape().expect("array shape");
+            let sym = table
+                .get(&name)
+                .ok_or_else(|| self.err(format!("array {} vanished from its table", name)))?;
+            let shape = sym
+                .shape()
+                .ok_or_else(|| self.err(format!("{} has no array shape", name)))?;
             let mut dims = Vec::new();
             for d in &shape.dims {
                 let lo = self.lower_expr(&d.lo)?;
@@ -358,7 +372,9 @@ impl<'a> Lowerer<'a> {
                     values.push(c);
                 }
             }
-            let sym = table.get(&init.name).expect("data target");
+            let sym = table
+                .get(&init.name)
+                .ok_or_else(|| self.err(format!("DATA names unknown symbol {}", init.name)))?;
             match (&sym.storage, &sym.kind) {
                 (Storage::Common { block, offset }, _) => {
                     let base = self.common_bases.get(block).copied().unwrap_or(0)
@@ -557,6 +573,24 @@ impl<'a> Lowerer<'a> {
             out.reductions.push((*op, self.scalar(v)?));
         }
         out.speculative = d.speculative;
+        if let Some(writes) = &d.writes {
+            // The summary is only usable if every named symbol resolves
+            // to a slot here; otherwise the rollback checkpoint must
+            // assume any cell could be written.
+            out.writes_known = true;
+            for name in writes {
+                if let Some(&id) = self.scalar_ids.get(name) {
+                    out.write_scalars.push(id);
+                } else if let Some(&id) = self.arr_ids.get(name) {
+                    out.write_arrays.push(id);
+                } else {
+                    out.writes_known = false;
+                    out.write_scalars.clear();
+                    out.write_arrays.clear();
+                    break;
+                }
+            }
+        }
         Ok(out)
     }
 

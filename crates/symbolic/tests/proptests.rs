@@ -2,8 +2,7 @@
 //! is sound (it never proves a relation that a concrete valuation
 //! falsifies).
 
-use proptest::prelude::*;
-
+use apar_minicheck::{forall, Rng};
 use apar_symbolic::{AssumeEnv, Expr, Interner, OpCounter, Prover, Range, VarId};
 
 /// A reference AST evaluated naively, used to cross-check `Expr`'s
@@ -68,58 +67,77 @@ impl Raw {
 
 const NVARS: u32 = 4;
 
-fn raw_strategy() -> impl Strategy<Value = Raw> {
-    let leaf = prop_oneof![
-        (-20i64..=20).prop_map(Raw::Const),
-        (0u32..NVARS).prop_map(Raw::Var),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Mod(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Max(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Raw::Neg(Box::new(a))),
-        ]
-    })
+/// Random expression tree, depth-bounded; leaf probability rises as the
+/// budget shrinks, mirroring `prop_recursive`'s shape.
+fn raw_gen(rng: &mut Rng, depth: u32) -> Raw {
+    if depth == 0 || rng.weighted(0.3) {
+        return if rng.bool() {
+            Raw::Const(rng.int_in(-20, 20))
+        } else {
+            Raw::Var(rng.int_in(0, NVARS as i64 - 1) as u32)
+        };
+    }
+    let bin = |rng: &mut Rng, f: fn(Box<Raw>, Box<Raw>) -> Raw| {
+        let a = raw_gen(rng, depth - 1);
+        let b = raw_gen(rng, depth - 1);
+        f(Box::new(a), Box::new(b))
+    };
+    match rng.int_in(0, 7) {
+        0 => bin(rng, Raw::Add),
+        1 => bin(rng, Raw::Sub),
+        2 => bin(rng, Raw::Mul),
+        3 => bin(rng, Raw::Div),
+        4 => bin(rng, Raw::Mod),
+        5 => bin(rng, Raw::Min),
+        6 => bin(rng, Raw::Max),
+        _ => Raw::Neg(Box::new(raw_gen(rng, depth - 1))),
+    }
 }
 
-proptest! {
-    /// Canonicalization is evaluation-preserving wherever the reference
-    /// evaluation is defined.
-    #[test]
-    fn canonical_form_preserves_semantics(
-        raw in raw_strategy(),
-        vals in proptest::collection::vec(-9i64..=9, NVARS as usize),
-    ) {
+fn vals_gen(rng: &mut Rng) -> Vec<i64> {
+    (0..NVARS).map(|_| rng.int_in(-9, 9)).collect()
+}
+
+/// Assumed ranges plus one concrete valuation inside them.
+fn env_gen(rng: &mut Rng) -> (AssumeEnv, Vec<i64>) {
+    let mut env = AssumeEnv::new();
+    let mut vals = vec![0i64; NVARS as usize];
+    for (i, v) in vals.iter_mut().enumerate() {
+        let lo = rng.int_in(-10, 10);
+        let width = rng.int_in(0, 10);
+        let hi = lo + width;
+        env.assume(VarId(i as u32), Range::between(Expr::int(lo), Expr::int(hi)));
+        *v = rng.int_in(lo, hi);
+    }
+    (env, vals)
+}
+
+/// Canonicalization is evaluation-preserving wherever the reference
+/// evaluation is defined.
+#[test]
+fn canonical_form_preserves_semantics() {
+    forall("canonical_form_preserves_semantics", 256, |rng| {
+        let raw = raw_gen(rng, 4);
+        let vals = vals_gen(rng);
         let expr = raw.to_expr(NVARS);
         let reference = raw.eval(&vals);
         let canonical = expr.eval(&|v: VarId| vals.get(v.index()).copied());
         // The canonical evaluator may fail (overflow in a rearranged
-        // order, unknowns from constructor overflow); when both sides are
-        // defined they must agree.
+        // order, unknowns from constructor overflow); when both sides
+        // are defined they must agree.
         if let (Some(a), Some(b)) = (reference, canonical) {
-            prop_assert_eq!(a, b, "raw {:?}", raw);
+            assert_eq!(a, b, "raw {:?}", raw);
         }
-    }
+    });
+}
 
-    /// Substitution commutes with evaluation.
-    #[test]
-    fn subst_commutes_with_eval(
-        raw in raw_strategy(),
-        vals in proptest::collection::vec(-9i64..=9, NVARS as usize),
-        k in -9i64..=9,
-    ) {
+/// Substitution commutes with evaluation.
+#[test]
+fn subst_commutes_with_eval() {
+    forall("subst_commutes_with_eval", 256, |rng| {
+        let raw = raw_gen(rng, 4);
+        let vals = vals_gen(rng);
+        let k = rng.int_in(-9, 9);
         let expr = raw.to_expr(NVARS);
         let target = VarId(0);
         let substituted = expr.subst(target, &Expr::int(k));
@@ -128,30 +146,22 @@ proptest! {
         let direct = expr.eval(&|v: VarId| patched.get(v.index()).copied());
         let via_subst = substituted.eval(&|v: VarId| patched.get(v.index()).copied());
         if let (Some(a), Some(b)) = (direct, via_subst) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    /// The prover never proves `a <= b` when a concrete valuation inside
-    /// the assumed ranges gives `a > b` (soundness of the Range Test
-    /// foundation).
-    #[test]
-    fn prover_le_is_sound(
-        raw_a in raw_strategy(),
-        raw_b in raw_strategy(),
-        bounds in proptest::collection::vec((-10i64..=10, 0i64..=10), NVARS as usize),
-        // fractional positions used to pick concrete values inside ranges
-        picks in proptest::collection::vec(0.0f64..1.0, NVARS as usize),
-    ) {
+/// The prover never proves `a <= b` when a concrete valuation inside
+/// the assumed ranges gives `a > b` (soundness of the Range Test
+/// foundation).
+#[test]
+fn prover_le_is_sound() {
+    forall("prover_le_is_sound", 256, |rng| {
+        let raw_a = raw_gen(rng, 4);
+        let raw_b = raw_gen(rng, 4);
+        let (env, vals) = env_gen(rng);
         let a = raw_a.to_expr(NVARS);
         let b = raw_b.to_expr(NVARS);
-        let mut env = AssumeEnv::new();
-        let mut vals = vec![0i64; NVARS as usize];
-        for (i, ((lo, width), t)) in bounds.iter().zip(&picks).enumerate() {
-            let hi = lo + width;
-            env.assume(VarId(i as u32), Range::between(Expr::int(*lo), Expr::int(hi)));
-            vals[i] = lo + ((*t * (*width as f64 + 1.0)) as i64).min(*width);
-        }
         let ops = OpCounter::unlimited();
         let prover = Prover::new(&env, &ops);
         if prover.prove_le(&a, &b) {
@@ -159,7 +169,7 @@ proptest! {
                 a.eval(&|v: VarId| vals.get(v.index()).copied()),
                 b.eval(&|v: VarId| vals.get(v.index()).copied()),
             ) {
-                prop_assert!(va <= vb, "proved {:?} <= {:?} but {} > {}", a, b, va, vb);
+                assert!(va <= vb, "proved {:?} <= {:?} but {} > {}", a, b, va, vb);
             }
         }
         if prover.prove_ne(&a, &b) {
@@ -167,39 +177,32 @@ proptest! {
                 a.eval(&|v: VarId| vals.get(v.index()).copied()),
                 b.eval(&|v: VarId| vals.get(v.index()).copied()),
             ) {
-                prop_assert!(va != vb, "proved {:?} != {:?} but both = {}", a, b, va);
+                assert!(va != vb, "proved {:?} != {:?} but both = {}", a, b, va);
             }
         }
-    }
+    });
+}
 
-    /// `range_of` endpoints really bound the expression.
-    #[test]
-    fn range_of_is_sound(
-        raw in raw_strategy(),
-        bounds in proptest::collection::vec((-10i64..=10, 0i64..=10), NVARS as usize),
-        picks in proptest::collection::vec(0.0f64..1.0, NVARS as usize),
-    ) {
+/// `range_of` endpoints really bound the expression.
+#[test]
+fn range_of_is_sound() {
+    forall("range_of_is_sound", 256, |rng| {
+        let raw = raw_gen(rng, 4);
+        let (env, vals) = env_gen(rng);
         let e = raw.to_expr(NVARS);
-        let mut env = AssumeEnv::new();
-        let mut vals = vec![0i64; NVARS as usize];
-        for (i, ((lo, width), t)) in bounds.iter().zip(&picks).enumerate() {
-            let hi = lo + width;
-            env.assume(VarId(i as u32), Range::between(Expr::int(*lo), Expr::int(hi)));
-            vals[i] = lo + ((*t * (*width as f64 + 1.0)) as i64).min(*width);
-        }
         let ops = OpCounter::unlimited();
         let prover = Prover::new(&env, &ops);
         let r = prover.range_of(&e);
         let lookup = |v: VarId| vals.get(v.index()).copied();
         if let Some(val) = e.eval(&lookup) {
             if let Some(klo) = r.lo.as_ref().and_then(Expr::as_int) {
-                prop_assert!(klo <= val, "lo {} > value {} for {:?}", klo, val, e);
+                assert!(klo <= val, "lo {} > value {} for {:?}", klo, val, e);
             }
             if let Some(khi) = r.hi.as_ref().and_then(Expr::as_int) {
-                prop_assert!(val <= khi, "hi {} < value {} for {:?}", khi, val, e);
+                assert!(val <= khi, "hi {} < value {} for {:?}", khi, val, e);
             }
         }
-    }
+    });
 }
 
 #[test]

@@ -28,17 +28,15 @@ pub mod sander;
 pub mod seismic;
 
 use apar_core::Classification;
-use serde::Serialize;
-
 /// A value in an input deck, consumed by `READ(*,*)` in order.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum DeckValue {
     Int(i64),
     Real(f64),
 }
 
 /// Expected analysis outcome for one `!$TARGET` loop.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TargetSpec {
     pub name: String,
     /// Expected classification under the 2008 baseline profile.

@@ -8,9 +8,9 @@
 //! substitution ever lies, this test fails with a race or a numeric
 //! mismatch.
 
+use apar_minicheck::{forall, Rng};
 use autopar::core::{Compiler, CompilerProfile};
 use autopar::runtime::{run, ExecConfig, ExecMode};
-use proptest::prelude::*;
 
 /// One generated loop body statement:
 /// `A(I*scale + off) = B(I + off2) * k + A(I*scale2 + off3)` shapes.
@@ -25,25 +25,16 @@ struct GLine {
     reduce: bool, // instead: S = S + ...
 }
 
-fn gline() -> impl Strategy<Value = GLine> {
-    (
-        any::<bool>(),
-        1i8..=2,
-        -2i8..=2,
-        any::<bool>(),
-        -2i8..=2,
-        1i8..=3,
-        proptest::bool::weighted(0.2),
-    )
-        .prop_map(|(write_arr, wscale, woff, read_arr, roff, k, reduce)| GLine {
-            write_arr,
-            wscale,
-            woff,
-            read_arr,
-            roff,
-            k,
-            reduce,
-        })
+fn gline(rng: &mut Rng) -> GLine {
+    GLine {
+        write_arr: rng.bool(),
+        wscale: rng.int_in(1, 2) as i8,
+        woff: rng.int_in(-2, 2) as i8,
+        read_arr: rng.bool(),
+        roff: rng.int_in(-2, 2) as i8,
+        k: rng.int_in(1, 3) as i8,
+        reduce: rng.weighted(0.2),
+    }
 }
 
 fn arr(b: bool) -> &'static str {
@@ -92,14 +83,11 @@ fn fmt(v: i8) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn parallelized_loops_match_serial(
-        lines in proptest::collection::vec(gline(), 1..5),
-        trip in 50u8..150,
-    ) {
+#[test]
+fn parallelized_loops_match_serial() {
+    forall("parallelized_loops_match_serial", 24, |rng| {
+        let lines = rng.vec_of(1, 4, gline);
+        let trip = rng.int_in(50, 149) as u8;
         let src = render(&lines, trip);
         for profile in [CompilerProfile::polaris2008(), CompilerProfile::full()] {
             let name = profile.name.clone();
@@ -129,9 +117,9 @@ proptest! {
                     .collect()
             };
             let (a, b) = (nums(&serial.output), nums(&auto.output));
-            prop_assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), b.len());
             for (x, y) in a.iter().zip(&b) {
-                prop_assert!(
+                assert!(
                     (x - y).abs() <= 1e-6 * (1.0 + x.abs()),
                     "{} vs {} under {}\n{}",
                     x,
@@ -141,5 +129,5 @@ proptest! {
                 );
             }
         }
-    }
+    });
 }

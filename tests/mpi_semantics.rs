@@ -4,7 +4,7 @@
 //! virtual-clock costs that make Figure 1's MPI bars meaningful.
 
 use autopar::minifort::frontend;
-use autopar::runtime::{run_mpi, RtError, RunResult};
+use autopar::runtime::{run_mpi, run_mpi_cfg, ExecConfig, RtError, RunResult};
 
 fn mpi(src: &str, ranks: usize) -> RunResult {
     let rp = frontend(src).unwrap_or_else(|e| panic!("{}", e));
@@ -14,6 +14,21 @@ fn mpi(src: &str, ranks: usize) -> RunResult {
 fn mpi_err(src: &str, ranks: usize) -> RtError {
     let rp = frontend(src).unwrap_or_else(|e| panic!("{}", e));
     match run_mpi(&rp, &[], ranks, 1 << 18) {
+        Ok(r) => panic!("expected error, got output {:?}", r.output),
+        Err(e) => e,
+    }
+}
+
+/// Like `mpi_err` but with a short deadlock timeout so tests that rely
+/// on the detector (rather than a finished peer) stay fast.
+fn mpi_err_quick(src: &str, ranks: usize) -> RtError {
+    let rp = frontend(src).unwrap_or_else(|e| panic!("{}", e));
+    let cfg = ExecConfig {
+        seg_words: 1 << 18,
+        mpi_timeout_ms: 250,
+        ..Default::default()
+    };
+    match run_mpi_cfg(&rp, &[], ranks, &cfg) {
         Ok(r) => panic!("expected error, got output {:?}", r.output),
         Err(e) => e,
     }
@@ -90,7 +105,11 @@ END
 }
 
 #[test]
-fn tag_mismatch_traps() {
+fn tag_mismatch_reports_deadlock_not_hang() {
+    // Rank 1 sends tag 5 and finishes; rank 0 waits on tag 6 forever.
+    // The run must terminate with a deadlock diagnostic naming the
+    // blocked rank, the wanted tag, and the undelivered one — never
+    // hang or silently match the wrong message.
     let e = mpi_err(
         "PROGRAM P
   REAL A(1)
@@ -106,8 +125,130 @@ END
 ",
         2,
     );
+    assert!(matches!(e, RtError::Deadlock(_)), "{}", e);
     let msg = format!("{}", e);
-    assert!(msg.contains("tag mismatch"), "{}", msg);
+    assert!(msg.contains("rank 0"), "{}", msg);
+    assert!(msg.contains("tag=6"), "{}", msg);
+    assert!(msg.contains('5'), "undelivered tag should be named: {}", msg);
+}
+
+#[test]
+fn mutual_recv_deadlock_names_both_ranks() {
+    // Both ranks block on a receive no one will send: the classic
+    // head-to-head deadlock. The detector (timeout path, both ranks
+    // still alive) must fire within the configured timeout and name
+    // each blocked rank with its wait.
+    let start = std::time::Instant::now();
+    let e = mpi_err_quick(
+        "PROGRAM P
+  REAL A(1)
+  CALL MPMYID(ME)
+  IF (ME .EQ. 0) THEN
+    CALL MPRECV(A, 1, 1, 1, 7)
+  ENDIF
+  IF (ME .EQ. 1) THEN
+    CALL MPRECV(A, 1, 1, 0, 8)
+  ENDIF
+END
+",
+        2,
+    );
+    assert!(matches!(e, RtError::Deadlock(_)), "{}", e);
+    let msg = format!("{}", e);
+    assert!(msg.contains("rank 0") && msg.contains("rank 1"), "{}", msg);
+    assert!(msg.contains("MPRECV"), "{}", msg);
+    assert!(msg.contains("tag=7") && msg.contains("tag=8"), "{}", msg);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "deadlock detection must not hang"
+    );
+}
+
+#[test]
+fn collective_missing_rank_reports_deadlock() {
+    // Rank 1 skips the reduction: rank 0 waits at the collective while
+    // rank 1 finishes. Must terminate with a diagnostic, not hang.
+    let e = mpi_err_quick(
+        "PROGRAM P
+  CALL MPMYID(ME)
+  X = 1.0
+  IF (ME .EQ. 0) THEN
+    CALL MPREDS(X)
+  ENDIF
+END
+",
+        2,
+    );
+    assert!(matches!(e, RtError::Deadlock(_)), "{}", e);
+    let msg = format!("{}", e);
+    assert!(msg.contains("MPREDS"), "{}", msg);
+    assert!(msg.contains("rank 0"), "{}", msg);
+}
+
+#[test]
+fn zero_length_send_and_recv_complete() {
+    // A zero-count message is a pure synchronization token: it must
+    // match and complete, moving no data.
+    let out = mpi(
+        "PROGRAM P
+  REAL A(4)
+  CALL MPMYID(ME)
+  A(1) = 3.0
+  IF (ME .EQ. 1) THEN
+    CALL MPSEND(A, 1, 0, 0, 5)
+  ENDIF
+  IF (ME .EQ. 0) THEN
+    CALL MPRECV(A, 1, 0, 1, 5)
+    WRITE(*,*) 'ZLEN', A(1)
+  ENDIF
+END
+",
+        2,
+    );
+    // The receive must not clobber A despite the matched message.
+    assert_eq!(out.output, vec!["ZLEN 3.000000".to_string()]);
+}
+
+#[test]
+fn zero_length_allgather_completes() {
+    // Every rank contributes an empty slice; the collective still has
+    // to synchronize all ranks and leave the array untouched.
+    let out = mpi(
+        "PROGRAM P
+  REAL A(8)
+  CALL MPMYID(ME)
+  A(1) = 7.0
+  CALL MPALLG(A, 1, 0)
+  IF (ME .EQ. 0) THEN
+    WRITE(*,*) 'ZAG', A(1)
+  ENDIF
+END
+",
+        4,
+    );
+    assert_eq!(out.output, vec!["ZAG 7.000000".to_string()]);
+}
+
+#[test]
+fn self_send_is_delivered() {
+    // A rank sending to itself must see the message on its own queue —
+    // not deadlock waiting for a peer.
+    let out = mpi(
+        "PROGRAM P
+  REAL A(2), B(2)
+  CALL MPMYID(ME)
+  IF (ME .EQ. 0) THEN
+    A(1) = 5.0
+    A(2) = 6.0
+    CALL MPSEND(A, 1, 2, 0, 3)
+    CALL MPRECV(B, 1, 2, 0, 3)
+    WRITE(*,*) 'SELF', B(1), B(2)
+  ENDIF
+END
+",
+        2,
+    );
+    assert_eq!(out.output, vec!["SELF 5.000000 6.000000".to_string()]);
 }
 
 #[test]

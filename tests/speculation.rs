@@ -7,9 +7,9 @@
 //! This is the reproduction's implementation of the runtime techniques
 //! the paper's conclusion calls for beyond static analysis.
 
+use apar_minicheck::forall;
 use autopar::core::{Classification as C, CompileResult, Compiler, CompilerProfile};
 use autopar::runtime::{run, ExecConfig, ExecMode, RunResult};
-use proptest::prelude::*;
 
 /// Gather-update through an index array the compiler cannot see
 /// through. `COLLIDE = 0` fills IX with a permutation (independent);
@@ -264,21 +264,18 @@ fn workload_suites_run_correctly_under_speculation() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Soundness under arbitrary index arrays: whatever `IX(I) =
-    /// MOD(I * m + a, md) + 1` produces — permutation, fold, constant —
-    /// the speculative run must reproduce the serial output exactly,
-    /// by committing when the data is independent and rolling back
-    /// when it is not.
-    #[test]
-    fn speculative_run_always_matches_serial(
-        mul in 1i64..16,
-        add in 0i64..64,
-        md in 1i64..256,
-        trip in 32i64..256,
-    ) {
+/// Soundness under arbitrary index arrays: whatever `IX(I) =
+/// MOD(I * m + a, md) + 1` produces — permutation, fold, constant —
+/// the speculative run must reproduce the serial output exactly, by
+/// committing when the data is independent and rolling back when it is
+/// not.
+#[test]
+fn speculative_run_always_matches_serial() {
+    forall("speculative_run_always_matches_serial", 24, |rng| {
+        let mul = rng.int_in(1, 15);
+        let add = rng.int_in(0, 63);
+        let md = rng.int_in(1, 255);
+        let trip = rng.int_in(32, 255);
         let src = format!(
             "PROGRAM SP
   REAL A(512), B(512)
@@ -315,8 +312,8 @@ END
             },
         )
         .unwrap_or_else(|e| panic!("{}\n{}", e, src));
-        prop_assert_eq!(&ser.output, &par.output);
-    }
+        assert_eq!(&ser.output, &par.output);
+    });
 }
 
 #[test]

@@ -3,11 +3,11 @@
 //! independent work, fork/join overhead drowning tiny loops, and
 //! monotonicity in trip count.
 
+use apar_minicheck::forall;
 use autopar::minifort::frontend;
 use autopar::runtime::{
     run, ExecConfig, ExecMode, RunResult, FORK_REGION_COST, FORK_THREAD_COST,
 };
-use proptest::prelude::*;
 
 fn exec(src: &str, mode: ExecMode, threads: usize) -> RunResult {
     let rp = frontend(src).unwrap_or_else(|e| panic!("{}", e));
@@ -131,17 +131,17 @@ fn virt_seconds_conversion_is_linear() {
     assert!((s * 25_000_000.0 - r.virt as f64).abs() < 1.0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Virtual time grows strictly with trip count (serial), and the
-    /// parallel run of independent work never beats serial/threads.
-    #[test]
-    fn virt_monotone_in_trip(a in 100u32..2000, b in 2001u32..8000) {
+/// Virtual time grows strictly with trip count (serial), and the
+/// parallel run of independent work never beats serial/threads.
+#[test]
+fn virt_monotone_in_trip() {
+    forall("virt_monotone_in_trip", 16, |rng| {
+        let a = rng.int_in(100, 1999) as u32;
+        let b = rng.int_in(2001, 7999) as u32;
         let ra = exec(&wide_loop(a), ExecMode::Serial, 1);
         let rb = exec(&wide_loop(b), ExecMode::Serial, 1);
-        prop_assert!(ra.virt < rb.virt);
+        assert!(ra.virt < rb.virt);
         let pa = exec(&wide_loop(b), ExecMode::Manual, 4);
-        prop_assert!(pa.virt as f64 >= rb.virt as f64 / 4.0);
-    }
+        assert!(pa.virt as f64 >= rb.virt as f64 / 4.0);
+    });
 }

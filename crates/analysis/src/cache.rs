@@ -1,0 +1,222 @@
+//! Content-keyed memoization of interprocedural analyses.
+//!
+//! The driver's per-loop analysis stage repeatedly rebuilds the same
+//! interprocedural facts: every loop that inlines calls re-resolves a
+//! private copy of the program and then needs a fresh [`CallGraph`],
+//! [`Summaries`] and [`AliasInfo`] for it — and loops that inline the
+//! *same* call sets produce byte-identical programs. An
+//! [`AnalysisCache`] keys those three structures by a fingerprint of
+//! the resolved program text, so N loops over identical inlined
+//! programs share one computation, and the three separate builds the
+//! sequential driver used to issue per loop collapse into one.
+//!
+//! ## Symbolic-id discipline
+//!
+//! [`Summaries`] stores [`apar_symbolic::VarId`]s, which are only
+//! meaningful relative to the interner that produced them. Every cache
+//! build therefore starts from a clone of one fixed *base* [`SymMap`]
+//! (the driver's interner state at the fan-out point), and each entry
+//! records the interner state *after* its builds. A consumer adopting a
+//! cached entry must also adopt that recorded `sym` — it is a
+//! deterministic extension of the base, so adopting it yields the same
+//! ids no matter which worker populated the entry first. This is what
+//! keeps per-pass op counts bit-identical across thread counts.
+//!
+//! The cache is internally synchronized: workers share one
+//! `&AnalysisCache`. Builds run outside the lock; when two workers race
+//! on the same miss, the first inserted entry wins and both observe it
+//! (the duplicate build is discarded — results are identical by
+//! construction, so either is safe to keep).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use apar_minifort::pretty::print_program;
+use apar_minifort::ResolvedProgram;
+
+use crate::alias::AliasInfo;
+use crate::callgraph::CallGraph;
+use crate::summary::Summaries;
+use crate::symx::SymMap;
+use crate::Capabilities;
+
+/// The memoized interprocedural facts for one resolved program.
+#[derive(Clone, Debug)]
+pub struct ProgramFacts {
+    pub cg: CallGraph,
+    pub summaries: Summaries,
+    pub alias: AliasInfo,
+    /// Interner state after the builds: a deterministic extension of
+    /// the cache's base [`SymMap`]. Consumers of `summaries` must
+    /// resolve its [`apar_symbolic::VarId`]s against this map (or a
+    /// further extension of it).
+    pub sym: SymMap,
+}
+
+/// Memoizes `CallGraph::build` + `Summaries::build` + `AliasInfo::build`
+/// per resolved-program fingerprint. One cache serves one compilation
+/// (one capability set, one base interner).
+#[derive(Debug)]
+pub struct AnalysisCache {
+    caps: Capabilities,
+    base_sym: SymMap,
+    map: Mutex<HashMap<u64, Arc<ProgramFacts>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// Creates a cache for one compilation. `base_sym` is the interner
+    /// state every build forks from; it must already contain every id
+    /// the compilation's earlier passes handed out.
+    pub fn new(caps: Capabilities, base_sym: SymMap) -> Self {
+        AnalysisCache {
+            caps,
+            base_sym,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Content fingerprint of a resolved program. Two programs with the
+    /// same printed form analyze identically, so they share facts.
+    pub fn fingerprint(rp: &ResolvedProgram) -> u64 {
+        let mut h = DefaultHasher::new();
+        print_program(&rp.program).hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns the facts for `rp`, building (and caching) on a miss.
+    pub fn facts(&self, rp: &ResolvedProgram) -> Arc<ProgramFacts> {
+        let fp = Self::fingerprint(rp);
+        if let Some(f) = self.lock().get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(f);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(self.build(rp));
+        Arc::clone(self.lock().entry(fp).or_insert(built))
+    }
+
+    /// Seeds the cache with facts computed elsewhere (the driver's
+    /// prelude facts for the base program). The stored `facts.sym` must
+    /// extend this cache's base interner.
+    pub fn seed(&self, rp: &ResolvedProgram, facts: ProgramFacts) -> Arc<ProgramFacts> {
+        debug_assert!(
+            self.base_sym.interner.is_prefix_of(&facts.sym.interner),
+            "seeded facts must carry an extension of the base interner"
+        );
+        let fp = Self::fingerprint(rp);
+        Arc::clone(
+            self.lock()
+                .entry(fp)
+                .or_insert_with(|| Arc::new(facts)),
+        )
+    }
+
+    fn build(&self, rp: &ResolvedProgram) -> ProgramFacts {
+        let mut sym = self.base_sym.clone();
+        let cg = CallGraph::build(rp);
+        let summaries = Summaries::build(rp, &cg, &mut sym, self.caps);
+        let alias = AliasInfo::build(rp, &cg, self.caps);
+        ProgramFacts {
+            cg,
+            summaries,
+            alias,
+            sym,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<ProgramFacts>>> {
+        self.map.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct programs cached.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn rp(src: &str) -> ResolvedProgram {
+        frontend(src).expect("frontend")
+    }
+
+    #[test]
+    fn identical_programs_share_one_build() {
+        let a = rp("PROGRAM P\nREAL A(10)\nDO I = 1, 10\nA(I) = 1.0\nENDDO\nEND\n");
+        let b = rp("PROGRAM P\nREAL A(10)\nDO I = 1, 10\nA(I) = 1.0\nENDDO\nEND\n");
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new());
+        let fa = cache.facts(&a);
+        let fb = cache.facts(&b);
+        assert!(Arc::ptr_eq(&fa, &fb), "same text must share one entry");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_programs_get_distinct_entries() {
+        let a = rp("PROGRAM P\nX = 1.0\nEND\n");
+        let b = rp("PROGRAM P\nX = 2.0\nEND\n");
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new());
+        assert_ne!(
+            AnalysisCache::fingerprint(&a),
+            AnalysisCache::fingerprint(&b)
+        );
+        let fa = cache.facts(&a);
+        let fb = cache.facts(&b);
+        assert!(!Arc::ptr_eq(&fa, &fb));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cached_sym_extends_the_base() {
+        let mut base = SymMap::new();
+        base.interner.intern("PRELUDE::X");
+        let base_clone = base.clone();
+        let p = rp(
+            "PROGRAM P\nCOMMON /C/ N\nCALL S\nEND\nSUBROUTINE S\nCOMMON /C/ M\nM = 1\nEND\n",
+        );
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), base);
+        let f = cache.facts(&p);
+        assert!(base_clone.interner.is_prefix_of(&f.sym.interner));
+    }
+
+    #[test]
+    fn concurrent_misses_converge_to_one_entry() {
+        let p = rp("PROGRAM P\nREAL A(10)\nDO I = 1, 10\nA(I) = 1.0\nENDDO\nEND\n");
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new());
+        let facts: Vec<Arc<ProgramFacts>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| cache.facts(&p))).collect();
+            handles.into_iter().map(|h| h.join().expect("join")).collect()
+        });
+        // All threads observe the same entry object after the race.
+        let canonical = cache.facts(&p);
+        assert!(facts.iter().all(|f| Arc::ptr_eq(f, &canonical)));
+        assert_eq!(cache.len(), 1);
+    }
+}

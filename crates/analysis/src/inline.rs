@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use apar_minifort::ast::{Block, Decl, DeclName, Expr as Ast, Stmt, StmtId, StmtKind};
+use apar_minifort::ast::{Block, Decl, DeclName, Expr as Ast, Stmt, StmtId, StmtKind, UnitKind};
 use apar_minifort::symtab::{Storage, SymbolKind};
 use apar_minifort::{Lang, Program, ResolvedProgram};
 
@@ -210,6 +210,12 @@ pub fn inline_call(
 /// Inlines every inlinable call inside a loop body, repeatedly, up to
 /// `max_depth` levels and `max_stmts` spliced statements. Returns the
 /// failures encountered (calls left in place).
+///
+/// A callee that ends up *fully inlined away* — every one of its call
+/// sites expanded and no remaining CALL or function reference anywhere
+/// in the program naming it — is removed from the program entirely, so
+/// the analyzed copy does not carry dead statements (and a later
+/// re-resolution can legitimately see the program shrink).
 #[allow(clippy::too_many_arguments)]
 pub fn inline_calls_in_loop(
     prog: &mut Program,
@@ -224,6 +230,7 @@ pub fn inline_calls_in_loop(
     let mut failures = Vec::new();
     let mut inlined = 0usize;
     let mut spliced_total = 0usize;
+    let mut inlined_names: std::collections::HashSet<String> = Default::default();
     for _ in 0..max_depth {
         // Collect calls inside the loop body.
         let mut calls: Vec<(StmtId, String)> = Vec::new();
@@ -249,6 +256,7 @@ pub fn inline_calls_in_loop(
                 Ok(ok) => {
                     inlined += 1;
                     spliced_total += ok.spliced_stmts;
+                    inlined_names.insert(name);
                     progressed = true;
                 }
                 Err(f) => failures.push((name, f)),
@@ -259,7 +267,61 @@ pub fn inline_calls_in_loop(
         }
         failures.clear(); // only the final round's failures matter
     }
+    // Remove callees that were inlined here and are now unreferenced
+    // program-wide. Only units this expansion touched are candidates:
+    // units dead on arrival are kept, since their declarations still
+    // contribute to COMMON extents.
+    if !inlined_names.is_empty() {
+        let refs = referenced_units(prog);
+        prog.units.retain(|u| {
+            u.kind == UnitKind::Main
+                || !inlined_names.contains(&u.name)
+                || refs.contains(&u.name)
+        });
+    }
     (inlined, failures)
+}
+
+/// Names of units referenced by any CALL statement or function
+/// reference anywhere in the program.
+fn referenced_units(prog: &Program) -> std::collections::HashSet<String> {
+    let mut refs: std::collections::HashSet<String> = Default::default();
+    for u in &prog.units {
+        u.body.walk_stmts(&mut |s| {
+            let mut exprs: Vec<&Ast> = Vec::new();
+            match &s.kind {
+                StmtKind::Assign { lhs, rhs } => {
+                    exprs.push(lhs);
+                    exprs.push(rhs);
+                }
+                StmtKind::If { arms, .. } => exprs.extend(arms.iter().map(|(c, _)| c)),
+                StmtKind::Do { lo, hi, step, .. } => {
+                    exprs.push(lo);
+                    exprs.push(hi);
+                    if let Some(st) = step {
+                        exprs.push(st);
+                    }
+                }
+                StmtKind::DoWhile { cond, .. } => exprs.push(cond),
+                StmtKind::Call { name, args } => {
+                    refs.insert(name.clone());
+                    exprs.extend(args.iter());
+                }
+                StmtKind::Read { items } | StmtKind::Write { items } => {
+                    exprs.extend(items.iter());
+                }
+                _ => {}
+            }
+            for e in exprs {
+                e.walk(&mut |x| {
+                    if let Ast::CallF { name, .. } = x {
+                        refs.insert(name.clone());
+                    }
+                });
+            }
+        });
+    }
+    refs
 }
 
 fn has_mid_body_return(b: &Block) -> bool {
@@ -667,5 +729,73 @@ mod tests {
         let printed = print_program(&prog);
         assert!(!printed.contains("CALL STEP"), "{}", printed);
         assert!(printed.contains("X(I)"), "{}", printed);
+        // STEP's only call site was expanded: the callee is fully
+        // inlined away and removed from the scratch program.
+        assert!(
+            prog.unit("STEP").is_none(),
+            "fully inlined callee must be removed"
+        );
+    }
+
+    #[test]
+    fn callee_still_called_elsewhere_is_retained() {
+        let rp = frontend(
+            "PROGRAM P\nREAL X(10)\nDO I = 1, 5\nCALL STEP(X, I)\nENDDO\nCALL STEP(X, 1)\nEND\nSUBROUTINE STEP(A, K)\nREAL A(*)\nA(K) = A(K) + 1.0\nEND\n",
+        )
+        .expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let mut prog = rp.program.clone();
+        let mut loop_id = None;
+        rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
+            if matches!(s.kind, StmtKind::Do { .. }) {
+                loop_id.get_or_insert(s.id);
+            }
+        });
+        let (inlined, failures) = inline_calls_in_loop(
+            &mut prog,
+            &rp,
+            &cg,
+            Capabilities::polaris2008(),
+            "P",
+            loop_id.unwrap(),
+            3,
+            10_000,
+        );
+        assert_eq!(inlined, 1);
+        assert!(failures.is_empty());
+        // The call after the loop still references STEP, so the unit
+        // must survive the dead-callee sweep.
+        assert!(prog.unit("STEP").is_some(), "referenced callee retained");
+    }
+
+    #[test]
+    fn uncalled_bystander_unit_is_not_touched() {
+        let rp = frontend(
+            "PROGRAM P\nREAL X(10)\nDO I = 1, 5\nCALL STEP(X, I)\nENDDO\nEND\nSUBROUTINE STEP(A, K)\nREAL A(*)\nA(K) = A(K) + 1.0\nEND\nSUBROUTINE IDLE\nEND\n",
+        )
+        .expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let mut prog = rp.program.clone();
+        let mut loop_id = None;
+        rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
+            if matches!(s.kind, StmtKind::Do { .. }) {
+                loop_id.get_or_insert(s.id);
+            }
+        });
+        inline_calls_in_loop(
+            &mut prog,
+            &rp,
+            &cg,
+            Capabilities::polaris2008(),
+            "P",
+            loop_id.unwrap(),
+            3,
+            10_000,
+        );
+        // Only units this expansion inlined are candidates for removal:
+        // dead-on-arrival units stay (their COMMON declarations may
+        // still pin block extents).
+        assert!(prog.unit("IDLE").is_some(), "bystander unit untouched");
+        assert!(prog.unit("STEP").is_none());
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod access;
 pub mod alias;
+pub mod cache;
 pub mod callgraph;
 pub mod cfg;
 pub mod constprop;
@@ -40,6 +41,7 @@ pub mod symx;
 
 pub use access::{AccessKind, ArrayAccess, LoopAccesses};
 pub use alias::AliasInfo;
+pub use cache::{AnalysisCache, ProgramFacts};
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use ddtest::{DdOutcome, Dependence, DependenceKind};

@@ -13,7 +13,7 @@
 //! [`crate::Capabilities::multilingual`] is on: callers must assume it
 //! clobbers everything it could see (§2.4).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use apar_minifort::ast::{Expr, StmtKind};
 use apar_minifort::symtab::{Storage, SymbolKind};
@@ -31,16 +31,19 @@ pub struct UnitEffects {
     /// clobbers all storage it could reach.
     pub opaque: bool,
     /// Symbolic ids of COMMON integer scalars possibly modified.
-    pub modified_commons: HashSet<VarId>,
+    /// Ordered sets throughout: consumers iterate these (call windows,
+    /// range kills), and iteration order must not vary run to run or
+    /// the per-loop op accounting loses its determinism.
+    pub modified_commons: BTreeSet<VarId>,
     /// Formal positions possibly written through.
-    pub modified_formals: HashSet<usize>,
+    pub modified_formals: BTreeSet<usize>,
     /// Formal positions of arrays read (whole-array granularity).
-    pub read_array_formals: HashSet<usize>,
+    pub read_array_formals: BTreeSet<usize>,
     /// Formal positions of arrays written.
-    pub written_array_formals: HashSet<usize>,
+    pub written_array_formals: BTreeSet<usize>,
     /// COMMON arrays read / written, by `(block, member offset)` root.
-    pub read_common_arrays: HashSet<String>,
-    pub written_common_arrays: HashSet<String>,
+    pub read_common_arrays: BTreeSet<String>,
+    pub written_common_arrays: BTreeSet<String>,
     /// The unit performs READ statements (input-deck variables).
     pub does_input: bool,
 }

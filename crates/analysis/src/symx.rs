@@ -39,7 +39,12 @@ impl ExprFeatures {
 }
 
 /// Owns the interner and the storage-based naming scheme.
-#[derive(Debug, Default)]
+///
+/// A `SymMap` can be *forked* (cloned) so each compilation worker
+/// interns privately, then canonically merged back with [`SymMap::absorb`]
+/// in a deterministic order — the scheme the parallel per-loop analysis
+/// stage of the driver relies on.
+#[derive(Clone, Debug, Default)]
 pub struct SymMap {
     pub interner: Interner,
 }
@@ -47,6 +52,13 @@ pub struct SymMap {
 impl SymMap {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Canonically merges a forked map back into this one (see
+    /// [`Interner::absorb`]): deterministic given a fixed absorb order,
+    /// independent of which worker produced the fork.
+    pub fn absorb(&mut self, other: &SymMap) {
+        self.interner.absorb(&other.interner);
     }
 
     /// The symbolic variable for `name` as seen from `unit`.

@@ -1,0 +1,20 @@
+//! Compile-time benchmark: serial vs parallel per-loop analysis.
+//!
+//! Usage: `bench_compile [THREADS] [REPEATS]` (defaults: 4, 3). Exits
+//! nonzero if any app's serial and parallel reports diverge — the
+//! identity check is part of the benchmark's contract, not just the
+//! speedup number.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let repeats: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let rows = apar_bench::compile_bench::measure(threads, repeats);
+    print!("{}", apar_bench::compile_bench::render(&rows));
+    let path = apar_bench::write_artifact("BENCH_compile.json", &rows);
+    println!("(artifact: {})", path.display());
+    if rows.iter().any(|r| !r.identical) {
+        eprintln!("FAIL: serial and parallel reports diverged");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Compile-time benchmark: the per-loop analysis fan-out.
+//!
+//! Measures the compiler's own wall time per application at one worker
+//! thread versus several, and — the correctness half of the claim —
+//! checks that the two runs produce bit-identical reports: same
+//! per-pass op counts, same per-loop classifications and annotations,
+//! same Figure 5 histograms, same skip ledger. Wall seconds are the
+//! only thing threads are allowed to change.
+//!
+//! The artifact (`BENCH_compile.json`) records, per app: loop count,
+//! best-of-K serial and parallel seconds, the speedup, both total op
+//! counts, and the identity verdict.
+
+use std::time::Instant;
+
+use apar_core::{CompileResult, Compiler, CompilerProfile, PassId};
+use apar_workloads as wl;
+
+/// One application's serial-vs-parallel compile measurement.
+#[derive(Clone, Debug)]
+pub struct CompileBenchRow {
+    pub app: String,
+    pub loops: usize,
+    /// Worker threads used for the parallel measurement.
+    pub threads: usize,
+    /// Best-of-K wall seconds with one worker thread.
+    pub serial_s: f64,
+    /// Best-of-K wall seconds with `threads` worker threads.
+    pub parallel_s: f64,
+    pub speedup: f64,
+    pub serial_ops: u64,
+    pub parallel_ops: u64,
+    /// True when the serial and parallel reports are bit-identical
+    /// (everything except wall seconds).
+    pub identical: bool,
+}
+
+/// Everything in a compile result that must not depend on the thread
+/// count: per-pass ops, the per-loop records, the Figure 5 histogram,
+/// and the skip ledger. Wall seconds are deliberately excluded.
+pub fn report_signature(r: &CompileResult) -> String {
+    let mut s = String::new();
+    for p in PassId::ALL {
+        let ops = r.report.per_pass.get(&p).map_or(0, |c| c.ops);
+        s.push_str(&format!("{:?}={};", p, ops));
+    }
+    for l in &r.loops {
+        s.push_str(&format!(
+            "{}:{:?}:{:?}:{}:{}:{}:{};",
+            l.unit, l.stmt, l.classification, l.parallelized, l.speculative, l.pairs_tested, l.ops_spent
+        ));
+    }
+    for (c, n) in r.target_histogram() {
+        s.push_str(&format!("{:?}x{};", c, n));
+    }
+    for sk in &r.report.skipped {
+        s.push_str(&format!("skip:{}:{:?}:{:?};", sk.unit, sk.stmt, sk.reason));
+    }
+    s
+}
+
+fn best_of<F: FnMut() -> CompileResult>(k: usize, mut f: F) -> (f64, CompileResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..k.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("at least one run"))
+}
+
+fn measure_one(app: &str, src: &str, threads: usize, repeats: usize) -> CompileBenchRow {
+    let serial = Compiler::new(CompilerProfile::polaris2008());
+    let parallel = Compiler::new(CompilerProfile::polaris2008().with_threads(threads));
+    let (serial_s, sr) = best_of(repeats, || {
+        serial.compile_source(app, src).expect("serial compile")
+    });
+    let (parallel_s, pr) = best_of(repeats, || {
+        parallel.compile_source(app, src).expect("parallel compile")
+    });
+    CompileBenchRow {
+        app: app.to_string(),
+        loops: sr.report.loops,
+        threads,
+        serial_s,
+        parallel_s,
+        speedup: serial_s / parallel_s.max(f64::MIN_POSITIVE),
+        serial_ops: sr.report.total_ops(),
+        parallel_ops: pr.report.total_ops(),
+        identical: report_signature(&sr) == report_signature(&pr),
+    }
+}
+
+/// Compiles every suite serial and parallel. `threads` is the parallel
+/// worker count, `repeats` the best-of-K sample size per configuration.
+pub fn measure(threads: usize, repeats: usize) -> Vec<CompileBenchRow> {
+    let mut rows = Vec::new();
+    for w in [
+        wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial),
+        wl::gamess::suite(wl::DataSize::Small),
+        wl::sander::suite(wl::DataSize::Small),
+    ] {
+        rows.push(measure_one(&w.name, &w.source, threads, repeats));
+    }
+    for w in wl::perfect::codes() {
+        rows.push(measure_one(&w.name, &w.source, threads, repeats));
+    }
+    rows
+}
+
+/// ASCII rendering of the benchmark table.
+pub fn render(rows: &[CompileBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("BENCH compile — per-loop analysis fan-out (best-of-K wall seconds)\n");
+    out.push_str(&format!(
+        "{:>10} {:>6} {:>8} {:>10} {:>10} {:>8} {:>10}\n",
+        "app", "loops", "threads", "serial s", "par s", "speedup", "identical"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>6} {:>8} {:>10.4} {:>10.4} {:>7.2}x {:>10}\n",
+            r.app, r.loops, r.threads, r.serial_s, r.parallel_s, r.speedup, r.identical
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_detect_report_divergence() {
+        let w = wl::linpack::suite();
+        let a = Compiler::new(CompilerProfile::polaris2008())
+            .compile_source(&w.name, &w.source)
+            .expect("compile");
+        let b = Compiler::new(CompilerProfile::full())
+            .compile_source(&w.name, &w.source)
+            .expect("compile");
+        assert_eq!(report_signature(&a), report_signature(&a));
+        // Different capability sets analyze differently; the signature
+        // must notice.
+        assert_ne!(report_signature(&a), report_signature(&b));
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_are_identical() {
+        let w = wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial);
+        let row = measure_one(&w.name, &w.source, 4, 1);
+        assert!(row.identical, "{}: reports diverged across threads", row.app);
+        assert_eq!(row.serial_ops, row.parallel_ops);
+        assert!(row.loops > 1, "fan-out needs a multi-loop workload");
+    }
+}

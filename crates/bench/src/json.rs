@@ -9,6 +9,7 @@
 use apar_core::nesting::NestingAverages;
 
 use crate::ablation::AblationRow;
+use crate::compile_bench::CompileBenchRow;
 use crate::fig1::{Fig1Data, Fig1Row};
 use crate::fig2::Fig2Row;
 use crate::fig4::Fig4Data;
@@ -151,6 +152,22 @@ impl<A: ToJson, B: ToJson> ToJson for (A, B) {
 impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
     fn to_json(&self) -> Json {
         Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl ToJson for CompileBenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("app", self.app.to_json()),
+            ("loops", self.loops.to_json()),
+            ("threads", self.threads.to_json()),
+            ("serial_s", self.serial_s.to_json()),
+            ("parallel_s", self.parallel_s.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("serial_ops", self.serial_ops.to_json()),
+            ("parallel_ops", self.parallel_ops.to_json()),
+            ("identical", self.identical.to_json()),
+        ])
     }
 }
 

@@ -7,6 +7,7 @@
 //! EXPERIMENTS.md records.
 
 pub mod ablation;
+pub mod compile_bench;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

@@ -3,17 +3,20 @@
 //! annotates the program for the parallel runtime.
 
 use std::collections::HashSet;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use apar_analysis::access::{self, AccessKind};
 use apar_analysis::alias::AliasInfo;
+use apar_analysis::cache::{AnalysisCache, ProgramFacts};
 use apar_analysis::callgraph::CallGraph;
-use apar_analysis::constprop;
+use apar_analysis::constprop::{self, ConstProp};
 use apar_analysis::ddtest::{self, DdInput};
 use apar_analysis::gsa;
 use apar_analysis::induction;
 use apar_analysis::inline;
-use apar_analysis::loops::LoopForest;
+use apar_analysis::loops::{LoopForest, LoopInfo};
 use apar_analysis::privatize;
 use apar_analysis::ranges::ScalarState;
 use apar_analysis::reduction;
@@ -24,7 +27,7 @@ use apar_minifort::{parse_program, resolve, Diag, Program, ResolvedProgram, Stmt
 use apar_symbolic::OpCounter;
 use crate::classify::{classify, Classification};
 use crate::profile::CompilerProfile;
-use crate::report::{CompileReport, PassId};
+use crate::report::{CompileReport, PassId, SkipReason, SkippedLoop};
 
 /// The compiler.
 #[derive(Clone, Debug, Default)]
@@ -159,235 +162,133 @@ impl Compiler {
             + (cp.formal_constants as u64 + cp.common_facts as u64) * 16;
         report.charge(PassId::InterproceduralConstProp, t.elapsed(), cp_ops);
 
-        // ---- Per-loop analysis ----------------------------------------------
+        // ---- Per-loop analysis (fan-out) ------------------------------------
+        //
+        // Each loop's analysis is a pure function of the pristine
+        // resolved program plus the prelude facts, so the loops fan out
+        // over `profile.threads` scoped workers sharing one
+        // content-keyed [`AnalysisCache`]. Workers never observe the
+        // annotations other loops produce; ordering-sensitive work
+        // (outermost-parallel ancestry, annotation, charge accounting,
+        // interner growth) happens in the sequential merge below, in
+        // loop order, which keeps reports bit-identical regardless of
+        // thread count.
+        let cache = AnalysisCache::new(caps, sym.clone());
+        let base = cache.seed(
+            &rp,
+            ProgramFacts {
+                cg,
+                summaries,
+                alias,
+                sym: sym.clone(),
+            },
+        );
+        let outcomes: Vec<LoopOutcome> = {
+            let ctx = LoopCtx {
+                profile: &self.profile,
+                rp: &rp,
+                base: &base,
+                cp: &cp,
+                cache: &cache,
+            };
+            let n = forest.loops.len();
+            let threads = self.profile.threads.max(1).min(n.max(1));
+            if threads <= 1 {
+                forest
+                    .loops
+                    .iter()
+                    .map(|info| analyze_loop(&ctx, info))
+                    .collect()
+            } else {
+                let next = AtomicUsize::new(0);
+                let mut slots: Vec<Option<LoopOutcome>> = Vec::new();
+                slots.resize_with(n, || None);
+                let shards: Vec<Vec<(usize, LoopOutcome)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let ctx = &ctx;
+                            let next = &next;
+                            let loops = &forest.loops;
+                            scope.spawn(move || {
+                                let mut mine = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= loops.len() {
+                                        break;
+                                    }
+                                    mine.push((i, analyze_loop(ctx, &loops[i])));
+                                }
+                                mine
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                        .collect()
+                });
+                for (i, o) in shards.into_iter().flatten() {
+                    slots[i] = Some(o);
+                }
+                slots
+                    .into_iter()
+                    .map(|o| o.expect("every loop analyzed exactly once"))
+                    .collect()
+            }
+        };
+
+        // ---- Deterministic merge (loop order) -------------------------------
         let mut loops_out: Vec<LoopReport> = Vec::new();
         let mut parallel_loops: HashSet<StmtId> = HashSet::new();
-        for info in &forest.loops {
-            let unit_name = info.id.unit.clone();
-            let Some(unit) = rp.unit(&unit_name) else {
-                continue;
-            };
-            if unit.lang == apar_minifort::Lang::C && !caps.multilingual {
-                continue;
+        for (info, outcome) in forest.loops.iter().zip(outcomes) {
+            for (pass, wall, ops) in outcome.charges {
+                report.charge(pass, wall, ops);
             }
-            let loop_ops = OpCounter::with_budget(self.profile.loop_op_budget);
-
-            // Choose the program to analyze: inline calls if any.
-            let has_calls = !info.calls.is_empty();
-            let (arp, inline_time, spliced) = if has_calls {
-                let t = Instant::now();
-                let mut scratch = rp.program.clone();
-                let (_n, _fails) = inline::inline_calls_in_loop(
-                    &mut scratch,
-                    &rp,
-                    &cg,
-                    caps,
-                    &unit_name,
-                    info.id.stmt,
-                    self.profile.inline_depth,
-                    self.profile.inline_stmt_budget,
-                );
-                match resolve(scratch) {
-                    Ok(srp) => {
-                        let spliced = srp.program.stmt_count - rp.program.stmt_count;
-                        (Some(srp), t.elapsed(), spliced as u64)
-                    }
-                    Err(_) => (None, t.elapsed(), 0),
+            // Canonical interner merge: absorbing worker forks in loop
+            // order reproduces the ids a sequential run hands out.
+            if let Some(wsym) = &outcome.sym {
+                sym.absorb(wsym);
+            }
+            let analyzed = match outcome.result {
+                Ok(a) => a,
+                Err(reason) => {
+                    report.skipped.push(SkippedLoop {
+                        unit: info.id.unit.clone(),
+                        stmt: info.id.stmt,
+                        target: info.target.clone(),
+                        reason,
+                    });
+                    continue;
                 }
-            } else {
-                (None, std::time::Duration::ZERO, 0)
             };
-            if has_calls {
-                report.charge(PassId::InlineExpansion, inline_time, spliced * 4);
-            }
-            let arp_ref: &ResolvedProgram = arp.as_ref().unwrap_or(&rp);
-
-            // Ranges for the analyzed program (recomputed for the unit
-            // when inlining changed it).
-            let state: ScalarState = if arp.is_some() {
-                let seed = cp
-                    .seeds
-                    .get(&unit_name)
-                    .cloned()
-                    .unwrap_or_default();
-                let summaries2 = Summaries::build(
-                    arp_ref,
-                    &CallGraph::build(arp_ref),
-                    &mut sym,
-                    caps,
-                );
-                let ur = apar_analysis::ranges::analyze_unit(
-                    arp_ref, &unit_name, &mut sym, caps, &summaries2, &seed,
-                );
-                ur.at_loop.get(&info.id.stmt).cloned().unwrap_or_default()
-            } else {
-                cp.ranges
-                    .get(&unit_name)
-                    .and_then(|ur| ur.at_loop.get(&info.id.stmt))
-                    .cloned()
-                    .unwrap_or_default()
-            };
-
-            // Locate the loop body in the analyzed program. A unit can
-            // legitimately disappear (fully inlined away); its loops
-            // are simply not candidates any more.
-            let Some(aunit) = arp_ref.unit(&unit_name) else {
-                continue;
-            };
-            let Some((var, lo, hi, step, body)) = find_do(aunit, info.id.stmt) else {
-                continue;
-            };
-
-            // Dependence test.
-            let t = Instant::now();
-            let la = access::collect(arp_ref, &unit_name, &body, &mut sym, &state);
-            let alias2;
-            let alias_ref = if arp.is_some() {
-                alias2 = AliasInfo::build(arp_ref, &CallGraph::build(arp_ref), caps);
-                &alias2
-            } else {
-                &alias
-            };
-            let summaries_dd;
-            let summaries_ref = if arp.is_some() {
-                summaries_dd =
-                    Summaries::build(arp_ref, &CallGraph::build(arp_ref), &mut sym, caps);
-                &summaries_dd
-            } else {
-                &summaries
-            };
-            let input = DdInput {
-                rp: arp_ref,
-                unit: &unit_name,
-                loop_var: &var,
-                lo: &lo,
-                hi: &hi,
-                step: step.as_ref(),
-                state: &state,
-                la: &la,
-            };
-            let dd = ddtest::test_loop(&input, &mut sym, caps, alias_ref, summaries_ref, &loop_ops);
-            let dd_ops = loop_ops.spent();
-            report.charge(PassId::DataDependence, t.elapsed(), dd_ops);
-
-            // Privatization.
-            let t = Instant::now();
-            let priv_res = privatize::analyze(
-                arp_ref,
-                aunit,
-                info.id.stmt,
-                &body,
-                &var,
-                &la,
-                &state,
-                &mut sym,
-                caps,
-                &loop_ops,
-            );
-            report.charge(
-                PassId::Privatization,
-                t.elapsed(),
-                loop_ops.spent() - dd_ops,
-            );
-
-            // Reduction recognition.
-            let t = Instant::now();
-            let table = arp_ref.table(&unit_name);
-            let reds = reduction::find_reductions(&body, &|n| table.is_array(n));
-            report.charge(PassId::Reduction, t.elapsed(), la.accesses.len() as u64);
-
-            // Decision.
-            let red_names: HashSet<&str> = reds.iter().map(|r| r.var.as_str()).collect();
-            let leftover = priv_res
-                .failed_scalars
-                .iter()
-                .filter(|s| !red_names.contains(s.as_str()))
-                .count();
-            let private_arrays: HashSet<&str> =
-                priv_res.private_arrays.iter().map(|s| s.as_str()).collect();
-            let classification = classify(&dd, la.has_io || la.has_escape, leftover, &|d| {
-                private_arrays.contains(d.array.as_str())
-            });
-            let parallel = classification == Classification::Autoparallelized;
 
             // Annotate the outermost parallel loops on the ORIGINAL AST.
             let mut annotated = false;
             let mut speculative = false;
-            // Speculative candidates: hindrances a runtime dependence
-            // test can discharge (the array conflict is data-dependent),
-            // with no I/O or escaping effects to roll back and no
-            // unprivatizable scalars (those would conflict on every run).
-            let spec_candidate = self.profile.runtime_test
-                && matches!(
-                    classification,
-                    Classification::Indirection
-                        | Classification::Rangeless
-                        | Classification::SymbolAnalysis
-                )
-                && !la.has_io
-                && !la.has_escape
-                && leftover == 0;
-            if (parallel || spec_candidate)
-                && !has_parallel_ancestor(&forest, info, &parallel_loops)
-            {
-                let orig_table = rp.table(&unit_name);
-                // Write summary for speculative regions: the cells a
-                // rollback must restore. Only exact summaries are
-                // emitted — a body with calls may write through its
-                // callees, and an analysis access list can reference
-                // transform-introduced temporaries absent from the
-                // original program; either case leaves `writes` unset
-                // so the runtime falls back to a full checkpoint.
-                let writes = if !parallel && la.calls.is_empty() {
-                    let mut w: Vec<String> = la
-                        .accesses
-                        .iter()
-                        .filter(|a| a.kind == AccessKind::Write)
-                        .map(|a| a.array.clone())
-                        .chain(la.scalar_writes.iter().map(|(n, _, _)| n.clone()))
-                        .collect();
-                    w.sort_unstable();
-                    w.dedup();
-                    if w.iter().all(|n| orig_table.get(n).is_some()) {
-                        Some(w)
+            if let Some(directive) = analyzed.candidate {
+                if !has_parallel_ancestor(&forest, info, &parallel_loops) {
+                    speculative = directive.speculative;
+                    annotated =
+                        annotate_loop(&mut rp, &info.id.unit, info.id.stmt, directive);
+                    if annotated {
+                        parallel_loops.insert(info.id.stmt);
                     } else {
-                        None
+                        speculative = false;
                     }
-                } else {
-                    None
-                };
-                let directive = LoopDirective {
-                    private: priv_res
-                        .private_scalars
-                        .iter()
-                        .chain(priv_res.private_arrays.iter())
-                        .filter(|n| orig_table.get(n).is_some())
-                        .cloned()
-                        .collect(),
-                    reductions: reds.iter().map(|r| (r.op, r.var.clone())).collect(),
-                    speculative: !parallel,
-                    writes,
-                };
-                speculative = directive.speculative;
-                annotated = annotate_loop(&mut rp, &unit_name, info.id.stmt, directive);
-                if annotated {
-                    parallel_loops.insert(info.id.stmt);
-                } else {
-                    speculative = false;
                 }
             }
 
             loops_out.push(LoopReport {
-                unit: unit_name,
+                unit: info.id.unit.clone(),
                 stmt: info.id.stmt,
-                var,
+                var: analyzed.var,
                 depth: info.depth,
                 target: info.target.clone(),
-                classification,
+                classification: analyzed.classification,
                 parallelized: annotated && !speculative,
                 speculative,
-                pairs_tested: dd.pairs_tested,
-                ops_spent: loop_ops.spent(),
+                pairs_tested: analyzed.pairs_tested,
+                ops_spent: analyzed.ops_spent,
             });
         }
 
@@ -396,6 +297,275 @@ impl Compiler {
             report,
             loops: loops_out,
         })
+    }
+}
+
+/// Read-only context shared by the per-loop analysis workers.
+struct LoopCtx<'a> {
+    profile: &'a CompilerProfile,
+    /// The pristine resolved program — never carries `auto_par`
+    /// annotations while workers run.
+    rp: &'a ResolvedProgram,
+    /// Prelude facts for the base program (cache entry zero).
+    base: &'a Arc<ProgramFacts>,
+    cp: &'a ConstProp,
+    cache: &'a AnalysisCache,
+}
+
+/// What a worker learned about one analyzable loop.
+struct AnalyzedLoop {
+    var: String,
+    classification: Classification,
+    /// Directive to apply if the merge pass finds no parallel ancestor
+    /// (parallel or speculative candidates only).
+    candidate: Option<LoopDirective>,
+    pairs_tested: usize,
+    ops_spent: u64,
+}
+
+/// One loop's complete analysis output. Produced independently per
+/// loop; the driver merges outcomes in loop order.
+struct LoopOutcome {
+    /// Per-pass charges, in the order a sequential run records them.
+    charges: Vec<(PassId, Duration, u64)>,
+    /// The worker's interner fork (absorbed canonically at merge).
+    sym: Option<SymMap>,
+    result: Result<AnalyzedLoop, SkipReason>,
+}
+
+/// Analyzes one loop against the pristine resolved program. Pure with
+/// respect to the fan-out: the only shared state is the read-only
+/// context and the internally synchronized analysis cache, so the
+/// outcome does not depend on which worker runs it or when.
+fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
+    let caps = ctx.profile.caps;
+    let rp = ctx.rp;
+    let unit_name = info.id.unit.as_str();
+    let mut charges: Vec<(PassId, Duration, u64)> = Vec::new();
+    let Some(unit) = rp.unit(unit_name) else {
+        return LoopOutcome {
+            charges,
+            sym: None,
+            result: Err(SkipReason::UnitMissing),
+        };
+    };
+    if unit.lang == apar_minifort::Lang::C && !caps.multilingual {
+        return LoopOutcome {
+            charges,
+            sym: None,
+            result: Err(SkipReason::ForeignLanguage),
+        };
+    }
+    let loop_ops = OpCounter::with_budget(ctx.profile.loop_op_budget);
+
+    // Choose the program to analyze: inline calls if any.
+    let has_calls = !info.calls.is_empty();
+    let (arp, inline_time, spliced) = if has_calls {
+        let t = Instant::now();
+        let mut scratch = rp.program.clone();
+        let (_n, _fails) = inline::inline_calls_in_loop(
+            &mut scratch,
+            rp,
+            &ctx.base.cg,
+            caps,
+            unit_name,
+            info.id.stmt,
+            ctx.profile.inline_depth,
+            ctx.profile.inline_stmt_budget,
+        );
+        match resolve(scratch) {
+            Ok(srp) => {
+                // Inlining can shrink the program as well as grow it (a
+                // callee whose every call site was expanded is removed
+                // from the scratch copy), so the splice metric
+                // saturates instead of underflowing.
+                let spliced = srp.program.stmt_count.saturating_sub(rp.program.stmt_count);
+                (Some(srp), t.elapsed(), spliced as u64)
+            }
+            Err(_) => (None, t.elapsed(), 0),
+        }
+    } else {
+        (None, Duration::ZERO, 0)
+    };
+    if has_calls {
+        charges.push((PassId::InlineExpansion, inline_time, spliced * 4));
+    }
+    let arp_ref: &ResolvedProgram = arp.as_ref().unwrap_or(rp);
+
+    // Interprocedural facts for the analyzed program: one cache lookup
+    // replaces the per-loop CallGraph / Summaries / AliasInfo rebuilds
+    // the sequential driver used to issue. The worker's interner adopts
+    // the facts' recorded state so the `summaries` VarIds resolve.
+    let facts: Arc<ProgramFacts> = match &arp {
+        Some(srp) => ctx.cache.facts(srp),
+        None => Arc::clone(ctx.base),
+    };
+    let mut sym = facts.sym.clone();
+
+    // Ranges for the analyzed program (recomputed for the unit when
+    // inlining changed it).
+    let state: ScalarState = if arp.is_some() {
+        let seed = ctx.cp.seeds.get(unit_name).cloned().unwrap_or_default();
+        let ur = apar_analysis::ranges::analyze_unit(
+            arp_ref,
+            unit_name,
+            &mut sym,
+            caps,
+            &facts.summaries,
+            &seed,
+        );
+        ur.at_loop.get(&info.id.stmt).cloned().unwrap_or_default()
+    } else {
+        ctx.cp
+            .ranges
+            .get(unit_name)
+            .and_then(|ur| ur.at_loop.get(&info.id.stmt))
+            .cloned()
+            .unwrap_or_default()
+    };
+
+    // Locate the loop body in the analyzed program.
+    let Some(aunit) = arp_ref.unit(unit_name) else {
+        return LoopOutcome {
+            charges,
+            sym: Some(sym),
+            result: Err(SkipReason::InlinedAway),
+        };
+    };
+    let Some((var, lo, hi, step, body)) = find_do(aunit, info.id.stmt) else {
+        return LoopOutcome {
+            charges,
+            sym: Some(sym),
+            result: Err(SkipReason::HeaderMissing),
+        };
+    };
+
+    // Dependence test.
+    let t = Instant::now();
+    let la = access::collect(arp_ref, unit_name, &body, &mut sym, &state);
+    let input = DdInput {
+        rp: arp_ref,
+        unit: unit_name,
+        loop_var: &var,
+        lo: &lo,
+        hi: &hi,
+        step: step.as_ref(),
+        state: &state,
+        la: &la,
+    };
+    let dd = ddtest::test_loop(
+        &input,
+        &mut sym,
+        caps,
+        &facts.alias,
+        &facts.summaries,
+        &loop_ops,
+    );
+    let dd_ops = loop_ops.spent();
+    charges.push((PassId::DataDependence, t.elapsed(), dd_ops));
+
+    // Privatization.
+    let t = Instant::now();
+    let priv_res = privatize::analyze(
+        arp_ref,
+        aunit,
+        info.id.stmt,
+        &body,
+        &var,
+        &la,
+        &state,
+        &mut sym,
+        caps,
+        &loop_ops,
+    );
+    charges.push((PassId::Privatization, t.elapsed(), loop_ops.spent() - dd_ops));
+
+    // Reduction recognition.
+    let t = Instant::now();
+    let table = arp_ref.table(unit_name);
+    let reds = reduction::find_reductions(&body, &|n| table.is_array(n));
+    charges.push((PassId::Reduction, t.elapsed(), la.accesses.len() as u64));
+
+    // Decision.
+    let red_names: HashSet<&str> = reds.iter().map(|r| r.var.as_str()).collect();
+    let leftover = priv_res
+        .failed_scalars
+        .iter()
+        .filter(|s| !red_names.contains(s.as_str()))
+        .count();
+    let private_arrays: HashSet<&str> =
+        priv_res.private_arrays.iter().map(|s| s.as_str()).collect();
+    let classification = classify(&dd, la.has_io || la.has_escape, leftover, &|d| {
+        private_arrays.contains(d.array.as_str())
+    });
+    let parallel = classification == Classification::Autoparallelized;
+
+    // Speculative candidates: hindrances a runtime dependence test can
+    // discharge (the array conflict is data-dependent), with no I/O or
+    // escaping effects to roll back and no unprivatizable scalars
+    // (those would conflict on every run).
+    let spec_candidate = ctx.profile.runtime_test
+        && matches!(
+            classification,
+            Classification::Indirection
+                | Classification::Rangeless
+                | Classification::SymbolAnalysis
+        )
+        && !la.has_io
+        && !la.has_escape
+        && leftover == 0;
+    let candidate = if parallel || spec_candidate {
+        let orig_table = rp.table(unit_name);
+        // Write summary for speculative regions: the cells a rollback
+        // must restore. Only exact summaries are emitted — a body with
+        // calls may write through its callees, and an analysis access
+        // list can reference transform-introduced temporaries absent
+        // from the original program; either case leaves `writes` unset
+        // so the runtime falls back to a full checkpoint.
+        let writes = if !parallel && la.calls.is_empty() {
+            let mut w: Vec<String> = la
+                .accesses
+                .iter()
+                .filter(|a| a.kind == AccessKind::Write)
+                .map(|a| a.array.clone())
+                .chain(la.scalar_writes.iter().map(|(n, _, _)| n.clone()))
+                .collect();
+            w.sort_unstable();
+            w.dedup();
+            if w.iter().all(|n| orig_table.get(n).is_some()) {
+                Some(w)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Some(LoopDirective {
+            private: priv_res
+                .private_scalars
+                .iter()
+                .chain(priv_res.private_arrays.iter())
+                .filter(|n| orig_table.get(n).is_some())
+                .cloned()
+                .collect(),
+            reductions: reds.iter().map(|r| (r.op, r.var.clone())).collect(),
+            speculative: !parallel,
+            writes,
+        })
+    } else {
+        None
+    };
+
+    LoopOutcome {
+        charges,
+        sym: Some(sym),
+        result: Ok(AnalyzedLoop {
+            var,
+            classification,
+            candidate,
+            pairs_tested: dd.pairs_tested,
+            ops_spent: loop_ops.spent(),
+        }),
     }
 }
 
@@ -607,6 +777,69 @@ mod tests {
         assert!(r.report.total_ops() > 0);
         assert!(r.report.per_pass.contains_key(&PassId::DataDependence));
         assert!(r.report.statements > 0);
+    }
+
+    #[test]
+    fn fully_inlined_callee_does_not_break_the_splice_metric() {
+        // SET's only call site is inside the loop: the analyzed copy
+        // drops the unit entirely after expansion. The splice metric
+        // must saturate (debug builds would panic on underflow) and the
+        // loop must still parallelize from the inlined body.
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nCALL SET(A, I)\nENDDO\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        let main_loop = r.loops.iter().find(|l| l.unit == "P").unwrap();
+        assert_eq!(main_loop.classification, Classification::Autoparallelized);
+        assert!(main_loop.parallelized);
+        assert!(r.report.per_pass.contains_key(&PassId::InlineExpansion));
+        // The original program keeps SET (only the scratch copy drops
+        // it), so SET's own loops — none here — would still resolve.
+        assert!(r.rp.unit("SET").is_some());
+    }
+
+    #[test]
+    fn foreign_loop_is_recorded_as_skipped_not_lost() {
+        let r = compile(
+            "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nA(I) = 1.0\nENDDO\nCALL CW\nEND\n!LANG C\nSUBROUTINE CW\nREAL B(10)\nDO J = 1, 10\nB(J) = 0.0\nENDDO\nEND\n",
+            CompilerProfile::polaris2008(),
+        );
+        // The C unit's loop does not silently vanish: it lands in the
+        // skip ledger with its reason, and the analyzed-loop list plus
+        // the ledger together cover every loop the forest discovered.
+        assert_eq!(r.loops.len() + r.report.skipped.len(), r.report.loops);
+        let skip = r
+            .report
+            .skipped
+            .iter()
+            .find(|s| s.unit == "CW")
+            .expect("C loop recorded");
+        assert_eq!(skip.reason, SkipReason::ForeignLanguage);
+        assert_eq!(
+            r.report.skip_histogram(),
+            vec![(SkipReason::ForeignLanguage, 1)]
+        );
+    }
+
+    #[test]
+    fn threads_do_not_change_reports() {
+        let src = "PROGRAM P\nREAL A(100), B(100)\nS = 0.0\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nDO I = 1, 100\nS = S + A(I)\nENDDO\nDO I = 2, 100\nA(I) = A(I - 1)\nENDDO\nDO I = 1, 100\nCALL SET(B, I)\nENDDO\nWRITE(*,*) S\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n";
+        let seq = compile(src, CompilerProfile::polaris2008());
+        let par = compile(src, CompilerProfile::polaris2008().with_threads(4));
+        assert_eq!(seq.loops.len(), par.loops.len());
+        for (a, b) in seq.loops.iter().zip(&par.loops) {
+            assert_eq!(a.unit, b.unit);
+            assert_eq!(a.stmt, b.stmt);
+            assert_eq!(a.classification, b.classification);
+            assert_eq!(a.parallelized, b.parallelized);
+            assert_eq!(a.ops_spent, b.ops_spent);
+            assert_eq!(a.pairs_tested, b.pairs_tested);
+        }
+        for p in PassId::ALL {
+            let sa = seq.report.per_pass.get(&p).map_or(0, |c| c.ops);
+            let sb = par.report.per_pass.get(&p).map_or(0, |c| c.ops);
+            assert_eq!(sa, sb, "{:?} ops differ across thread counts", p);
+        }
     }
 
     #[test]

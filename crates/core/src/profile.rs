@@ -24,6 +24,11 @@ pub struct CompilerProfile {
     /// techniques the paper's conclusion calls for beyond static
     /// analysis.
     pub runtime_test: bool,
+    /// Worker threads for the per-loop analysis stage of the driver.
+    /// Compile reports (per-pass op counts, classifications, Figure 5
+    /// histograms) are bit-identical for every value; only wall time
+    /// changes. 1 = fully sequential.
+    pub threads: usize,
 }
 
 impl CompilerProfile {
@@ -39,6 +44,7 @@ impl CompilerProfile {
             inline_depth: 3,
             inline_stmt_budget: 4_000,
             runtime_test: false,
+            threads: 1,
         }
     }
 
@@ -51,6 +57,7 @@ impl CompilerProfile {
             inline_depth: 4,
             inline_stmt_budget: 16_000,
             runtime_test: false,
+            threads: 1,
         }
     }
 
@@ -62,6 +69,14 @@ impl CompilerProfile {
     pub fn with_runtime_test(mut self) -> Self {
         self.runtime_test = true;
         self.name = format!("{}+runtime-test", self.name);
+        self
+    }
+
+    /// This profile with `n` analysis worker threads (0 is clamped to
+    /// 1). The knob changes only how fast the compiler itself runs —
+    /// every report it produces is bit-identical across values.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
         self
     }
 

@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use apar_minifort::StmtId;
+
 /// The compiler passes of Figure 2's legend.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PassId {
@@ -50,6 +52,46 @@ pub struct PassCost {
     pub ops: u64,
 }
 
+/// Why the per-loop analysis stage could not analyze a loop. These are
+/// hindrances in their own right: a skipped loop stays serial, so it
+/// must stay visible in the report rather than silently vanishing from
+/// the Figure 5 accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SkipReason {
+    /// The loop lives in a `!LANG C` unit and the profile lacks the
+    /// multilingual capability (§2.4): the compiler cannot see inside.
+    ForeignLanguage,
+    /// The loop's unit was not found in the resolved program.
+    UnitMissing,
+    /// Inlining removed the loop's unit from the analyzed copy (fully
+    /// inlined away): its loops are no longer candidates.
+    InlinedAway,
+    /// The loop header could not be located in the analyzed program.
+    HeaderMissing,
+}
+
+impl SkipReason {
+    pub fn label(&self) -> &'static str {
+        match self {
+            SkipReason::ForeignLanguage => "foreign language",
+            SkipReason::UnitMissing => "unit missing",
+            SkipReason::InlinedAway => "inlined away",
+            SkipReason::HeaderMissing => "header missing",
+        }
+    }
+}
+
+/// A loop the per-loop stage skipped, with its provenance, so reports
+/// account for every loop the forest discovered.
+#[derive(Clone, Debug)]
+pub struct SkippedLoop {
+    pub unit: String,
+    pub stmt: StmtId,
+    /// `!$TARGET` marker, when the skipped loop was a target loop.
+    pub target: Option<String>,
+    pub reason: SkipReason,
+}
+
 /// Aggregate compile-time report for one application.
 #[derive(Clone, Debug, Default)]
 pub struct CompileReport {
@@ -61,6 +103,9 @@ pub struct CompileReport {
     pub loops: usize,
     pub target_loops: usize,
     pub per_pass: HashMap<PassId, PassCost>,
+    /// Loops the per-loop stage could not analyze, with the reason —
+    /// explicit entries instead of silent disappearance.
+    pub skipped: Vec<SkippedLoop>,
 }
 
 impl CompileReport {
@@ -109,6 +154,24 @@ impl CompileReport {
                 (p, ops / total)
             })
             .collect()
+    }
+
+    /// Skipped loops that carried a `!$TARGET` marker (loops Figure 5
+    /// would otherwise lose from its denominator).
+    pub fn skipped_targets(&self) -> impl Iterator<Item = &SkippedLoop> {
+        self.skipped.iter().filter(|s| s.target.is_some())
+    }
+
+    /// Histogram of skip reasons, in first-seen order.
+    pub fn skip_histogram(&self) -> Vec<(SkipReason, usize)> {
+        let mut counts: Vec<(SkipReason, usize)> = Vec::new();
+        for s in &self.skipped {
+            match counts.iter_mut().find(|(r, _)| *r == s.reason) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((s.reason, 1)),
+            }
+        }
+        counts
     }
 
     /// Fraction of total seconds per pass (Figure 3 as published).

@@ -7,7 +7,7 @@
 //! word offsets so both the runtime and the alias analysis see the real
 //! overlap (§2.3 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ast::{Expr, Literal};
 use crate::types::Ty;
@@ -135,10 +135,16 @@ pub struct DataInit {
 }
 
 /// Per-unit symbol table.
+///
+/// Symbols are kept name-ordered (`BTreeMap`): consumers — the inliner's
+/// rename pass, EQUIVALENCE/area assignment, the dependence tester's
+/// COMMON-root search — iterate the table, and the names they mint and
+/// the symbolic variable ids they intern must not depend on hash-seed
+/// luck, or compile reports stop being reproducible run to run.
 #[derive(Clone, Debug, Default)]
 pub struct SymbolTable {
     pub unit: String,
-    syms: HashMap<String, Symbol>,
+    syms: BTreeMap<String, Symbol>,
     /// Sizes (words) of local storage areas, indexed by area id.
     pub area_sizes: Vec<i64>,
     /// DATA initializations in source order.
@@ -199,8 +205,8 @@ impl SymbolTable {
 
     /// Names of all COMMON blocks this unit references, with the extent
     /// (in words) the unit implies for each.
-    pub fn common_blocks(&self) -> HashMap<String, i64> {
-        let mut out: HashMap<String, i64> = HashMap::new();
+    pub fn common_blocks(&self) -> BTreeMap<String, i64> {
+        let mut out: BTreeMap<String, i64> = BTreeMap::new();
         for s in self.syms.values() {
             if let Storage::Common { block, offset } = &s.storage {
                 let sz = s.size_words().unwrap_or(1);

@@ -280,10 +280,15 @@ struct Frame<'p> {
 struct ArrDesc {
     base: usize,
     rank: u8,
-    lo: [i64; 4],
-    stride: [i64; 4],
+    lo: [i64; ArrDesc::MAX_RANK],
+    stride: [i64; ArrDesc::MAX_RANK],
     /// Total words, or -1 when unknown (assumed-size).
     total: i64,
+}
+
+impl ArrDesc {
+    /// Fixed capacity of the per-dimension tables.
+    const MAX_RANK: usize = 4;
 }
 
 /// A caller-prepared argument.
@@ -385,7 +390,13 @@ impl<'p, 's> Exec<'p, 's> {
         if flow == Flow::Stop {
             return Err(self.trap("STOP inside function"));
         }
-        let v = self.rd(frame.scalars[fn_slot as usize])?;
+        let Some(&ret_addr) = frame.scalars.get(fn_slot as usize) else {
+            return Err(self.trap(format!(
+                "{}: function result slot out of range",
+                unit.name
+            )));
+        };
+        let v = self.rd(ret_addr)?;
         self.stack.release_to(frame.mark);
         Ok(v)
     }
@@ -413,9 +424,23 @@ impl<'p, 's> Exec<'p, 's> {
         for s in &unit.scalars {
             scalars.push(match s.loc {
                 SLoc::Abs(a) => a,
-                SLoc::Local { area, offset } => area_bases[area as usize] + offset as usize,
-                SLoc::Formal { pos } => match actuals[pos as usize] {
-                    Bound::Addr(a) => a,
+                SLoc::Local { area, offset } => {
+                    let Some(&base) = area_bases.get(area as usize) else {
+                        return Err(self.trap(format!(
+                            "{}: scalar storage area {} out of range",
+                            unit.name, area
+                        )));
+                    };
+                    base + offset as usize
+                }
+                SLoc::Formal { pos } => match actuals.get(pos as usize) {
+                    Some(Bound::Addr(a)) => *a,
+                    None => {
+                        return Err(self.trap(format!(
+                            "{}: formal #{} has no bound actual",
+                            unit.name, pos
+                        )));
+                    }
                 },
             });
         }
@@ -429,11 +454,35 @@ impl<'p, 's> Exec<'p, 's> {
         for (i, a) in unit.arrays.iter().enumerate() {
             let base = match a.base {
                 ABase::Abs(x) => x,
-                ABase::Local { area, offset } => area_bases[area as usize] + offset as usize,
-                ABase::Formal { pos } => match actuals[pos as usize] {
-                    Bound::Addr(x) => x,
+                ABase::Local { area, offset } => {
+                    let Some(&ab) = area_bases.get(area as usize) else {
+                        return Err(self.trap(format!(
+                            "{}: array storage area {} out of range",
+                            unit.name, area
+                        )));
+                    };
+                    ab + offset as usize
+                }
+                ABase::Formal { pos } => match actuals.get(pos as usize) {
+                    Some(Bound::Addr(x)) => *x,
+                    None => {
+                        return Err(self.trap(format!(
+                            "{}: array formal #{} has no bound actual",
+                            unit.name, pos
+                        )));
+                    }
                 },
             };
+            // `ArrDesc` carries fixed-capacity dim tables; a descriptor
+            // beyond that capacity must trap, not index out of bounds.
+            if a.dims.len() > ArrDesc::MAX_RANK {
+                return Err(self.trap(format!(
+                    "{}: array rank {} exceeds the supported maximum of {}",
+                    unit.name,
+                    a.dims.len(),
+                    ArrDesc::MAX_RANK
+                )));
+            }
             let mut desc = ArrDesc {
                 base,
                 rank: a.dims.len() as u8,
@@ -461,13 +510,25 @@ impl<'p, 's> Exec<'p, 's> {
         // DATA initializations (per activation for locals).
         for d in &unit.data {
             if let Some(aid) = d.array {
-                let base = frame.arrays[aid as usize].base + d.start_elem as usize;
+                let Some(desc) = frame.arrays.get(aid as usize) else {
+                    return Err(self.trap(format!(
+                        "{}: DATA names array slot {} out of range",
+                        unit.name, aid
+                    )));
+                };
+                let base = desc.base + d.start_elem as usize;
                 for (k, v) in d.values.iter().enumerate() {
                     self.sh.arena.write(base + k, *v);
                 }
             } else if let Some(sid) = d.scalar {
+                let Some(&addr) = frame.scalars.get(sid as usize) else {
+                    return Err(self.trap(format!(
+                        "{}: DATA names scalar slot {} out of range",
+                        unit.name, sid
+                    )));
+                };
                 if let Some(v) = d.values.first() {
-                    self.sh.arena.write(frame.scalars[sid as usize], *v);
+                    self.sh.arena.write(addr, *v);
                 }
             }
         }
@@ -871,7 +932,13 @@ impl<'p, 's> Exec<'p, 's> {
             let addr = f.scalars[sid as usize];
             let mut acc = self.rd(addr)?;
             for o in &outs {
-                acc = red_combine(op, acc, o.partials[k]);
+                let Some(&part) = o.partials.get(k) else {
+                    return Err(self.trap(format!(
+                        "reduction partial #{} missing from a worker's output",
+                        k
+                    )));
+                };
+                acc = red_combine(op, acc, part);
             }
             self.wr(addr, acc)?;
         }
@@ -1005,6 +1072,17 @@ impl<'p, 's> Exec<'p, 's> {
             RExpr::Not(i) => Cell::Int((self.eval(f, i)?.as_int() == 0) as i64),
             RExpr::Intr(intr, args) => {
                 self.virt += 3;
+                // Lowering does not validate intrinsic arity; `apply`
+                // indexes its argument list, so check here and trap
+                // instead of panicking on a malformed call.
+                if args.len() < intr.min_args() {
+                    return Err(self.trap(format!(
+                        "{:?}: expected at least {} argument(s), got {}",
+                        intr,
+                        intr.min_args(),
+                        args.len()
+                    )));
+                }
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(f, a)?);

@@ -54,7 +54,18 @@ impl Intr {
         })
     }
 
-    /// Applies the intrinsic to evaluated arguments.
+    /// Fewest arguments [`Intr::apply`] needs; calling it with fewer
+    /// would index past the argument list, so interpreters must check
+    /// this first and trap on a malformed call.
+    pub fn min_args(self) -> usize {
+        match self {
+            Intr::Atan2 | Intr::Mod | Intr::Sign => 2,
+            _ => 1,
+        }
+    }
+
+    /// Applies the intrinsic to evaluated arguments (at least
+    /// [`Intr::min_args`] of them).
     pub fn apply(self, args: &[Cell]) -> Cell {
         let r = |i: usize| args[i].as_real();
         match self {

@@ -285,3 +285,12 @@ fn mpi_commons_are_rank_private() {
     // 0+1+2+3 = 6: each rank kept its own N.
     assert_eq!(r.output, vec!["6.000000"]);
 }
+
+#[test]
+fn malformed_intrinsic_arity_traps_instead_of_panicking() {
+    // Lowering does not validate intrinsic arity; the interpreter must
+    // surface a structured trap, not an index panic.
+    let rp = frontend("PROGRAM P\nK = MOD(7)\nWRITE(*,*) K\nEND\n").expect("frontend");
+    let err = run(&rp, &[], &ExecConfig::default()).expect_err("arity trap");
+    assert!(matches!(err, RtError::Trap(_)), "{:?}", err);
+}

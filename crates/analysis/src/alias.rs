@@ -19,6 +19,7 @@ use apar_minifort::ResolvedProgram;
 
 use crate::callgraph::CallGraph;
 use crate::Capabilities;
+use apar_symbolic::OpCounter;
 
 /// Where a name's storage ultimately lives, caller-visible.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -86,8 +87,18 @@ pub struct AliasInfo {
 }
 
 impl AliasInfo {
-    /// Builds alias facts for the whole program.
-    pub fn build(rp: &ResolvedProgram, cg: &CallGraph, caps: Capabilities) -> AliasInfo {
+    /// Builds alias facts for the whole program, billing one op per
+    /// name pair and per call-site proof attempt to `ops`. When the
+    /// counter's budget trips, remaining pairs are conservatively
+    /// assumed aliased (the static-overlap scan marks them overlapping
+    /// and the no-alias fixpoint stops proving) — sound degradation,
+    /// never a panic.
+    pub fn build(
+        rp: &ResolvedProgram,
+        cg: &CallGraph,
+        caps: Capabilities,
+        ops: &OpCounter,
+    ) -> AliasInfo {
         let mut info = AliasInfo {
             caps,
             ..Default::default()
@@ -103,7 +114,9 @@ impl AliasInfo {
             let set = info.pairs.entry(unit.name.clone()).or_default();
             for (i, &a) in names.iter().enumerate() {
                 for &b in &names[i + 1..] {
-                    if static_overlap(rp, &unit.name, a, b) {
+                    // Past the budget: assume the pair overlaps rather
+                    // than spend more ops proving otherwise.
+                    if ops.charge(1).is_err() || static_overlap(rp, &unit.name, a, b) {
                         set.insert(key(a, b));
                     }
                 }
@@ -129,7 +142,15 @@ impl AliasInfo {
                             {
                                 continue;
                             }
-                            if all_sites_disjoint(rp, cg, &unit.name, i, j, &info.noalias_formals)
+                            if ops.charge(1).is_ok()
+                                && all_sites_disjoint(
+                                    rp,
+                                    cg,
+                                    &unit.name,
+                                    i,
+                                    j,
+                                    &info.noalias_formals,
+                                )
                             {
                                 info.noalias_formals
                                     .entry(unit.name.clone())
@@ -266,10 +287,7 @@ fn actuals_disjoint(
         // Both actuals are formals of the caller: disjoint when the
         // caller's own formal pair is already proven disjoint (fixpoint
         // chaining through wrapper layers).
-        (
-            Root::Formal { position: pi, .. },
-            Root::Formal { position: pj, .. },
-        ) => {
+        (Root::Formal { position: pi, .. }, Root::Formal { position: pj, .. }) => {
             let key = if pi <= pj { (*pi, *pj) } else { (*pj, *pi) };
             proven.get(caller).is_some_and(|s| s.contains(&key))
         }
@@ -293,8 +311,24 @@ mod tests {
     fn setup(src: &str, caps: Capabilities) -> (ResolvedProgram, AliasInfo) {
         let rp = frontend(src).expect("frontend");
         let cg = CallGraph::build(&rp);
-        let info = AliasInfo::build(&rp, &cg, caps);
+        let info = AliasInfo::build(&rp, &cg, caps, &OpCounter::unlimited());
         (rp, info)
+    }
+
+    #[test]
+    fn tripped_budget_assumes_aliasing() {
+        // With a spent budget the builder must stay conservative: every
+        // pair it could not afford to examine is assumed aliased.
+        let src = "PROGRAM P\nREAL A(10), B(10), C(10)\nEND\n";
+        let rp = frontend(src).expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let ops = OpCounter::with_budget(0);
+        let info = AliasInfo::build(&rp, &cg, Capabilities::polaris2008(), &ops);
+        assert!(ops.exceeded());
+        assert!(
+            info.may_alias(&rp, "P", "A", "C"),
+            "unexamined pair stays aliased"
+        );
     }
 
     #[test]
@@ -331,7 +365,10 @@ mod tests {
     fn formals_alias_in_baseline() {
         let src = "PROGRAM P\nREAL X(10), Y(10)\nCALL S(X, Y)\nEND\nSUBROUTINE S(A, B)\nREAL A(*), B(*)\nA(1) = B(1)\nEND\n";
         let (rp, base) = setup(src, Capabilities::polaris2008());
-        assert!(base.may_alias(&rp, "S", "A", "B"), "baseline assumes aliasing");
+        assert!(
+            base.may_alias(&rp, "S", "A", "B"),
+            "baseline assumes aliasing"
+        );
         let (rp2, full) = setup(src, Capabilities::full());
         assert!(
             !full.may_alias(&rp2, "S", "A", "B"),

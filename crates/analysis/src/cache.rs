@@ -54,6 +54,15 @@ pub struct ProgramFacts {
     /// resolve its [`apar_symbolic::VarId`]s against this map (or a
     /// further extension of it).
     pub sym: SymMap,
+    /// Symbolic ops the builds cost. A consuming loop charges this to
+    /// its own watchdog counter (at the driver's amortization discount)
+    /// so cache hits and misses bill identically — thread-invariance of
+    /// per-loop op accounting depends on it.
+    pub build_ops: u64,
+    /// The build's own op budget tripped before it finished: summaries
+    /// and alias facts degraded to their conservative forms. Sound to
+    /// use, but the driver reports dependent loops as `Complexity`.
+    pub budget_tripped: bool,
 }
 
 /// Memoizes `CallGraph::build` + `Summaries::build` + `AliasInfo::build`
@@ -66,6 +75,14 @@ pub struct AnalysisCache {
     map: Mutex<HashMap<u64, Arc<ProgramFacts>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Op budget for one build (`u64::MAX` = unlimited). A build that
+    /// trips it returns degraded facts which are NOT retained in the
+    /// map — the poisoned-entry guard.
+    build_budget: u64,
+    /// Builds rejected from the map: budget-tripped or panicked.
+    rejected: AtomicU64,
+    #[cfg(test)]
+    panic_on_build: std::sync::atomic::AtomicBool,
 }
 
 impl AnalysisCache {
@@ -79,7 +96,19 @@ impl AnalysisCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            build_budget: u64::MAX,
+            rejected: AtomicU64::new(0),
+            #[cfg(test)]
+            panic_on_build: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Caps the ops one build may spend. Pathological programs (a fuzzer
+    /// favorite: one unit with thousands of names) trip it and degrade
+    /// instead of stalling the compile.
+    pub fn with_build_budget(mut self, budget: u64) -> Self {
+        self.build_budget = budget;
+        self
     }
 
     /// Content fingerprint of a resolved program. Two programs with the
@@ -91,6 +120,12 @@ impl AnalysisCache {
     }
 
     /// Returns the facts for `rp`, building (and caching) on a miss.
+    ///
+    /// Poisoned-entry guard: a build that panics or trips the build
+    /// budget is never retained in the map. The panic is re-raised (the
+    /// driver's per-loop sandbox contains it); a budget-tripped build is
+    /// returned uncached so its degraded facts can serve exactly the
+    /// loop that asked, while later lookups get a fresh chance.
     pub fn facts(&self, rp: &ResolvedProgram) -> Arc<ProgramFacts> {
         let fp = Self::fingerprint(rp);
         if let Some(f) = self.lock().get(&fp) {
@@ -98,7 +133,22 @@ impl AnalysisCache {
             return Arc::clone(f);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(self.build(rp));
+        let built = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.build(rp)))
+        {
+            Ok(f) => f,
+            Err(payload) => {
+                // Nothing was inserted; record the rejection and let the
+                // per-loop sandbox upstairs turn the panic into a
+                // structured `InternalError` skip.
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                std::panic::resume_unwind(payload);
+            }
+        };
+        if built.budget_tripped {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(built);
+        }
+        let built = Arc::new(built);
         Arc::clone(self.lock().entry(fp).or_insert(built))
     }
 
@@ -111,23 +161,30 @@ impl AnalysisCache {
             "seeded facts must carry an extension of the base interner"
         );
         let fp = Self::fingerprint(rp);
-        Arc::clone(
-            self.lock()
-                .entry(fp)
-                .or_insert_with(|| Arc::new(facts)),
-        )
+        Arc::clone(self.lock().entry(fp).or_insert_with(|| Arc::new(facts)))
     }
 
     fn build(&self, rp: &ResolvedProgram) -> ProgramFacts {
+        #[cfg(test)]
+        if self.panic_on_build.load(Ordering::Relaxed) {
+            panic!("injected cache-build panic");
+        }
+        let ops = if self.build_budget == u64::MAX {
+            apar_symbolic::OpCounter::unlimited()
+        } else {
+            apar_symbolic::OpCounter::with_budget(self.build_budget)
+        };
         let mut sym = self.base_sym.clone();
         let cg = CallGraph::build(rp);
-        let summaries = Summaries::build(rp, &cg, &mut sym, self.caps);
-        let alias = AliasInfo::build(rp, &cg, self.caps);
+        let summaries = Summaries::build(rp, &cg, &mut sym, self.caps, &ops);
+        let alias = AliasInfo::build(rp, &cg, self.caps, &ops);
         ProgramFacts {
             cg,
             summaries,
             alias,
             sym,
+            build_ops: ops.spent(),
+            budget_tripped: ops.exceeded(),
         }
     }
 
@@ -143,6 +200,11 @@ impl AnalysisCache {
     /// Lookups that had to build.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Builds rejected from the map (budget-tripped or panicked).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// Distinct programs cached.
@@ -198,12 +260,58 @@ mod tests {
         let mut base = SymMap::new();
         base.interner.intern("PRELUDE::X");
         let base_clone = base.clone();
-        let p = rp(
-            "PROGRAM P\nCOMMON /C/ N\nCALL S\nEND\nSUBROUTINE S\nCOMMON /C/ M\nM = 1\nEND\n",
-        );
+        let p =
+            rp("PROGRAM P\nCOMMON /C/ N\nCALL S\nEND\nSUBROUTINE S\nCOMMON /C/ M\nM = 1\nEND\n");
         let cache = AnalysisCache::new(Capabilities::polaris2008(), base);
         let f = cache.facts(&p);
         assert!(base_clone.interner.is_prefix_of(&f.sym.interner));
+    }
+
+    #[test]
+    fn budget_tripped_build_is_not_retained() {
+        let p = rp(
+            "PROGRAM P\nCOMMON /C/ K\nK = 1\nCALL S\nEND\nSUBROUTINE S\nCOMMON /C/ M\nM = 2\nEND\n",
+        );
+        let cache =
+            AnalysisCache::new(Capabilities::polaris2008(), SymMap::new()).with_build_budget(1);
+        let f1 = cache.facts(&p);
+        assert!(f1.budget_tripped, "tiny budget must trip");
+        assert_eq!(cache.len(), 0, "tripped build must not be cached");
+        assert_eq!(cache.rejected(), 1);
+        // A later lookup does not see the poisoned entry: it rebuilds.
+        let f2 = cache.facts(&p);
+        assert!(!Arc::ptr_eq(&f1, &f2));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn panicked_build_is_not_retained_and_rethrows() {
+        let p = rp("PROGRAM P\nX = 1.0\nEND\n");
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new());
+        cache.panic_on_build.store(true, Ordering::Relaxed);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.facts(&p)));
+        assert!(r.is_err(), "panic must propagate to the sandbox");
+        assert_eq!(cache.len(), 0, "panicked build must not be cached");
+        assert_eq!(cache.rejected(), 1);
+        // The cache recovers: with the fault cleared, the same program
+        // builds and caches normally.
+        cache.panic_on_build.store(false, Ordering::Relaxed);
+        let f = cache.facts(&p);
+        assert!(!f.budget_tripped);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn build_ops_are_deterministic_across_hit_and_miss() {
+        let p = rp(
+            "PROGRAM P\nCOMMON /C/ K\nK = 1\nCALL S\nEND\nSUBROUTINE S\nCOMMON /C/ M\nM = 2\nEND\n",
+        );
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new());
+        let a = cache.facts(&p); // miss: builds
+        let b = cache.facts(&p); // hit: same entry
+        assert!(a.build_ops > 0);
+        assert_eq!(a.build_ops, b.build_ops);
     }
 
     #[test]
@@ -212,7 +320,10 @@ mod tests {
         let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new());
         let facts: Vec<Arc<ProgramFacts>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4).map(|_| s.spawn(|| cache.facts(&p))).collect();
-            handles.into_iter().map(|h| h.join().expect("join")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .collect()
         });
         // All threads observe the same entry object after the race.
         let canonical = cache.facts(&p);

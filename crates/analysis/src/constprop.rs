@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use apar_minifort::ast::{Expr as Ast, StmtKind};
 use apar_minifort::{ResolvedProgram, Ty};
-use apar_symbolic::Expr;
+use apar_symbolic::{Expr, OpCounter};
 
 use crate::callgraph::CallGraph;
 use crate::ranges::{analyze_unit, ScalarState, UnitRanges};
@@ -65,7 +65,17 @@ pub fn propagate(
             Some(sites) => intersect_sites(rp, &unit_name, sym, sites, &mut out),
         };
         out.seeds.insert(unit_name.clone(), seed.clone());
-        let ur = analyze_unit(rp, &unit_name, sym, caps, summaries, &seed);
+        // Prelude pass: whole-program, runs once, not under a per-loop
+        // budget — only the per-loop range *re*-analyses are.
+        let ur = analyze_unit(
+            rp,
+            &unit_name,
+            sym,
+            caps,
+            summaries,
+            &seed,
+            &OpCounter::unlimited(),
+        );
         // Harvest call-site states.
         unit.body.walk_stmts(&mut |s| {
             if let StmtKind::Call { name, args } = &s.kind {
@@ -135,8 +145,7 @@ fn intersect_sites(
             if let Some(k) = val {
                 let fid = sym.var(rp, callee, formal);
                 seed.values.insert(fid, Expr::int(k));
-                seed.env
-                    .set(fid, apar_symbolic::Range::exact(Expr::int(k)));
+                seed.env.set(fid, apar_symbolic::Range::exact(Expr::int(k)));
                 out.formal_constants += 1;
                 continue;
             }
@@ -147,9 +156,7 @@ fn intersect_sites(
         let mut ok = true;
         for (args, st) in &sites {
             let r = match args.get(pos) {
-                Some(Ast::Int(k)) => {
-                    apar_symbolic::Range::exact(Expr::int(*k))
-                }
+                Some(Ast::Int(k)) => apar_symbolic::Range::exact(Expr::int(*k)),
                 Some(Ast::Name(n)) => match lookup_range(rp, sym, st, n) {
                     Some(r) => r,
                     None => {
@@ -308,7 +315,7 @@ mod tests {
         let rp = frontend(src).expect("frontend");
         let cg = CallGraph::build(&rp);
         let mut sym = SymMap::new();
-        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps, &OpCounter::unlimited());
         let cp = propagate(&rp, &cg, &mut sym, caps, &summaries);
         (rp, cp, sym)
     }

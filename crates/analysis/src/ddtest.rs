@@ -345,7 +345,11 @@ fn call_windows(
         if !reads && !writes {
             continue;
         }
-        let kind = if writes { AccessKind::Write } else { AccessKind::Read };
+        let kind = if writes {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         match arg {
             Ast::Name(n) => {
                 // Whole-array access every iteration.
@@ -563,12 +567,28 @@ impl PairTester<'_> {
         }
         let state = ScalarState::default();
         let mut f = ExprFeatures::default();
-        let oa = linearize(self.rp, self.unit, sym, &a.array, &a.ast_subs, &state, &mut f)
-            .ok_or(Hindrance::AccessRepresentation)?
-            .add(Expr::int(la.offset));
-        let ob = linearize(self.rp, self.unit, sym, &b.array, &b.ast_subs, &state, &mut f)
-            .ok_or(Hindrance::AccessRepresentation)?
-            .add(Expr::int(lb.offset));
+        let oa = linearize(
+            self.rp,
+            self.unit,
+            sym,
+            &a.array,
+            &a.ast_subs,
+            &state,
+            &mut f,
+        )
+        .ok_or(Hindrance::AccessRepresentation)?
+        .add(Expr::int(la.offset));
+        let ob = linearize(
+            self.rp,
+            self.unit,
+            sym,
+            &b.array,
+            &b.ast_subs,
+            &state,
+            &mut f,
+        )
+        .ok_or(Hindrance::AccessRepresentation)?
+        .add(Expr::int(lb.offset));
         if f.indirection {
             return Err(Hindrance::Indirection);
         }
@@ -599,13 +619,20 @@ impl PairTester<'_> {
             .ok_or(Hindrance::AccessRepresentation)?;
         let state = ScalarState::default();
         let mut f = ExprFeatures::default();
-        let elem = linearize(self.rp, self.unit, sym, &a.array, &a.ast_subs, &state, &mut f)
-            .ok_or(Hindrance::AccessRepresentation)?;
+        let elem = linearize(
+            self.rp,
+            self.unit,
+            sym,
+            &a.array,
+            &a.ast_subs,
+            &state,
+            &mut f,
+        )
+        .ok_or(Hindrance::AccessRepresentation)?;
         let elem_p = prime(&elem, self.primed);
         let hi_edge = w.base.add(width);
-        let sep = self.both_directions(|p| {
-            p.prove_lt(&elem_p, &w.base) || p.prove_ge(&elem_p, &hi_edge)
-        });
+        let sep =
+            self.both_directions(|p| p.prove_lt(&elem_p, &w.base) || p.prove_ge(&elem_p, &hi_edge));
         if sep {
             Ok(true)
         } else if self.ops.exceeded() {
@@ -625,9 +652,7 @@ impl PairTester<'_> {
         let b2 = prime(&w2.base, self.primed);
         let w2_hi = b2.add(prime(&width2, self.primed));
         let w1_hi = w1.base.add(width1);
-        let sep = self.both_directions(|p| {
-            p.prove_le(&w1_hi, &b2) || p.prove_le(&w2_hi, &w1.base)
-        });
+        let sep = self.both_directions(|p| p.prove_le(&w1_hi, &b2) || p.prove_le(&w2_hi, &w1.base));
         if sep {
             Ok(true)
         } else if self.ops.exceeded() {
@@ -680,7 +705,11 @@ impl PairTester<'_> {
         }
         if !mentions(d1, self.iv) && !mentions(d2, self.ivp) {
             let p = Prover::new(self.env, self.ops);
-            return if p.prove_ne(d1, d2) { Ok(true) } else { Err(()) };
+            return if p.prove_ne(d1, d2) {
+                Ok(true)
+            } else {
+                Err(())
+            };
         }
         if self.both_directions(|p| p.prove_ne(d1, d2)) {
             Ok(true)
@@ -765,8 +794,9 @@ mod tests {
         let rp = frontend(src).expect("frontend");
         let cg = CallGraph::build(&rp);
         let mut sym = SymMap::new();
-        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
-        let alias = AliasInfo::build(&rp, &cg, caps);
+        let unlimited = OpCounter::unlimited();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps, &unlimited);
+        let alias = AliasInfo::build(&rp, &cg, caps, &unlimited);
         for unit in rp.unit_names() {
             let unit = unit.to_string();
             let ur = ranges::analyze_unit(
@@ -776,6 +806,7 @@ mod tests {
                 caps,
                 &summaries,
                 &ranges::ScalarState::default(),
+                &unlimited,
             );
             let mut found = None;
             rp.unit(&unit).unwrap().body.walk_stmts(&mut |s| {
@@ -882,7 +913,9 @@ mod tests {
         let base = run(src, Capabilities::polaris2008());
         assert!(!base.independent);
         assert!(
-            base.dependences.iter().any(|d| d.why == Hindrance::Rangeless),
+            base.dependences
+                .iter()
+                .any(|d| d.why == Hindrance::Rangeless),
             "{:?}",
             base.dependences
         );
@@ -928,7 +961,10 @@ mod tests {
     fn aliased_formals_block_baseline() {
         let src = "PROGRAM P\nREAL X(100), Y(100)\nCALL S(X, Y)\nEND\nSUBROUTINE S(A, B)\nREAL A(100), B(100)\n!$TARGET T\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nEND\n";
         let base = run(src, Capabilities::polaris2008());
-        assert!(base.dependences.iter().any(|d| d.why == Hindrance::Aliasing));
+        assert!(base
+            .dependences
+            .iter()
+            .any(|d| d.why == Hindrance::Aliasing));
         let full = run(src, Capabilities::full());
         assert!(full.independent, "{:?}", full.dependences);
     }
@@ -986,7 +1022,10 @@ mod tests {
         // reshaped-access reports a real dependence.
         let src = "PROGRAM P\nREAL A(100), B(100)\nEQUIVALENCE (A(5), B(1))\n!$TARGET T\nDO I = 1, 50\nA(I) = B(I) + 1.0\nENDDO\nEND\n";
         let base = run(src, Capabilities::polaris2008());
-        assert!(base.dependences.iter().any(|d| d.why == Hindrance::Aliasing));
+        assert!(base
+            .dependences
+            .iter()
+            .any(|d| d.why == Hindrance::Aliasing));
         let full = run(src, Capabilities::full());
         assert!(!full.independent);
         assert!(full.dependences.iter().any(|d| d.why == Hindrance::Real));

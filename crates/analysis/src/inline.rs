@@ -20,6 +20,7 @@ use apar_minifort::{Lang, Program, ResolvedProgram};
 
 use crate::callgraph::CallGraph;
 use crate::Capabilities;
+use apar_symbolic::OpCounter;
 
 /// Why a call could not be inlined.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -90,9 +91,14 @@ pub fn inline_call(
     }
 
     // Build the renaming for callee names: formals map to actuals,
-    // everything else gets a fresh caller-unique name.
-    let callee_table = &rp.tables[&callee_name];
-    let caller_table = &rp.tables[caller];
+    // everything else gets a fresh caller-unique name. A resolved
+    // program normally has a table per unit, but a recovering frontend
+    // may have dropped one — refuse rather than panic on the index.
+    let callee_table = rp
+        .tables
+        .get(&callee_name)
+        .ok_or(InlineFail::UnknownCallee)?;
+    let caller_table = rp.tables.get(caller).ok_or(InlineFail::NoSuchCall)?;
     let mut rename: HashMap<String, Ast> = HashMap::new();
     let mut pre_stmts: Vec<(String, Ast)> = Vec::new(); // temp assignments
     for (formal, actual) in callee.formals.iter().zip(args.iter()) {
@@ -109,10 +115,7 @@ pub fn inline_call(
                     }
                     if fs.rank() >= 2 {
                         for k in 0..fs.rank() - 1 {
-                            let fd = fs.dims[k]
-                                .hi
-                                .as_ref()
-                                .map(|e| rename_expr(e, &rename));
+                            let fd = fs.dims[k].hi.as_ref().map(|e| rename_expr(e, &rename));
                             let ad = as_.dims[k].hi.clone();
                             let fc = fd.as_ref().and_then(apar_minifort::symtab::as_const_int);
                             let ac = ad.as_ref().and_then(apar_minifort::symtab::as_const_int);
@@ -131,7 +134,7 @@ pub fn inline_call(
             Ast::Index { .. } => return Err(InlineFail::SectionActual),
             value => {
                 // Scalar expression actual: bind through a temporary.
-                let tmp = fresh_name(caller_table, &format!("{}ZT", &formal[..1]));
+                let tmp = fresh_name(caller_table, &format!("{}ZT", initial(formal)));
                 pre_stmts.push((tmp.clone(), value.clone()));
                 rename.insert(formal.clone(), Ast::Name(tmp));
             }
@@ -146,7 +149,10 @@ pub fn inline_call(
             (SymbolKind::Scalar | SymbolKind::Array(_), Storage::Local { .. })
             | (SymbolKind::Scalar | SymbolKind::Array(_), Storage::Common { .. })
             | (SymbolKind::Param(_), _) => {
-                let fresh = fresh_name(caller_table, &format!("{}Z{}", &sym.name[..1], sym.name.len()));
+                let fresh = fresh_name(
+                    caller_table,
+                    &format!("{}Z{}", initial(&sym.name), sym.name.len()),
+                );
                 fresh_decls.push((sym.name.clone(), fresh.clone()));
                 rename.insert(sym.name.clone(), Ast::Name(fresh));
             }
@@ -162,10 +168,7 @@ pub fn inline_call(
     let mut spliced = 0usize;
     renumber_and_rename(&mut body, &rename, next_id, &mut spliced);
     // Drop a trailing RETURN.
-    if matches!(
-        body.stmts.last().map(|s| &s.kind),
-        Some(StmtKind::Return)
-    ) {
+    if matches!(body.stmts.last().map(|s| &s.kind), Some(StmtKind::Return)) {
         body.stmts.pop();
     }
 
@@ -209,7 +212,10 @@ pub fn inline_call(
 
 /// Inlines every inlinable call inside a loop body, repeatedly, up to
 /// `max_depth` levels and `max_stmts` spliced statements. Returns the
-/// failures encountered (calls left in place).
+/// failures encountered (calls left in place). Work is billed to `ops`
+/// (four per spliced statement, one per call site considered); a
+/// tripped budget ends expansion after the current round — the pipeline
+/// watchdog classifies the loop `Complexity` from the latched counter.
 ///
 /// A callee that ends up *fully inlined away* — every one of its call
 /// sites expanded and no remaining CALL or function reference anywhere
@@ -226,12 +232,16 @@ pub fn inline_calls_in_loop(
     loop_stmt: StmtId,
     max_depth: usize,
     max_stmts: usize,
+    ops: &OpCounter,
 ) -> (usize, Vec<(String, InlineFail)>) {
     let mut failures = Vec::new();
     let mut inlined = 0usize;
     let mut spliced_total = 0usize;
     let mut inlined_names: std::collections::HashSet<String> = Default::default();
     for _ in 0..max_depth {
+        if ops.exceeded() {
+            break;
+        }
         // Collect calls inside the loop body.
         let mut calls: Vec<(StmtId, String)> = Vec::new();
         if let Some(u) = prog.unit(unit) {
@@ -252,10 +262,12 @@ pub fn inline_calls_in_loop(
         }
         let mut progressed = false;
         for (sid, name) in calls {
+            let _ = ops.charge(1);
             match inline_call(prog, rp, cg, caps, unit, sid) {
                 Ok(ok) => {
                     inlined += 1;
                     spliced_total += ok.spliced_stmts;
+                    let _ = ops.charge(ok.spliced_stmts as u64 * 4);
                     inlined_names.insert(name);
                     progressed = true;
                 }
@@ -274,9 +286,7 @@ pub fn inline_calls_in_loop(
     if !inlined_names.is_empty() {
         let refs = referenced_units(prog);
         prog.units.retain(|u| {
-            u.kind == UnitKind::Main
-                || !inlined_names.contains(&u.name)
-                || refs.contains(&u.name)
+            u.kind == UnitKind::Main || !inlined_names.contains(&u.name) || refs.contains(&u.name)
         });
     }
     (inlined, failures)
@@ -342,10 +352,9 @@ fn has_mid_body_return(b: &Block) -> bool {
                     }
                 }
             }
-            StmtKind::Do { body, .. } | StmtKind::DoWhile { body, .. }
-                if contains_return(body) => {
-                    found = true;
-                }
+            StmtKind::Do { body, .. } | StmtKind::DoWhile { body, .. } if contains_return(body) => {
+                found = true;
+            }
             _ => {}
         }
     }
@@ -370,6 +379,13 @@ fn contains_return(b: &Block) -> bool {
         }
     });
     f
+}
+
+/// First character of a name as a slice, without panicking on empty or
+/// non-ASCII-boundary names (a mutated source can smuggle either past
+/// the recovering frontend).
+fn initial(name: &str) -> &str {
+    name.char_indices().nth(1).map_or(name, |(i, _)| &name[..i])
 }
 
 fn fresh_name(table: &apar_minifort::SymbolTable, base: &str) -> String {
@@ -630,7 +646,8 @@ mod tests {
     fn locals_are_renamed() {
         let out = inline_first_call(
             "PROGRAM P\nT = 1.0\nCALL F\nEND\nSUBROUTINE F\nT = 2.0\nEND\n",
-        Capabilities::polaris2008())
+            Capabilities::polaris2008(),
+        )
         .expect("inline");
         // The callee's T must not collide with the caller's T.
         assert!(out.contains("TZ1"), "{}", out);
@@ -656,7 +673,10 @@ mod tests {
             .expect("renamed R");
         assert_eq!(
             renamed_r.storage,
-            apar_minifort::Storage::Common { block: "C".into(), offset: 10 }
+            apar_minifort::Storage::Common {
+                block: "C".into(),
+                offset: 10
+            }
         );
     }
 
@@ -723,6 +743,7 @@ mod tests {
             loop_id.unwrap(),
             3,
             10_000,
+            &OpCounter::unlimited(),
         );
         assert_eq!(inlined, 1);
         assert!(failures.is_empty());
@@ -760,6 +781,7 @@ mod tests {
             loop_id.unwrap(),
             3,
             10_000,
+            &OpCounter::unlimited(),
         );
         assert_eq!(inlined, 1);
         assert!(failures.is_empty());
@@ -791,6 +813,7 @@ mod tests {
             loop_id.unwrap(),
             3,
             10_000,
+            &OpCounter::unlimited(),
         );
         // Only units this expansion inlined are candidates for removal:
         // dead-on-arrival units stay (their COMMON declarations may

@@ -96,7 +96,11 @@ pub fn analyze(
     written.sort_unstable();
     written.dedup();
     // Inner loop variables are trivially private (their DO writes first).
-    let inner_vars: HashSet<&str> = la.inner_loops.iter().map(|(_, v, _, _)| v.as_str()).collect();
+    let inner_vars: HashSet<&str> = la
+        .inner_loops
+        .iter()
+        .map(|(_, v, _, _)| v.as_str())
+        .collect();
     for name in written {
         if inner_vars.contains(name) {
             out.private_scalars.push(name.to_string());
@@ -280,16 +284,16 @@ fn stmt_first_refs(s: &Stmt, guard: usize, first: &mut HashMap<String, FirstRef>
     let read = |e: &Ast, first: &mut HashMap<String, FirstRef>, guard: usize| {
         e.walk(&mut |x| {
             if let Ast::Name(n) = x {
-                first.entry(n.clone()).or_insert(FirstRef::Read {
-                    guarded: guard > 0,
-                });
+                first
+                    .entry(n.clone())
+                    .or_insert(FirstRef::Read { guarded: guard > 0 });
             }
         });
     };
     let write = |n: &str, first: &mut HashMap<String, FirstRef>, guard: usize| {
-        first.entry(n.to_string()).or_insert(FirstRef::Write {
-            guarded: guard > 0,
-        });
+        first
+            .entry(n.to_string())
+            .or_insert(FirstRef::Write { guarded: guard > 0 });
     };
     match &s.kind {
         StmtKind::Assign { lhs, rhs } => {
@@ -314,7 +318,12 @@ fn stmt_first_refs(s: &Stmt, guard: usize, first: &mut HashMap<String, FirstRef>
             }
         }
         StmtKind::Do {
-            var, lo, hi, step, body, ..
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
         } => {
             read(lo, first, guard);
             read(hi, first, guard);
@@ -386,9 +395,7 @@ fn names_outside_loop(unit: &Unit, loop_stmt: StmtId) -> HashSet<String> {
                 record(rhs);
             }
             StmtKind::Call { args, .. } => args.iter().for_each(record),
-            StmtKind::Read { items } | StmtKind::Write { items } => {
-                items.iter().for_each(record)
-            }
+            StmtKind::Read { items } | StmtKind::Write { items } => items.iter().for_each(record),
             StmtKind::If { arms, .. } => arms.iter().for_each(|(c, _)| record(c)),
             StmtKind::Do { lo, hi, .. } => {
                 record(lo);
@@ -415,7 +422,8 @@ mod tests {
         let unit = rp.main_unit().expect("main").clone();
         let cg = CallGraph::build(&rp);
         let mut sym = SymMap::new();
-        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
+        let ops = OpCounter::unlimited();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps, &ops);
         let ur = ranges::analyze_unit(
             &rp,
             &unit.name,
@@ -423,6 +431,7 @@ mod tests {
             caps,
             &summaries,
             &ranges::ScalarState::default(),
+            &ops,
         );
         let mut found = None;
         unit.body.walk_stmts(&mut |s| {
@@ -435,8 +444,9 @@ mod tests {
         let (sid, var, body) = found.expect("loop");
         let state = ur.at_loop.get(&sid).cloned().unwrap_or_default();
         let la = access::collect(&rp, &unit.name, &body, &mut sym, &state);
-        let ops = OpCounter::unlimited();
-        analyze(&rp, &unit, sid, &body, &var, &la, &state, &mut sym, caps, &ops)
+        analyze(
+            &rp, &unit, sid, &body, &var, &la, &state, &mut sym, caps, &ops,
+        )
     }
 
     #[test]

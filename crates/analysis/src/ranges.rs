@@ -16,7 +16,7 @@ use std::collections::{HashMap, HashSet};
 
 use apar_minifort::ast::{BinOp, Block, Expr as Ast, StmtKind, UnOp};
 use apar_minifort::{ResolvedProgram, StmtId, Ty};
-use apar_symbolic::{AssumeEnv, Expr, Range, VarId};
+use apar_symbolic::{AssumeEnv, Expr, OpCounter, Range, VarId};
 
 use crate::summary::Summaries;
 use crate::symx::{ExprFeatures, SymMap};
@@ -102,7 +102,10 @@ pub struct UnitRanges {
 }
 
 /// Analyzes a unit starting from `seed` facts (e.g. interprocedural
-/// constants).
+/// constants). Work is billed to `ops` (one op per statement, plus the
+/// body-kill scans); when the budget trips the walk stops — loops not
+/// yet reached get no `at_loop` state, i.e. they become rangeless,
+/// which the pipeline watchdog reports as `Complexity`.
 pub fn analyze_unit(
     rp: &ResolvedProgram,
     unit_name: &str,
@@ -110,6 +113,7 @@ pub fn analyze_unit(
     caps: Capabilities,
     summaries: &Summaries,
     seed: &ScalarState,
+    ops: &OpCounter,
 ) -> UnitRanges {
     let Some(unit) = rp.unit(unit_name) else {
         return UnitRanges::default();
@@ -128,6 +132,7 @@ pub fn analyze_unit(
         summaries,
         out: &mut out,
         has_goto,
+        ops,
     };
     let mut state = seed.clone();
     w.block(&unit.body, &mut state);
@@ -160,6 +165,7 @@ struct Walker<'a> {
     summaries: &'a Summaries,
     out: &'a mut UnitRanges,
     has_goto: bool,
+    ops: &'a OpCounter,
 }
 
 impl Walker<'_> {
@@ -176,6 +182,11 @@ impl Walker<'_> {
 
     fn block(&mut self, b: &Block, state: &mut ScalarState) {
         for s in &b.stmts {
+            // Watchdog: a tripped budget ends the walk; unreached loops
+            // simply stay rangeless.
+            if self.ops.charge(1).is_err() {
+                return;
+            }
             if self.has_goto && s.label.is_some() {
                 // A label may be reached by arbitrary GOTOs: drop facts.
                 state.clear();
@@ -458,10 +469,7 @@ impl Walker<'_> {
                         _ => None,
                     };
                     if let Some(nop) = negated {
-                        self.refine_with_cond(
-                            &Ast::Bin(nop, l.clone(), r.clone()),
-                            state,
-                        );
+                        self.refine_with_cond(&Ast::Bin(nop, l.clone(), r.clone()), state);
                     }
                 }
             }
@@ -501,9 +509,7 @@ impl Walker<'_> {
             return;
         }
         match op {
-            BinOp::Lt => state
-                .env
-                .assume(v, Range::at_most(bound.sub(Expr::int(1)))),
+            BinOp::Lt => state.env.assume(v, Range::at_most(bound.sub(Expr::int(1)))),
             BinOp::Le => state.env.assume(v, Range::at_most(bound.clone())),
             BinOp::Gt => state
                 .env
@@ -533,8 +539,17 @@ mod tests {
         let rp = frontend(src).expect("frontend");
         let cg = CallGraph::build(&rp);
         let mut sym = SymMap::new();
-        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
-        let ur = analyze_unit(&rp, unit, &mut sym, caps, &summaries, &ScalarState::default());
+        let ops = OpCounter::unlimited();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps, &ops);
+        let ur = analyze_unit(
+            &rp,
+            unit,
+            &mut sym,
+            caps,
+            &summaries,
+            &ScalarState::default(),
+            &ops,
+        );
         T { rp, sym, ur, unit }
     }
 

@@ -22,7 +22,7 @@ use apar_minifort::{Lang, ResolvedProgram};
 use crate::callgraph::CallGraph;
 use crate::symx::SymMap;
 use crate::Capabilities;
-use apar_symbolic::VarId;
+use apar_symbolic::{OpCounter, VarId};
 
 /// Side effects of calling one unit.
 #[derive(Clone, Debug, Default)]
@@ -56,16 +56,27 @@ pub struct Summaries {
 
 impl Summaries {
     /// Builds summaries bottom-up. Unknown callees (true externals) are
-    /// opaque.
+    /// opaque. Work is billed to `ops` (one op per statement visited);
+    /// when the counter's budget trips, remaining units are summarized
+    /// as opaque — a sound degradation the pipeline watchdog turns into
+    /// a `Complexity` classification for the loops that needed them.
     pub fn build(
         rp: &ResolvedProgram,
         cg: &CallGraph,
         sym: &mut SymMap,
         caps: Capabilities,
+        ops: &OpCounter,
     ) -> Summaries {
         let mut out = Summaries::default();
         for uname in cg.bottom_up() {
-            let eff = summarize_unit(rp, cg, sym, caps, &uname, &out);
+            let eff = if ops.exceeded() {
+                UnitEffects {
+                    opaque: true,
+                    ..Default::default()
+                }
+            } else {
+                summarize_unit(rp, cg, sym, caps, &uname, &out, ops)
+            };
             out.effects.insert(uname, eff);
         }
         out
@@ -87,6 +98,7 @@ fn summarize_unit(
     caps: Capabilities,
     uname: &str,
     done: &Summaries,
+    ops: &OpCounter,
 ) -> UnitEffects {
     let Some(unit) = rp.unit(uname) else {
         return UnitEffects {
@@ -149,42 +161,46 @@ fn summarize_unit(
     };
 
     // Intra-unit effects.
-    unit.body.walk_stmts(&mut |s| match &s.kind {
-        StmtKind::Assign { lhs, rhs } => {
-            if let Some(n) = lhs.lvalue_name() {
-                record_write(&mut eff, sym, n);
-            }
-            rhs.walk(&mut |e| {
-                if let Expr::Index { name, .. } | Expr::Name(name) = e {
-                    record_read(&mut eff, name);
-                }
-            });
-        }
-        StmtKind::Read { items } => {
-            eff.does_input = true;
-            for it in items {
-                if let Some(n) = it.lvalue_name() {
+    unit.body.walk_stmts(&mut |s| {
+        let _ = ops.charge(1);
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                if let Some(n) = lhs.lvalue_name() {
                     record_write(&mut eff, sym, n);
                 }
-            }
-        }
-        StmtKind::Write { items } => {
-            for it in items {
-                it.walk(&mut |e| {
+                rhs.walk(&mut |e| {
                     if let Expr::Index { name, .. } | Expr::Name(name) = e {
                         record_read(&mut eff, name);
                     }
                 });
             }
+            StmtKind::Read { items } => {
+                eff.does_input = true;
+                for it in items {
+                    if let Some(n) = it.lvalue_name() {
+                        record_write(&mut eff, sym, n);
+                    }
+                }
+            }
+            StmtKind::Write { items } => {
+                for it in items {
+                    it.walk(&mut |e| {
+                        if let Expr::Index { name, .. } | Expr::Name(name) = e {
+                            record_read(&mut eff, name);
+                        }
+                    });
+                }
+            }
+            StmtKind::Do { var, .. } => {
+                record_write(&mut eff, sym, var);
+            }
+            _ => {}
         }
-        StmtKind::Do { var, .. } => {
-            record_write(&mut eff, sym, var);
-        }
-        _ => {}
     });
 
     // Propagate callee effects through call sites.
     unit.body.walk_stmts(&mut |s| {
+        let _ = ops.charge(1);
         if let StmtKind::Call { name, args } = &s.kind {
             let callee = done.of(name);
             if callee.opaque {
@@ -230,8 +246,28 @@ mod tests {
         let rp = frontend(src).expect("frontend");
         let cg = CallGraph::build(&rp);
         let mut sym = SymMap::new();
-        let s = Summaries::build(&rp, &cg, &mut sym, caps);
+        let s = Summaries::build(&rp, &cg, &mut sym, caps, &OpCounter::unlimited());
         (rp, s, sym)
+    }
+
+    #[test]
+    fn tripped_budget_degrades_to_opaque_not_panic() {
+        let rp = frontend(
+            "PROGRAM P\nCOMMON /C/ K\nK = 1\nCALL S\nEND\nSUBROUTINE S\nCOMMON /C/ M\nM = 2\nEND\n",
+        )
+        .expect("frontend");
+        let cg = CallGraph::build(&rp);
+        let mut sym = SymMap::new();
+        let ops = OpCounter::with_budget(1);
+        let s = Summaries::build(&rp, &cg, &mut sym, caps_all(), &ops);
+        assert!(ops.exceeded());
+        // Units summarized after the trip degrade to opaque — sound,
+        // deterministic, and never a panic.
+        assert!(s.effects.values().any(|e| e.opaque));
+    }
+
+    fn caps_all() -> Capabilities {
+        Capabilities::full()
     }
 
     #[test]
@@ -259,16 +295,15 @@ mod tests {
         );
         let outer = s.of("OUTER");
         assert!(outer.written_array_formals.contains(&0));
-        assert!(outer
-            .modified_commons
-            .contains(&sym.var(&rp, "INNER", "K")));
+        assert!(outer.modified_commons.contains(&sym.var(&rp, "INNER", "K")));
         let p = s.of("P");
         assert!(!p.opaque);
     }
 
     #[test]
     fn c_units_are_opaque_in_baseline() {
-        let src = "PROGRAM P\nCALL CPROC\nEND\n!LANG C\nSUBROUTINE CPROC\nCOMMON /C/ K\nK = 1\nEND\n";
+        let src =
+            "PROGRAM P\nCALL CPROC\nEND\n!LANG C\nSUBROUTINE CPROC\nCOMMON /C/ K\nK = 1\nEND\n";
         let (_, s, _) = build(src, Capabilities::polaris2008());
         assert!(s.of("CPROC").opaque);
         assert!(s.of("P").opaque, "opacity propagates to callers");
@@ -279,10 +314,7 @@ mod tests {
 
     #[test]
     fn unknown_externals_are_opaque() {
-        let (_, s, _) = build(
-            "PROGRAM P\nCALL MYSTERY(X)\nEND\n",
-            Capabilities::full(),
-        );
+        let (_, s, _) = build("PROGRAM P\nCALL MYSTERY(X)\nEND\n", Capabilities::full());
         assert!(s.of("P").opaque);
     }
 

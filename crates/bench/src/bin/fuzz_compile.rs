@@ -1,0 +1,28 @@
+//! Compile fuzzer driver: no-panic + thread-invariant reports over a
+//! fixed-seed corpus (generated MiniFort, garbled MiniFort, and
+//! mutated suite sources).
+//!
+//! Usage: `fuzz_compile [COUNT] [THREADS]` (defaults: 500, 4). Writes
+//! minimized crashers to `target/fuzz/crasher_<case>.f` and exits
+//! nonzero if any case panicked or diverged across thread counts.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let report = apar_bench::fuzz::run(count, threads);
+    print!("{}", apar_bench::fuzz::render(&report));
+
+    if !report.crashers.is_empty() {
+        let dir = std::path::Path::new("target/fuzz");
+        std::fs::create_dir_all(dir).expect("create target/fuzz");
+        for c in &report.crashers {
+            let path = dir.join(format!("crasher_{}.f", c.case));
+            std::fs::write(&path, &c.minimized).expect("write crasher");
+            eprintln!("minimized crasher written to {}", path.display());
+        }
+        std::process::exit(1);
+    }
+    println!("ok: {} cases, zero crashers", report.cases);
+}

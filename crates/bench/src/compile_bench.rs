@@ -30,8 +30,16 @@ pub struct CompileBenchRow {
     pub speedup: f64,
     pub serial_ops: u64,
     pub parallel_ops: u64,
+    /// Loops the panic sandbox degraded (should be 0 on clean suites).
+    pub panicked_loops: usize,
+    /// Loops the op-budget watchdog abandoned as `Complexity`.
+    pub budget_tripped_loops: usize,
+    /// Units the recovering frontend dropped with diagnostics (0 when
+    /// compiled strictly, as this benchmark does).
+    pub diag_units: usize,
     /// True when the serial and parallel reports are bit-identical
-    /// (everything except wall seconds).
+    /// (everything except wall seconds) — including the containment
+    /// counters above.
     pub identical: bool,
 }
 
@@ -47,7 +55,13 @@ pub fn report_signature(r: &CompileResult) -> String {
     for l in &r.loops {
         s.push_str(&format!(
             "{}:{:?}:{:?}:{}:{}:{}:{};",
-            l.unit, l.stmt, l.classification, l.parallelized, l.speculative, l.pairs_tested, l.ops_spent
+            l.unit,
+            l.stmt,
+            l.classification,
+            l.parallelized,
+            l.speculative,
+            l.pairs_tested,
+            l.ops_spent
         ));
     }
     for (c, n) in r.target_histogram() {
@@ -56,6 +70,16 @@ pub fn report_signature(r: &CompileResult) -> String {
     for sk in &r.report.skipped {
         s.push_str(&format!("skip:{}:{:?}:{:?};", sk.unit, sk.stmt, sk.reason));
     }
+    // Containment counters: a panic or budget trip that fires at one
+    // thread count but not another is a determinism bug the identity
+    // verdict must catch.
+    s.push_str(&format!(
+        "panicked={};tripped={};diags={};dropped={};",
+        r.report.panicked_loops(),
+        r.budget_tripped_loops(),
+        r.report.diags.len(),
+        r.report.dropped_units.len()
+    ));
     s
 }
 
@@ -89,6 +113,9 @@ fn measure_one(app: &str, src: &str, threads: usize, repeats: usize) -> CompileB
         speedup: serial_s / parallel_s.max(f64::MIN_POSITIVE),
         serial_ops: sr.report.total_ops(),
         parallel_ops: pr.report.total_ops(),
+        panicked_loops: sr.report.panicked_loops(),
+        budget_tripped_loops: sr.budget_tripped_loops(),
+        diag_units: sr.report.dropped_units.len(),
         identical: report_signature(&sr) == report_signature(&pr),
     }
 }
@@ -150,7 +177,11 @@ mod tests {
     fn serial_and_parallel_reports_are_identical() {
         let w = wl::seismic::full_suite(wl::DataSize::Small, wl::Variant::Serial);
         let row = measure_one(&w.name, &w.source, 4, 1);
-        assert!(row.identical, "{}: reports diverged across threads", row.app);
+        assert!(
+            row.identical,
+            "{}: reports diverged across threads",
+            row.app
+        );
         assert_eq!(row.serial_ops, row.parallel_ops);
         assert!(row.loops > 1, "fan-out needs a multi-loop workload");
     }

@@ -1,0 +1,244 @@
+//! Structural compile fuzzer.
+//!
+//! Builds a fixed-seed corpus — randomly generated MiniFort programs
+//! (clean and deliberately garbled) plus byte/token-level mutants of
+//! the real SEISMIC, GAMESS, and SANDER sources — and asserts the
+//! crash-proofing contract on every case:
+//!
+//! 1. **No panic.** `compile_source_recovering` is total: any byte
+//!    sequence yields a report (possibly all diagnostics), never an
+//!    abort. Contained per-loop panics (the sandbox) are *allowed*;
+//!    they appear as `InternalError` skips, not process death.
+//! 2. **Thread invariance.** The report signature at one worker thread
+//!    equals the signature at N — including the containment counters.
+//!
+//! Failures are minimized by greedy line removal and reported with the
+//! case seed, so every crasher is reproducible by construction.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use apar_core::{CompileResult, Compiler, CompilerProfile};
+use apar_minicheck::fortgen::{gen_program, GenConfig};
+use apar_minicheck::mutate::mutate;
+use apar_minicheck::{Rng, BASE_SEED};
+use apar_workloads as wl;
+
+use crate::compile_bench::report_signature;
+
+/// How one corpus case failed the contract.
+#[derive(Clone, Debug)]
+pub enum FailKind {
+    /// The compile panicked (escaped the sandbox / front end).
+    Panic(String),
+    /// Serial and parallel reports diverged.
+    Divergence,
+}
+
+/// A failing case, minimized.
+#[derive(Clone, Debug)]
+pub struct Crasher {
+    pub case: usize,
+    pub seed: u64,
+    pub kind: FailKind,
+    /// Line-minimized source still exhibiting the failure.
+    pub minimized: String,
+}
+
+/// Corpus-wide result.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    pub cases: usize,
+    /// Cases whose recovering compile produced at least one diagnostic.
+    pub diag_cases: usize,
+    /// Cases where the per-loop sandbox contained a panic.
+    pub contained_panics: usize,
+    pub crashers: Vec<Crasher>,
+}
+
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+fn case_seed(case: usize) -> u64 {
+    BASE_SEED ^ (case as u64).wrapping_mul(GOLDEN)
+}
+
+/// Deterministically builds corpus case `case` of `total`.
+///
+/// Thirds: clean generated programs, garbled generated programs, and
+/// mutants of the real suite sources.
+pub fn corpus_case(case: usize, total: usize) -> String {
+    let mut rng = Rng::new(case_seed(case));
+    let third = total.div_ceil(3);
+    if case < third {
+        gen_program(&mut rng, &GenConfig::default())
+    } else if case < 2 * third {
+        let cfg = GenConfig {
+            garble: 0.12,
+            ..GenConfig::default()
+        };
+        gen_program(&mut rng, &cfg)
+    } else {
+        let suites = [
+            wl::seismic::full_suite(wl::DataSize::Test, wl::Variant::Serial),
+            wl::gamess::suite(wl::DataSize::Test),
+            wl::sander::suite(wl::DataSize::Test),
+        ];
+        let src = &suites[case % suites.len()].source;
+        let rounds = rng.usize_in(1, 4);
+        mutate(&mut rng, src, rounds)
+    }
+}
+
+/// Checks the no-panic + thread-invariance contract on one source.
+/// `Ok` carries (diags nonempty, contained-panic count).
+pub fn check_source(src: &str, threads: usize) -> Result<(bool, usize), FailKind> {
+    let serial = Compiler::new(CompilerProfile::polaris2008());
+    let parallel = Compiler::new(CompilerProfile::polaris2008().with_threads(threads));
+    let compile = |c: &Compiler| -> Result<CompileResult, FailKind> {
+        catch_unwind(AssertUnwindSafe(|| {
+            c.compile_source_recovering("fuzz", src)
+        }))
+        .map_err(|p| {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            FailKind::Panic(msg)
+        })
+    };
+    let sr = compile(&serial)?;
+    let pr = compile(&parallel)?;
+    if report_signature(&sr) != report_signature(&pr) {
+        return Err(FailKind::Divergence);
+    }
+    Ok((!sr.report.diags.is_empty(), sr.report.panicked_loops()))
+}
+
+fn fails_same_way(src: &str, threads: usize, want: &FailKind) -> bool {
+    matches!(
+        (check_source(src, threads), want),
+        (Err(FailKind::Panic(_)), FailKind::Panic(_))
+            | (Err(FailKind::Divergence), FailKind::Divergence)
+    )
+}
+
+/// Greedy line-removal minimization: repeatedly drops any line whose
+/// removal preserves the failure, until a fixed point.
+pub fn minimize(src: &str, threads: usize, kind: &FailKind) -> String {
+    let mut lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let mut changed = true;
+    while changed && lines.len() > 1 {
+        changed = false;
+        let mut i = 0;
+        while i < lines.len() {
+            let mut candidate = lines.clone();
+            candidate.remove(i);
+            let text = candidate.join("\n") + "\n";
+            if fails_same_way(&text, threads, kind) {
+                lines = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Runs the corpus. Panics inside individual compiles are caught and
+/// reported; the run itself always completes.
+pub fn run(count: usize, threads: usize) -> FuzzReport {
+    // The default panic hook prints a backtrace per caught panic;
+    // silence it for the duration so garbled corpus entries don't
+    // flood stderr. The per-loop sandbox keeps its behavior either way.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut report = FuzzReport {
+        cases: count,
+        ..Default::default()
+    };
+    for case in 0..count {
+        let src = corpus_case(case, count);
+        match check_source(&src, threads) {
+            Ok((had_diags, contained)) => {
+                if had_diags {
+                    report.diag_cases += 1;
+                }
+                report.contained_panics += contained;
+            }
+            Err(kind) => {
+                let minimized = minimize(&src, threads, &kind);
+                report.crashers.push(Crasher {
+                    case,
+                    seed: case_seed(case),
+                    kind,
+                    minimized,
+                });
+            }
+        }
+    }
+    std::panic::set_hook(prev);
+    report
+}
+
+/// ASCII rendering of a fuzz run.
+pub fn render(r: &FuzzReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FUZZ compile — {} cases, {} with diagnostics, {} contained panics, {} crashers\n",
+        r.cases,
+        r.diag_cases,
+        r.contained_panics,
+        r.crashers.len()
+    ));
+    for c in &r.crashers {
+        out.push_str(&format!(
+            "  case {} (seed {:#x}) {:?}:\n",
+            c.case, c.seed, c.kind
+        ));
+        for l in c.minimized.lines() {
+            out.push_str(&format!("    | {}\n", l));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        for case in [0, 10, 180, 340, 499] {
+            assert_eq!(corpus_case(case, 500), corpus_case(case, 500));
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_three_modes() {
+        // A clean generated case, a garbled one, and a suite mutant.
+        assert!(corpus_case(0, 500).contains("PROGRAM FUZZ"));
+        assert!(corpus_case(200, 500).contains("PROGRAM FUZZ"));
+        assert!(!corpus_case(400, 500).contains("PROGRAM FUZZ"));
+    }
+
+    #[test]
+    fn smoke_corpus_has_no_crashers() {
+        // The full 500-case run is the `fuzz_compile` binary's job (and
+        // CI's); this keeps a fast sample in the unit suite, spanning
+        // all three corpus modes.
+        let r = run(36, 2);
+        assert!(r.crashers.is_empty(), "crashers found:\n{}", render(&r));
+        assert!(r.diag_cases > 0, "garbled cases should produce diagnostics");
+    }
+
+    #[test]
+    fn minimizer_shrinks_while_preserving_failure() {
+        // A synthetic failure: treat any source containing the marker
+        // line as "failing" by checking with a always-diverging stub is
+        // overkill; instead verify the public property on a real panic
+        // if one ever appears. Here we at least pin minimize() totality.
+        let m = minimize("X = 1\nY = 2\n", 2, &FailKind::Divergence);
+        assert!(!m.is_empty());
+    }
+}

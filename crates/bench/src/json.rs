@@ -166,6 +166,9 @@ impl ToJson for CompileBenchRow {
             ("speedup", self.speedup.to_json()),
             ("serial_ops", self.serial_ops.to_json()),
             ("parallel_ops", self.parallel_ops.to_json()),
+            ("panicked_loops", self.panicked_loops.to_json()),
+            ("budget_tripped_loops", self.budget_tripped_loops.to_json()),
+            ("diag_units", self.diag_units.to_json()),
             ("identical", self.identical.to_json()),
         ])
     }
@@ -224,7 +227,10 @@ impl ToJson for Fig2Row {
             ("statements", self.statements.to_json()),
             ("total_seconds", self.total_seconds.to_json()),
             ("total_ops", self.total_ops.to_json()),
-            ("seconds_per_statement", self.seconds_per_statement.to_json()),
+            (
+                "seconds_per_statement",
+                self.seconds_per_statement.to_json(),
+            ),
             ("ops_per_statement", self.ops_per_statement.to_json()),
             ("per_pass", self.per_pass.to_json()),
         ])

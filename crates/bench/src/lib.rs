@@ -12,6 +12,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;
+pub mod fuzz;
 pub mod json;
 pub mod spec;
 

@@ -2,11 +2,16 @@
 //! symbolic-op accounting, decides per-loop parallelization, and
 //! annotates the program for the parallel runtime.
 
+use std::cell::Cell;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::classify::{classify, Classification};
+use crate::profile::CompilerProfile;
+use crate::report::{CompileReport, PassId, SkipReason, SkippedLoop};
 use apar_analysis::access::{self, AccessKind};
 use apar_analysis::alias::AliasInfo;
 use apar_analysis::cache::{AnalysisCache, ProgramFacts};
@@ -23,11 +28,11 @@ use apar_analysis::reduction;
 use apar_analysis::summary::Summaries;
 use apar_analysis::symx::SymMap;
 use apar_minifort::ast::{Block, LoopDirective, StmtKind};
-use apar_minifort::{parse_program, resolve, Diag, Program, ResolvedProgram, StmtId};
+use apar_minifort::{
+    parse_program, parse_program_recovering, resolve, resolve_recovering, Diag, Program,
+    ResolvedProgram, StmtId,
+};
 use apar_symbolic::OpCounter;
-use crate::classify::{classify, Classification};
-use crate::profile::CompilerProfile;
-use crate::report::{CompileReport, PassId, SkipReason, SkippedLoop};
 
 /// The compiler.
 #[derive(Clone, Debug, Default)]
@@ -53,6 +58,9 @@ pub struct LoopReport {
     pub speculative: bool,
     pub pairs_tested: usize,
     pub ops_spent: u64,
+    /// True when the op-budget watchdog (or the dependence test's own
+    /// budget) abandoned this loop as `Complexity`.
+    pub budget_tripped: bool,
 }
 
 /// Everything the compiler produces.
@@ -68,6 +76,11 @@ impl CompileResult {
     /// Reports for `!$TARGET` loops only.
     pub fn target_loops(&self) -> impl Iterator<Item = &LoopReport> {
         self.loops.iter().filter(|l| l.target.is_some())
+    }
+
+    /// Loops the op-budget watchdog abandoned as `Complexity`.
+    pub fn budget_tripped_loops(&self) -> usize {
+        self.loops.iter().filter(|l| l.budget_tripped).count()
     }
 
     /// Histogram of target-loop classifications (Figure 5 bars).
@@ -92,6 +105,43 @@ impl Compiler {
     pub fn compile_source(&self, app: &str, src: &str) -> Result<CompileResult, Diag> {
         let prog = parse_program(src).map_err(Diag::Parse)?;
         self.compile(app, prog)
+    }
+
+    /// Compiles source text with front-end recovery: garbled statements
+    /// and unresolvable units degrade to diagnostics on the report
+    /// instead of aborting the compile. Total — any byte sequence yields
+    /// a `CompileResult` (possibly over an empty program).
+    pub fn compile_source_recovering(&self, app: &str, src: &str) -> CompileResult {
+        let (mut prog, parse_errs) = parse_program_recovering(src);
+        // Probe-resolve a copy to learn which units the resolver must
+        // drop, then filter the *raw* program so the main pipeline (which
+        // re-resolves after every rewrite) never sees them.
+        let (_, resolve_errs) = resolve_recovering(prog.clone());
+        let bad: HashSet<&str> = resolve_errs.iter().map(|e| e.unit.as_str()).collect();
+        prog.units.retain(|u| !bad.contains(u.name.as_str()));
+        let mut diags: Vec<Diag> = parse_errs.into_iter().map(Diag::Parse).collect();
+        let mut dropped: Vec<String> = resolve_errs.iter().map(|e| e.unit.clone()).collect();
+        diags.extend(resolve_errs.into_iter().map(Diag::Resolve));
+
+        let mut result = match self.compile(app, prog) {
+            Ok(r) => r,
+            Err(d) => {
+                // A mid-pipeline rewrite re-resolved into an error the
+                // probe didn't predict; degrade to an empty compile
+                // rather than panic or abort.
+                diags.push(d);
+                dropped.push("<all>".to_string());
+                let empty = Program {
+                    units: Vec::new(),
+                    stmt_count: 0,
+                };
+                self.compile(app, empty)
+                    .expect("empty program always compiles")
+            }
+        };
+        result.report.diags = diags;
+        result.report.dropped_units = dropped;
+        result
     }
 
     /// Compiles a parsed program.
@@ -149,8 +199,12 @@ impl Compiler {
         let cg = CallGraph::build(&rp);
         let forest = LoopForest::build(&rp);
         let mut sym = SymMap::new();
-        let summaries = Summaries::build(&rp, &cg, &mut sym, caps);
-        let alias = AliasInfo::build(&rp, &cg, caps);
+        // The prelude counter never trips (whole-program passes run
+        // once); its total is recorded on the seeded facts so per-loop
+        // consumers charge an amortized share to their own watchdog.
+        let prelude_ops = OpCounter::unlimited();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps, &prelude_ops);
+        let alias = AliasInfo::build(&rp, &cg, caps, &prelude_ops);
         report.loops = forest.loops.len();
         report.target_loops = forest.targets().count();
         report.charge(PassId::Others, t.elapsed(), forest.loops.len() as u64);
@@ -173,7 +227,8 @@ impl Compiler {
         // interner growth) happens in the sequential merge below, in
         // loop order, which keeps reports bit-identical regardless of
         // thread count.
-        let cache = AnalysisCache::new(caps, sym.clone());
+        let cache = AnalysisCache::new(caps, sym.clone())
+            .with_build_budget(self.profile.loop_op_budget.saturating_mul(32));
         let base = cache.seed(
             &rp,
             ProgramFacts {
@@ -181,6 +236,8 @@ impl Compiler {
                 summaries,
                 alias,
                 sym: sym.clone(),
+                build_ops: prelude_ops.spent(),
+                budget_tripped: false,
             },
         );
         let outcomes: Vec<LoopOutcome> = {
@@ -252,12 +309,32 @@ impl Compiler {
             let analyzed = match outcome.result {
                 Ok(a) => a,
                 Err(reason) => {
+                    // A contained panic produces BOTH ledger entries: a
+                    // skip record carrying the diagnosis, and a serial
+                    // `Complexity` loop report so the Figure 5
+                    // accounting still covers the loop.
+                    let internal = matches!(reason, SkipReason::InternalError { .. });
                     report.skipped.push(SkippedLoop {
                         unit: info.id.unit.clone(),
                         stmt: info.id.stmt,
                         target: info.target.clone(),
                         reason,
                     });
+                    if internal {
+                        loops_out.push(LoopReport {
+                            unit: info.id.unit.clone(),
+                            stmt: info.id.stmt,
+                            var: info.var.clone(),
+                            depth: info.depth,
+                            target: info.target.clone(),
+                            classification: Classification::Complexity,
+                            parallelized: false,
+                            speculative: false,
+                            pairs_tested: 0,
+                            ops_spent: 0,
+                            budget_tripped: false,
+                        });
+                    }
                     continue;
                 }
             };
@@ -268,8 +345,7 @@ impl Compiler {
             if let Some(directive) = analyzed.candidate {
                 if !has_parallel_ancestor(&forest, info, &parallel_loops) {
                     speculative = directive.speculative;
-                    annotated =
-                        annotate_loop(&mut rp, &info.id.unit, info.id.stmt, directive);
+                    annotated = annotate_loop(&mut rp, &info.id.unit, info.id.stmt, directive);
                     if annotated {
                         parallel_loops.insert(info.id.stmt);
                     } else {
@@ -289,6 +365,7 @@ impl Compiler {
                 speculative,
                 pairs_tested: analyzed.pairs_tested,
                 ops_spent: analyzed.ops_spent,
+                budget_tripped: analyzed.budget_tripped,
             });
         }
 
@@ -321,6 +398,9 @@ struct AnalyzedLoop {
     candidate: Option<LoopDirective>,
     pairs_tested: usize,
     ops_spent: u64,
+    /// True when a budget trip (watchdog or dependence test) decided
+    /// the classification.
+    budget_tripped: bool,
 }
 
 /// One loop's complete analysis output. Produced independently per
@@ -337,28 +417,103 @@ struct LoopOutcome {
 /// respect to the fan-out: the only shared state is the read-only
 /// context and the internally synchronized analysis cache, so the
 /// outcome does not depend on which worker runs it or when.
+///
+/// The analysis body runs inside a panic sandbox: a panic in any pass
+/// degrades only this loop to a structured [`SkipReason::InternalError`]
+/// (the merge also books it as `Complexity` for target accounting),
+/// leaving every other loop's outcome untouched at any thread count.
 fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
     let caps = ctx.profile.caps;
     let rp = ctx.rp;
     let unit_name = info.id.unit.as_str();
-    let mut charges: Vec<(PassId, Duration, u64)> = Vec::new();
     let Some(unit) = rp.unit(unit_name) else {
         return LoopOutcome {
-            charges,
+            charges: Vec::new(),
             sym: None,
             result: Err(SkipReason::UnitMissing),
         };
     };
     if unit.lang == apar_minifort::Lang::C && !caps.multilingual {
         return LoopOutcome {
-            charges,
+            charges: Vec::new(),
             sym: None,
             result: Err(SkipReason::ForeignLanguage),
         };
     }
+
+    let pass = Cell::new(PassId::Others);
+    match catch_unwind(AssertUnwindSafe(|| analyze_loop_inner(ctx, info, &pass))) {
+        Ok(outcome) => outcome,
+        // The partial charges and interner fork die with the sandbox: a
+        // panicked loop contributes nothing to the merge, which is the
+        // only outcome reproducible at every thread count.
+        Err(payload) => LoopOutcome {
+            charges: Vec::new(),
+            sym: None,
+            result: Err(SkipReason::InternalError {
+                pass: pass.get(),
+                message: panic_message(payload.as_ref()),
+            }),
+        },
+    }
+}
+
+/// Best-effort text from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Marks entry into pass `p` for sandbox diagnostics and fires any
+/// injected fault targeting this loop at this pass.
+fn enter_pass(ctx: &LoopCtx<'_>, info: &LoopInfo, p: PassId, pass: &Cell<PassId>) {
+    pass.set(p);
+    if let Some(f) = &ctx.profile.fault {
+        if f.pass == p && f.unit == info.id.unit && f.stmt.is_none_or(|s| s == info.id.stmt) {
+            panic!("injected fault: {:?} in {}", p, info.id.unit);
+        }
+    }
+}
+
+/// A watchdog trip: the loop is abandoned as `Complexity`, exactly as
+/// the dependence test's own budget trip classifies it.
+fn complexity_outcome(
+    info: &LoopInfo,
+    charges: Vec<(PassId, Duration, u64)>,
+    sym: Option<SymMap>,
+    ops_spent: u64,
+) -> LoopOutcome {
+    LoopOutcome {
+        charges,
+        sym,
+        result: Ok(AnalyzedLoop {
+            var: info.var.clone(),
+            classification: Classification::Complexity,
+            candidate: None,
+            pairs_tested: 0,
+            ops_spent,
+            budget_tripped: true,
+        }),
+    }
+}
+
+fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -> LoopOutcome {
+    let caps = ctx.profile.caps;
+    let rp = ctx.rp;
+    let unit_name = info.id.unit.as_str();
+    let mut charges: Vec<(PassId, Duration, u64)> = Vec::new();
+    // One watchdog for the whole per-loop pipeline: every pass charges
+    // it, so a pathological loop trips to `Complexity` deterministically
+    // no matter which pass the work lands in.
     let loop_ops = OpCounter::with_budget(ctx.profile.loop_op_budget);
 
     // Choose the program to analyze: inline calls if any.
+    enter_pass(ctx, info, PassId::InlineExpansion, pass);
     let has_calls = !info.calls.is_empty();
     let (arp, inline_time, spliced) = if has_calls {
         let t = Instant::now();
@@ -372,6 +527,7 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
             info.id.stmt,
             ctx.profile.inline_depth,
             ctx.profile.inline_stmt_budget,
+            &loop_ops,
         );
         match resolve(scratch) {
             Ok(srp) => {
@@ -389,6 +545,9 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
     };
     if has_calls {
         charges.push((PassId::InlineExpansion, inline_time, spliced * 4));
+        if loop_ops.exceeded() {
+            return complexity_outcome(info, charges, None, loop_ops.spent());
+        }
     }
     let arp_ref: &ResolvedProgram = arp.as_ref().unwrap_or(rp);
 
@@ -396,11 +555,20 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
     // replaces the per-loop CallGraph / Summaries / AliasInfo rebuilds
     // the sequential driver used to issue. The worker's interner adopts
     // the facts' recorded state so the `summaries` VarIds resolve.
+    enter_pass(ctx, info, PassId::Others, pass);
     let facts: Arc<ProgramFacts> = match &arp {
         Some(srp) => ctx.cache.facts(srp),
         None => Arc::clone(ctx.base),
     };
     let mut sym = facts.sym.clone();
+    // An amortized share of the facts build (summaries + alias) goes to
+    // the watchdog — the same charge whether the cache hit or missed,
+    // keeping reports thread-invariant. A build that tripped its own
+    // budget poisons every consuming loop.
+    let _ = loop_ops.charge(facts.build_ops / 32);
+    if facts.budget_tripped || loop_ops.exceeded() {
+        return complexity_outcome(info, charges, Some(sym), loop_ops.spent());
+    }
 
     // Ranges for the analyzed program (recomputed for the unit when
     // inlining changed it).
@@ -413,6 +581,7 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
             caps,
             &facts.summaries,
             &seed,
+            &loop_ops,
         );
         ur.at_loop.get(&info.id.stmt).cloned().unwrap_or_default()
     } else {
@@ -423,6 +592,9 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
             .cloned()
             .unwrap_or_default()
     };
+    if loop_ops.exceeded() {
+        return complexity_outcome(info, charges, Some(sym), loop_ops.spent());
+    }
 
     // Locate the loop body in the analyzed program.
     let Some(aunit) = arp_ref.unit(unit_name) else {
@@ -441,7 +613,9 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
     };
 
     // Dependence test.
+    enter_pass(ctx, info, PassId::DataDependence, pass);
     let t = Instant::now();
+    let pre_dd = loop_ops.spent();
     let la = access::collect(arp_ref, unit_name, &body, &mut sym, &state);
     let input = DdInput {
         rp: arp_ref,
@@ -461,11 +635,16 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
         &facts.summaries,
         &loop_ops,
     );
-    let dd_ops = loop_ops.spent();
+    // Per-pass report buckets are spent() deltas: the watchdog's
+    // pre-charges (inline, facts share, ranges) belong to the loop's
+    // own ops_spent, not to the published Figure 2 pass costs.
+    let dd_ops = loop_ops.spent() - pre_dd;
     charges.push((PassId::DataDependence, t.elapsed(), dd_ops));
 
     // Privatization.
+    enter_pass(ctx, info, PassId::Privatization, pass);
     let t = Instant::now();
+    let pre_priv = loop_ops.spent();
     let priv_res = privatize::analyze(
         arp_ref,
         aunit,
@@ -478,9 +657,14 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
         caps,
         &loop_ops,
     );
-    charges.push((PassId::Privatization, t.elapsed(), loop_ops.spent() - dd_ops));
+    charges.push((
+        PassId::Privatization,
+        t.elapsed(),
+        loop_ops.spent() - pre_priv,
+    ));
 
     // Reduction recognition.
+    enter_pass(ctx, info, PassId::Reduction, pass);
     let t = Instant::now();
     let table = arp_ref.table(unit_name);
     let reds = reduction::find_reductions(&body, &|n| table.is_array(n));
@@ -565,6 +749,7 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
             candidate,
             pairs_tested: dd.pairs_tested,
             ops_spent: loop_ops.spent(),
+            budget_tripped: dd.budget_exceeded,
         }),
     }
 }
@@ -668,7 +853,10 @@ mod tests {
         // The annotation landed in the AST.
         let mut annotated = 0;
         r.rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
-            if let StmtKind::Do { auto_par: Some(_), .. } = &s.kind {
+            if let StmtKind::Do {
+                auto_par: Some(_), ..
+            } = &s.kind
+            {
                 annotated += 1;
             }
         });
@@ -682,7 +870,10 @@ mod tests {
             CompilerProfile::polaris2008(),
         );
         assert_eq!(r.loops.len(), 2);
-        assert!(r.loops.iter().all(|l| l.classification == Classification::Autoparallelized));
+        assert!(r
+            .loops
+            .iter()
+            .all(|l| l.classification == Classification::Autoparallelized));
         let outer = r.loops.iter().find(|l| l.depth == 0).unwrap();
         let inner = r.loops.iter().find(|l| l.depth == 1).unwrap();
         assert!(outer.parallelized);
@@ -698,7 +889,10 @@ mod tests {
         assert_eq!(r.loops[0].classification, Classification::Autoparallelized);
         let mut dir = None;
         r.rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
-            if let StmtKind::Do { auto_par: Some(d), .. } = &s.kind {
+            if let StmtKind::Do {
+                auto_par: Some(d), ..
+            } = &s.kind
+            {
                 dir = Some(d.clone());
             }
         });
@@ -716,7 +910,10 @@ mod tests {
         assert!(r.loops[0].parallelized);
         let mut dir = None;
         r.rp.main_unit().unwrap().body.walk_stmts(&mut |s| {
-            if let StmtKind::Do { auto_par: Some(d), .. } = &s.kind {
+            if let StmtKind::Do {
+                auto_par: Some(d), ..
+            } = &s.kind
+            {
                 dir = Some(d.clone());
             }
         });
@@ -840,6 +1037,114 @@ mod tests {
             let sb = par.report.per_pass.get(&p).map_or(0, |c| c.ops);
             assert_eq!(sa, sb, "{:?} ops differ across thread counts", p);
         }
+    }
+
+    #[test]
+    fn injected_panic_degrades_exactly_the_faulted_loop() {
+        let src = "PROGRAM P\nREAL A(100), B(100)\nS = 0.0\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nDO I = 1, 100\nS = S + A(I)\nENDDO\nDO I = 2, 100\nA(I) = A(I - 1)\nENDDO\nDO I = 1, 100\nCALL SET(B, I)\nENDDO\nWRITE(*,*) S\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n";
+        let clean = compile(src, CompilerProfile::polaris2008());
+        let victim = clean.loops[1].stmt;
+        for p in [
+            PassId::InlineExpansion,
+            PassId::Others,
+            PassId::DataDependence,
+            PassId::Privatization,
+            PassId::Reduction,
+        ] {
+            let profile = CompilerProfile::polaris2008().with_fault(p, "P", Some(victim));
+            let seq = compile(src, profile.clone());
+            let par = compile(src, profile.with_threads(4));
+            for r in [&seq, &par] {
+                assert_eq!(r.report.panicked_loops(), 1, "{:?}", p);
+                let skip = r
+                    .report
+                    .skipped
+                    .iter()
+                    .find(|s| s.stmt == victim)
+                    .expect("panicked loop lands in the skip ledger");
+                assert!(
+                    matches!(&skip.reason, SkipReason::InternalError { pass, .. } if *pass == p),
+                    "{:?}: {:?}",
+                    p,
+                    skip.reason
+                );
+                // The victim stays accounted for: serial, Complexity.
+                let v = r.loops.iter().find(|l| l.stmt == victim).unwrap();
+                assert_eq!(v.classification, Classification::Complexity);
+                assert!(!v.parallelized && !v.speculative);
+                // Every other loop is bit-identical to the clean compile.
+                assert_eq!(r.loops.len(), clean.loops.len());
+                for (a, b) in r.loops.iter().zip(&clean.loops) {
+                    if a.stmt == victim {
+                        continue;
+                    }
+                    assert_eq!(a.classification, b.classification, "{:?}", p);
+                    assert_eq!(a.parallelized, b.parallelized, "{:?}", p);
+                    assert_eq!(a.ops_spent, b.ops_spent, "{:?}", p);
+                    assert_eq!(a.pairs_tested, b.pairs_tested, "{:?}", p);
+                }
+            }
+            // Both thread counts agree completely, victim included.
+            for (a, b) in seq.loops.iter().zip(&par.loops) {
+                assert_eq!(a.stmt, b.stmt);
+                assert_eq!(a.classification, b.classification);
+                assert_eq!(a.ops_spent, b.ops_spent);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_prelude_passes_to_complexity() {
+        // A budget this small trips during inlining / the facts share —
+        // before the dependence test ever runs — and must classify the
+        // loop Complexity rather than panic or misreport it.
+        let mut profile = CompilerProfile::polaris2008();
+        profile.loop_op_budget = 1;
+        let r = compile(
+            "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nCALL SET(A, I)\nENDDO\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n",
+            profile,
+        );
+        let main_loop = r.loops.iter().find(|l| l.unit == "P").unwrap();
+        assert_eq!(main_loop.classification, Classification::Complexity);
+        assert!(!main_loop.parallelized);
+        assert!(main_loop.budget_tripped);
+        assert!(r.budget_tripped_loops() >= 1);
+        assert_eq!(r.report.panicked_loops(), 0);
+    }
+
+    #[test]
+    fn recovering_compile_degrades_garbled_unit_to_diags() {
+        // Unit Q has a garbled statement; unit P is clean and must still
+        // get its loop parallelized.
+        let src = "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nA(I) = 1.0\nENDDO\nEND\nSUBROUTINE Q(Y)\nY = = 'oops\nEND\n";
+        let r =
+            Compiler::new(CompilerProfile::polaris2008()).compile_source_recovering("test", src);
+        assert!(!r.report.diags.is_empty());
+        let p = r.loops.iter().find(|l| l.unit == "P").unwrap();
+        assert_eq!(p.classification, Classification::Autoparallelized);
+    }
+
+    #[test]
+    fn recovering_compile_matches_strict_on_clean_input() {
+        let src = "PROGRAM P\nREAL A(100), B(100)\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nEND\n";
+        let strict = compile(src, CompilerProfile::polaris2008());
+        let rec =
+            Compiler::new(CompilerProfile::polaris2008()).compile_source_recovering("test", src);
+        assert!(rec.report.diags.is_empty());
+        assert!(rec.report.dropped_units.is_empty());
+        assert_eq!(strict.loops.len(), rec.loops.len());
+        for (a, b) in strict.loops.iter().zip(rec.loops.iter()) {
+            assert_eq!(a.classification, b.classification);
+            assert_eq!(a.ops_spent, b.ops_spent);
+        }
+    }
+
+    #[test]
+    fn recovering_compile_is_total_on_noise() {
+        let r = Compiler::new(CompilerProfile::polaris2008())
+            .compile_source_recovering("test", "@#%^\u{0}\n= = =\nEND END END\n");
+        assert!(!r.report.diags.is_empty());
+        assert!(r.loops.is_empty());
     }
 
     #[test]

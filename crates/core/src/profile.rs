@@ -1,6 +1,24 @@
 //! Compiler capability profiles.
 
 use apar_analysis::Capabilities;
+use apar_minifort::StmtId;
+
+use crate::report::PassId;
+
+/// A deliberately injected analysis panic (testing aid for the per-loop
+/// sandbox). When a profile carries one, the named pass panics at its
+/// boundary while analyzing the matching loop — letting tests prove
+/// that exactly that loop degrades and every other report entry is
+/// bit-identical. Production profiles never set this.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalysisFault {
+    /// Pass whose boundary fires the panic.
+    pub pass: PassId,
+    /// Unit the faulted loop lives in.
+    pub unit: String,
+    /// Specific loop header; `None` faults every loop in the unit.
+    pub stmt: Option<StmtId>,
+}
 
 /// Everything that bounds the compiler's precision and effort.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,6 +47,8 @@ pub struct CompilerProfile {
     /// histograms) are bit-identical for every value; only wall time
     /// changes. 1 = fully sequential.
     pub threads: usize,
+    /// Injected analysis panic for sandbox tests; `None` in production.
+    pub fault: Option<AnalysisFault>,
 }
 
 impl CompilerProfile {
@@ -45,6 +65,7 @@ impl CompilerProfile {
             inline_stmt_budget: 4_000,
             runtime_test: false,
             threads: 1,
+            fault: None,
         }
     }
 
@@ -58,6 +79,7 @@ impl CompilerProfile {
             inline_stmt_budget: 16_000,
             runtime_test: false,
             threads: 1,
+            fault: None,
         }
     }
 
@@ -77,6 +99,19 @@ impl CompilerProfile {
     /// every report it produces is bit-identical across values.
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// This profile with an injected panic at the boundary of `pass`
+    /// for loops of `unit` (all of them when `stmt` is `None`). Tests
+    /// the per-loop sandbox: the faulted loop must degrade to a
+    /// structured skip while every other loop's report is unchanged.
+    pub fn with_fault(mut self, pass: PassId, unit: &str, stmt: Option<StmtId>) -> Self {
+        self.fault = Some(AnalysisFault {
+            pass,
+            unit: unit.to_string(),
+            stmt,
+        });
         self
     }
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use apar_minifort::StmtId;
+use apar_minifort::{Diag, StmtId};
 
 /// The compiler passes of Figure 2's legend.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -56,7 +56,7 @@ pub struct PassCost {
 /// hindrances in their own right: a skipped loop stays serial, so it
 /// must stay visible in the report rather than silently vanishing from
 /// the Figure 5 accounting.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum SkipReason {
     /// The loop lives in a `!LANG C` unit and the profile lacks the
     /// multilingual capability (§2.4): the compiler cannot see inside.
@@ -68,6 +68,16 @@ pub enum SkipReason {
     InlinedAway,
     /// The loop header could not be located in the analyzed program.
     HeaderMissing,
+    /// An analysis pass panicked while working on this loop. The panic
+    /// was contained by the per-loop sandbox: only this loop degrades
+    /// (to serial, `Complexity` for target accounting) and the rest of
+    /// the compile proceeds untouched.
+    InternalError {
+        /// The pass that was running when the panic fired.
+        pass: PassId,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl SkipReason {
@@ -77,6 +87,7 @@ impl SkipReason {
             SkipReason::UnitMissing => "unit missing",
             SkipReason::InlinedAway => "inlined away",
             SkipReason::HeaderMissing => "header missing",
+            SkipReason::InternalError { .. } => "internal error",
         }
     }
 }
@@ -106,6 +117,13 @@ pub struct CompileReport {
     /// Loops the per-loop stage could not analyze, with the reason —
     /// explicit entries instead of silent disappearance.
     pub skipped: Vec<SkippedLoop>,
+    /// Frontend diagnostics recovered from (recovering mode only):
+    /// garbled lines the lexer skipped, statements the parser dropped,
+    /// units resolution rejected. A strict compile has none.
+    pub diags: Vec<Diag>,
+    /// Units the recovering frontend dropped entirely (unparsable or
+    /// unresolvable). The rest of the suite compiled without them.
+    pub dropped_units: Vec<String>,
 }
 
 impl CompileReport {
@@ -168,10 +186,18 @@ impl CompileReport {
         for s in &self.skipped {
             match counts.iter_mut().find(|(r, _)| *r == s.reason) {
                 Some((_, n)) => *n += 1,
-                None => counts.push((s.reason, 1)),
+                None => counts.push((s.reason.clone(), 1)),
             }
         }
         counts
+    }
+
+    /// Loops the panic sandbox degraded (`SkipReason::InternalError`).
+    pub fn panicked_loops(&self) -> usize {
+        self.skipped
+            .iter()
+            .filter(|s| matches!(s.reason, SkipReason::InternalError { .. }))
+            .count()
     }
 
     /// Fraction of total seconds per pass (Figure 3 as published).

@@ -10,6 +10,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+pub mod fortgen;
+pub mod mutate;
+
 /// Deterministic splitmix64 generator.
 #[derive(Clone, Debug)]
 pub struct Rng(u64);
@@ -61,7 +64,12 @@ impl Rng {
     }
 
     /// A vector of `gen`-produced values, length in `[lo, hi]`.
-    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut gen: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+    pub fn vec_of<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut gen: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
         let n = self.usize_in(lo, hi);
         (0..n).map(|_| gen(self)).collect()
     }

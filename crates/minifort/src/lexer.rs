@@ -14,6 +14,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
     Lexer::new(src).run()
 }
 
+/// Lexes with recovery: a malformed line is dropped (back to the last
+/// statement boundary), recorded as a [`ParseError`], and lexing
+/// resumes on the next line. Always produces an `Eof`-terminated token
+/// stream — garbled input yields diagnostics, never a dead front end.
+pub fn lex_recovering(src: &str) -> (Vec<Token>, Vec<ParseError>) {
+    Lexer::new(src).run_recovering()
+}
+
 struct Lexer<'a> {
     chars: Vec<char>,
     pos: usize,
@@ -73,6 +81,53 @@ impl<'a> Lexer<'a> {
 
     fn run(mut self) -> Result<Vec<Token>, ParseError> {
         while let Some(c) = self.peek() {
+            self.step(c)?;
+        }
+        Ok(self.finish())
+    }
+
+    fn run_recovering(mut self) -> (Vec<Token>, Vec<ParseError>) {
+        let mut diags = Vec::new();
+        while let Some(c) = self.peek() {
+            if let Err(e) = self.step(c) {
+                diags.push(e);
+                self.drop_line();
+            }
+        }
+        (self.finish(), diags)
+    }
+
+    /// Discards the statement being lexed (tokens back to the last
+    /// boundary) and skips source text to the end of the current line,
+    /// leaving the newline for the main loop to account.
+    fn drop_line(&mut self) {
+        while !self.last_meaningful_is_eos() {
+            self.out.pop();
+        }
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn finish(mut self) -> Vec<Token> {
+        if !self.last_meaningful_is_eos() {
+            self.out.push(Token {
+                kind: Tok::Eos,
+                line: self.line,
+            });
+        }
+        self.out.push(Token {
+            kind: Tok::Eof,
+            line: self.line,
+        });
+        self.out
+    }
+
+    fn step(&mut self, c: char) -> Result<(), ParseError> {
+        {
             match c {
                 ' ' | '\t' | '\r' => {
                     self.bump();
@@ -200,17 +255,7 @@ impl<'a> Lexer<'a> {
                 other => return Err(self.err(format!("unexpected character '{}'", other))),
             }
         }
-        if !self.last_meaningful_is_eos() {
-            self.out.push(Token {
-                kind: Tok::Eos,
-                line: self.line,
-            });
-        }
-        self.out.push(Token {
-            kind: Tok::Eof,
-            line: self.line,
-        });
-        Ok(self.out)
+        Ok(())
     }
 
     fn is_classic_comment(&self) -> bool {
@@ -259,8 +304,7 @@ impl<'a> Lexer<'a> {
         let mut is_real = false;
         // A '.' continues a real literal unless it starts an operator
         // like `.EQ.` (dot followed by a letter).
-        if self.peek() == Some('.') && !matches!(self.peek2(), Some(c) if c.is_ascii_alphabetic())
-        {
+        if self.peek() == Some('.') && !matches!(self.peek2(), Some(c) if c.is_ascii_alphabetic()) {
             is_real = true;
             text.push('.');
             self.bump();
@@ -370,9 +414,12 @@ impl<'a> Lexer<'a> {
         self.bump(); // opening quote
         let mut s = String::new();
         loop {
-            match self.bump() {
+            match self.peek() {
+                // Leave the newline unconsumed so recovery resynchronizes
+                // on this line, not the next one.
                 None | Some('\n') => return Err(self.err("unterminated character literal")),
                 Some('\'') => {
+                    self.bump();
                     if self.peek() == Some('\'') {
                         self.bump();
                         s.push('\'');
@@ -380,7 +427,10 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                Some(c) => s.push(c),
+                Some(c) => {
+                    s.push(c);
+                    self.bump();
+                }
             }
         }
         self.push(Tok::Str(s));
@@ -466,7 +516,9 @@ mod tests {
 
     #[test]
     fn comments_and_directives() {
-        let t = kinds("! plain comment\nC classic comment\nX = 1 ! trailing\n!$OMP PARALLEL DO\n!LANG C\n");
+        let t = kinds(
+            "! plain comment\nC classic comment\nX = 1 ! trailing\n!$OMP PARALLEL DO\n!LANG C\n",
+        );
         assert_eq!(
             t,
             vec![
@@ -525,6 +577,36 @@ mod tests {
     #[test]
     fn error_on_unterminated_string() {
         assert!(lex("X = 'oops\n").is_err());
+    }
+
+    #[test]
+    fn recovering_lexer_drops_bad_lines_only() {
+        let (toks, diags) = lex_recovering("X = 1\nY = 'oops\nZ = 3\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&Tok::Ident("X".into())));
+        assert!(!kinds.contains(&Tok::Ident("Y".into())), "bad line dropped");
+        assert!(kinds.contains(&Tok::Ident("Z".into())));
+    }
+
+    #[test]
+    fn recovering_lexer_matches_strict_on_clean_input() {
+        let src = "PROGRAM P\nDO I = 1, 10\nA(I) = 1.0 ! trailing\nENDDO\nEND\n";
+        let strict: Vec<Tok> = lex(src).unwrap().into_iter().map(|t| t.kind).collect();
+        let (toks, diags) = lex_recovering(src);
+        assert!(diags.is_empty());
+        let rec: Vec<Tok> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(strict, rec);
+    }
+
+    #[test]
+    fn recovering_lexer_survives_arbitrary_bytes() {
+        let (toks, diags) = lex_recovering("@#%^\u{0}\nX = 1\n\u{7f}~`$\n");
+        assert!(!diags.is_empty());
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&Tok::Ident("X".into())));
+        assert_eq!(kinds.last(), Some(&Tok::Eof));
     }
 
     #[test]

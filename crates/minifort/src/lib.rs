@@ -48,9 +48,9 @@ pub mod token;
 pub mod types;
 
 pub use ast::{Block, Expr, LoopDirective, Program, Stmt, StmtId, StmtKind, Unit, UnitKind};
-pub use diag::{Diag, ParseError};
-pub use parser::parse_program;
-pub use resolve::{resolve, ResolvedProgram};
+pub use diag::{Diag, ParseError, ResolveError};
+pub use parser::{parse_program, parse_program_recovering};
+pub use resolve::{resolve, resolve_recovering, ResolvedProgram};
 pub use symtab::{ArrayShape, Storage, SymbolKind, SymbolTable};
 pub use types::{Lang, Ty};
 
@@ -58,4 +58,21 @@ pub use types::{Lang, Ty};
 pub fn frontend(src: &str) -> Result<ResolvedProgram, Diag> {
     let prog = parse_program(src).map_err(Diag::Parse)?;
     resolve(prog).map_err(Diag::Resolve)
+}
+
+/// Parses and resolves with recovery: garbled statements and units
+/// become diagnostics instead of aborting the front end. Total — any
+/// byte sequence yields a (possibly empty) resolved program, the
+/// diagnostics explaining what was dropped, and the names of units the
+/// resolver had to discard.
+pub fn frontend_recovering(src: &str) -> (ResolvedProgram, Vec<Diag>, Vec<String>) {
+    let (prog, parse_errs) = parse_program_recovering(src);
+    let (rp, resolve_errs) = resolve_recovering(prog);
+    let dropped: Vec<String> = resolve_errs.iter().map(|e| e.unit.clone()).collect();
+    let diags: Vec<Diag> = parse_errs
+        .into_iter()
+        .map(Diag::Parse)
+        .chain(resolve_errs.into_iter().map(Diag::Resolve))
+        .collect();
+    (rp, diags, dropped)
 }

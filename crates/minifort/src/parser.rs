@@ -10,7 +10,7 @@
 
 use crate::ast::*;
 use crate::diag::ParseError;
-use crate::lexer::lex;
+use crate::lexer::{lex, lex_recovering};
 use crate::token::{Tok, Token};
 use crate::types::{Lang, Ty};
 
@@ -23,8 +23,34 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         next_id: 0,
         pending_omp: None,
         pending_target: None,
+        recovering: false,
+        diags: Vec::new(),
     };
     p.program()
+}
+
+/// Parses with recovery: a garbled statement is recorded as a
+/// diagnostic and parsing resynchronizes at the next statement
+/// boundary; a garbled unit header (or structure error the statement
+/// sync cannot absorb) drops that unit and resynchronizes at the next
+/// `PROGRAM`/`SUBROUTINE`/`FUNCTION`. Total: any input produces a
+/// [`Program`] (possibly empty) plus the diagnostics explaining what
+/// was lost.
+pub fn parse_program_recovering(src: &str) -> (Program, Vec<ParseError>) {
+    let (toks, diags) = lex_recovering(src);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        next_id: 0,
+        pending_omp: None,
+        pending_target: None,
+        recovering: true,
+        diags,
+    };
+    let prog = p
+        .program()
+        .expect("recovering parser never propagates errors");
+    (prog, p.diags)
 }
 
 struct Parser {
@@ -33,6 +59,10 @@ struct Parser {
     next_id: u32,
     pending_omp: Option<LoopDirective>,
     pending_target: Option<String>,
+    /// When set, parse errors are recorded in `diags` and the parser
+    /// resynchronizes instead of aborting.
+    recovering: bool,
+    diags: Vec<ParseError>,
 }
 
 const DECL_KWS: &[&str] = &[
@@ -148,6 +178,44 @@ impl Parser {
     }
 
     // ------------------------------------------------------------------
+    // Recovery synchronization
+    // ------------------------------------------------------------------
+
+    /// Consumes tokens through the next statement boundary.
+    fn sync_to_eos(&mut self) {
+        while !matches!(self.peek(), Tok::Eos | Tok::Eof) {
+            self.bump();
+        }
+        self.skip_eos();
+    }
+
+    /// Consumes tokens until a line opens with a unit header keyword
+    /// (or the file ends). Used after a unit-level parse failure.
+    fn sync_to_unit(&mut self) {
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Eos => {
+                    self.skip_eos();
+                    if self.at_unit_header() {
+                        break;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn at_unit_header(&self) -> bool {
+        self.peek().is_kw("PROGRAM")
+            || self.peek().is_kw("SUBROUTINE")
+            || self.peek().is_kw("FUNCTION")
+            || (self.peek_type_kw().is_some() && self.peek_at(1).is_kw("FUNCTION"))
+    }
+
+    // ------------------------------------------------------------------
     // Program structure
     // ------------------------------------------------------------------
 
@@ -166,16 +234,33 @@ impl Parser {
                             "C" => Lang::C,
                             "FORTRAN" | "F77" | "" => Lang::Fortran,
                             other => {
-                                return Err(self.err(format!("unknown language '{}'", other)))
+                                let e = self.err(format!("unknown language '{}'", other));
+                                if !self.recovering {
+                                    return Err(e);
+                                }
+                                self.diags.push(e);
+                                Lang::Fortran
                             }
                         };
                     }
                     // Loop directives at unit level are ignored.
                 }
-                _ => {
-                    units.push(self.unit(std::mem::take(&mut next_lang))?);
-                    next_lang = Lang::Fortran;
-                }
+                _ => match self.unit(std::mem::take(&mut next_lang)) {
+                    Ok(u) => {
+                        units.push(u);
+                        next_lang = Lang::Fortran;
+                    }
+                    Err(e) => {
+                        if !self.recovering {
+                            return Err(e);
+                        }
+                        // The whole unit is unusable: record why and
+                        // resynchronize at the next unit header.
+                        self.diags.push(e);
+                        self.sync_to_unit();
+                        next_lang = Lang::Fortran;
+                    }
+                },
             }
         }
         Ok(Program {
@@ -230,9 +315,18 @@ impl Parser {
             self.skip_eos();
             match self.peek() {
                 Tok::Ident(s) if DECL_KWS.contains(&s.as_str()) && !self.is_assignment() => {
-                    let d = self.declaration()?;
-                    if let Some(d) = d {
-                        decls.push(d);
+                    match self.declaration() {
+                        Ok(Some(d)) => decls.push(d),
+                        Ok(None) => {}
+                        Err(e) => {
+                            if !self.recovering {
+                                return Err(e);
+                            }
+                            // Drop the one garbled declaration and
+                            // resume at the next statement boundary.
+                            self.diags.push(e);
+                            self.sync_to_eos();
+                        }
                     }
                 }
                 _ => break,
@@ -241,12 +335,18 @@ impl Parser {
 
         // Body.
         let body = self.block(&mut |p: &mut Parser| p.peek().is_kw("END"))?;
-        self.expect_kw("END")?;
-        // Optional `END SUBROUTINE NAME` style suffixes.
-        while !matches!(self.peek(), Tok::Eos | Tok::Eof) {
-            self.bump();
+        if self.recovering && matches!(self.peek(), Tok::Eof) {
+            // Truncated source: accept the partial unit with what was
+            // parsed rather than losing it entirely.
+            self.diags.push(self.err("missing END (source truncated?)"));
+        } else {
+            self.expect_kw("END")?;
+            // Optional `END SUBROUTINE NAME` style suffixes.
+            while !matches!(self.peek(), Tok::Eos | Tok::Eof) {
+                self.bump();
+            }
+            self.expect_eos()?;
         }
-        self.expect_eos()?;
 
         Ok(Unit {
             name,
@@ -281,16 +381,15 @@ impl Parser {
 
     fn formal_list(&mut self) -> Result<Vec<String>, ParseError> {
         let mut formals = Vec::new();
-        if self.eat(&Tok::LParen)
-            && !self.eat(&Tok::RParen) {
-                loop {
-                    formals.push(self.expect_ident()?);
-                    if !self.eat(&Tok::Comma) {
-                        break;
-                    }
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                formals.push(self.expect_ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
                 }
-                self.expect(&Tok::RParen)?;
             }
+            self.expect(&Tok::RParen)?;
+        }
         Ok(formals)
     }
 
@@ -478,7 +577,10 @@ impl Parser {
             Tok::Int(v) => {
                 if !neg && self.eat(&Tok::Star) {
                     let lit = self.data_literal()?;
-                    Ok((u32::try_from(v).map_err(|_| self.err("bad repeat count"))?, lit))
+                    Ok((
+                        u32::try_from(v).map_err(|_| self.err("bad repeat count"))?,
+                        lit,
+                    ))
                 } else {
                     Ok((1, Literal::Int(if neg { -v } else { v })))
                 }
@@ -515,10 +617,29 @@ impl Parser {
             if let Tok::Directive(d) = self.peek() {
                 let d = d.clone();
                 self.bump();
-                self.directive(&d)?;
+                match self.directive(&d) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        if !self.recovering {
+                            return Err(e);
+                        }
+                        self.diags.push(e);
+                    }
+                }
                 continue;
             }
-            stmts.push(self.statement()?);
+            match self.statement() {
+                Ok(s) => stmts.push(s),
+                Err(e) => {
+                    if !self.recovering {
+                        return Err(e);
+                    }
+                    // Statement-level recovery: record the diagnosis,
+                    // drop the statement, resume at the next boundary.
+                    self.diags.push(e);
+                    self.sync_to_eos();
+                }
+            }
         }
         Ok(Block { stmts })
     }
@@ -571,16 +692,15 @@ impl Parser {
             if self.eat_kw("CALL") {
                 let name = self.expect_ident()?;
                 let mut args = Vec::new();
-                if self.eat(&Tok::LParen)
-                    && !self.eat(&Tok::RParen) {
-                        loop {
-                            args.push(self.expr()?);
-                            if !self.eat(&Tok::Comma) {
-                                break;
-                            }
+                if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
                         }
-                        self.expect(&Tok::RParen)?;
                     }
+                    self.expect(&Tok::RParen)?;
+                }
                 self.expect_eos()?;
                 return Ok(StmtKind::Call { name, args });
             }
@@ -723,9 +843,8 @@ impl Parser {
             Some(term) => {
                 // Body runs until (and includes) the statement labeled
                 // `term`. Nested old-style DOs must use distinct labels.
-                let mut b = self.block(&mut |p: &mut Parser| {
-                    matches!(p.peek(), Tok::Label(l) if *l == term)
-                })?;
+                let mut b = self
+                    .block(&mut |p: &mut Parser| matches!(p.peek(), Tok::Label(l) if *l == term))?;
                 let terminator = self.statement()?;
                 if !matches!(terminator.kind, StmtKind::Continue) {
                     b.stmts.push(terminator);
@@ -780,8 +899,7 @@ impl Parser {
                 p.peek().is_kw("ELSE") || p.peek().is_kw("ELSEIF") || p.peek().is_kw("ENDIF")
             })?;
             arms.push((current_cond.clone(), body));
-            if self.eat_kw("ELSEIF") || (self.peek().is_kw("ELSE") && self.peek_at(1).is_kw("IF"))
-            {
+            if self.eat_kw("ELSEIF") || (self.peek().is_kw("ELSE") && self.peek_at(1).is_kw("IF")) {
                 if self.peek().is_kw("ELSE") {
                     self.bump();
                     self.bump();
@@ -1033,9 +1151,7 @@ mod tests {
 
     #[test]
     fn old_style_do_with_label() {
-        let p = parse(
-            "PROGRAM P\nDO 100 I = 1, 10\nS = S + 1.0\n100 CONTINUE\nEND\n",
-        );
+        let p = parse("PROGRAM P\nDO 100 I = 1, 10\nS = S + 1.0\n100 CONTINUE\nEND\n");
         match &p.units[0].body.stmts[0].kind {
             StmtKind::Do { body, .. } => {
                 assert_eq!(body.stmts.len(), 2);
@@ -1157,7 +1273,10 @@ mod tests {
         let p = parse(
             "PROGRAM P\nDO WHILE (X .LT. 10.0)\nX = X + 1.0\nENDDO\n10 CONTINUE\nGOTO 10\nEND\n",
         );
-        assert!(matches!(&p.units[0].body.stmts[0].kind, StmtKind::DoWhile { .. }));
+        assert!(matches!(
+            &p.units[0].body.stmts[0].kind,
+            StmtKind::DoWhile { .. }
+        ));
         assert!(matches!(&p.units[0].body.stmts[2].kind, StmtKind::Goto(10)));
     }
 
@@ -1180,9 +1299,7 @@ mod tests {
 
     #[test]
     fn nested_loop_structure() {
-        let p = parse(
-            "PROGRAM P\nDO I = 1, N\nDO J = 1, M\nA(I, J) = 0.0\nENDDO\nENDDO\nEND\n",
-        );
+        let p = parse("PROGRAM P\nDO I = 1, N\nDO J = 1, M\nA(I, J) = 0.0\nENDDO\nENDDO\nEND\n");
         match &p.units[0].body.stmts[0].kind {
             StmtKind::Do { body, .. } => match &body.stmts[0].kind {
                 StmtKind::Do { body: inner, .. } => {
@@ -1198,5 +1315,57 @@ mod tests {
     fn parse_errors_have_lines() {
         let e = parse_program("PROGRAM P\nX = \nEND\n").unwrap_err();
         assert!(e.line == 2 || e.line == 3, "line {}", e.line);
+    }
+
+    #[test]
+    fn recovering_parser_matches_strict_on_clean_input() {
+        let src = "PROGRAM P\nREAL A(10)\nDO I = 1, 10\nA(I) = 1.0\nENDDO\nCALL S(A)\nEND\nSUBROUTINE S(X)\nREAL X(*)\nX(1) = 0.0\nEND\n";
+        let strict = parse_program(src).unwrap();
+        let (rec, diags) = parse_program_recovering(src);
+        assert!(diags.is_empty(), "{:?}", diags);
+        assert_eq!(strict.units.len(), rec.units.len());
+        assert_eq!(strict.stmt_count, rec.stmt_count);
+        for (a, b) in strict.units.iter().zip(&rec.units) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.body.stmts.len(), b.body.stmts.len());
+        }
+    }
+
+    #[test]
+    fn recovering_parser_drops_bad_statement_only() {
+        let (p, diags) = parse_program_recovering("PROGRAM P\nX = 1\nY = = 2\nZ = 3\nEND\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(p.units.len(), 1);
+        // X = 1 and Z = 3 survive; the garbled middle statement is gone.
+        assert_eq!(p.units[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn recovering_parser_drops_bad_unit_only() {
+        let (p, diags) = parse_program_recovering(
+            "PROGRAM P\nX = 1\nEND\nJUNK JUNK JUNK\nMORE NOISE\nSUBROUTINE OK(A)\nREAL A(*)\nA(1) = 1.0\nEND\n",
+        );
+        assert!(!diags.is_empty());
+        let names: Vec<&str> = p.units.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(names, vec!["P", "OK"]);
+    }
+
+    #[test]
+    fn recovering_parser_keeps_truncated_unit_prefix() {
+        let (p, diags) = parse_program_recovering("PROGRAM P\nX = 1\nDO I = 1, 10\nA(I) = ");
+        assert!(!diags.is_empty());
+        assert_eq!(p.units.len(), 1);
+        // The incomplete DO is dropped; the leading assignment survives.
+        assert!(p.units[0]
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::Assign { .. })));
+    }
+
+    #[test]
+    fn recovering_parser_is_total_on_noise() {
+        let (p, _diags) = parse_program_recovering("((((\n????\nENDDO ENDDO\n= = =\n");
+        assert!(p.units.is_empty());
     }
 }

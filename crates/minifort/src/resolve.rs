@@ -93,6 +93,45 @@ pub fn resolve(mut prog: Program) -> Result<ResolvedProgram, ResolveError> {
     })
 }
 
+/// Resolves with recovery: a unit that fails to resolve is dropped from
+/// the program and recorded as a [`ResolveError`], while every other
+/// unit resolves normally. Calls into a dropped unit degrade to
+/// unknown-routine calls, which the analyses already treat
+/// conservatively (opaque side effects).
+pub fn resolve_recovering(mut prog: Program) -> (ResolvedProgram, Vec<ResolveError>) {
+    let defined_units: HashSet<String> = prog.units.iter().map(|u| u.name.clone()).collect();
+    let mut tables = HashMap::new();
+    let mut common_sizes: HashMap<String, i64> = HashMap::new();
+    let mut errors = Vec::new();
+    let mut kept = Vec::with_capacity(prog.units.len());
+
+    for mut unit in std::mem::take(&mut prog.units) {
+        match resolve_unit(&mut unit, &defined_units) {
+            Ok(table) => {
+                for (blk, sz) in table.common_blocks() {
+                    let e = common_sizes.entry(blk).or_insert(0);
+                    if sz > *e {
+                        *e = sz;
+                    }
+                }
+                tables.insert(unit.name.clone(), table);
+                kept.push(unit);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    prog.units = kept;
+
+    (
+        ResolvedProgram {
+            program: prog,
+            tables,
+            common_sizes,
+        },
+        errors,
+    )
+}
+
 fn err(unit: &str, msg: impl Into<String>) -> ResolveError {
     ResolveError {
         unit: unit.to_string(),
@@ -391,10 +430,7 @@ fn resolve_unit(unit: &mut Unit, defined: &HashSet<String>) -> Result<SymbolTabl
                     Some((b, o, d)) => {
                         // Consistency: both anchors must agree.
                         if *b != block || offset - delta != o - d {
-                            return Err(err(
-                                &uname,
-                                "EQUIVALENCE conflicts with COMMON layout",
-                            ));
+                            return Err(err(&uname, "EQUIVALENCE conflicts with COMMON layout"));
                         }
                     }
                 }
@@ -403,7 +439,9 @@ fn resolve_unit(unit: &mut Unit, defined: &HashSet<String>) -> Result<SymbolTabl
         match common_anchor {
             Some((block, c_off, c_delta)) => {
                 for (name, delta) in members {
-                    let sym = table.get_mut(name).expect("member exists");
+                    let sym = table
+                        .get_mut(name)
+                        .ok_or_else(|| err(&uname, format!("EQUIVALENCE member {} lost", name)))?;
                     sym.storage = Storage::Common {
                         block: block.clone(),
                         offset: c_off - c_delta + delta,
@@ -421,11 +459,16 @@ fn resolve_unit(unit: &mut Unit, defined: &HashSet<String>) -> Result<SymbolTabl
                 let area = area_sizes.len() as u32;
                 let mut size = 0i64;
                 for (name, delta) in members {
-                    let sym = table.get_mut(name).expect("member exists");
+                    let sym = table
+                        .get_mut(name)
+                        .ok_or_else(|| err(&uname, format!("EQUIVALENCE member {} lost", name)))?;
                     let off = delta - min_delta;
                     sym.storage = Storage::Local { area, offset: off };
                     let sz = sym.size_words().ok_or_else(|| {
-                        err(&uname, format!("{} in EQUIVALENCE must be constant-size", name))
+                        err(
+                            &uname,
+                            format!("{} in EQUIVALENCE must be constant-size", name),
+                        )
                     })?;
                     size = size.max(off + sz);
                 }
@@ -439,7 +482,9 @@ fn resolve_unit(unit: &mut Unit, defined: &HashSet<String>) -> Result<SymbolTabl
     let mut names: Vec<String> = table.iter().map(|s| s.name.clone()).collect();
     names.sort();
     for name in names {
-        let sym = table.get(&name).expect("exists");
+        let sym = table
+            .get(&name)
+            .ok_or_else(|| err(&uname, format!("symbol {} lost during layout", name)))?;
         let is_local_data = matches!(sym.storage, Storage::Local { .. })
             && matches!(sym.kind, SymbolKind::Scalar | SymbolKind::Array(_))
             && !equivalenced.contains(&name);
@@ -455,7 +500,10 @@ fn resolve_unit(unit: &mut Unit, defined: &HashSet<String>) -> Result<SymbolTabl
             };
             let area = area_sizes.len() as u32;
             area_sizes.push(size);
-            table.get_mut(&name).expect("exists").storage = Storage::Local { area, offset: 0 };
+            table
+                .get_mut(&name)
+                .ok_or_else(|| err(&uname, format!("symbol {} lost during layout", name)))?
+                .storage = Storage::Local { area, offset: 0 };
         }
     }
     table.area_sizes = area_sizes;
@@ -722,10 +770,7 @@ impl UnionFind {
         let (rb, db) = self.find(b);
         if ra == rb {
             if da + off_a != db + off_b {
-                return Err(format!(
-                    "inconsistent EQUIVALENCE between {} and {}",
-                    a, b
-                ));
+                return Err(format!("inconsistent EQUIVALENCE between {} and {}", a, b));
             }
             return Ok(());
         }
@@ -774,9 +819,8 @@ mod tests {
 
     #[test]
     fn array_vs_call_disambiguation() {
-        let rp = front(
-            "PROGRAM P\nREAL A(10)\nEXTERNAL G\nX = A(3) + F(3) + G(4) + SQRT(2.0)\nEND\n",
-        );
+        let rp =
+            front("PROGRAM P\nREAL A(10)\nEXTERNAL G\nX = A(3) + F(3) + G(4) + SQRT(2.0)\nEND\n");
         let u = rp.unit("P").unwrap();
         let mut indexes = 0;
         let mut calls = 0;
@@ -795,21 +839,28 @@ mod tests {
 
     #[test]
     fn common_layout_offsets() {
-        let rp = front(
-            "PROGRAM P\nREAL A(100), Q\nINTEGER K\nCOMMON /BLK/ A, Q, K\nEND\n",
-        );
+        let rp = front("PROGRAM P\nREAL A(100), Q\nINTEGER K\nCOMMON /BLK/ A, Q, K\nEND\n");
         let t = rp.table("P");
         assert_eq!(
             t.get("A").unwrap().storage,
-            Storage::Common { block: "BLK".into(), offset: 0 }
+            Storage::Common {
+                block: "BLK".into(),
+                offset: 0
+            }
         );
         assert_eq!(
             t.get("Q").unwrap().storage,
-            Storage::Common { block: "BLK".into(), offset: 100 }
+            Storage::Common {
+                block: "BLK".into(),
+                offset: 100
+            }
         );
         assert_eq!(
             t.get("K").unwrap().storage,
-            Storage::Common { block: "BLK".into(), offset: 101 }
+            Storage::Common {
+                block: "BLK".into(),
+                offset: 101
+            }
         );
         assert_eq!(rp.common_sizes["BLK"], 102);
     }
@@ -824,12 +875,18 @@ mod tests {
 
     #[test]
     fn equivalence_local_overlap() {
-        let rp = front(
-            "PROGRAM P\nREAL A(10), B(10)\nEQUIVALENCE (A(1), B(5))\nEND\n",
-        );
+        let rp = front("PROGRAM P\nREAL A(10), B(10)\nEQUIVALENCE (A(1), B(5))\nEND\n");
         let t = rp.table("P");
-        let (Storage::Local { area: aa, offset: ao }, Storage::Local { area: ba, offset: bo }) =
-            (&t.get("A").unwrap().storage, &t.get("B").unwrap().storage)
+        let (
+            Storage::Local {
+                area: aa,
+                offset: ao,
+            },
+            Storage::Local {
+                area: ba,
+                offset: bo,
+            },
+        ) = (&t.get("A").unwrap().storage, &t.get("B").unwrap().storage)
         else {
             panic!("expected local storage");
         };
@@ -842,13 +899,15 @@ mod tests {
 
     #[test]
     fn equivalence_into_common() {
-        let rp = front(
-            "PROGRAM P\nREAL A(10), B(6)\nCOMMON /C/ A\nEQUIVALENCE (A(3), B(1))\nEND\n",
-        );
+        let rp =
+            front("PROGRAM P\nREAL A(10), B(6)\nCOMMON /C/ A\nEQUIVALENCE (A(3), B(1))\nEND\n");
         let t = rp.table("P");
         assert_eq!(
             t.get("B").unwrap().storage,
-            Storage::Common { block: "C".into(), offset: 2 }
+            Storage::Common {
+                block: "C".into(),
+                offset: 2
+            }
         );
         // B extends the block? B(6) ends at offset 8 < 10, so size 10.
         assert_eq!(rp.common_sizes["C"], 10);
@@ -911,6 +970,33 @@ mod tests {
     fn local_adjustable_array_is_error() {
         let p = parse_program("PROGRAM P\nREAL A(N)\nN = 5\nEND\n").unwrap();
         assert!(resolve(p).is_err());
+    }
+
+    #[test]
+    fn recovering_resolve_drops_failing_unit_only() {
+        // S has an inconsistent EQUIVALENCE; P and OK are fine.
+        let p = parse_program(
+            "PROGRAM P\nREAL A(10)\nCALL S(A)\nEND\nSUBROUTINE S(X)\nREAL A(10), B(10)\nEQUIVALENCE (A(1), B(1)), (A(2), B(5))\nEND\nSUBROUTINE OK(Y)\nY = 1.0\nEND\n",
+        )
+        .unwrap();
+        let (rp, errs) = resolve_recovering(p);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].unit, "S");
+        let names = rp.unit_names();
+        assert_eq!(names, vec!["P", "OK"]);
+        // The call into the dropped unit still resolves (as an unknown
+        // routine) in the surviving caller.
+        assert!(rp.table("P").get("S").is_some());
+    }
+
+    #[test]
+    fn recovering_resolve_matches_strict_on_clean_input() {
+        let src = "PROGRAM P\nREAL A(10)\nCOMMON /B/ A\nEND\nSUBROUTINE S\nREAL Z(50)\nCOMMON /B/ Z\nEND\n";
+        let strict = front(src);
+        let (rec, errs) = resolve_recovering(parse_program(src).unwrap());
+        assert!(errs.is_empty());
+        assert_eq!(strict.unit_names(), rec.unit_names());
+        assert_eq!(strict.common_sizes, rec.common_sizes);
     }
 
     #[test]

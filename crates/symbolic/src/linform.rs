@@ -70,9 +70,12 @@ impl Monomial {
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
+                    // Saturate rather than overflow: a degree-4-billion
+                    // monomial only arises from adversarial input, and a
+                    // pinned power is still a valid canonical form.
                     factors.push((
                         self.factors[i].0.clone(),
-                        self.factors[i].1 + other.factors[j].1,
+                        self.factors[i].1.saturating_add(other.factors[j].1),
                     ));
                     i += 1;
                     j += 1;
@@ -93,7 +96,7 @@ impl Monomial {
                 continue;
             }
             match factors.last_mut() {
-                Some((la, lp)) if *la == a => *lp += p,
+                Some((la, lp)) if *la == a => *lp = lp.saturating_add(p),
                 _ => factors.push((a, p)),
             }
         }
@@ -275,7 +278,10 @@ mod tests {
         let x = LinForm::monomial(Monomial::atom(va(0)));
         let two_x = x.add(&x).unwrap();
         assert_eq!(two_x, x.scale(2).unwrap());
-        assert_eq!(two_x.add(&two_x.neg().unwrap()).unwrap().as_constant(), Some(0));
+        assert_eq!(
+            two_x.add(&two_x.neg().unwrap()).unwrap().as_constant(),
+            Some(0)
+        );
     }
 
     #[test]
@@ -302,6 +308,14 @@ mod tests {
         let y = Monomial::atom(va(1));
         let lf = LinForm::from_terms(7, vec![(6, x), (9, y)]).unwrap();
         assert_eq!(lf.coef_gcd(), 3);
+    }
+
+    #[test]
+    fn monomial_powers_saturate_instead_of_overflowing() {
+        let deep = Monomial::from_factors(vec![(va(0), u32::MAX), (va(0), 7)]);
+        assert_eq!(deep.factors(), &[(va(0), u32::MAX)]);
+        let sq = deep.mul(&deep);
+        assert_eq!(sq.factors(), &[(va(0), u32::MAX)]);
     }
 
     #[test]

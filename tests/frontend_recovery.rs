@@ -1,0 +1,160 @@
+//! Front-end recovery, end-to-end: truncated, garbled, and mutated
+//! real-suite sources must compile to diagnostics — never a panic —
+//! and damage localized to one unit must leave every other unit's
+//! loop classifications untouched.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use apar_core::{Classification, CompileResult, Compiler, CompilerProfile};
+use apar_minicheck::mutate::mutate;
+use apar_minicheck::{Rng, BASE_SEED};
+use apar_workloads as wl;
+
+fn compile_recovering(name: &str, src: &str) -> CompileResult {
+    Compiler::new(CompilerProfile::polaris2008()).compile_source_recovering(name, src)
+}
+
+/// Map of (unit, stmt) → classification for cross-run comparison.
+fn by_loop(r: &CompileResult) -> HashMap<(String, String), Classification> {
+    r.loops
+        .iter()
+        .map(|l| ((l.unit.clone(), format!("{:?}", l.stmt)), l.classification))
+        .collect()
+}
+
+#[test]
+fn truncated_seismic_compiles_with_diagnostics() {
+    let w = wl::seismic::full_suite(wl::DataSize::Test, wl::Variant::Serial);
+    // Cut the source mid-statement at several depths; every prefix must
+    // compile to a report, with the tail's loss showing up as
+    // diagnostics or dropped units rather than a panic.
+    for frac in [30, 55, 80, 95] {
+        let cut = w.source.len() * frac / 100;
+        let cut = (0..=cut)
+            .rev()
+            .find(|&i| w.source.is_char_boundary(i))
+            .unwrap();
+        let src = &w.source[..cut];
+        let r = compile_recovering(&w.name, src);
+        assert!(
+            !r.report.diags.is_empty() || r.report.units > 0,
+            "truncation at {}% produced neither units nor diagnostics",
+            frac
+        );
+    }
+}
+
+#[test]
+fn garbled_gamess_unit_leaves_others_identical() {
+    let w = wl::gamess::suite(wl::DataSize::Test);
+    let clean = Compiler::new(CompilerProfile::polaris2008())
+        .compile_source(&w.name, &w.source)
+        .expect("clean compile");
+
+    // Garble the interior of ONE subroutine: find its header line and
+    // damage the line after it.
+    let lines: Vec<&str> = w.source.lines().collect();
+    let sub_line = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("SUBROUTINE"))
+        .expect("gamess has subroutines");
+    let victim_unit = lines[sub_line]
+        .trim_start()
+        .trim_start_matches("SUBROUTINE")
+        .trim()
+        .split('(')
+        .next()
+        .unwrap()
+        .to_string();
+    let mut damaged = lines.clone();
+    let junk = "X = = 'oops";
+    damaged.insert(sub_line + 1, junk);
+    let src = damaged.join("\n") + "\n";
+
+    let r = compile_recovering(&w.name, &src);
+    assert!(
+        !r.report.diags.is_empty(),
+        "garbled statement must surface as a diagnostic"
+    );
+
+    // Loops in every unit other than the victim classify identically.
+    let clean_map = by_loop(&clean);
+    let mut compared = 0;
+    for l in &r.loops {
+        if l.unit == victim_unit {
+            continue;
+        }
+        if let Some(c) = clean_map.get(&(l.unit.clone(), format!("{:?}", l.stmt))) {
+            assert_eq!(
+                *c, l.classification,
+                "{}:{:?} changed classification after unrelated damage",
+                l.unit, l.stmt
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "no unaffected loops compared");
+}
+
+#[test]
+fn mutated_suites_never_panic_and_stay_thread_invariant() {
+    let suites = [
+        wl::seismic::full_suite(wl::DataSize::Test, wl::Variant::Serial),
+        wl::gamess::suite(wl::DataSize::Test),
+        wl::sander::suite(wl::DataSize::Test),
+    ];
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for (si, w) in suites.iter().enumerate() {
+        for round in 0..6u64 {
+            let mut rng = Rng::new(BASE_SEED ^ (si as u64) << 32 ^ round);
+            let src = mutate(&mut rng, &w.source, 3);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let serial = compile_recovering(&w.name, &src);
+                let parallel = Compiler::new(CompilerProfile::polaris2008().with_threads(4))
+                    .compile_source_recovering(&w.name, &src);
+                (by_loop(&serial), by_loop(&parallel))
+            }));
+            let (s, p) = match outcome {
+                Ok(maps) => maps,
+                Err(_) => panic!(
+                    "mutant of {} (round {}) escaped the recovering frontend:\n{}",
+                    w.name, round, src
+                ),
+            };
+            assert_eq!(
+                s, p,
+                "mutant of {} (round {}) diverged across thread counts",
+                w.name, round
+            );
+        }
+    }
+    std::panic::set_hook(prev);
+}
+
+#[test]
+fn recovering_mode_matches_strict_on_clean_suites() {
+    for w in [
+        wl::seismic::full_suite(wl::DataSize::Test, wl::Variant::Serial),
+        wl::gamess::suite(wl::DataSize::Test),
+        wl::sander::suite(wl::DataSize::Test),
+    ] {
+        let strict = Compiler::new(CompilerProfile::polaris2008())
+            .compile_source(&w.name, &w.source)
+            .expect("strict compile");
+        let rec = compile_recovering(&w.name, &w.source);
+        assert!(
+            rec.report.diags.is_empty(),
+            "{}: spurious diagnostics",
+            w.name
+        );
+        assert!(rec.report.dropped_units.is_empty());
+        assert_eq!(
+            by_loop(&strict),
+            by_loop(&rec),
+            "{}: reports differ",
+            w.name
+        );
+    }
+}

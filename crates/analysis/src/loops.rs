@@ -170,6 +170,38 @@ pub fn inner_loop_depth(b: &Block) -> usize {
     max
 }
 
+/// True when a loop body's per-iteration cost is data-dependent — it
+/// contains conditional work — so a cyclic schedule balances threads
+/// better than contiguous chunks. Used by codegen's `SCHEDULE` clause.
+pub fn imbalanced_body(b: &Block) -> bool {
+    let mut found = false;
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::If { .. } => found = true,
+            StmtKind::Do { body, .. } | StmtKind::DoWhile { body, .. } => {
+                found = found || imbalanced_body(body);
+            }
+            _ => {}
+        }
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Length of the perfect-nest chain rooted at a loop with this body:
+/// 1 when the body is anything but a lone inner DO, otherwise one more
+/// than the inner loop's chain. Used by codegen's `COLLAPSE` clause.
+pub fn perfect_nest_depth(body: &Block) -> u8 {
+    if body.stmts.len() == 1 {
+        if let StmtKind::Do { body: inner, .. } = &body.stmts[0].kind {
+            return perfect_nest_depth(inner).saturating_add(1);
+        }
+    }
+    1
+}
+
 /// Finds a loop's DO statement within a unit.
 pub fn find_loop<'a>(unit: &'a Unit, id: StmtId) -> Option<&'a Stmt> {
     let mut found: Option<&'a Stmt> = None;
@@ -400,6 +432,22 @@ mod tests {
         assert_eq!(m.outer_loops, 1, "the DRIVER iteration loop");
         assert_eq!(m.enclosed_subs, 2, "HELPER->LEAF");
         assert_eq!(m.enclosed_loops, 1, "HELPER's K loop");
+    }
+
+    #[test]
+    fn clause_facts_for_codegen() {
+        let (rp, _, _) = setup(
+            "PROGRAM P\nDO I = 1, 10\nDO J = 1, 10\nA(I, J) = 1.0\nENDDO\nENDDO\n\
+             DO K = 1, 10\nIF (A(K, 1) .GT. 0.0) THEN\nA(K, 1) = 0.0\nENDIF\nENDDO\nEND\n",
+        );
+        let body = |i: usize| match &rp.program.units[0].body.stmts[i].kind {
+            StmtKind::Do { body, .. } => body,
+            _ => panic!("expected DO"),
+        };
+        assert_eq!(perfect_nest_depth(body(0)), 2);
+        assert_eq!(perfect_nest_depth(body(1)), 1);
+        assert!(!imbalanced_body(body(0)));
+        assert!(imbalanced_body(body(1)));
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! End-to-end source-to-source benchmark: emit annotated MiniFort,
+//! reparse it, execute serial vs auto-parallel, compare bit-for-bit.
+//!
+//! Usage: `bench_exec [THREADS] [SUITE...]` (defaults: 4, all suites).
+//! Exits nonzero if any suite's round-trip or serial-vs-parallel
+//! comparison fails — correctness is the benchmark's contract, the
+//! speedup column is the measurement.
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let threads: usize = args
+        .peek()
+        .and_then(|a| a.parse().ok())
+        .inspect(|_| {
+            args.next();
+        })
+        .unwrap_or(4);
+    let filter: Vec<String> = args.collect();
+    let data = apar_bench::exec_bench::measure(threads, &filter);
+    print!("{}", apar_bench::exec_bench::render(&data));
+    if data.rows.is_empty() {
+        eprintln!("FAIL: no suite matched the filter");
+        std::process::exit(1);
+    }
+    let path = apar_bench::write_artifact("BENCH_exec.json", &data);
+    println!("(artifact: {})", path.display());
+    if !data.all_correct() {
+        eprintln!("FAIL: a suite's annotated execution diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -1,28 +1,55 @@
 //! Compile fuzzer driver: no-panic + thread-invariant reports over a
 //! fixed-seed corpus (generated MiniFort, garbled MiniFort, and
-//! mutated suite sources).
+//! mutated suite sources), then the end-to-end backend contract —
+//! emit annotated source, reparse it, execute serial vs auto-parallel
+//! at 1 and 4 threads — over the same corpus.
 //!
-//! Usage: `fuzz_compile [COUNT] [THREADS]` (defaults: 500, 4). Writes
-//! minimized crashers to `target/fuzz/crasher_<case>.f` and exits
-//! nonzero if any case panicked or diverged across thread counts.
+//! Usage: `fuzz_compile [COUNT] [THREADS] [EXEC_COUNT]` (defaults:
+//! 500, 4, COUNT/4). Writes minimized crashers to
+//! `target/fuzz/crasher_<case>.f` (compile phase) and full failing
+//! sources to `target/fuzz/exec_crasher_<case>.f` (exec phase); exits
+//! nonzero on any contract violation in either phase.
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let exec_count: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(count.div_ceil(4));
 
     let report = apar_bench::fuzz::run(count, threads);
     print!("{}", apar_bench::fuzz::render(&report));
 
+    let exec_report = apar_bench::fuzz::run_exec(exec_count);
+    print!("{}", apar_bench::fuzz::render_exec(&exec_report));
+
+    let mut failed = false;
+    let dir = std::path::Path::new("target/fuzz");
     if !report.crashers.is_empty() {
-        let dir = std::path::Path::new("target/fuzz");
+        failed = true;
         std::fs::create_dir_all(dir).expect("create target/fuzz");
         for c in &report.crashers {
             let path = dir.join(format!("crasher_{}.f", c.case));
             std::fs::write(&path, &c.minimized).expect("write crasher");
             eprintln!("minimized crasher written to {}", path.display());
         }
+    }
+    if !exec_report.crashers.is_empty() {
+        failed = true;
+        std::fs::create_dir_all(dir).expect("create target/fuzz");
+        for c in &exec_report.crashers {
+            let path = dir.join(format!("exec_crasher_{}.f", c.case));
+            std::fs::write(&path, &c.source).expect("write crasher");
+            eprintln!("exec crasher written to {}", path.display());
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!("ok: {} cases, zero crashers", report.cases);
+    println!(
+        "ok: {} compile cases + {} exec cases, zero crashers",
+        report.cases, exec_report.cases
+    );
 }

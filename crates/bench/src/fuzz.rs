@@ -14,6 +14,14 @@
 //!
 //! Failures are minimized by greedy line removal and reported with the
 //! case seed, so every crasher is reproducible by construction.
+//!
+//! A second, deeper contract ([`run_exec`]) drives the same corpus all
+//! the way through the source-to-source backend: compile, emit
+//! annotated MiniFort, reparse the artifact, and execute it serially
+//! and auto-parallel at 1 and 4 threads. Zero escaped panics anywhere
+//! in that pipeline, the artifact must round-trip cleanly, and whenever
+//! the serial run succeeds the parallel runs must reproduce its output
+//! bit-for-bit.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -21,6 +29,7 @@ use apar_core::{CompileResult, Compiler, CompilerProfile};
 use apar_minicheck::fortgen::{gen_program, GenConfig};
 use apar_minicheck::mutate::mutate;
 use apar_minicheck::{Rng, BASE_SEED};
+use apar_runtime::{run as rt_run, ExecConfig, ExecMode};
 use apar_workloads as wl;
 
 use crate::compile_bench::report_signature;
@@ -181,6 +190,166 @@ pub fn run(count: usize, threads: usize) -> FuzzReport {
     report
 }
 
+// ---------------- emit → reparse → execute contract ----------------
+
+/// How one corpus case failed the end-to-end contract.
+#[derive(Clone, Debug)]
+pub enum ExecFail {
+    /// A panic escaped the compile/emit/execute pipeline.
+    Panic(String),
+    /// The emitted artifact did not reparse cleanly (diagnostic count).
+    RoundTrip(usize),
+    /// A parallel run of the artifact did not reproduce the serial
+    /// output (the string names the diverging configuration).
+    Divergence(String),
+}
+
+/// A case failing the end-to-end contract.
+#[derive(Clone, Debug)]
+pub struct ExecCrasher {
+    pub case: usize,
+    pub seed: u64,
+    pub fail: ExecFail,
+    pub source: String,
+}
+
+/// Corpus-wide result of the end-to-end contract.
+#[derive(Clone, Debug, Default)]
+pub struct ExecFuzzReport {
+    pub cases: usize,
+    /// Cases whose serial execution succeeded (and were therefore
+    /// compared against both parallel runs).
+    pub executed: usize,
+    /// Cases whose serial execution hit a runtime error (random
+    /// programs trap; those skip the equality check but still must not
+    /// panic).
+    pub serial_errors: usize,
+    /// Total loops emitted under `!$PAR DO` across the corpus.
+    pub emitted_loops: usize,
+    pub crashers: Vec<ExecCrasher>,
+}
+
+fn exec_config(mode: ExecMode, threads: usize) -> ExecConfig {
+    ExecConfig {
+        mode,
+        threads,
+        seg_words: 1 << 20,
+        max_output: 2_000,
+        // Fuel cap: mutated sources can contain infinite DO WHILE
+        // loops; a capped run counts as a serial error, not a hang.
+        max_virt: 2_000_000,
+        ..Default::default()
+    }
+}
+
+/// Pushes one source through compile → emit → reparse → execute and
+/// checks the whole-pipeline contract. `Ok` carries
+/// (serial ran to completion, loops emitted parallel).
+pub fn check_emit_exec(src: &str) -> Result<(bool, usize), ExecFail> {
+    let panic_msg = |p: Box<dyn std::any::Any + Send>| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        ExecFail::Panic(msg)
+    };
+    let compiler = Compiler::new(CompilerProfile::polaris2008());
+    let emit = catch_unwind(AssertUnwindSafe(|| {
+        let r = compiler.compile_source_recovering("fuzz", src);
+        compiler.emit(r)
+    }))
+    .map_err(panic_msg)?;
+    if !emit.reparse_diags.is_empty() {
+        return Err(ExecFail::RoundTrip(emit.reparse_diags.len()));
+    }
+    let exec = |mode: ExecMode, threads: usize| {
+        catch_unwind(AssertUnwindSafe(|| {
+            rt_run(&emit.reparsed, &[], &exec_config(mode, threads))
+        }))
+        .map_err(panic_msg)
+    };
+    let serial = exec(ExecMode::Serial, 1)?;
+    let par1 = exec(ExecMode::Auto, 1)?;
+    let par4 = exec(ExecMode::Auto, 4)?;
+    let Ok(s) = serial else {
+        // Random programs may trap (bounds, uninit, exhausted deck);
+        // the contract is only that nothing panicked above.
+        return Ok((false, emit.emitted));
+    };
+    for (label, p) in [("auto@1", par1), ("auto@4", par4)] {
+        match p {
+            Ok(ref r) if r.output == s.output && r.stopped == s.stopped => {}
+            // Fork/join overhead is part of the virtual clock, so a
+            // run that just fits the serial budget can exceed it in
+            // parallel. A budget trip is not a divergence.
+            Err(apar_runtime::RtError::OpLimit) => {}
+            other => {
+                return Err(ExecFail::Divergence(format!(
+                    "{}: serial ok but parallel {:?}",
+                    label,
+                    other.map(|r| r.output)
+                )))
+            }
+        }
+    }
+    Ok((true, emit.emitted))
+}
+
+/// Runs the end-to-end contract over the corpus.
+pub fn run_exec(count: usize) -> ExecFuzzReport {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut report = ExecFuzzReport {
+        cases: count,
+        ..Default::default()
+    };
+    for case in 0..count {
+        let src = corpus_case(case, count);
+        match check_emit_exec(&src) {
+            Ok((ran, emitted)) => {
+                if ran {
+                    report.executed += 1;
+                } else {
+                    report.serial_errors += 1;
+                }
+                report.emitted_loops += emitted;
+            }
+            Err(fail) => report.crashers.push(ExecCrasher {
+                case,
+                seed: case_seed(case),
+                fail,
+                source: src,
+            }),
+        }
+    }
+    std::panic::set_hook(prev);
+    report
+}
+
+/// ASCII rendering of an end-to-end fuzz run.
+pub fn render_exec(r: &ExecFuzzReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FUZZ emit+exec — {} cases, {} executed, {} serial errors, {} loops emitted, {} crashers\n",
+        r.cases,
+        r.executed,
+        r.serial_errors,
+        r.emitted_loops,
+        r.crashers.len()
+    ));
+    for c in &r.crashers {
+        out.push_str(&format!(
+            "  case {} (seed {:#x}) {:?}:\n",
+            c.case, c.seed, c.fail
+        ));
+        for l in c.source.lines().take(40) {
+            out.push_str(&format!("    | {}\n", l));
+        }
+    }
+    out
+}
+
 /// ASCII rendering of a fuzz run.
 pub fn render(r: &FuzzReport) -> String {
     let mut out = String::new();
@@ -230,6 +399,16 @@ mod tests {
         let r = run(36, 2);
         assert!(r.crashers.is_empty(), "crashers found:\n{}", render(&r));
         assert!(r.diag_cases > 0, "garbled cases should produce diagnostics");
+    }
+
+    #[test]
+    fn smoke_corpus_survives_emit_and_execute() {
+        // Fast end-to-end sample spanning all three corpus modes; the
+        // full run is the `fuzz_compile` binary's second phase.
+        let r = run_exec(24);
+        assert!(r.crashers.is_empty(), "crashers found:\n{}", render_exec(&r));
+        assert!(r.executed > 0, "no corpus case executed to completion");
+        assert!(r.emitted_loops > 0, "no corpus loop was emitted parallel");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use apar_core::nesting::NestingAverages;
 
 use crate::ablation::AblationRow;
 use crate::compile_bench::CompileBenchRow;
+use crate::exec_bench::{ExecBenchData, ExecBenchRow};
 use crate::fig1::{Fig1Data, Fig1Row};
 use crate::fig2::Fig2Row;
 use crate::fig4::Fig4Data;
@@ -170,6 +171,33 @@ impl ToJson for CompileBenchRow {
             ("budget_tripped_loops", self.budget_tripped_loops.to_json()),
             ("diag_units", self.diag_units.to_json()),
             ("identical", self.identical.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ExecBenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("suite", self.suite.to_json()),
+            ("loops", self.loops.to_json()),
+            ("emitted", self.emitted.to_json()),
+            ("not_emittable", self.not_emittable.to_json()),
+            ("reparse_diags", self.reparse_diags.to_json()),
+            ("serial_virt_s", self.serial_virt_s.to_json()),
+            ("auto_virt_s", self.auto_virt_s.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("regions", self.regions.to_json()),
+            ("correct", self.correct.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ExecBenchData {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("threads", self.threads.to_json()),
+            ("all_correct", self.all_correct().to_json()),
+            ("rows", self.rows.to_json()),
         ])
     }
 }

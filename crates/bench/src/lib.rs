@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod compile_bench;
+pub mod exec_bench;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

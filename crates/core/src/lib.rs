@@ -29,7 +29,7 @@ pub mod profile;
 pub mod report;
 
 pub use classify::Classification;
-pub use pipeline::{CompileResult, Compiler, LoopReport};
+pub use pipeline::{CompileResult, Compiler, EmitResult, LoopReport};
 pub use profile::CompilerProfile;
 pub use report::{CompileReport, PassId};
 

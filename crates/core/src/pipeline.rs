@@ -21,16 +21,16 @@ use apar_analysis::ddtest::{self, DdInput};
 use apar_analysis::gsa;
 use apar_analysis::induction;
 use apar_analysis::inline;
-use apar_analysis::loops::{LoopForest, LoopInfo};
+use apar_analysis::loops::{find_loop, imbalanced_body, LoopForest, LoopInfo};
 use apar_analysis::privatize;
 use apar_analysis::ranges::ScalarState;
 use apar_analysis::reduction;
 use apar_analysis::summary::Summaries;
 use apar_analysis::symx::SymMap;
-use apar_minifort::ast::{Block, LoopDirective, StmtKind};
+use apar_minifort::ast::{Block, LoopDirective, Schedule, StmtKind};
 use apar_minifort::{
-    parse_program, parse_program_recovering, resolve, resolve_recovering, Diag, Program,
-    ResolvedProgram, StmtId,
+    frontend_recovering, parse_program, parse_program_recovering, resolve, resolve_recovering,
+    Diag, Program, ResolvedProgram, StmtId,
 };
 use apar_symbolic::OpCounter;
 
@@ -295,6 +295,17 @@ impl Compiler {
         };
 
         // ---- Deterministic merge (loop order) -------------------------------
+        // Loops the analysis proved parallel, for COLLAPSE computation:
+        // a perfect-nest chain counts only members of this set.
+        let auto_ok: HashSet<StmtId> = forest
+            .loops
+            .iter()
+            .zip(&outcomes)
+            .filter(|(_, o)| {
+                matches!(&o.result, Ok(a) if a.classification == Classification::Autoparallelized)
+            })
+            .map(|(info, _)| info.id.stmt)
+            .collect();
         let mut loops_out: Vec<LoopReport> = Vec::new();
         let mut parallel_loops: HashSet<StmtId> = HashSet::new();
         for (info, outcome) in forest.loops.iter().zip(outcomes) {
@@ -342,8 +353,11 @@ impl Compiler {
             // Annotate the outermost parallel loops on the ORIGINAL AST.
             let mut annotated = false;
             let mut speculative = false;
-            if let Some(directive) = analyzed.candidate {
+            if let Some(mut directive) = analyzed.candidate {
                 if !has_parallel_ancestor(&forest, info, &parallel_loops) {
+                    if let Some(u) = rp.unit(&info.id.unit) {
+                        directive.collapse = collapse_depth(u, info.id.stmt, &auto_ok);
+                    }
                     speculative = directive.speculative;
                     annotated = annotate_loop(&mut rp, &info.id.unit, info.id.stmt, directive);
                     if annotated {
@@ -375,6 +389,93 @@ impl Compiler {
             loops: loops_out,
         })
     }
+
+    /// Compiles source text and renders the result through the codegen
+    /// backend: the annotated program becomes directive-annotated
+    /// MiniFort text, hindered loops carry their reason as a
+    /// `!$PAR SERIAL` comment, and parallelizable-but-not-emittable
+    /// loops are demoted to serial and ledgered as
+    /// [`SkipReason::NotEmittable`]. The emitted source is reparsed by
+    /// the recovering front end so callers can execute it.
+    pub fn compile_and_emit(&self, app: &str, src: &str) -> Result<EmitResult, Diag> {
+        let result = self.compile_source(app, src)?;
+        Ok(self.emit(result))
+    }
+
+    /// The emission half of [`Compiler::compile_and_emit`], usable on
+    /// any [`CompileResult`] (e.g. one from a recovering compile).
+    pub fn emit(&self, mut result: CompileResult) -> EmitResult {
+        // Serial-reason comments: every loop the classifier hindered.
+        // Parallelizable loops that went unannotated because an
+        // ancestor absorbed them are not "serial" — they run inside the
+        // ancestor's parallel region — so they get no comment.
+        let mut reasons: std::collections::HashMap<StmtId, String> =
+            std::collections::HashMap::new();
+        for l in &result.loops {
+            if l.classification != Classification::Autoparallelized && !l.parallelized {
+                reasons.insert(l.stmt, l.classification.label().to_string());
+            }
+        }
+        for s in &result.report.skipped {
+            reasons.insert(s.stmt, s.reason.label().to_string());
+        }
+        let out = apar_codegen::emit(&result.rp, &reasons);
+
+        // Fold rejections into the report: the loop is serial after
+        // all, and the skip ledger says why instead of the program
+        // silently degrading.
+        for rej in &out.rejected {
+            strip_annotation(&mut result.rp, &rej.unit, rej.stmt);
+            let target = result
+                .loops
+                .iter()
+                .find(|l| l.stmt == rej.stmt && l.unit == rej.unit)
+                .and_then(|l| l.target.clone());
+            result.report.skipped.push(SkippedLoop {
+                unit: rej.unit.clone(),
+                stmt: rej.stmt,
+                target,
+                reason: SkipReason::NotEmittable {
+                    detail: rej.reason.clone(),
+                },
+            });
+            if let Some(l) = result
+                .loops
+                .iter_mut()
+                .find(|l| l.stmt == rej.stmt && l.unit == rej.unit)
+            {
+                l.parallelized = false;
+                l.speculative = false;
+            }
+        }
+
+        let (reparsed, reparse_diags, _) = frontend_recovering(&out.source);
+        EmitResult {
+            result,
+            source: out.source,
+            emitted: out.emitted,
+            reparsed,
+            reparse_diags,
+        }
+    }
+}
+
+/// Everything [`Compiler::compile_and_emit`] produces.
+#[derive(Debug)]
+pub struct EmitResult {
+    /// The compile result, with codegen rejections folded into the
+    /// skip ledger and the corresponding loop reports demoted.
+    pub result: CompileResult,
+    /// The directive-annotated MiniFort artifact.
+    pub source: String,
+    /// Loops emitted under a `!$PAR DO` directive.
+    pub emitted: usize,
+    /// `source`, reparsed and re-resolved by the recovering front end —
+    /// ready for the runtime. The emit contract is `reparse_diags`
+    /// empty: the artifact round-trips cleanly.
+    pub reparsed: ResolvedProgram,
+    /// Diagnostics from reparsing (empty when the round-trip holds).
+    pub reparse_diags: Vec<Diag>,
 }
 
 /// Read-only context shared by the per-loop analysis workers.
@@ -733,6 +834,16 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
                 .cloned()
                 .collect(),
             reductions: reds.iter().map(|r| (r.op, r.var.clone())).collect(),
+            // Conditional work makes per-iteration cost index-dependent;
+            // a cyclic schedule then balances the workers better than
+            // contiguous chunks.
+            schedule: if imbalanced_body(&body) {
+                Schedule::Cyclic
+            } else {
+                Schedule::Static
+            },
+            // The merge pass fills in the proved-parallel nest depth.
+            collapse: 1,
             speculative: !parallel,
             writes,
         })
@@ -790,6 +901,30 @@ fn find_do(
     found
 }
 
+/// `COLLAPSE(n)` value for the loop `id`: the length of the perfect
+/// nest rooted there, counting only loops the analysis itself proved
+/// parallel (`auto_ok`). Always at least 1 — the annotated loop.
+fn collapse_depth(u: &apar_minifort::Unit, id: StmtId, auto_ok: &HashSet<StmtId>) -> u8 {
+    let Some(stmt) = find_loop(u, id) else {
+        return 1;
+    };
+    let mut depth: u8 = 1;
+    let mut body = match &stmt.kind {
+        StmtKind::Do { body, .. } => body,
+        _ => return 1,
+    };
+    while body.stmts.len() == 1 {
+        match &body.stmts[0].kind {
+            StmtKind::Do { body: inner, .. } if auto_ok.contains(&body.stmts[0].id) => {
+                depth = depth.saturating_add(1);
+                body = inner;
+            }
+            _ => break,
+        }
+    }
+    depth
+}
+
 fn has_parallel_ancestor(
     forest: &LoopForest,
     info: &apar_analysis::loops::LoopInfo,
@@ -829,6 +964,21 @@ fn annotate_loop(
         }
     });
     done
+}
+
+/// Removes the `auto_par` annotation from a DO statement (codegen
+/// rejected its directive, so the compiled program must agree with the
+/// emitted serial source).
+fn strip_annotation(rp: &mut ResolvedProgram, unit: &str, id: StmtId) {
+    if let Some(u) = rp.program.unit_mut(unit) {
+        u.body.walk_stmts_mut(&mut |s| {
+            if s.id == id {
+                if let StmtKind::Do { auto_par, .. } = &mut s.kind {
+                    *auto_par = None;
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -1155,5 +1305,96 @@ mod tests {
         );
         assert_eq!(r.loops[0].classification, Classification::RealDependence);
         assert!(!r.loops[0].parallelized);
+    }
+
+    #[test]
+    fn compile_and_emit_roundtrips_annotated_source() {
+        let e = Compiler::new(CompilerProfile::polaris2008())
+            .compile_and_emit(
+                "test",
+                "PROGRAM P\nREAL A(100), B(100)\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nWRITE(*, *) A(1)\nEND\n",
+            )
+            .expect("compile");
+        assert_eq!(e.emitted, 1);
+        assert!(e.reparse_diags.is_empty(), "{:?}", e.reparse_diags);
+        assert!(e.source.contains("!$PAR DO"), "{}", e.source);
+        let mut reparsed_par = 0;
+        for u in &e.reparsed.program.units {
+            u.body.walk_stmts(&mut |s| {
+                if let StmtKind::Do { auto_par: Some(_), .. } = &s.kind {
+                    reparsed_par += 1;
+                }
+            });
+        }
+        assert_eq!(reparsed_par, 1);
+    }
+
+    #[test]
+    fn emit_writes_serial_reason_for_hindered_loop() {
+        let e = Compiler::new(CompilerProfile::polaris2008())
+            .compile_and_emit(
+                "test",
+                "PROGRAM P\nREAL A(100)\nDO I = 2, 100\nA(I) = A(I - 1)\nENDDO\nEND\n",
+            )
+            .expect("compile");
+        assert_eq!(e.emitted, 0);
+        assert!(
+            e.source.contains("!$PAR SERIAL real dependence"),
+            "{}",
+            e.source
+        );
+        // The structured comment is directive-shaped noise to the
+        // parser: the loop reparses serial.
+        assert!(e.reparse_diags.is_empty(), "{:?}", e.reparse_diags);
+    }
+
+    #[test]
+    fn emit_ledgers_unrunnable_directive_as_not_emittable() {
+        let compiler = Compiler::new(CompilerProfile::polaris2008());
+        let mut r = compiler
+            .compile_source(
+                "test",
+                "SUBROUTINE S(T, N)\nREAL T(*)\nDO I = 1, N\nT(1) = 2.0\nS2 = T(1) + 1.0\nENDDO\nEND\n",
+            )
+            .expect("compile");
+        // Force a directive the runtime cannot execute (privatized
+        // assumed-size array) onto the loop, as a hypothetical stronger
+        // analysis might, and check emission demotes + ledgers it.
+        let id = r.loops[0].stmt;
+        annotate_loop(
+            &mut r.rp,
+            "S",
+            id,
+            LoopDirective {
+                private: vec!["T".to_string()],
+                ..LoopDirective::default()
+            },
+        );
+        r.loops[0].parallelized = true;
+        let e = compiler.emit(r);
+        assert_eq!(e.emitted, 0);
+        assert!(!e.result.loops[0].parallelized);
+        assert!(e
+            .result
+            .report
+            .skipped
+            .iter()
+            .any(|s| matches!(&s.reason, SkipReason::NotEmittable { detail }
+                if detail.contains("assumed size"))));
+        assert!(
+            e.source.contains("!$PAR SERIAL not emittable:"),
+            "{}",
+            e.source
+        );
+        // The demotion also stripped the annotation from the compiled
+        // program, so result and artifact agree.
+        let mut still_annotated = false;
+        e.result.rp.program.units[0].body.walk_stmts(&mut |s| {
+            if let StmtKind::Do { auto_par: Some(_), .. } = &s.kind {
+                still_annotated = true;
+            }
+        });
+        assert!(!still_annotated);
+        assert!(e.reparse_diags.is_empty());
     }
 }

@@ -78,6 +78,15 @@ pub enum SkipReason {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The analysis proved the loop parallel but the codegen backend
+    /// could not emit a runnable directive for it (escaping control
+    /// flow, assumed-size private array, non-scalar reduction); the
+    /// loop was emitted serial with the detail as its reason comment.
+    /// Recorded by `compile_and_emit`, never by plain `compile`.
+    NotEmittable {
+        /// Which runtime restriction blocked the directive.
+        detail: String,
+    },
 }
 
 impl SkipReason {
@@ -88,6 +97,7 @@ impl SkipReason {
             SkipReason::InlinedAway => "inlined away",
             SkipReason::HeaderMissing => "header missing",
             SkipReason::InternalError { .. } => "internal error",
+            SkipReason::NotEmittable { .. } => "not emittable",
         }
     }
 }

@@ -180,13 +180,40 @@ impl fmt::Display for RedOp {
     }
 }
 
-/// A `PARALLEL DO` annotation: manual (`!$OMP`) or compiler-produced.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// Iteration-distribution schedule for a parallel loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous chunk of iterations per thread.
+    #[default]
+    Static,
+    /// Round-robin: worker `w` of `n` runs iterations `w, w+n, ...` —
+    /// balances loops whose per-iteration cost varies with the index.
+    Cyclic,
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Schedule::Static => write!(f, "STATIC"),
+            Schedule::Cyclic => write!(f, "CYCLIC"),
+        }
+    }
+}
+
+/// A `PARALLEL DO` annotation: manual (`!$OMP`) or compiler-produced
+/// (`!$PAR DO`).
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoopDirective {
     /// Variables with a private copy per thread.
     pub private: Vec<String>,
     /// `(op, var)` reduction specifications.
     pub reductions: Vec<(RedOp, String)>,
+    /// Iteration-distribution schedule (`SCHEDULE(...)` clause).
+    pub schedule: Schedule,
+    /// Number of perfectly nested loops proved parallel from this
+    /// header inward (`COLLAPSE(n)` clause); 1 means just this loop.
+    /// Advisory for the interpreter, which forks the outermost level.
+    pub collapse: u8,
     /// Compiler-produced speculative directive: static analysis could
     /// not prove independence, so the runtime must validate the
     /// parallel execution (LRPD-style test) and roll back to serial on
@@ -198,6 +225,19 @@ pub struct LoopDirective {
     /// cells for rollback; `None` (always the case for manual
     /// directives) forces a full checkpoint.
     pub writes: Option<Vec<String>>,
+}
+
+impl Default for LoopDirective {
+    fn default() -> Self {
+        LoopDirective {
+            private: Vec::new(),
+            reductions: Vec::new(),
+            schedule: Schedule::Static,
+            collapse: 1,
+            speculative: false,
+            writes: None,
+        }
+    }
 }
 
 /// Statement kinds.

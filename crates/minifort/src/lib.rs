@@ -36,6 +36,12 @@
 //!   parallelization of the next `DO` (the paper's "OpenMP" version).
 //! * `!$TARGET <name>` — marks the next `DO` as a hand-identified target
 //!   loop; the classification experiments key off these names.
+//! * `!$PAR DO [SCHEDULE(STATIC|CYCLIC)] [COLLAPSE(n)] [PRIVATE(..)]
+//!   [REDUCTION(op:..)] [SPECULATIVE] [WRITES(..)]` — compiler-emitted
+//!   parallelization (the `auto_par` annotation slot); produced by the
+//!   codegen backend and read back by this parser.
+//! * `!$PAR SERIAL <reason>` — structured comment recording why the
+//!   compiler left the next `DO` serial; ignored by the parser.
 
 pub mod ast;
 pub mod diag;
@@ -47,7 +53,7 @@ pub mod symtab;
 pub mod token;
 pub mod types;
 
-pub use ast::{Block, Expr, LoopDirective, Program, Stmt, StmtId, StmtKind, Unit, UnitKind};
+pub use ast::{Block, Expr, LoopDirective, Program, Schedule, Stmt, StmtId, StmtKind, Unit, UnitKind};
 pub use diag::{Diag, ParseError, ResolveError};
 pub use parser::{parse_program, parse_program_recovering};
 pub use resolve::{resolve, resolve_recovering, ResolvedProgram};

@@ -22,6 +22,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         pos: 0,
         next_id: 0,
         pending_omp: None,
+        pending_auto: None,
         pending_target: None,
         recovering: false,
         diags: Vec::new(),
@@ -43,6 +44,7 @@ pub fn parse_program_recovering(src: &str) -> (Program, Vec<ParseError>) {
         pos: 0,
         next_id: 0,
         pending_omp: None,
+        pending_auto: None,
         pending_target: None,
         recovering: true,
         diags,
@@ -58,6 +60,7 @@ struct Parser {
     pos: usize,
     next_id: u32,
     pending_omp: Option<LoopDirective>,
+    pending_auto: Option<LoopDirective>,
     pending_target: Option<String>,
     /// When set, parse errors are recorded in `diags` and the parser
     /// resynchronizes instead of aborting.
@@ -656,6 +659,15 @@ impl Parser {
             }
             return Ok(());
         }
+        if let Some(rest) = d.strip_prefix("$PAR") {
+            let rest = rest.trim();
+            if let Some(clauses) = rest.strip_prefix("DO") {
+                self.pending_auto = Some(parse_par_clauses(clauses).map_err(|m| self.err(m))?);
+            }
+            // `!$PAR SERIAL <reason>` annotations are explanatory
+            // comments from the codegen backend; no AST effect.
+            return Ok(());
+        }
         // Unknown directives (including !LANG mid-unit) are ignored.
         Ok(())
     }
@@ -832,6 +844,7 @@ impl Parser {
         };
         self.expect_eos()?;
         let omp = self.pending_omp.take();
+        let auto_par = self.pending_auto.take();
         let target = self.pending_target.take();
         let body = match end_label {
             None => {
@@ -861,7 +874,7 @@ impl Parser {
             step,
             body,
             omp,
-            auto_par: None,
+            auto_par,
             target,
         })
     }
@@ -1063,41 +1076,94 @@ impl Parser {
     }
 }
 
-/// Parses the clause list of `!$OMP PARALLEL DO ...`.
+/// Splits a comma-separated name list.
+fn name_list(inside: &str) -> Vec<String> {
+    inside
+        .split(',')
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Parses `op:var, var` from inside a REDUCTION clause.
+fn reduction_items(inside: &str) -> Result<Vec<(RedOp, String)>, String> {
+    let (op_s, vars) = inside
+        .split_once(':')
+        .ok_or_else(|| format!("bad REDUCTION clause '{}'", inside))?;
+    let op = match op_s.trim() {
+        "+" => RedOp::Add,
+        "*" => RedOp::Mul,
+        "MIN" => RedOp::Min,
+        "MAX" => RedOp::Max,
+        other => return Err(format!("unknown reduction op '{}'", other)),
+    };
+    Ok(name_list(vars).into_iter().map(|v| (op, v)).collect())
+}
+
+/// Parses the clause list of `!$OMP PARALLEL DO ...` (manual
+/// directives: PRIVATE and REDUCTION only).
 fn parse_omp_clauses(s: &str) -> Result<LoopDirective, String> {
     let mut d = LoopDirective::default();
     let mut rest = s.trim();
     while !rest.is_empty() {
         if let Some(r) = rest.strip_prefix("PRIVATE") {
             let (inside, tail) = take_parens(r)?;
-            for v in inside.split(',') {
-                let v = v.trim();
-                if !v.is_empty() {
-                    d.private.push(v.to_string());
-                }
-            }
+            d.private.extend(name_list(inside));
             rest = tail.trim_start();
         } else if let Some(r) = rest.strip_prefix("REDUCTION") {
             let (inside, tail) = take_parens(r)?;
-            let (op_s, vars) = inside
-                .split_once(':')
-                .ok_or_else(|| format!("bad REDUCTION clause '{}'", inside))?;
-            let op = match op_s.trim() {
-                "+" => RedOp::Add,
-                "*" => RedOp::Mul,
-                "MIN" => RedOp::Min,
-                "MAX" => RedOp::Max,
-                other => return Err(format!("unknown reduction op '{}'", other)),
-            };
-            for v in vars.split(',') {
-                let v = v.trim();
-                if !v.is_empty() {
-                    d.reductions.push((op, v.to_string()));
-                }
-            }
+            d.reductions.extend(reduction_items(inside)?);
             rest = tail.trim_start();
         } else {
             return Err(format!("unknown OMP clause at '{}'", rest));
+        }
+    }
+    Ok(d)
+}
+
+/// Parses the clause list of a compiler-emitted `!$PAR DO ...`, which
+/// carries the full clause set: SCHEDULE, COLLAPSE, PRIVATE,
+/// REDUCTION, SPECULATIVE, and WRITES.
+fn parse_par_clauses(s: &str) -> Result<LoopDirective, String> {
+    let mut d = LoopDirective::default();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        if let Some(r) = rest.strip_prefix("SCHEDULE") {
+            let (inside, tail) = take_parens(r)?;
+            d.schedule = match inside.trim() {
+                "STATIC" => Schedule::Static,
+                "CYCLIC" => Schedule::Cyclic,
+                other => return Err(format!("unknown schedule '{}'", other)),
+            };
+            rest = tail.trim_start();
+        } else if let Some(r) = rest.strip_prefix("COLLAPSE") {
+            let (inside, tail) = take_parens(r)?;
+            d.collapse = inside
+                .trim()
+                .parse::<u8>()
+                .map_err(|_| format!("bad COLLAPSE count '{}'", inside.trim()))?;
+            if d.collapse == 0 {
+                return Err("COLLAPSE count must be at least 1".to_string());
+            }
+            rest = tail.trim_start();
+        } else if let Some(r) = rest.strip_prefix("PRIVATE") {
+            let (inside, tail) = take_parens(r)?;
+            d.private.extend(name_list(inside));
+            rest = tail.trim_start();
+        } else if let Some(r) = rest.strip_prefix("REDUCTION") {
+            let (inside, tail) = take_parens(r)?;
+            d.reductions.extend(reduction_items(inside)?);
+            rest = tail.trim_start();
+        } else if let Some(r) = rest.strip_prefix("SPECULATIVE") {
+            d.speculative = true;
+            rest = r.trim_start();
+        } else if let Some(r) = rest.strip_prefix("WRITES") {
+            let (inside, tail) = take_parens(r)?;
+            d.writes = Some(name_list(inside));
+            rest = tail.trim_start();
+        } else {
+            return Err(format!("unknown PAR clause at '{}'", rest));
         }
     }
     Ok(d)
@@ -1200,6 +1266,52 @@ mod tests {
                 let d = omp.as_ref().expect("omp directive");
                 assert_eq!(d.private, vec!["T"]);
                 assert_eq!(d.reductions, vec![(RedOp::Add, "S".to_string())]);
+            }
+            other => panic!("expected DO, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn par_directive_attaches_to_auto_slot() {
+        let p = parse(
+            "PROGRAM P\n!$PAR DO SCHEDULE(CYCLIC) COLLAPSE(2) PRIVATE(T) REDUCTION(MAX:S) SPECULATIVE WRITES(A, S)\nDO I = 1, N\nS = S + T\nENDDO\nEND\n",
+        );
+        match &p.units[0].body.stmts[0].kind {
+            StmtKind::Do { omp, auto_par, .. } => {
+                assert!(omp.is_none());
+                let d = auto_par.as_ref().expect("auto_par directive");
+                assert_eq!(d.schedule, Schedule::Cyclic);
+                assert_eq!(d.collapse, 2);
+                assert_eq!(d.private, vec!["T"]);
+                assert_eq!(d.reductions, vec![(RedOp::Max, "S".to_string())]);
+                assert!(d.speculative);
+                assert_eq!(d.writes, Some(vec!["A".to_string(), "S".to_string()]));
+            }
+            other => panic!("expected DO, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn par_do_defaults_and_empty_writes() {
+        let p = parse("PROGRAM P\n!$PAR DO WRITES()\nDO I = 1, N\nA(I) = 0.0\nENDDO\nEND\n");
+        match &p.units[0].body.stmts[0].kind {
+            StmtKind::Do { auto_par, .. } => {
+                let d = auto_par.as_ref().expect("auto_par directive");
+                assert_eq!(d.schedule, Schedule::Static);
+                assert_eq!(d.collapse, 1);
+                assert_eq!(d.writes, Some(vec![]));
+            }
+            other => panic!("expected DO, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn par_serial_comment_is_ignored() {
+        let p = parse("PROGRAM P\n!$PAR SERIAL real dependence\nDO I = 1, N\nS = S + 1.0\nENDDO\nEND\n");
+        match &p.units[0].body.stmts[0].kind {
+            StmtKind::Do { omp, auto_par, .. } => {
+                assert!(omp.is_none());
+                assert!(auto_par.is_none());
             }
             other => panic!("expected DO, got {:?}", other),
         }

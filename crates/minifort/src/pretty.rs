@@ -1,18 +1,33 @@
 //! Pretty-printer: renders a [`Program`] back to parseable MiniFort
-//! source. Used for golden tests, round-trip property tests, and for
-//! inspecting compiler-transformed programs (e.g. after inlining or
-//! auto-parallelization, where `auto_par` annotations print as
-//! `!$OMP PARALLEL DO` directives with an `AUTO` note).
+//! source. Used for golden tests, round-trip property tests, and by
+//! the codegen backend: `auto_par` annotations print as `!$PAR DO`
+//! directives (schedule, collapse, private, reduction clauses) that
+//! the parser reads back into the `auto_par` slot, and
+//! [`print_program_annotated`] records why serial loops stayed serial
+//! as structured `!$PAR SERIAL <reason>` comments.
 
 use crate::ast::*;
 use crate::types::Lang;
 use std::fmt::Write as _;
 
+/// A callback consulted at each DO statement; a returned reason is
+/// printed as a `!$PAR SERIAL <reason>` comment line above the loop.
+pub type SerialNote<'a> = &'a dyn Fn(StmtId) -> Option<String>;
+
 /// Renders a whole program.
 pub fn print_program(p: &Program) -> String {
+    print_program_annotated(p, &|_| None)
+}
+
+/// Renders a whole program with structured serial-reason comments:
+/// for each DO statement where `note` returns a reason, a
+/// `!$PAR SERIAL <reason>` line precedes the loop. The parser treats
+/// these lines as explanatory comments, so annotated output still
+/// round-trips.
+pub fn print_program_annotated(p: &Program, note: SerialNote) -> String {
     let mut out = String::new();
     for u in &p.units {
-        print_unit(u, &mut out);
+        print_unit_annotated(u, note, &mut out);
         out.push('\n');
     }
     out
@@ -20,6 +35,10 @@ pub fn print_program(p: &Program) -> String {
 
 /// Renders one unit.
 pub fn print_unit(u: &Unit, out: &mut String) {
+    print_unit_annotated(u, &|_| None, out)
+}
+
+fn print_unit_annotated(u: &Unit, note: SerialNote, out: &mut String) {
     if u.lang == Lang::C {
         out.push_str("!LANG C\n");
     }
@@ -37,7 +56,7 @@ pub fn print_unit(u: &Unit, out: &mut String) {
     for d in &u.decls {
         print_decl(d, out);
     }
-    print_block(&u.body, 1, out);
+    print_block(&u.body, 1, note, out);
     out.push_str("END\n");
 }
 
@@ -142,9 +161,9 @@ fn dim_spec(d: &DimSpec) -> String {
     }
 }
 
-fn print_block(b: &Block, depth: usize, out: &mut String) {
+fn print_block(b: &Block, depth: usize, note: SerialNote, out: &mut String) {
     for s in &b.stmts {
-        print_stmt(s, depth, out);
+        print_stmt(s, depth, note, out);
     }
 }
 
@@ -154,7 +173,7 @@ fn indent(depth: usize, out: &mut String) {
     }
 }
 
-fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+fn print_stmt(s: &Stmt, depth: usize, note: SerialNote, out: &mut String) {
     let label_prefix = |out: &mut String| {
         if let Some(l) = s.label {
             let _ = write!(out, "{} ", l);
@@ -176,12 +195,12 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
                     indent(depth, out);
                     let _ = writeln!(out, "ELSE IF ({}) THEN", expr(cond));
                 }
-                print_block(body, depth + 1, out);
+                print_block(body, depth + 1, note, out);
             }
             if let Some(b) = else_blk {
                 indent(depth, out);
                 out.push_str("ELSE\n");
-                print_block(b, depth + 1, out);
+                print_block(b, depth + 1, note, out);
             }
             indent(depth, out);
             out.push_str("ENDIF\n");
@@ -196,6 +215,10 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             auto_par,
             target,
         } => {
+            if let Some(reason) = note(s.id) {
+                indent(depth, out);
+                let _ = writeln!(out, "!$PAR SERIAL {}", reason);
+            }
             if let Some(t) = target {
                 indent(depth, out);
                 let _ = writeln!(out, "!$TARGET {}", t);
@@ -206,7 +229,7 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             }
             if let Some(d) = auto_par {
                 indent(depth, out);
-                let _ = writeln!(out, "!$OMP PARALLEL DO{} ", directive_clauses(d));
+                let _ = writeln!(out, "!$PAR DO{}", par_clauses(d));
             }
             indent(depth, out);
             label_prefix(out);
@@ -215,7 +238,7 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
                 let _ = write!(out, ", {}", expr(st));
             }
             out.push('\n');
-            print_block(body, depth + 1, out);
+            print_block(body, depth + 1, note, out);
             indent(depth, out);
             out.push_str("ENDDO\n");
         }
@@ -223,7 +246,7 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             indent(depth, out);
             label_prefix(out);
             let _ = writeln!(out, "DO WHILE ({})", expr(cond));
-            print_block(body, depth + 1, out);
+            print_block(body, depth + 1, note, out);
             indent(depth, out);
             out.push_str("ENDDO\n");
         }
@@ -276,6 +299,31 @@ fn directive_clauses(d: &LoopDirective) -> String {
     }
     for (op, v) in &d.reductions {
         let _ = write!(s, " REDUCTION({}:{})", op, v);
+    }
+    s
+}
+
+/// Full clause set for compiler-emitted `!$PAR DO`; default-valued
+/// clauses are omitted so output stays minimal and round-trips.
+fn par_clauses(d: &LoopDirective) -> String {
+    let mut s = String::new();
+    if d.schedule != Schedule::Static {
+        let _ = write!(s, " SCHEDULE({})", d.schedule);
+    }
+    if d.collapse > 1 {
+        let _ = write!(s, " COLLAPSE({})", d.collapse);
+    }
+    if !d.private.is_empty() {
+        let _ = write!(s, " PRIVATE({})", d.private.join(", "));
+    }
+    for (op, v) in &d.reductions {
+        let _ = write!(s, " REDUCTION({}:{})", op, v);
+    }
+    if d.speculative {
+        s.push_str(" SPECULATIVE");
+    }
+    if let Some(ws) = &d.writes {
+        let _ = write!(s, " WRITES({})", ws.join(", "));
     }
     s
 }
@@ -426,6 +474,51 @@ mod tests {
         roundtrip(
             "PROGRAM P\nPARAMETER (N = 8)\nREAL A(N, 0:N), B(10)\nEQUIVALENCE (A(1, 0), B(1))\nDATA B /10*0.0/\nEND\n",
         );
+    }
+
+    #[test]
+    fn roundtrip_par_directive() {
+        roundtrip(
+            "PROGRAM P\n\
+             !$PAR DO SCHEDULE(CYCLIC) COLLAPSE(2) PRIVATE(T) REDUCTION(+:S) SPECULATIVE WRITES(A)\n\
+             DO I = 1, 10\n\
+             DO J = 1, 10\n\
+             T = 1.0\n\
+             S = S + T\n\
+             ENDDO\n\
+             ENDDO\n\
+             END\n",
+        );
+    }
+
+    #[test]
+    fn auto_par_prints_as_par_do_and_reparses() {
+        let src = "PROGRAM P\n!$PAR DO PRIVATE(T)\nDO I = 1, 10\nT = 1.0\nA(I) = T\nENDDO\nEND\n";
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("!$PAR DO PRIVATE(T)"), "{}", printed);
+        let p2 = parse_program(&printed).unwrap();
+        match (&p.units[0].body.stmts[0].kind, &p2.units[0].body.stmts[0].kind) {
+            (StmtKind::Do { auto_par: a, .. }, StmtKind::Do { auto_par: b, .. }) => {
+                assert_eq!(a, b);
+                assert!(a.is_some());
+            }
+            _ => panic!("expected DO statements"),
+        }
+    }
+
+    #[test]
+    fn serial_note_prints_and_reparses() {
+        let src = "PROGRAM P\nDO I = 1, 10\nS = S + A(I - 1)\nENDDO\nEND\n";
+        let p = parse_program(src).unwrap();
+        let printed =
+            print_program_annotated(&p, &|_| Some("real dependence".to_string()));
+        assert!(printed.contains("!$PAR SERIAL real dependence"), "{}", printed);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n{}", e, printed));
+        // The comment has no AST effect: plain print of the reparse
+        // matches plain print of the original.
+        assert_eq!(print_program(&p2), print_program(&p));
     }
 
     #[test]

@@ -228,3 +228,27 @@ fn resolution_is_deterministic() {
         }
     });
 }
+
+/// `parse(print(p))` is a fixpoint on the full fortgen shape space —
+/// subroutines, COMMON, CALLs, directives — not just the local
+/// structured generator above. The printed form is the canonical text:
+/// printing the reparse must reproduce it byte-for-byte.
+#[test]
+fn fortgen_print_parse_fixpoint() {
+    use apar_minicheck::fortgen::{gen_program, GenConfig};
+    forall("fortgen_print_parse_fixpoint", 128, |rng| {
+        let cfg = GenConfig::default(); // garble 0.0: valid programs only
+        let src = gen_program(rng, &cfg);
+        let p1 = parse_program(&src)
+            .unwrap_or_else(|e| panic!("parse failed: {}\n{}", e, src));
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n{}", e, printed));
+        let reprinted = print_program(&p2);
+        assert_eq!(
+            printed, reprinted,
+            "print/parse not a fixpoint; original source:\n{}",
+            src
+        );
+    });
+}

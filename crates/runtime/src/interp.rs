@@ -4,9 +4,10 @@
 //! Parallel `DO` regions fork real scoped threads (fork/join cost is
 //! *part of the measurement*, as in the paper's Figure 1), give each
 //! worker a private activation overlay for the directive's
-//! private/reduction variables, execute contiguous chunks, combine
-//! reduction partials in worker order, and apply lastprivate copy-back
-//! from the worker that ran the final iteration. An optional race
+//! private/reduction variables, execute contiguous chunks (or
+//! round-robin iterations under a `SCHEDULE(CYCLIC)` directive),
+//! combine reduction partials in worker order, and apply lastprivate
+//! copy-back from the worker that ran the final iteration. An optional race
 //! checker records shared-cell accesses per worker and fails the run on
 //! any cross-chunk write conflict — the dynamic validation of the
 //! static dependence analysis.
@@ -18,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use apar_minifort::ast::{BinOp, RedOp};
+use apar_minifort::ast::{BinOp, RedOp, Schedule};
 use apar_minifort::{ResolvedProgram, Ty};
 
 use crate::checkpoint::{Checkpoint, CheckpointKind};
@@ -67,6 +68,11 @@ pub struct ExecConfig {
     pub seg_words: usize,
     /// Hard cap on emitted output lines.
     pub max_output: usize,
+    /// Hard cap on virtual ops per executor (main thread or any one
+    /// worker); exceeding it fails the run with [`RtError::OpLimit`].
+    /// Effectively unlimited by default — harnesses executing untrusted
+    /// programs (which may not terminate) should set a budget.
+    pub max_virt: u64,
     /// How long a blocked MPI operation may wait before the runtime
     /// declares a deadlock and reports the blocked ranks.
     pub mpi_timeout_ms: u64,
@@ -82,6 +88,7 @@ impl Default for ExecConfig {
             check_races: false,
             seg_words: 1 << 20,
             max_output: 10_000,
+            max_virt: u64::MAX,
             mpi_timeout_ms: 2_000,
             fault: FaultPlan::none(),
         }
@@ -97,6 +104,10 @@ pub enum RtError {
     Race(String),
     DeckExhausted,
     OutputLimit,
+    /// The run exceeded `ExecConfig::max_virt` virtual ops. A fuel cap
+    /// for fuzzing and other harnesses that execute untrusted programs
+    /// (mutated sources can contain infinite `DO WHILE` loops).
+    OpLimit,
     /// A parallel worker panicked; the panic was contained at the fork
     /// scope and converted to this error with its provenance.
     WorkerPanic {
@@ -125,6 +136,7 @@ impl fmt::Display for RtError {
             RtError::Race(m) => write!(f, "data race detected: {}", m),
             RtError::DeckExhausted => write!(f, "READ past end of input deck"),
             RtError::OutputLimit => write!(f, "output line limit exceeded"),
+            RtError::OpLimit => write!(f, "virtual op budget exceeded"),
             RtError::WorkerPanic {
                 worker,
                 unit,
@@ -549,6 +561,9 @@ impl<'p, 's> Exec<'p, 's> {
 
     fn exec_stmt(&mut self, f: &Frame<'p>, s: &RStmt) -> Result<Flow, RtError> {
         self.virt += 1;
+        if self.virt > self.sh.cfg.max_virt {
+            return Err(RtError::OpLimit);
+        }
         match s {
             RStmt::Assign(lv, e) => {
                 let v = self.eval(f, e)?;
@@ -790,8 +805,16 @@ impl<'p, 's> Exec<'p, 's> {
         let results: Vec<Result<WorkerOut, RtError>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for w in 0..nthreads {
-                let t_lo = trip * w as i64 / nthreads as i64;
-                let t_hi = trip * (w as i64 + 1) / nthreads as i64;
+                // Iteration plan: contiguous chunk (STATIC) or
+                // round-robin stride (CYCLIC, for imbalanced bodies).
+                let (t_start, t_end, t_step) = match dir.schedule {
+                    Schedule::Static => (
+                        trip * w as i64 / nthreads as i64,
+                        trip * (w as i64 + 1) / nthreads as i64,
+                        1,
+                    ),
+                    Schedule::Cyclic => (w as i64, trip, nthreads as i64),
+                };
                 let priv_scalars = &priv_scalars;
                 let frame = f;
                 let mpi = self.mpi.clone();
@@ -842,7 +865,9 @@ impl<'p, 's> Exec<'p, 's> {
                             red_addrs.push(a);
                         }
                         let var_addr = wf.scalars[var as usize];
-                        for t in t_lo..t_hi {
+                        let mut last_t = None;
+                        let mut t = t_start;
+                        while t < t_end {
                             sh.arena.write(var_addr, Cell::Int(lo + t * step));
                             match ex.exec_block(&wf, body)? {
                                 Flow::Normal => {}
@@ -852,13 +877,17 @@ impl<'p, 's> Exec<'p, 's> {
                                     ))
                                 }
                             }
+                            last_t = Some(t);
+                            t += t_step;
                         }
                         // Reduction partials.
                         let partials =
                             red_addrs.iter().map(|&a| sh.arena.read(a)).collect();
-                        // Lastprivate values from the final chunk.
+                        // Lastprivate values from the worker that ran
+                        // the sequentially-final iteration (under
+                        // either schedule).
                         let mut last_privates = Vec::new();
-                        if t_hi == trip && t_hi > t_lo {
+                        if last_t == Some(trip - 1) {
                             for &sid in priv_scalars.iter() {
                                 if sid == var {
                                     continue;

@@ -79,6 +79,9 @@ pub struct RDirective {
     pub private_scalars: Vec<ScalarId>,
     pub private_arrays: Vec<ArrId>,
     pub reductions: Vec<(RedOp, ScalarId)>,
+    /// Iteration-to-worker mapping: contiguous chunks (`Static`) or
+    /// round-robin (`Cyclic`, for imbalanced bodies).
+    pub schedule: ast::Schedule,
     /// Run the region under the speculative runtime dependence test:
     /// checkpoint shared state, execute in parallel with conflict
     /// logging, and re-execute serially on a detected conflict.
@@ -572,6 +575,7 @@ impl<'a> Lowerer<'a> {
         for (op, v) in &d.reductions {
             out.reductions.push((*op, self.scalar(v)?));
         }
+        out.schedule = d.schedule;
         out.speculative = d.speculative;
         if let Some(writes) = &d.writes {
             // The summary is only usable if every named symbol resolves

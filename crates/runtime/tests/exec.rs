@@ -214,6 +214,38 @@ fn private_array_isolation() {
 }
 
 #[test]
+fn cyclic_schedule_matches_serial() {
+    // Imbalanced body (the IF arm does extra work for low I): a
+    // `!$PAR DO SCHEDULE(CYCLIC)` deals iterations round-robin. The
+    // result must still be bit-identical to serial.
+    let src = "PROGRAM P\nREAL A(100)\n!$PAR DO SCHEDULE(CYCLIC) PRIVATE(T)\nDO I = 1, 100\nT = REAL(I)\nIF (I .LT. 50) THEN\nT = T + REAL(I) * 2.0\nENDIF\nA(I) = T\nENDDO\nS = 0.0\nDO I = 1, 100\nS = S + A(I)\nENDDO\nWRITE(*,*) S\nEND\n";
+    let serial = exec_mode(src, &[], ExecMode::Serial, false);
+    let par = exec_mode(src, &[], ExecMode::Auto, true);
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn cyclic_lastprivate_comes_from_final_iteration() {
+    // With 4 threads and 98 iterations, the final iteration (t = 97)
+    // belongs to worker 1 under CYCLIC — not the last worker, which is
+    // the static chunking's lastprivate carrier.
+    let src = "PROGRAM P\nREAL A(98)\n!$PAR DO SCHEDULE(CYCLIC) PRIVATE(T)\nDO I = 1, 98\nT = REAL(I)\nA(I) = T\nENDDO\nWRITE(*,*) T, I\nEND\n";
+    let serial = exec_mode(src, &[], ExecMode::Serial, false);
+    let par = exec_mode(src, &[], ExecMode::Auto, false);
+    assert_eq!(serial, par);
+    assert_eq!(serial, vec!["98.000000 99"]);
+}
+
+#[test]
+fn cyclic_reduction_matches_serial() {
+    let src = "PROGRAM P\nREAL A(200)\nDO I = 1, 200\nA(I) = REAL(I)\nENDDO\nS = 0.0\n!$PAR DO SCHEDULE(CYCLIC) REDUCTION(+:S)\nDO I = 1, 200\nS = S + A(I)\nENDDO\nWRITE(*,*) S\nEND\n";
+    let serial = exec_mode(src, &[], ExecMode::Serial, false);
+    let par = exec_mode(src, &[], ExecMode::Auto, true);
+    assert_eq!(serial, par);
+    assert_eq!(last_num(&serial), 20100.0);
+}
+
+#[test]
 fn race_checker_catches_real_race() {
     // A(I) = A(I+1): cross-iteration anti-dependence; a (wrong) manual
     // annotation must be caught.

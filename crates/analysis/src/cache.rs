@@ -27,6 +27,21 @@
 //! on the same miss, the first inserted entry wins and both observe it
 //! (the duplicate build is discarded — results are identical by
 //! construction, so either is safe to keep).
+//!
+//! ## Cross-compile promotion
+//!
+//! A [`SharedFactsStore`] promotes this memoization from per-compile to
+//! service-wide: many compilations (of the same or different suites)
+//! attach one store via [`AnalysisCache::with_shared`], and a second
+//! compile of an already-seen program adopts the first compile's facts
+//! instead of rebuilding them. Entries are keyed by the *full* build
+//! identity — capability set, build budget, base-interner state, and
+//! resolved-program fingerprint — so an entry is only ever adopted by a
+//! compile that would have built the bit-identical facts itself; the
+//! store can therefore never change a report, only skip work. The store
+//! is LRU-bounded by entries and by approximate bytes, and its stats
+//! distinguish refused builds (budget-tripped or panicked — the
+//! [`SharedStats::refusals`] counter) from ordinary misses.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -65,9 +80,175 @@ pub struct ProgramFacts {
     pub budget_tripped: bool,
 }
 
+/// Counters of a [`SharedFactsStore`], as one consistent snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Lookups served from the store (a compile adopted another
+    /// compile's facts).
+    pub hits: u64,
+    /// Lookups that built fresh facts which the store retained.
+    pub misses: u64,
+    /// Builds the store refused to retain: budget-tripped or panicked.
+    /// Structurally distinct from `misses` — a refused build is not a
+    /// cacheable unit of work, and recounting it as a miss would make
+    /// hit rates lie about pathological inputs.
+    pub refusals: u64,
+    /// Entries evicted by the LRU bounds.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate resident bytes (printed-program length is the proxy
+    /// for an entry's footprint).
+    pub approx_bytes: u64,
+}
+
+impl SharedStats {
+    /// Counter deltas `self - earlier` (for per-batch reporting);
+    /// `entries`/`approx_bytes` stay absolute — they are gauges.
+    pub fn since(&self, earlier: &SharedStats) -> SharedStats {
+        SharedStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            refusals: self.refusals - earlier.refusals,
+            evictions: self.evictions - earlier.evictions,
+            entries: self.entries,
+            approx_bytes: self.approx_bytes,
+        }
+    }
+}
+
+/// One resident entry of a [`SharedFactsStore`].
+#[derive(Debug)]
+struct StoredFacts {
+    facts: Arc<ProgramFacts>,
+    /// Approximate footprint (printed-program bytes).
+    cost: u64,
+    /// Logical timestamp of the last lookup or insert (LRU order).
+    last_use: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedInner {
+    map: HashMap<u64, StoredFacts>,
+    tick: u64,
+    bytes: u64,
+}
+
+/// An eviction-bounded, cross-compile store of [`ProgramFacts`]: the
+/// per-compile [`AnalysisCache`] promoted to a service-wide resource.
+///
+/// Keys incorporate everything that determines a build's output —
+/// capability set, build budget, the base interner state, and the
+/// resolved-program fingerprint — so adoption across compiles is
+/// exactly as safe as adoption within one. Eviction is LRU over both an
+/// entry bound and an approximate byte bound; hitting either bound can
+/// only cost rebuild time, never change a report.
+#[derive(Debug)]
+pub struct SharedFactsStore {
+    inner: Mutex<SharedInner>,
+    cap_entries: u64,
+    cap_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    refusals: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedFactsStore {
+    /// A store bounded to `cap_entries` resident programs and
+    /// `cap_bytes` approximate bytes (whichever trips first evicts).
+    pub fn bounded(cap_entries: usize, cap_bytes: usize) -> Self {
+        SharedFactsStore {
+            inner: Mutex::new(SharedInner::default()),
+            cap_entries: (cap_entries as u64).max(1),
+            cap_bytes: (cap_bytes as u64).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            refusals: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Looks up `key`, refreshing its LRU position on a hit.
+    fn get(&self, key: u64) -> Option<Arc<ProgramFacts>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(e) => {
+                e.last_use = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.facts))
+            }
+            None => None,
+        }
+    }
+
+    /// Retains a freshly built entry (counted as the miss it resolved)
+    /// and evicts least-recently-used entries past either bound.
+    fn insert(&self, key: u64, facts: Arc<ProgramFacts>, cost: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(prev) = inner.map.insert(
+            key,
+            StoredFacts {
+                facts,
+                cost,
+                last_use: tick,
+            },
+        ) {
+            // Racing compiles built the same entry twice; keep one cost.
+            inner.bytes -= prev.cost;
+        }
+        inner.bytes += cost;
+        while inner.map.len() as u64 > self.cap_entries
+            || (inner.bytes > self.cap_bytes && inner.map.len() > 1)
+        {
+            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_use) else {
+                break;
+            };
+            if victim == key && inner.map.len() as u64 <= self.cap_entries {
+                // Never evict the entry just inserted for the byte
+                // bound alone — the caller holds it anyway.
+                break;
+            }
+            let e = inner.map.remove(&victim).expect("victim resident");
+            inner.bytes -= e.cost;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a build the store refused to retain (budget-tripped or
+    /// panicked): a structured `CacheRefusal`, not a miss.
+    fn note_refusal(&self) {
+        self.refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the store's counters.
+    pub fn stats(&self) -> SharedStats {
+        let inner = self.lock();
+        SharedStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            refusals: self.refusals.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len() as u64,
+            approx_bytes: inner.bytes,
+        }
+    }
+}
+
 /// Memoizes `CallGraph::build` + `Summaries::build` + `AliasInfo::build`
 /// per resolved-program fingerprint. One cache serves one compilation
-/// (one capability set, one base interner).
+/// (one capability set, one base interner); attaching a
+/// [`SharedFactsStore`] extends the same memoization across
+/// compilations.
 #[derive(Debug)]
 pub struct AnalysisCache {
     caps: Capabilities,
@@ -81,6 +262,10 @@ pub struct AnalysisCache {
     build_budget: u64,
     /// Builds rejected from the map: budget-tripped or panicked.
     rejected: AtomicU64,
+    /// Cross-compile store this cache publishes to and adopts from,
+    /// with the precomputed key prefix binding entries to this cache's
+    /// capability set, budget, and base interner.
+    shared: Option<(Arc<SharedFactsStore>, u64)>,
     #[cfg(test)]
     panic_on_build: std::sync::atomic::AtomicBool,
 }
@@ -98,6 +283,7 @@ impl AnalysisCache {
             misses: AtomicU64::new(0),
             build_budget: u64::MAX,
             rejected: AtomicU64::new(0),
+            shared: None,
             #[cfg(test)]
             panic_on_build: std::sync::atomic::AtomicBool::new(false),
         }
@@ -108,31 +294,73 @@ impl AnalysisCache {
     /// instead of stalling the compile.
     pub fn with_build_budget(mut self, budget: u64) -> Self {
         self.build_budget = budget;
+        self.bind_shared();
         self
+    }
+
+    /// Attaches a cross-compile store: misses consult it before
+    /// building, retained builds are published to it. The store key
+    /// binds entries to this cache's capability set, build budget, and
+    /// base interner, so only a compile that would rebuild the same
+    /// facts bit-for-bit can adopt them.
+    pub fn with_shared(mut self, store: Arc<SharedFactsStore>) -> Self {
+        self.shared = Some((store, 0));
+        self.bind_shared();
+        self
+    }
+
+    /// (Re)computes the shared-key prefix from the current caps, budget,
+    /// and base interner.
+    fn bind_shared(&mut self) {
+        if let Some((_, prefix)) = &mut self.shared {
+            let mut h = DefaultHasher::new();
+            caps_bits(&self.caps).hash(&mut h);
+            self.build_budget.hash(&mut h);
+            for (_, name) in self.base_sym.interner.iter() {
+                name.hash(&mut h);
+            }
+            *prefix = h.finish();
+        }
     }
 
     /// Content fingerprint of a resolved program. Two programs with the
     /// same printed form analyze identically, so they share facts.
     pub fn fingerprint(rp: &ResolvedProgram) -> u64 {
+        Self::fingerprint_with_cost(rp).0
+    }
+
+    /// Fingerprint plus the printed length, the store's byte proxy.
+    fn fingerprint_with_cost(rp: &ResolvedProgram) -> (u64, u64) {
+        let text = print_program(&rp.program);
         let mut h = DefaultHasher::new();
-        print_program(&rp.program).hash(&mut h);
-        h.finish()
+        text.hash(&mut h);
+        (h.finish(), text.len() as u64)
     }
 
     /// Returns the facts for `rp`, building (and caching) on a miss.
     ///
     /// Poisoned-entry guard: a build that panics or trips the build
-    /// budget is never retained in the map. The panic is re-raised (the
-    /// driver's per-loop sandbox contains it); a budget-tripped build is
-    /// returned uncached so its degraded facts can serve exactly the
-    /// loop that asked, while later lookups get a fresh chance.
+    /// budget is never retained in the map (locally or in the shared
+    /// store — the store books it as a refusal, not a miss). The panic
+    /// is re-raised (the driver's per-loop sandbox contains it); a
+    /// budget-tripped build is returned uncached so its degraded facts
+    /// can serve exactly the loop that asked, while later lookups get a
+    /// fresh chance.
     pub fn facts(&self, rp: &ResolvedProgram) -> Arc<ProgramFacts> {
-        let fp = Self::fingerprint(rp);
+        let (fp, cost) = Self::fingerprint_with_cost(rp);
         if let Some(f) = self.lock().get(&fp) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(f);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some((store, prefix)) = &self.shared {
+            if let Some(f) = store.get(shared_key(*prefix, fp)) {
+                // Another compile already built these facts; adopt them
+                // into the local map so later per-loop lookups stay off
+                // the store's lock.
+                return Arc::clone(self.lock().entry(fp).or_insert(f));
+            }
+        }
         let built = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.build(rp)))
         {
             Ok(f) => f,
@@ -141,15 +369,25 @@ impl AnalysisCache {
                 // per-loop sandbox upstairs turn the panic into a
                 // structured `InternalError` skip.
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some((store, _)) = &self.shared {
+                    store.note_refusal();
+                }
                 std::panic::resume_unwind(payload);
             }
         };
         if built.budget_tripped {
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some((store, _)) = &self.shared {
+                store.note_refusal();
+            }
             return Arc::new(built);
         }
         let built = Arc::new(built);
-        Arc::clone(self.lock().entry(fp).or_insert(built))
+        let built = Arc::clone(self.lock().entry(fp).or_insert(built));
+        if let Some((store, prefix)) = &self.shared {
+            store.insert(shared_key(*prefix, fp), Arc::clone(&built), cost);
+        }
+        built
     }
 
     /// Seeds the cache with facts computed elsewhere (the driver's
@@ -192,6 +430,11 @@ impl AnalysisCache {
         self.map.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// The attached cross-compile store, if any.
+    pub fn shared_store(&self) -> Option<&Arc<SharedFactsStore>> {
+        self.shared.as_ref().map(|(s, _)| s)
+    }
+
     /// Lookups served from the cache.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -216,6 +459,30 @@ impl AnalysisCache {
     pub fn is_empty(&self) -> bool {
         self.lock().len() == 0
     }
+}
+
+/// The capability set as a bit vector, for the shared-store key.
+fn caps_bits(c: &Capabilities) -> u64 {
+    [
+        c.multilingual,
+        c.interprocedural_noalias,
+        c.input_deck_ranges,
+        c.indirection_analysis,
+        c.extended_symbolic,
+        c.reshaped_access,
+        c.guarded_regions,
+    ]
+    .iter()
+    .fold(0u64, |acc, &b| (acc << 1) | b as u64)
+}
+
+/// Combines the cache-identity prefix with a program fingerprint into
+/// one store key.
+fn shared_key(prefix: u64, fp: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    prefix.hash(&mut h);
+    fp.hash(&mut h);
+    h.finish()
 }
 
 #[cfg(test)]
@@ -329,5 +596,159 @@ mod tests {
         let canonical = cache.facts(&p);
         assert!(facts.iter().all(|f| Arc::ptr_eq(f, &canonical)));
         assert_eq!(cache.len(), 1);
+    }
+
+    const SRC_CALL: &str =
+        "PROGRAM P\nCOMMON /C/ K\nK = 1\nCALL S\nEND\nSUBROUTINE S\nCOMMON /C/ M\nM = 2\nEND\n";
+
+    #[test]
+    fn second_cache_adopts_shared_entry() {
+        let p = rp(SRC_CALL);
+        let store = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        let a = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        let fa = a.facts(&p);
+        let b = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        let fb = b.facts(&p);
+        assert!(
+            Arc::ptr_eq(&fa, &fb),
+            "second compile must adopt the first compile's entry"
+        );
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // The adopting cache's own counters still record a local miss.
+        assert_eq!(b.misses(), 1);
+    }
+
+    #[test]
+    fn shared_entries_are_keyed_by_caps_budget_and_base_sym() {
+        let p = rp(SRC_CALL);
+        let store = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        let base = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        let f0 = base.facts(&p);
+        // Different capability set: must not adopt.
+        let caps = AnalysisCache::new(Capabilities::full(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        assert!(!Arc::ptr_eq(&f0, &caps.facts(&p)));
+        // Different build budget: must not adopt (a huge budget still
+        // builds identical facts here, but the key is conservative).
+        let budget = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store))
+            .with_build_budget(1 << 40);
+        assert!(!Arc::ptr_eq(&f0, &budget.facts(&p)));
+        // Different base interner: must not adopt.
+        let mut sym = SymMap::new();
+        sym.interner.intern("PRELUDE::X");
+        let based = AnalysisCache::new(Capabilities::polaris2008(), sym)
+            .with_shared(Arc::clone(&store));
+        assert!(!Arc::ptr_eq(&f0, &based.facts(&p)));
+        let s = store.stats();
+        assert_eq!(s.hits, 0, "no cross-identity adoption");
+        assert_eq!(s.misses, 4);
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counted() {
+        let store = Arc::new(SharedFactsStore::bounded(2, 1 << 20));
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        let a = rp("PROGRAM P\nX = 1.0\nEND\n");
+        let b = rp("PROGRAM P\nX = 2.0\nEND\n");
+        let c = rp("PROGRAM P\nX = 3.0\nEND\n");
+        cache.facts(&a);
+        cache.facts(&b);
+        // Refresh `a`, then overflow: `b` is now least recently used.
+        let fresh = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        fresh.facts(&a);
+        fresh.facts(&c);
+        let s = store.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        // `a` survived (refreshed), `b` did not.
+        let probe = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        probe.facts(&a);
+        assert_eq!(store.stats().hits, 2, "a still resident");
+        let probe2 = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        probe2.facts(&b);
+        assert_eq!(store.stats().evictions, 2, "b had to rebuild and evict again");
+    }
+
+    #[test]
+    fn byte_bound_evicts_but_keeps_newest() {
+        // A byte cap below a single program's footprint: the store keeps
+        // the newest entry (capacity one in practice) and evicts prior
+        // ones, never underflowing.
+        let store = Arc::new(SharedFactsStore::bounded(16, 1));
+        let a = rp("PROGRAM P\nX = 1.0\nEND\n");
+        let b = rp("PROGRAM P\nX = 2.0\nEND\n");
+        let c1 = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        c1.facts(&a);
+        let c2 = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        c2.facts(&b);
+        let s = store.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn refused_builds_are_not_shared_misses() {
+        let p = rp(SRC_CALL);
+        let store = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store))
+            .with_build_budget(1);
+        let f = cache.facts(&p);
+        assert!(f.budget_tripped);
+        let s = store.stats();
+        assert_eq!(s.refusals, 1, "budget trip is a structured refusal");
+        assert_eq!(s.misses, 0, "refusal must not be recounted as a miss");
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn panicked_build_is_a_shared_refusal() {
+        let p = rp("PROGRAM P\nX = 1.0\nEND\n");
+        let store = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        cache.panic_on_build.store(true, Ordering::Relaxed);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.facts(&p)));
+        assert!(r.is_err());
+        let s = store.stats();
+        assert_eq!((s.refusals, s.misses, s.entries), (1, 0, 0));
+    }
+
+    #[test]
+    fn shared_stats_since_subtracts_counters_keeps_gauges() {
+        let a = SharedStats {
+            hits: 2,
+            misses: 3,
+            refusals: 1,
+            evictions: 0,
+            entries: 3,
+            approx_bytes: 100,
+        };
+        let b = SharedStats {
+            hits: 7,
+            misses: 4,
+            refusals: 1,
+            evictions: 2,
+            entries: 2,
+            approx_bytes: 80,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.hits, 5);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.refusals, 0);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.entries, 2);
+        assert_eq!(d.approx_bytes, 80);
     }
 }

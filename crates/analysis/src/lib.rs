@@ -41,7 +41,7 @@ pub mod symx;
 
 pub use access::{AccessKind, ArrayAccess, LoopAccesses};
 pub use alias::AliasInfo;
-pub use cache::{AnalysisCache, ProgramFacts};
+pub use cache::{AnalysisCache, ProgramFacts, SharedFactsStore, SharedStats};
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use ddtest::{DdOutcome, Dependence, DependenceKind};

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use apar_core::{CompileResult, Compiler, CompilerProfile, PassId};
+use apar_core::{CompileResult, Compiler, CompilerProfile};
 use apar_workloads as wl;
 
 /// One application's serial-vs-parallel compile measurement.
@@ -44,43 +44,10 @@ pub struct CompileBenchRow {
 }
 
 /// Everything in a compile result that must not depend on the thread
-/// count: per-pass ops, the per-loop records, the Figure 5 histogram,
-/// and the skip ledger. Wall seconds are deliberately excluded.
+/// count. Now a method on [`CompileResult`] (the service layer needs it
+/// too); this free function remains as the bench-local spelling.
 pub fn report_signature(r: &CompileResult) -> String {
-    let mut s = String::new();
-    for p in PassId::ALL {
-        let ops = r.report.per_pass.get(&p).map_or(0, |c| c.ops);
-        s.push_str(&format!("{:?}={};", p, ops));
-    }
-    for l in &r.loops {
-        s.push_str(&format!(
-            "{}:{:?}:{:?}:{}:{}:{}:{};",
-            l.unit,
-            l.stmt,
-            l.classification,
-            l.parallelized,
-            l.speculative,
-            l.pairs_tested,
-            l.ops_spent
-        ));
-    }
-    for (c, n) in r.target_histogram() {
-        s.push_str(&format!("{:?}x{};", c, n));
-    }
-    for sk in &r.report.skipped {
-        s.push_str(&format!("skip:{}:{:?}:{:?};", sk.unit, sk.stmt, sk.reason));
-    }
-    // Containment counters: a panic or budget trip that fires at one
-    // thread count but not another is a determinism bug the identity
-    // verdict must catch.
-    s.push_str(&format!(
-        "panicked={};tripped={};diags={};dropped={};",
-        r.report.panicked_loops(),
-        r.budget_tripped_loops(),
-        r.report.diags.len(),
-        r.report.dropped_units.len()
-    ));
-    s
+    r.report_signature()
 }
 
 fn best_of<F: FnMut() -> CompileResult>(k: usize, mut f: F) -> (f64, CompileResult) {

@@ -1,12 +1,8 @@
-//! Minimal JSON output for figure artifacts.
+//! JSON conversions for the figure artifacts.
 //!
-//! The offline workspace has no serde; artifacts are small and their
-//! shapes are fixed, so a hand-rolled value tree is enough. Rendering
-//! is pretty-printed with two-space indentation to keep the artifact
-//! files diffable, matching what `serde_json::to_string_pretty` used to
-//! produce for these structs.
-
-use apar_core::nesting::NestingAverages;
+//! The value tree and renderer live in [`apar_core::jsonio`] (shared
+//! with the service layer); this module re-exports them and keeps the
+//! `ToJson` impls for bench-local row types.
 
 use crate::ablation::AblationRow;
 use crate::compile_bench::CompileBenchRow;
@@ -17,144 +13,7 @@ use crate::fig4::Fig4Data;
 use crate::fig5::Fig5Row;
 use crate::spec::{DynamicRow, ReachRow, SpecReport};
 
-/// A JSON value.
-#[derive(Clone, Debug)]
-pub enum Json {
-    Bool(bool),
-    Int(i64),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(&'static str, Json)>),
-}
-
-impl Json {
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = |n: usize| "  ".repeat(n);
-        match self {
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(v) => out.push_str(&v.to_string()),
-            Json::Num(v) => {
-                if !v.is_finite() {
-                    out.push_str("null");
-                } else if v.fract() == 0.0 && v.abs() < 1e15 {
-                    // Keep a decimal point so the value reads back as float.
-                    out.push_str(&format!("{:.1}", v));
-                } else {
-                    out.push_str(&format!("{}", v));
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, it) in items.iter().enumerate() {
-                    out.push_str(&pad(indent + 1));
-                    it.write(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&pad(indent));
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&pad(indent + 1));
-                    out.push_str(&format!("\"{}\": ", k));
-                    v.write(out, indent + 1);
-                    if i + 1 < fields.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&pad(indent));
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Conversion into a [`Json`] value tree.
-pub trait ToJson {
-    fn to_json(&self) -> Json;
-}
-
-impl ToJson for bool {
-    fn to_json(&self) -> Json {
-        Json::Bool(*self)
-    }
-}
-
-impl ToJson for usize {
-    fn to_json(&self) -> Json {
-        Json::Int(*self as i64)
-    }
-}
-
-impl ToJson for u64 {
-    fn to_json(&self) -> Json {
-        Json::Int(*self as i64)
-    }
-}
-
-impl ToJson for f64 {
-    fn to_json(&self) -> Json {
-        Json::Num(*self)
-    }
-}
-
-impl ToJson for String {
-    fn to_json(&self) -> Json {
-        Json::Str(self.clone())
-    }
-}
-
-impl<T: ToJson> ToJson for Vec<T> {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<A: ToJson, B: ToJson> ToJson for (A, B) {
-    fn to_json(&self) -> Json {
-        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
-    }
-}
-
-impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
-    fn to_json(&self) -> Json {
-        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
-    }
-}
+pub use apar_core::jsonio::{Json, ToJson};
 
 impl ToJson for CompileBenchRow {
     fn to_json(&self) -> Json {
@@ -198,18 +57,6 @@ impl ToJson for ExecBenchData {
             ("threads", self.threads.to_json()),
             ("all_correct", self.all_correct().to_json()),
             ("rows", self.rows.to_json()),
-        ])
-    }
-}
-
-impl ToJson for NestingAverages {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("outer_subs", self.outer_subs.to_json()),
-            ("outer_loops", self.outer_loops.to_json()),
-            ("enclosed_subs", self.enclosed_subs.to_json()),
-            ("enclosed_loops", self.enclosed_loops.to_json()),
-            ("n", self.n.to_json()),
         ])
     }
 }
@@ -313,31 +160,5 @@ impl ToJson for SpecReport {
             ("reach", self.reach.to_json()),
             ("dynamic", self.dynamic.to_json()),
         ])
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_structure() {
-        let v = Json::Obj(vec![
-            ("name", Json::Str("a \"b\"".into())),
-            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
-            ("f", Json::Num(1.5)),
-            ("empty", Json::Arr(vec![])),
-        ]);
-        let s = v.render();
-        assert!(s.contains("\"a \\\"b\\\"\""), "{}", s);
-        assert!(s.contains("\"f\": 1.5"), "{}", s);
-        assert!(s.contains("\"empty\": []"), "{}", s);
-    }
-
-    #[test]
-    fn whole_floats_keep_a_decimal_point() {
-        assert_eq!(Json::Num(2.0).render(), "2.0");
-        assert_eq!(Json::Num(2.5).render(), "2.5");
-        assert_eq!(Json::Int(2).render(), "2");
     }
 }

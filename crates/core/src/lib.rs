@@ -23,6 +23,7 @@
 //! ablations for the "missing enabling techniques" of §3.
 
 pub mod classify;
+pub mod jsonio;
 pub mod nesting;
 pub mod pipeline;
 pub mod profile;

@@ -14,7 +14,7 @@ use crate::profile::CompilerProfile;
 use crate::report::{CompileReport, PassId, SkipReason, SkippedLoop};
 use apar_analysis::access::{self, AccessKind};
 use apar_analysis::alias::AliasInfo;
-use apar_analysis::cache::{AnalysisCache, ProgramFacts};
+use apar_analysis::cache::{AnalysisCache, ProgramFacts, SharedFactsStore};
 use apar_analysis::callgraph::CallGraph;
 use apar_analysis::constprop::{self, ConstProp};
 use apar_analysis::ddtest::{self, DdInput};
@@ -38,6 +38,12 @@ use apar_symbolic::OpCounter;
 #[derive(Clone, Debug, Default)]
 pub struct Compiler {
     pub profile: CompilerProfile,
+    /// Cross-compile analysis-facts store (the service layer's shared
+    /// cache). `None` — the default — keeps memoization per-compile.
+    /// Attaching a store never changes any report: entries are keyed by
+    /// the full build identity, so a compile only ever adopts facts it
+    /// would have rebuilt bit-for-bit.
+    pub shared_facts: Option<Arc<SharedFactsStore>>,
 }
 
 /// Facts recorded about one analyzed loop.
@@ -94,11 +100,67 @@ impl CompileResult {
         }
         counts
     }
+
+    /// Everything in a compile result that must not depend on the
+    /// thread count, worker pool, or any cache state: per-pass ops, the
+    /// per-loop records, the Figure 5 histogram, the skip ledger, and
+    /// the containment counters. Wall seconds are deliberately
+    /// excluded. Two results with equal signatures are bit-identical in
+    /// every published dimension — the identity verdict of the compile
+    /// benchmark, the fuzzer, and the service tests.
+    pub fn report_signature(&self) -> String {
+        let mut s = String::new();
+        for p in PassId::ALL {
+            let ops = self.report.per_pass.get(&p).map_or(0, |c| c.ops);
+            s.push_str(&format!("{:?}={};", p, ops));
+        }
+        for l in &self.loops {
+            s.push_str(&format!(
+                "{}:{:?}:{:?}:{}:{}:{}:{};",
+                l.unit,
+                l.stmt,
+                l.classification,
+                l.parallelized,
+                l.speculative,
+                l.pairs_tested,
+                l.ops_spent
+            ));
+        }
+        for (c, n) in self.target_histogram() {
+            s.push_str(&format!("{:?}x{};", c, n));
+        }
+        for sk in &self.report.skipped {
+            s.push_str(&format!("skip:{}:{:?}:{:?};", sk.unit, sk.stmt, sk.reason));
+        }
+        // Containment counters: a panic or budget trip that fires in one
+        // configuration but not another is a determinism bug the
+        // identity verdict must catch.
+        s.push_str(&format!(
+            "panicked={};tripped={};diags={};dropped={};",
+            self.report.panicked_loops(),
+            self.budget_tripped_loops(),
+            self.report.diags.len(),
+            self.report.dropped_units.len()
+        ));
+        s
+    }
 }
 
 impl Compiler {
     pub fn new(profile: CompilerProfile) -> Self {
-        Compiler { profile }
+        Compiler {
+            profile,
+            shared_facts: None,
+        }
+    }
+
+    /// This compiler with a cross-compile facts store attached: per-loop
+    /// interprocedural facts built here become adoptable by later
+    /// compiles sharing the store (and vice versa). Reports are
+    /// bit-identical with or without it.
+    pub fn with_shared_facts(mut self, store: Arc<SharedFactsStore>) -> Self {
+        self.shared_facts = Some(store);
+        self
     }
 
     /// Compiles source text.
@@ -227,8 +289,12 @@ impl Compiler {
         // interner growth) happens in the sequential merge below, in
         // loop order, which keeps reports bit-identical regardless of
         // thread count.
-        let cache = AnalysisCache::new(caps, sym.clone())
+        let mut cache = AnalysisCache::new(caps, sym.clone())
             .with_build_budget(self.profile.loop_op_budget.saturating_mul(32));
+        if let Some(store) = &self.shared_facts {
+            cache = cache.with_shared(Arc::clone(store));
+        }
+        let cache = cache;
         let base = cache.seed(
             &rp,
             ProgramFacts {

@@ -1,0 +1,232 @@
+//! `apar-serve` — the compile service from the command line.
+//!
+//! Batch mode compiles suite files (or a manifest) through one shared
+//! [`CompileService`], writes emitted artifacts next to a stats JSON,
+//! and prints a per-suite table. Daemon mode serves the line protocol
+//! over stdin/stdout until `QUIT` or EOF.
+//!
+//! ```text
+//! apar-serve [OPTIONS] <suite.f>...
+//! apar-serve [OPTIONS] --manifest <file>    # lines: <name>=<path>
+//! apar-serve [OPTIONS] --daemon
+//!
+//! OPTIONS:
+//!   --workers <N>     worker pool width (default 4)
+//!   --profile <name>  polaris2008 (default) or full
+//!   --emit            run the source-to-source backend too
+//!   --out <dir>       write emitted artifacts as <dir>/<name>.par.f
+//!   --stats <file>    write batch stats JSON (default: stdout summary only)
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use apar_core::jsonio::ToJson;
+use apar_core::CompilerProfile;
+use apar_service::daemon::serve;
+use apar_service::{CompileService, ServiceConfig, SuiteArtifact, SuiteRequest};
+
+struct Args {
+    workers: usize,
+    profile: CompilerProfile,
+    emit: bool,
+    out_dir: Option<PathBuf>,
+    stats_path: Option<PathBuf>,
+    daemon: bool,
+    manifest: Option<PathBuf>,
+    suites: Vec<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: apar-serve [--workers N] [--profile polaris2008|full] [--emit] \
+         [--out DIR] [--stats FILE] (<suite.f>... | --manifest FILE | --daemon)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        workers: 4,
+        profile: CompilerProfile::polaris2008(),
+        emit: false,
+        out_dir: None,
+        stats_path: None,
+        daemon: false,
+        manifest: None,
+        suites: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            "--profile" => match it.next().as_deref() {
+                Some("polaris2008") => args.profile = CompilerProfile::polaris2008(),
+                Some("full") => args.profile = CompilerProfile::full(),
+                _ => return Err(usage()),
+            },
+            "--emit" => args.emit = true,
+            "--out" => args.out_dir = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
+            "--stats" => args.stats_path = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
+            "--daemon" => args.daemon = true,
+            "--manifest" => args.manifest = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
+            "--help" | "-h" => return Err(usage()),
+            _ => args.suites.push(PathBuf::from(a)),
+        }
+    }
+    if !args.daemon && args.manifest.is_none() && args.suites.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn stem_of(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Load requests from explicit paths and/or a `<name>=<path>` manifest.
+/// Unreadable entries become empty-source requests (the recovering
+/// compiler reports them as diagnostics instead of the CLI dying).
+fn load_requests(args: &Args) -> Vec<SuiteRequest> {
+    let mut reqs = Vec::new();
+    let mut push = |name: String, path: &Path| {
+        let src = match std::fs::read(path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) => {
+                eprintln!("apar-serve: {}: {} (serving empty source)", path.display(), e);
+                String::new()
+            }
+        };
+        reqs.push(SuiteRequest::new(name, src));
+    };
+    if let Some(manifest) = &args.manifest {
+        match std::fs::read_to_string(manifest) {
+            Ok(text) => {
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    match line.split_once('=') {
+                        Some((name, path)) => {
+                            push(name.trim().to_string(), Path::new(path.trim()))
+                        }
+                        None => push(stem_of(Path::new(line)), Path::new(line)),
+                    }
+                }
+            }
+            Err(e) => eprintln!("apar-serve: manifest {}: {}", manifest.display(), e),
+        }
+    }
+    for p in &args.suites {
+        push(stem_of(p), p);
+    }
+    reqs
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let service = CompileService::new(ServiceConfig {
+        profile: args.profile.clone(),
+        workers: args.workers,
+        emit: args.emit,
+        ..ServiceConfig::default()
+    });
+
+    if args.daemon {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match serve(&service, stdin.lock(), stdout.lock()) {
+            Ok(summary) => {
+                eprintln!(
+                    "apar-serve: {} requests, {} compiled, {} errors",
+                    summary.requests, summary.compiled, summary.errors
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("apar-serve: transport error: {}", e);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let reqs = load_requests(&args);
+    let batch = service.compile_many(&reqs);
+
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>6} {:>10}",
+        "suite", "served", "loops", "par", "diags", "wall_s"
+    );
+    for o in &batch.outcomes {
+        let (loops, par, diags) = match o.artifact.compile() {
+            Some(r) => (
+                r.loops.len(),
+                r.loops.iter().filter(|l| l.parallelized).count(),
+                r.report.diags.len(),
+            ),
+            None => (0, 0, 0),
+        };
+        println!(
+            "{:<16} {:>6} {:>8} {:>8} {:>6} {:>10.4}",
+            o.name,
+            o.served.label(),
+            loops,
+            par,
+            diags,
+            o.wall_s
+        );
+    }
+    println!(
+        "{} suites in {:.3}s ({:.1}/s): {} cold, {} hits, {} deduped; facts {}h/{}m/{}r",
+        batch.stats.suites,
+        batch.stats.wall_s,
+        batch.stats.suites_per_s,
+        batch.stats.cold,
+        batch.stats.result_hits,
+        batch.stats.deduped,
+        batch.stats.facts.hits,
+        batch.stats.facts.misses,
+        batch.stats.facts.refusals,
+    );
+
+    if let Some(dir) = &args.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("apar-serve: create {}: {}", dir.display(), e);
+        }
+        for o in &batch.outcomes {
+            if let SuiteArtifact::Emitted(e) = &*o.artifact {
+                let path = dir.join(format!("{}.par.f", o.name));
+                match std::fs::File::create(&path).and_then(|mut f| {
+                    f.write_all(e.source.as_bytes())
+                }) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(err) => eprintln!("apar-serve: write {}: {}", path.display(), err),
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &args.stats_path {
+        let json = batch.stats.to_json().render();
+        match std::fs::write(path, json + "\n") {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("apar-serve: write {}: {}", path.display(), e);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,239 @@
+//! The long-lived daemon loop: a line-delimited request protocol.
+//!
+//! [`serve`] reads requests from any `BufRead` and writes one response
+//! line per request to any `Write` — stdin/stdout in the `apar-serve`
+//! binary, in-memory buffers in tests. The protocol:
+//!
+//! ```text
+//! SRC <name> <nlines>   the next <nlines> lines are the suite source
+//! FILE <path>           compile the file at <path>
+//! STATS                 one-line JSON of the service's lifetime stats
+//! QUIT                  stop serving
+//! ```
+//!
+//! Responses are exactly one line each: `OK <json>` for compiles and
+//! stats, `ERR <reason>` for anything unserviceable. The loop is total
+//! over arbitrary bytes: non-UTF-8 input is replaced lossily, unknown
+//! commands and malformed headers answer `ERR` and the loop continues,
+//! garbled source degrades to a compile with diagnostics (the
+//! recovering front end), and any panic that still escapes a request is
+//! contained by the service's sandbox. One hostile request degrades one
+//! response, never the daemon.
+
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use apar_core::jsonio::{Json, ToJson};
+
+use crate::{CompileService, SuiteArtifact, SuiteOutcome, SuiteRequest};
+
+/// Upper bound on one `SRC` request's line count — a hostile header
+/// like `SRC x 99999999999` must not stall the loop reading forever.
+pub const MAX_SRC_LINES: usize = 100_000;
+
+/// What one [`serve`] loop did (for tests and logging).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines handled (blank lines excluded).
+    pub requests: usize,
+    /// Requests that ran or looked up a compile.
+    pub compiled: usize,
+    /// Requests answered with `ERR`.
+    pub errors: usize,
+    /// True when the loop ended on `QUIT` rather than EOF.
+    pub quit: bool,
+}
+
+fn outcome_line(o: &SuiteOutcome) -> String {
+    let (loops, parallelized, diags, dropped) = match o.artifact.compile() {
+        Some(r) => (
+            r.loops.len(),
+            r.loops.iter().filter(|l| l.parallelized).count(),
+            r.report.diags.len(),
+            r.report.dropped_units.len(),
+        ),
+        None => (0, 0, 0, 0),
+    };
+    let mut fields = vec![
+        ("name", Json::Str(o.name.clone())),
+        ("served", Json::Str(o.served.label().to_string())),
+        ("loops", loops.to_json()),
+        ("parallelized", parallelized.to_json()),
+        ("diags", diags.to_json()),
+        ("dropped_units", dropped.to_json()),
+        ("wall_s", o.wall_s.to_json()),
+    ];
+    if let SuiteArtifact::Failed(msg) = &*o.artifact {
+        fields.push(("failed", Json::Str(msg.clone())));
+    }
+    if let SuiteArtifact::Emitted(e) = &*o.artifact {
+        fields.push(("emitted", e.emitted.to_json()));
+        fields.push(("reparse_diags", e.reparse_diags.len().to_json()));
+    }
+    Json::Obj(fields).render_compact()
+}
+
+/// Read one raw line (any bytes) as lossy UTF-8 without the trailing
+/// newline. `None` at EOF.
+fn read_line<R: BufRead>(input: &mut R) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let n = input.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Run the daemon loop until `QUIT` or EOF. Never panics, never exits
+/// early on hostile input; I/O errors on the transport itself are the
+/// only way out besides the protocol.
+pub fn serve<R: BufRead, W: Write>(
+    service: &CompileService,
+    mut input: R,
+    mut out: W,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    while let Some(line) = read_line(&mut input)? {
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let mut parts = line.splitn(3, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let reply = match cmd {
+            "QUIT" => {
+                summary.quit = true;
+                writeln!(out, "OK bye")?;
+                break;
+            }
+            "STATS" => format!("OK {}", service.cumulative_stats().to_json().render_compact()),
+            "SRC" => {
+                let name = parts.next().unwrap_or("").to_string();
+                let nlines = parts.next().and_then(|s| s.trim().parse::<usize>().ok());
+                match (name.is_empty(), nlines) {
+                    (true, _) | (_, None) => {
+                        summary.errors += 1;
+                        "ERR usage: SRC <name> <nlines>".to_string()
+                    }
+                    (_, Some(n)) if n > MAX_SRC_LINES => {
+                        summary.errors += 1;
+                        format!("ERR oversized request ({} lines > {})", n, MAX_SRC_LINES)
+                    }
+                    (_, Some(n)) => {
+                        let mut src = String::new();
+                        for _ in 0..n {
+                            match read_line(&mut input)? {
+                                Some(l) => {
+                                    src.push_str(&l);
+                                    src.push('\n');
+                                }
+                                None => break, // EOF mid-body: compile what arrived
+                            }
+                        }
+                        summary.compiled += 1;
+                        respond_compile(service, SuiteRequest::new(name, src))
+                    }
+                }
+            }
+            "FILE" => {
+                let path: String = parts.collect::<Vec<_>>().join(" ");
+                if path.is_empty() {
+                    summary.errors += 1;
+                    "ERR usage: FILE <path>".to_string()
+                } else {
+                    match std::fs::read(&path) {
+                        Ok(bytes) => {
+                            let src = String::from_utf8_lossy(&bytes).into_owned();
+                            let name = std::path::Path::new(&path)
+                                .file_stem()
+                                .map(|s| s.to_string_lossy().into_owned())
+                                .unwrap_or_else(|| path.clone());
+                            summary.compiled += 1;
+                            respond_compile(service, SuiteRequest::new(name, src))
+                        }
+                        Err(e) => {
+                            summary.errors += 1;
+                            format!("ERR read {}: {}", path, e)
+                        }
+                    }
+                }
+            }
+            _ => {
+                summary.errors += 1;
+                format!("ERR unknown command: {}", cmd)
+            }
+        };
+        writeln!(out, "{}", reply)?;
+        out.flush()?;
+    }
+    Ok(summary)
+}
+
+/// One compile request, double-sandboxed: the service already contains
+/// panics per suite, and this belt-and-suspenders guard keeps even a
+/// panic in outcome formatting from taking the loop down.
+fn respond_compile(service: &CompileService, req: SuiteRequest) -> String {
+    catch_unwind(AssertUnwindSafe(|| {
+        let outcome = service.compile_one(req);
+        format!("OK {}", outcome_line(&outcome))
+    }))
+    .unwrap_or_else(|_| "ERR internal: request panicked".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+
+    fn run(input: &[u8]) -> (ServeSummary, String) {
+        let service = CompileService::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let mut out = Vec::new();
+        let summary = serve(&service, input, &mut out).expect("io");
+        (summary, String::from_utf8_lossy(&out).into_owned())
+    }
+
+    #[test]
+    fn serves_a_src_request_and_quits() {
+        let input = b"SRC tiny 7\nPROGRAM MAIN\nREAL A(10)\nINTEGER I\nDO I = 1, 10\nA(I) = 1.0\nENDDO\nEND\nQUIT\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.compiled, 1);
+        assert!(summary.quit);
+        assert!(out.contains("\"name\":\"tiny\""), "{}", out);
+        assert!(out.contains("\"diags\":0"), "clean dialect parses: {}", out);
+        assert!(out.contains("OK bye"), "{}", out);
+    }
+
+    #[test]
+    fn hostile_lines_answer_err_and_the_loop_lives() {
+        let input: Vec<u8> = [
+            b"GARBAGE whatever\n".as_slice(),
+            &[0xff, 0xfe, 0x00, b'\n'],
+            b"SRC\n",
+            b"SRC x notanumber\n",
+            b"SRC huge 99999999999\n",
+            b"STATS\n",
+            b"QUIT\n",
+        ]
+        .concat();
+        let (summary, out) = run(&input);
+        assert!(summary.quit, "daemon reached QUIT alive:\n{}", out);
+        assert_eq!(summary.errors, 5, "{}", out);
+        assert!(out.contains("OK {"), "stats still served: {}", out);
+    }
+
+    #[test]
+    fn eof_mid_body_still_compiles_what_arrived() {
+        let input = b"SRC cut 100\n      PROGRAM MAIN\n      END PROGRAM\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.compiled, 1);
+        assert!(!summary.quit);
+        assert!(out.contains("\"name\":\"cut\""), "{}", out);
+    }
+}

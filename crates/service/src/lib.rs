@@ -1,0 +1,681 @@
+//! Compile-as-a-service: batch and daemon compilation over the autopar
+//! pipeline.
+//!
+//! ComPar-style source-to-source auto-parallelizers are run as batch
+//! services over many foreign codes; this crate is that layer for the
+//! reproduction. A [`CompileService`] accepts batches of named MiniFort
+//! suites ([`CompileService::compile_many`]), fans compiles out across a
+//! bounded worker pool, and keeps two caches alive *across* compiles:
+//!
+//! * a shared [`SharedFactsStore`] (the `AnalysisCache` promoted from
+//!   per-compile to cross-compile), keyed by the full build identity —
+//!   capabilities, op budget, base interner, resolved-program
+//!   fingerprint — so adopting an entry can never change a report;
+//! * a suite-level **result cache** keyed by raw source bytes plus the
+//!   compile-relevant profile identity (everything except `threads`,
+//!   which reports are invariant to), so recompiling an already-seen
+//!   suite is a lookup, not a compile.
+//!
+//! Both caches are LRU-bounded; eviction costs rebuild time, never
+//! correctness. Caching never changes what the service answers: two
+//! batches differing only in cache temperature, worker width, or
+//! arrival order produce bit-identical per-suite reports
+//! ([`CompileResult::report_signature`] equality — pinned by this
+//! crate's tests).
+//!
+//! Containment: every suite compiles through the recovering front end
+//! inside a panic sandbox, so one garbled request degrades exactly one
+//! response — the batch API always returns one [`SuiteOutcome`] per
+//! request, and the daemon loop ([`daemon::serve`]) never dies on
+//! hostile input.
+
+pub mod daemon;
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use apar_analysis::{SharedFactsStore, SharedStats};
+use apar_core::jsonio::{Json, ToJson};
+use apar_core::{CompileResult, Compiler, CompilerProfile, EmitResult};
+
+/// One named compilation request.
+#[derive(Clone, Debug)]
+pub struct SuiteRequest {
+    pub name: String,
+    pub source: String,
+}
+
+impl SuiteRequest {
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        SuiteRequest {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// Everything that bounds a [`CompileService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Compiler profile every suite is compiled under.
+    pub profile: CompilerProfile,
+    /// Worker pool width for one batch (1 = fully sequential; reports
+    /// are bit-identical at every value).
+    pub workers: usize,
+    /// Also run the source-to-source backend and keep the emitted
+    /// artifact ([`SuiteArtifact::Emitted`]).
+    pub emit: bool,
+    /// Shared facts store: maximum retained entries.
+    pub facts_entries: usize,
+    /// Shared facts store: approximate byte bound (printed-program
+    /// length as the cost proxy).
+    pub facts_bytes: usize,
+    /// Suite result cache: maximum retained entries.
+    pub result_entries: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            profile: CompilerProfile::polaris2008(),
+            workers: 4,
+            emit: false,
+            facts_entries: 256,
+            facts_bytes: 64 << 20,
+            result_entries: 256,
+        }
+    }
+}
+
+/// How a suite in a batch was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// Compiled from scratch (possibly adopting shared analysis facts).
+    Cold,
+    /// Answered from the cross-batch result cache — no compile ran.
+    CacheHit,
+    /// Duplicate of an earlier suite in the *same* batch; compiled once,
+    /// result shared. Counted separately from hits and misses.
+    Deduped,
+}
+
+impl Served {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Served::Cold => "cold",
+            Served::CacheHit => "hit",
+            Served::Deduped => "dedup",
+        }
+    }
+}
+
+/// What the service produced for one suite.
+#[derive(Debug)]
+pub enum SuiteArtifact {
+    /// Analysis + transformation only (`ServiceConfig::emit == false`).
+    Compiled(Box<CompileResult>),
+    /// Full pipeline through the source-to-source backend.
+    Emitted(Box<EmitResult>),
+    /// A panic escaped the recovering compiler — contained here so the
+    /// batch (and the daemon) survive. Should never happen; the message
+    /// is kept for the response.
+    Failed(String),
+}
+
+impl SuiteArtifact {
+    /// The compile result, when one exists.
+    pub fn compile(&self) -> Option<&CompileResult> {
+        match self {
+            SuiteArtifact::Compiled(r) => Some(r),
+            SuiteArtifact::Emitted(e) => Some(&e.result),
+            SuiteArtifact::Failed(_) => None,
+        }
+    }
+
+    /// The identity string of the underlying report (empty for
+    /// failures) — what the cache-transparency tests compare.
+    pub fn signature(&self) -> String {
+        self.compile().map(|r| r.report_signature()).unwrap_or_default()
+    }
+
+    /// Frontend diagnostics the recovering compile accumulated.
+    pub fn diag_count(&self) -> usize {
+        self.compile().map_or(0, |r| r.report.diags.len())
+    }
+}
+
+/// One per-request answer from [`CompileService::compile_many`].
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    pub name: String,
+    pub served: Served,
+    /// Wall seconds this suite cost the service (near zero for
+    /// `CacheHit`/`Deduped`).
+    pub wall_s: f64,
+    /// The artifact — shared (`Arc`) between deduplicated requests.
+    pub artifact: Arc<SuiteArtifact>,
+}
+
+/// Service counters for one batch (or, from
+/// [`CompileService::cumulative_stats`], the service's lifetime).
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Requests answered.
+    pub suites: usize,
+    /// Requests that ran a compile.
+    pub cold: usize,
+    /// Requests answered from the result cache.
+    pub result_hits: usize,
+    /// In-batch duplicates that shared an owner's compile.
+    pub deduped: usize,
+    /// Requests whose compile panicked (contained as
+    /// [`SuiteArtifact::Failed`]).
+    pub failed: usize,
+    /// Result-cache entries evicted by the LRU bound.
+    pub result_evictions: u64,
+    /// Shared facts-store counters: hits, misses, structured
+    /// [`CacheRefusal`](SharedStats::refusals) count (budget-tripped or
+    /// panicked builds the cache refused to retain — *not* misses),
+    /// evictions, and residency gauges.
+    pub facts: SharedStats,
+    /// Wall seconds for the whole batch.
+    pub wall_s: f64,
+    /// Aggregate throughput (`suites / wall_s`).
+    pub suites_per_s: f64,
+    /// Per-suite wall seconds, in request order.
+    pub per_suite_wall_s: Vec<(String, f64)>,
+}
+
+impl ToJson for ServiceStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("suites", self.suites.to_json()),
+            ("cold", self.cold.to_json()),
+            ("result_hits", self.result_hits.to_json()),
+            ("deduped", self.deduped.to_json()),
+            ("failed", self.failed.to_json()),
+            ("result_evictions", self.result_evictions.to_json()),
+            ("facts_hits", self.facts.hits.to_json()),
+            ("facts_misses", self.facts.misses.to_json()),
+            ("facts_refusals", self.facts.refusals.to_json()),
+            ("facts_evictions", self.facts.evictions.to_json()),
+            ("facts_entries", self.facts.entries.to_json()),
+            ("facts_approx_bytes", self.facts.approx_bytes.to_json()),
+            ("wall_s", self.wall_s.to_json()),
+            ("suites_per_s", self.suites_per_s.to_json()),
+            ("per_suite_wall_s", self.per_suite_wall_s.to_json()),
+        ])
+    }
+}
+
+/// A completed batch: one outcome per request, in request order, plus
+/// the batch-scoped stats.
+#[derive(Debug)]
+pub struct Batch {
+    pub outcomes: Vec<SuiteOutcome>,
+    pub stats: ServiceStats,
+}
+
+/// LRU-bounded suite result cache.
+struct ResultCache {
+    map: HashMap<u64, (Arc<SuiteArtifact>, u64)>,
+    tick: u64,
+    cap: usize,
+    evictions: u64,
+}
+
+impl ResultCache {
+    fn new(cap: usize) -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            tick: 0,
+            cap: cap.max(1),
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<SuiteArtifact>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|(v, last)| {
+            *last = tick;
+            Arc::clone(v)
+        })
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<SuiteArtifact>) {
+        self.tick += 1;
+        self.map.insert(key, (value, self.tick));
+        while self.map.len() > self.cap {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| *k)
+                .expect("nonempty over cap");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// The service: a worker pool plus the two cross-compile caches.
+///
+/// Thread-safe (`&self` methods); wrap in an `Arc` to share between a
+/// daemon loop and library callers.
+pub struct CompileService {
+    config: ServiceConfig,
+    facts: Arc<SharedFactsStore>,
+    results: Mutex<ResultCache>,
+    // Lifetime counters (the daemon's STATS answer).
+    suites: AtomicUsize,
+    cold: AtomicUsize,
+    hits: AtomicUsize,
+    deduped: AtomicUsize,
+    failed: AtomicUsize,
+    /// Cumulative busy wall, in microseconds.
+    busy_us: AtomicU64,
+}
+
+impl CompileService {
+    pub fn new(config: ServiceConfig) -> Self {
+        let facts = Arc::new(SharedFactsStore::bounded(
+            config.facts_entries,
+            config.facts_bytes,
+        ));
+        Self::with_facts_store(config, facts)
+    }
+
+    /// A service sharing a caller-owned facts store — how several
+    /// service instances (tenants, or a fresh client with an empty
+    /// result cache) pool their analysis work. The config's
+    /// `facts_entries`/`facts_bytes` are ignored; the store keeps the
+    /// bounds it was built with.
+    pub fn with_facts_store(config: ServiceConfig, facts: Arc<SharedFactsStore>) -> Self {
+        let results = Mutex::new(ResultCache::new(config.result_entries));
+        CompileService {
+            config,
+            facts,
+            results,
+            suites: AtomicUsize::new(0),
+            cold: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            deduped: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            busy_us: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared analysis-facts store (for inspection in tests and
+    /// benchmarks).
+    pub fn facts_store(&self) -> &Arc<SharedFactsStore> {
+        &self.facts
+    }
+
+    /// Cache key for one suite: raw source bytes plus the
+    /// compile-relevant profile identity. `threads` is excluded —
+    /// reports are thread-invariant, so worker width must not fragment
+    /// the cache. Raw source (not the resolved-program fingerprint) is
+    /// deliberate: two garbled sources can *resolve* identically yet
+    /// carry different recovery diagnostics, which are part of the
+    /// answer.
+    fn suite_key(&self, source: &str) -> u64 {
+        let mut norm = self.config.profile.clone();
+        norm.threads = 1;
+        let mut h = DefaultHasher::new();
+        format!("{:?}", norm).hash(&mut h);
+        self.config.emit.hash(&mut h);
+        source.hash(&mut h);
+        h.finish()
+    }
+
+    /// Compile one suite outside a batch (a one-element
+    /// [`CompileService::compile_many`]).
+    pub fn compile_one(&self, req: SuiteRequest) -> SuiteOutcome {
+        self.compile_many(&[req])
+            .outcomes
+            .pop()
+            .expect("one outcome per request")
+    }
+
+    /// Compile a batch: dedupe identical suites, answer repeats from the
+    /// result cache, fan the rest out across the worker pool, and
+    /// return one outcome per request in request order plus the
+    /// batch-scoped stats.
+    pub fn compile_many(&self, batch: &[SuiteRequest]) -> Batch {
+        let t0 = Instant::now();
+        let facts_before = self.facts.stats();
+
+        // Plan: the first request with a given key owns the compile (or
+        // the cache lookup); later identical requests are deduped onto
+        // the owner.
+        let keys: Vec<u64> = batch.iter().map(|r| self.suite_key(&r.source)).collect();
+        let mut owner_of: HashMap<u64, usize> = HashMap::new();
+        // Per request: Some(owner index) when deduped, None when owner.
+        let dup_of: Vec<Option<usize>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| match owner_of.get(k) {
+                Some(&o) => Some(o),
+                None => {
+                    owner_of.insert(*k, i);
+                    None
+                }
+            })
+            .collect();
+
+        // Owners: try the result cache under one lock, else queue a job.
+        let mut cached: HashMap<usize, (Arc<SuiteArtifact>, f64)> = HashMap::new();
+        let mut jobs: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.results.lock().expect("result cache lock");
+            for (i, dup) in dup_of.iter().enumerate() {
+                if dup.is_some() {
+                    continue;
+                }
+                let tl = Instant::now();
+                match cache.get(keys[i]) {
+                    Some(hit) => {
+                        cached.insert(i, (hit, tl.elapsed().as_secs_f64()));
+                    }
+                    None => jobs.push(i),
+                }
+            }
+        }
+
+        // Fan the jobs out across the bounded pool. Slots are indexed
+        // by job position, so assembly below is deterministic in
+        // request order regardless of completion order.
+        let slots: Vec<OnceLock<(Arc<SuiteArtifact>, f64)>> =
+            jobs.iter().map(|_| OnceLock::new()).collect();
+        let width = self.config.workers.max(1).min(jobs.len().max(1));
+        if width <= 1 {
+            for (j, &i) in jobs.iter().enumerate() {
+                let _ = slots[j].set(self.run_job(&batch[i]));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..width {
+                    s.spawn(|| loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs.len() {
+                            break;
+                        }
+                        let _ = slots[j].set(self.run_job(&batch[jobs[j]]));
+                    });
+                }
+            });
+        }
+
+        // Retain fresh results (never failures — a poisoned entry would
+        // replay the failure forever).
+        let mut fresh: HashMap<usize, (Arc<SuiteArtifact>, f64)> = HashMap::new();
+        {
+            let mut cache = self.results.lock().expect("result cache lock");
+            for (j, &i) in jobs.iter().enumerate() {
+                let (art, wall) = slots[j].get().expect("job completed").clone();
+                if !matches!(*art, SuiteArtifact::Failed(_)) {
+                    cache.insert(keys[i], Arc::clone(&art));
+                }
+                fresh.insert(i, (art, wall));
+            }
+        }
+
+        // Assemble outcomes in request order.
+        let mut outcomes: Vec<SuiteOutcome> = Vec::with_capacity(batch.len());
+        let mut stats_cold = 0usize;
+        let mut stats_hits = 0usize;
+        let mut stats_dedup = 0usize;
+        let mut stats_failed = 0usize;
+        for (i, req) in batch.iter().enumerate() {
+            let (served, artifact, wall_s) = match dup_of[i] {
+                Some(owner) => {
+                    stats_dedup += 1;
+                    let art = cached
+                        .get(&owner)
+                        .or_else(|| fresh.get(&owner))
+                        .map(|(a, _)| Arc::clone(a))
+                        .expect("owner resolved");
+                    (Served::Deduped, art, 0.0)
+                }
+                None => match cached.get(&i) {
+                    Some((art, wall)) => {
+                        stats_hits += 1;
+                        (Served::CacheHit, Arc::clone(art), *wall)
+                    }
+                    None => {
+                        let (art, wall) = fresh.get(&i).expect("fresh result").clone();
+                        stats_cold += 1;
+                        (Served::Cold, art, wall)
+                    }
+                },
+            };
+            if matches!(*artifact, SuiteArtifact::Failed(_)) {
+                stats_failed += 1;
+            }
+            outcomes.push(SuiteOutcome {
+                name: req.name.clone(),
+                served,
+                wall_s,
+                artifact,
+            });
+        }
+
+        let wall_s = t0.elapsed().as_secs_f64();
+        let result_evictions = self.results.lock().expect("result cache lock").evictions;
+        let stats = ServiceStats {
+            suites: batch.len(),
+            cold: stats_cold,
+            result_hits: stats_hits,
+            deduped: stats_dedup,
+            failed: stats_failed,
+            result_evictions,
+            facts: self.facts.stats().since(&facts_before),
+            wall_s,
+            suites_per_s: if wall_s > 0.0 {
+                batch.len() as f64 / wall_s
+            } else {
+                0.0
+            },
+            per_suite_wall_s: outcomes
+                .iter()
+                .map(|o| (o.name.clone(), o.wall_s))
+                .collect(),
+        };
+
+        // Fold into the lifetime counters.
+        self.suites.fetch_add(batch.len(), Ordering::Relaxed);
+        self.cold.fetch_add(stats_cold, Ordering::Relaxed);
+        self.hits.fetch_add(stats_hits, Ordering::Relaxed);
+        self.deduped.fetch_add(stats_dedup, Ordering::Relaxed);
+        self.failed.fetch_add(stats_failed, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add((wall_s * 1e6) as u64, Ordering::Relaxed);
+
+        Batch { outcomes, stats }
+    }
+
+    /// Lifetime counters since the service was created (the daemon's
+    /// `STATS` answer). Gauges and facts counters are absolute.
+    pub fn cumulative_stats(&self) -> ServiceStats {
+        let wall_s = self.busy_us.load(Ordering::Relaxed) as f64 / 1e6;
+        let suites = self.suites.load(Ordering::Relaxed);
+        ServiceStats {
+            suites,
+            cold: self.cold.load(Ordering::Relaxed),
+            result_hits: self.hits.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            result_evictions: self.results.lock().expect("result cache lock").evictions,
+            facts: self.facts.stats(),
+            wall_s,
+            suites_per_s: if wall_s > 0.0 {
+                suites as f64 / wall_s
+            } else {
+                0.0
+            },
+            per_suite_wall_s: Vec::new(),
+        }
+    }
+
+    /// One compile, sandboxed: the recovering front end makes the
+    /// compile total over arbitrary bytes, and `catch_unwind` contains
+    /// anything that still escapes so the pool (and the daemon) live on.
+    fn run_job(&self, req: &SuiteRequest) -> (Arc<SuiteArtifact>, f64) {
+        let t = Instant::now();
+        let compiler = Compiler::new(self.config.profile.clone())
+            .with_shared_facts(Arc::clone(&self.facts));
+        let emit = self.config.emit;
+        let art = catch_unwind(AssertUnwindSafe(|| {
+            let r = compiler.compile_source_recovering(&req.name, &req.source);
+            if emit {
+                SuiteArtifact::Emitted(Box::new(compiler.emit(r)))
+            } else {
+                SuiteArtifact::Compiled(Box::new(r))
+            }
+        }))
+        .unwrap_or_else(|p| {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".to_string());
+            SuiteArtifact::Failed(msg)
+        });
+        (Arc::new(art), t.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+PROGRAM MAIN
+REAL A(100)
+INTEGER I
+DO I = 1, 100
+A(I) = A(I) + 1.0
+ENDDO
+END
+";
+
+    const SRC2: &str = "\
+PROGRAM MAIN
+REAL B(50)
+INTEGER J
+DO J = 1, 50
+B(J) = 2.0 * B(J)
+ENDDO
+END
+";
+
+    fn svc() -> CompileService {
+        CompileService::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn second_batch_is_served_from_the_result_cache() {
+        let s = svc();
+        let batch = [SuiteRequest::new("a", SRC)];
+        let first = s.compile_many(&batch);
+        assert_eq!(first.stats.cold, 1);
+        assert_eq!(first.stats.result_hits, 0);
+        let second = s.compile_many(&batch);
+        assert_eq!(second.stats.cold, 0);
+        assert_eq!(second.stats.result_hits, 1);
+        assert_eq!(
+            first.outcomes[0].artifact.signature(),
+            second.outcomes[0].artifact.signature()
+        );
+    }
+
+    #[test]
+    fn in_batch_duplicates_are_deduped_not_misses() {
+        let s = svc();
+        let batch = [
+            SuiteRequest::new("a", SRC),
+            SuiteRequest::new("b", SRC2),
+            SuiteRequest::new("a-again", SRC),
+        ];
+        let out = s.compile_many(&batch);
+        assert_eq!(out.stats.cold, 2, "two distinct sources compile");
+        assert_eq!(out.stats.deduped, 1, "the repeat rides along");
+        assert_eq!(out.stats.result_hits, 0);
+        assert_eq!(out.outcomes[0].served, Served::Cold);
+        assert_eq!(out.outcomes[2].served, Served::Deduped);
+        assert!(Arc::ptr_eq(
+            &out.outcomes[0].artifact,
+            &out.outcomes[2].artifact
+        ));
+    }
+
+    #[test]
+    fn duplicate_of_a_cached_suite_is_hit_plus_dedup() {
+        let s = svc();
+        s.compile_many(&[SuiteRequest::new("warm", SRC)]);
+        let out = s.compile_many(&[
+            SuiteRequest::new("x", SRC),
+            SuiteRequest::new("y", SRC),
+        ]);
+        assert_eq!(out.outcomes[0].served, Served::CacheHit);
+        assert_eq!(out.outcomes[1].served, Served::Deduped);
+        assert_eq!(out.stats.cold, 0);
+    }
+
+    #[test]
+    fn result_cache_is_lru_bounded_and_counts_evictions() {
+        let s = CompileService::new(ServiceConfig {
+            workers: 1,
+            result_entries: 1,
+            ..ServiceConfig::default()
+        });
+        s.compile_many(&[SuiteRequest::new("a", SRC)]);
+        s.compile_many(&[SuiteRequest::new("b", SRC2)]); // evicts a
+        let again = s.compile_many(&[SuiteRequest::new("a", SRC)]);
+        assert_eq!(again.stats.cold, 1, "a was evicted, recompiles");
+        assert!(s.cumulative_stats().result_evictions >= 1);
+    }
+
+    #[test]
+    fn profile_identity_keys_the_result_cache_but_threads_do_not() {
+        let s = svc();
+        s.compile_many(&[SuiteRequest::new("a", SRC)]);
+        // Same source under a different worker width would still hit —
+        // the key ignores threads by construction.
+        let k1 = s.suite_key(SRC);
+        let full = CompileService::new(ServiceConfig {
+            profile: CompilerProfile::full(),
+            ..ServiceConfig::default()
+        });
+        assert_ne!(k1, full.suite_key(SRC), "different profiles, different keys");
+        let mut threaded_cfg = ServiceConfig::default();
+        threaded_cfg.profile = threaded_cfg.profile.with_threads(8);
+        let threaded = CompileService::new(threaded_cfg);
+        assert_eq!(k1, threaded.suite_key(SRC), "threads excluded from key");
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate_across_batches() {
+        let s = svc();
+        s.compile_many(&[SuiteRequest::new("a", SRC)]);
+        s.compile_many(&[SuiteRequest::new("a", SRC)]);
+        let c = s.cumulative_stats();
+        assert_eq!(c.suites, 2);
+        assert_eq!(c.cold, 1);
+        assert_eq!(c.result_hits, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Service containment: hostile suites degrade their own response and
+//! nothing else. Batches mixing clean sources with fuzz-garbled bytes
+//! come back with one outcome per request — diagnostics, not panics —
+//! and the daemon loop survives arbitrary input.
+
+use apar_core::{Compiler, CompilerProfile};
+use apar_minicheck::{fortgen, mutate, Rng};
+use apar_service::{daemon, CompileService, ServiceConfig, SuiteArtifact, SuiteRequest};
+use apar_workloads::linpack;
+
+/// Clean + garbled + mutated requests, deterministic by seed.
+fn mixed_batch() -> Vec<SuiteRequest> {
+    let mut reqs = Vec::new();
+    let clean = linpack::suite();
+    reqs.push(SuiteRequest::new(clean.name.clone(), clean.source.clone()));
+    for seed in 0..6u64 {
+        let mut rng = Rng::new(0x5eed_0000 + seed);
+        let garbled = fortgen::gen_program(
+            &mut rng,
+            &fortgen::GenConfig {
+                garble: 0.3,
+                ..fortgen::GenConfig::default()
+            },
+        );
+        reqs.push(SuiteRequest::new(format!("garbled-{}", seed), garbled));
+    }
+    for seed in 0..4u64 {
+        let mut rng = Rng::new(0xdead_0000 + seed);
+        let mutated = mutate::mutate(&mut rng, &clean.source, 8);
+        reqs.push(SuiteRequest::new(format!("mutated-{}", seed), mutated));
+    }
+    reqs
+}
+
+#[test]
+fn mixed_batch_returns_per_suite_diags_with_zero_escaped_panics() {
+    let reqs = mixed_batch();
+    let service = CompileService::new(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let out = service.compile_many(&reqs);
+    assert_eq!(out.outcomes.len(), reqs.len(), "one outcome per request");
+    assert_eq!(out.stats.failed, 0, "no compile escaped its sandbox");
+    let mut diag_suites = 0;
+    for o in &out.outcomes {
+        match &*o.artifact {
+            SuiteArtifact::Failed(msg) => panic!("{} failed: {}", o.name, msg),
+            _ => {
+                if o.artifact.diag_count() > 0 {
+                    diag_suites += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        diag_suites > 0,
+        "a 30%-garble corpus must trip some recovery diagnostics"
+    );
+    // The clean suite is untouched by its hostile neighbors.
+    let clean_ref = Compiler::new(CompilerProfile::polaris2008())
+        .compile_source_recovering(&reqs[0].name, &reqs[0].source)
+        .report_signature();
+    assert_eq!(out.outcomes[0].artifact.signature(), clean_ref);
+    assert_eq!(out.outcomes[0].artifact.diag_count(), 0);
+}
+
+#[test]
+fn hostile_batches_are_worker_count_invariant() {
+    let reqs = mixed_batch();
+    let sig = |workers: usize| -> Vec<String> {
+        let service = CompileService::new(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        });
+        service
+            .compile_many(&reqs)
+            .outcomes
+            .iter()
+            .map(|o| o.artifact.signature())
+            .collect()
+    };
+    assert_eq!(sig(1), sig(4));
+}
+
+#[test]
+fn daemon_survives_a_hostile_session_and_keeps_serving() {
+    // One scripted session: a clean compile, raw garbled bytes as both
+    // commands and SRC bodies, protocol abuse, then proof of life.
+    let clean = linpack::suite();
+    let mut rng = Rng::new(0xfeed_f00d);
+    let garbled = fortgen::gen_program(
+        &mut rng,
+        &fortgen::GenConfig {
+            garble: 0.5,
+            ..fortgen::GenConfig::default()
+        },
+    );
+    let mut input: Vec<u8> = Vec::new();
+    let push_src = |input: &mut Vec<u8>, name: &str, src: &str| {
+        input.extend_from_slice(
+            format!("SRC {} {}\n", name, src.lines().count()).as_bytes(),
+        );
+        for line in src.lines() {
+            input.extend_from_slice(line.as_bytes());
+            input.push(b'\n');
+        }
+    };
+    push_src(&mut input, "clean", &clean.source);
+    input.extend_from_slice(&[0x00, 0xff, 0x80, b' ', 0xfe, b'\n']); // binary noise
+    input.extend_from_slice(b"SRC broken-header\n");
+    push_src(&mut input, "garbled", &garbled);
+    input.extend_from_slice(b"FILE /no/such/path\n");
+    push_src(&mut input, "clean-again", &clean.source);
+    input.extend_from_slice(b"STATS\nQUIT\n");
+
+    let service = CompileService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut out = Vec::new();
+    let summary = daemon::serve(&service, input.as_slice(), &mut out).expect("io");
+    let text = String::from_utf8_lossy(&out);
+
+    assert!(summary.quit, "daemon reached QUIT alive:\n{}", text);
+    assert_eq!(summary.compiled, 3, "{}", text);
+    assert_eq!(summary.errors, 3, "{}", text);
+    assert!(
+        text.contains("\"name\":\"clean-again\"") && text.contains("\"served\":\"hit\""),
+        "the repeat compile after the hostility is a cache hit:\n{}",
+        text
+    );
+    assert_eq!(service.cumulative_stats().failed, 0);
+}

@@ -48,6 +48,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use apar_minifort::pretty::print_program;
 use apar_minifort::ResolvedProgram;
@@ -78,6 +79,29 @@ pub struct ProgramFacts {
     /// and alias facts degraded to their conservative forms. Sound to
     /// use, but the driver reports dependent loops as `Complexity`.
     pub budget_tripped: bool,
+    /// These facts are a *refusal*, not an analysis: the program's
+    /// fingerprint is quarantined in the shared store (its build
+    /// crash-looped or budget-tripped past the strike limit). The
+    /// driver skips dependent loops as `Quarantined` instead of
+    /// consuming the (empty, conservative) facts.
+    pub quarantined: bool,
+}
+
+impl ProgramFacts {
+    /// The structured refusal served for a quarantined fingerprint:
+    /// empty conservative facts flagged `quarantined` so consumers
+    /// refuse the loop instead of analyzing with them.
+    fn denied(sym: SymMap) -> ProgramFacts {
+        ProgramFacts {
+            cg: CallGraph::default(),
+            summaries: Summaries::default(),
+            alias: AliasInfo::default(),
+            sym,
+            build_ops: 0,
+            budget_tripped: true,
+            quarantined: true,
+        }
+    }
 }
 
 /// Counters of a [`SharedFactsStore`], as one consistent snapshot.
@@ -100,6 +124,11 @@ pub struct SharedStats {
     /// Approximate resident bytes (printed-program length is the proxy
     /// for an entry's footprint).
     pub approx_bytes: u64,
+    /// Lookups answered from the quarantine ledger (a denied build was
+    /// served instead of a rebuild).
+    pub quarantine_hits: u64,
+    /// Fingerprints currently under active quarantine.
+    pub quarantined: u64,
 }
 
 impl SharedStats {
@@ -113,8 +142,23 @@ impl SharedStats {
             evictions: self.evictions - earlier.evictions,
             entries: self.entries,
             approx_bytes: self.approx_bytes,
+            quarantine_hits: self.quarantine_hits - earlier.quarantine_hits,
+            quarantined: self.quarantined,
         }
     }
+}
+
+/// One fingerprint's standing in the quarantine ledger.
+#[derive(Debug)]
+struct QuarantineEntry {
+    /// Refused builds recorded against this fingerprint.
+    strikes: u32,
+    /// While set and in the future, lookups are denied outright. A
+    /// lapsed deadline grants a probation retry (strikes are kept, so
+    /// another refusal re-quarantines with a doubled backoff).
+    until: Option<Instant>,
+    /// Logical timestamp for bounding the ledger itself.
+    tick: u64,
 }
 
 /// One resident entry of a [`SharedFactsStore`].
@@ -132,6 +176,9 @@ struct SharedInner {
     map: HashMap<u64, StoredFacts>,
     tick: u64,
     bytes: u64,
+    /// Strike/backoff ledger for fingerprints whose builds keep being
+    /// refused. Bounded separately from the facts map.
+    quarantine: HashMap<u64, QuarantineEntry>,
 }
 
 /// An eviction-bounded, cross-compile store of [`ProgramFacts`]: the
@@ -152,6 +199,13 @@ pub struct SharedFactsStore {
     misses: AtomicU64,
     refusals: AtomicU64,
     evictions: AtomicU64,
+    quarantine_hits: AtomicU64,
+    /// Refusals before a fingerprint is quarantined. 0 (the default)
+    /// disables the quarantine entirely — plain compilers and existing
+    /// callers see the store behave exactly as before.
+    strike_limit: u32,
+    /// Base quarantine duration; doubles per strike past the limit.
+    backoff: Duration,
 }
 
 impl SharedFactsStore {
@@ -166,7 +220,22 @@ impl SharedFactsStore {
             misses: AtomicU64::new(0),
             refusals: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantine_hits: AtomicU64::new(0),
+            strike_limit: 0,
+            backoff: Duration::ZERO,
         }
+    }
+
+    /// Enables the failure quarantine: after `strike_limit` refused
+    /// builds of one fingerprint (panics or budget trips), lookups of
+    /// that fingerprint are denied outright for `backoff` (doubling per
+    /// further strike, capped at 1024×) instead of re-running the
+    /// crash-looping build. A successful build clears the fingerprint's
+    /// strikes. `strike_limit` 0 keeps the quarantine disabled.
+    pub fn with_quarantine(mut self, strike_limit: u32, backoff: Duration) -> Self {
+        self.strike_limit = strike_limit;
+        self.backoff = backoff;
+        self
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SharedInner> {
@@ -193,6 +262,9 @@ impl SharedFactsStore {
     fn insert(&self, key: u64, facts: Arc<ProgramFacts>, cost: u64) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.lock();
+        // A successful build is proof the fingerprint recovered: its
+        // strike record (if any) is expunged.
+        inner.quarantine.remove(&key);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(prev) = inner.map.insert(
@@ -225,13 +297,84 @@ impl SharedFactsStore {
     }
 
     /// Records a build the store refused to retain (budget-tripped or
-    /// panicked): a structured `CacheRefusal`, not a miss.
-    fn note_refusal(&self) {
+    /// panicked): a structured `CacheRefusal`, not a miss. With the
+    /// quarantine enabled this is also a strike against `key`; at the
+    /// strike limit the fingerprint enters quarantine with an
+    /// exponentially growing backoff.
+    fn note_refusal(&self, key: u64) {
         self.refusals.fetch_add(1, Ordering::Relaxed);
+        if self.strike_limit == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let limit = self.strike_limit;
+        let backoff = self.backoff;
+        let e = inner.quarantine.entry(key).or_insert(QuarantineEntry {
+            strikes: 0,
+            until: None,
+            tick,
+        });
+        e.strikes = e.strikes.saturating_add(1);
+        e.tick = tick;
+        if e.strikes >= limit {
+            let exp = (e.strikes - limit).min(10);
+            e.until = Some(Instant::now() + backoff.saturating_mul(1u32 << exp));
+        }
+        // The ledger itself stays bounded: hostile traffic minting
+        // endless one-strike fingerprints must not grow it without
+        // limit. Oldest strike records go first; active quarantines are
+        // refreshed by their own hits so they survive in practice.
+        let cap = (self.cap_entries * 4).max(64);
+        while inner.quarantine.len() as u64 > cap {
+            let Some((&victim, _)) = inner.quarantine.iter().min_by_key(|(_, e)| e.tick) else {
+                break;
+            };
+            inner.quarantine.remove(&victim);
+        }
+    }
+
+    /// Is `key` under active quarantine? Returns its strike count when
+    /// lookups should be denied. A lapsed backoff grants one probation
+    /// rebuild: the deadline is cleared but the strikes remain, so the
+    /// next refusal re-quarantines at double the backoff.
+    fn quarantine_check(&self, key: u64) -> Option<u32> {
+        if self.strike_limit == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let e = inner.quarantine.get_mut(&key)?;
+        match e.until {
+            Some(t) if Instant::now() < t => {
+                e.tick = tick;
+                self.quarantine_hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.strikes)
+            }
+            Some(_) => {
+                e.until = None;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Fingerprints currently under active quarantine.
+    pub fn quarantined_count(&self) -> u64 {
+        let now = Instant::now();
+        let inner = self.lock();
+        inner
+            .quarantine
+            .values()
+            .filter(|e| e.until.is_some_and(|t| now < t))
+            .count() as u64
     }
 
     /// Snapshot of the store's counters.
     pub fn stats(&self) -> SharedStats {
+        let now = Instant::now();
         let inner = self.lock();
         SharedStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -240,6 +383,12 @@ impl SharedFactsStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: inner.map.len() as u64,
             approx_bytes: inner.bytes,
+            quarantine_hits: self.quarantine_hits.load(Ordering::Relaxed),
+            quarantined: inner
+                .quarantine
+                .values()
+                .filter(|e| e.until.is_some_and(|t| now < t))
+                .count() as u64,
         }
     }
 }
@@ -354,11 +503,20 @@ impl AnalysisCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         if let Some((store, prefix)) = &self.shared {
-            if let Some(f) = store.get(shared_key(*prefix, fp)) {
+            let key = shared_key(*prefix, fp);
+            if let Some(f) = store.get(key) {
                 // Another compile already built these facts; adopt them
                 // into the local map so later per-loop lookups stay off
                 // the store's lock.
                 return Arc::clone(self.lock().entry(fp).or_insert(f));
+            }
+            // Quarantined fingerprints are denied before any build
+            // runs: a crash-looping or budget-burning program must not
+            // re-burn the pool until its backoff lapses. The denial is
+            // deliberately NOT retained in the local map — once the
+            // quarantine ages out, the next lookup rebuilds.
+            if let Some(_strikes) = store.quarantine_check(key) {
+                return Arc::new(ProgramFacts::denied(self.base_sym.clone()));
             }
         }
         let built = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.build(rp)))
@@ -369,16 +527,16 @@ impl AnalysisCache {
                 // per-loop sandbox upstairs turn the panic into a
                 // structured `InternalError` skip.
                 self.rejected.fetch_add(1, Ordering::Relaxed);
-                if let Some((store, _)) = &self.shared {
-                    store.note_refusal();
+                if let Some((store, prefix)) = &self.shared {
+                    store.note_refusal(shared_key(*prefix, fp));
                 }
                 std::panic::resume_unwind(payload);
             }
         };
         if built.budget_tripped {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            if let Some((store, _)) = &self.shared {
-                store.note_refusal();
+            if let Some((store, prefix)) = &self.shared {
+                store.note_refusal(shared_key(*prefix, fp));
             }
             return Arc::new(built);
         }
@@ -388,6 +546,24 @@ impl AnalysisCache {
             store.insert(shared_key(*prefix, fp), Arc::clone(&built), cost);
         }
         built
+    }
+
+    /// Adopt-only lookup for the facts-only degraded tier: returns the
+    /// facts for `rp` when they are already resident (locally or in the
+    /// shared store) and `None` otherwise — never builds. Misses cost
+    /// one fingerprint, nothing more.
+    pub fn cached_facts(&self, rp: &ResolvedProgram) -> Option<Arc<ProgramFacts>> {
+        let fp = Self::fingerprint(rp);
+        if let Some(f) = self.lock().get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(f));
+        }
+        if let Some((store, prefix)) = &self.shared {
+            if let Some(f) = store.get(shared_key(*prefix, fp)) {
+                return Some(Arc::clone(self.lock().entry(fp).or_insert(f)));
+            }
+        }
+        None
     }
 
     /// Seeds the cache with facts computed elsewhere (the driver's
@@ -423,6 +599,7 @@ impl AnalysisCache {
             sym,
             build_ops: ops.spent(),
             budget_tripped: ops.exceeded(),
+            quarantined: false,
         }
     }
 
@@ -734,6 +911,8 @@ mod tests {
             evictions: 0,
             entries: 3,
             approx_bytes: 100,
+            quarantine_hits: 1,
+            quarantined: 1,
         };
         let b = SharedStats {
             hits: 7,
@@ -742,6 +921,8 @@ mod tests {
             evictions: 2,
             entries: 2,
             approx_bytes: 80,
+            quarantine_hits: 4,
+            quarantined: 2,
         };
         let d = b.since(&a);
         assert_eq!(d.hits, 5);
@@ -750,5 +931,136 @@ mod tests {
         assert_eq!(d.evictions, 2);
         assert_eq!(d.entries, 2);
         assert_eq!(d.approx_bytes, 80);
+        assert_eq!(d.quarantine_hits, 3);
+        assert_eq!(d.quarantined, 2, "active-quarantine count is a gauge");
+    }
+
+    #[test]
+    fn cached_facts_adopts_but_never_builds() {
+        let p = rp(SRC_CALL);
+        let store = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        let cold = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        assert!(cold.cached_facts(&p).is_none(), "cold cache must not build");
+        assert_eq!(store.stats().misses, 0);
+        let f = cold.facts(&p);
+        // A second cache adopts through the store without building.
+        let warm = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        let g = warm.cached_facts(&p).expect("adoptable");
+        assert!(Arc::ptr_eq(&f, &g));
+    }
+
+    #[test]
+    fn strikes_past_the_limit_quarantine_the_fingerprint() {
+        let p = rp(SRC_CALL);
+        let store = Arc::new(
+            SharedFactsStore::bounded(16, 1 << 20)
+                .with_quarantine(2, Duration::from_secs(3600)),
+        );
+        let make = || {
+            AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+                .with_shared(Arc::clone(&store))
+                .with_build_budget(1)
+        };
+        // Two refused builds: strikes 1 and 2 — at the limit, the
+        // second refusal activates the quarantine.
+        assert!(make().facts(&p).budget_tripped);
+        assert!(!make().facts(&p).quarantined, "second build still ran");
+        let s = store.stats();
+        assert_eq!(s.refusals, 2);
+        assert_eq!(s.quarantined, 1, "fingerprint is now quarantined");
+        // The third lookup is denied without building.
+        let denied = make().facts(&p);
+        assert!(denied.quarantined);
+        assert!(denied.budget_tripped, "denied facts are conservative");
+        let s = store.stats();
+        assert_eq!(s.refusals, 2, "no build ran, so no new refusal");
+        assert_eq!(s.quarantine_hits, 1);
+        assert_eq!(store.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn quarantine_backoff_lapses_into_probation_then_rearms() {
+        let p = rp("PROGRAM P\nX = 1.0\nEND\n");
+        let store = Arc::new(
+            SharedFactsStore::bounded(16, 1 << 20).with_quarantine(1, Duration::from_millis(5)),
+        );
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        cache.panic_on_build.store(true, Ordering::Relaxed);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.facts(&p)));
+        assert!(r.is_err());
+        assert_eq!(
+            store.stats().quarantined,
+            1,
+            "limit 1: the first refusal quarantines"
+        );
+        // While active, lookups are denied without running the build —
+        // the injected panic never fires.
+        let denied = cache.facts(&p);
+        assert!(denied.quarantined);
+        assert_eq!(store.stats().quarantine_hits, 1);
+        std::thread::sleep(Duration::from_millis(20));
+        // Backoff lapsed: the probation rebuild actually runs (and
+        // relapses) — strikes climb and the quarantine re-arms with a
+        // doubled backoff.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.facts(&p)));
+        assert!(r.is_err(), "probation rebuild ran the real build");
+        let s = store.stats();
+        assert_eq!(s.refusals, 2);
+        assert_eq!(s.quarantined, 1, "relapse re-quarantined");
+    }
+
+    #[test]
+    fn successful_build_expunges_strikes() {
+        let p = rp("PROGRAM P\nX = 1.0\nEND\n");
+        let q = rp("PROGRAM P\nX = 2.0\nEND\n");
+        // Entry cap 1 so `q` can evict `p` below, forcing a real
+        // rebuild of `p` after its success.
+        let store = Arc::new(
+            SharedFactsStore::bounded(1, 1 << 20).with_quarantine(2, Duration::from_secs(3600)),
+        );
+        let make = || {
+            AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+                .with_shared(Arc::clone(&store))
+        };
+        // Strike 1 of 2.
+        let faulty = make();
+        faulty.panic_on_build.store(true, Ordering::Relaxed);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| faulty.facts(&p)));
+        assert_eq!(store.stats().quarantined, 0, "one strike of two");
+        // Recovery: a healthy build of the same fingerprint succeeds
+        // and expunges the strike record.
+        let healthy = make();
+        assert!(!healthy.facts(&p).quarantined);
+        healthy.facts(&q); // evicts p from the store (cap 1)
+        // Relapse: starts over at strike 1. Had the success not
+        // cleared the record, this second refusal would have hit the
+        // limit and quarantined.
+        let faulty2 = make();
+        faulty2.panic_on_build.store(true, Ordering::Relaxed);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| faulty2.facts(&p)));
+        assert!(r.is_err(), "p really was evicted, so the build ran");
+        let s = store.stats();
+        assert_eq!(s.refusals, 2);
+        assert_eq!(s.quarantined, 0, "the success reset the count");
+    }
+
+    #[test]
+    fn zero_strike_limit_disables_quarantine_entirely() {
+        let p = rp(SRC_CALL);
+        let store = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        for _ in 0..5 {
+            let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+                .with_shared(Arc::clone(&store))
+                .with_build_budget(1);
+            let f = cache.facts(&p);
+            assert!(f.budget_tripped && !f.quarantined);
+        }
+        let s = store.stats();
+        assert_eq!(s.refusals, 5, "every build ran and was refused");
+        assert_eq!(s.quarantined, 0);
+        assert_eq!(s.quarantine_hits, 0);
     }
 }

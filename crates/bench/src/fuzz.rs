@@ -1,9 +1,11 @@
 //! Structural compile fuzzer.
 //!
 //! Builds a fixed-seed corpus — randomly generated MiniFort programs
-//! (clean and deliberately garbled) plus byte/token-level mutants of
-//! the real SEISMIC, GAMESS, and SANDER sources — and asserts the
-//! crash-proofing contract on every case:
+//! (clean and deliberately garbled), deadline-adversarial op bombs
+//! (deep nests with huge trip counts that trip `loop_op_budget` late),
+//! plus byte/token-level mutants of the real SEISMIC, GAMESS, and
+//! SANDER sources — and asserts the crash-proofing contract on every
+//! case:
 //!
 //! 1. **No panic.** `compile_source_recovering` is total: any byte
 //!    sequence yields a report (possibly all diagnostics), never an
@@ -11,6 +13,11 @@
 //!    they appear as `InternalError` skips, not process death.
 //! 2. **Thread invariance.** The report signature at one worker thread
 //!    equals the signature at N — including the containment counters.
+//! 3. **Cancellation determinism.** A compile under a pre-expired
+//!    [`CancelToken`] never panics, answers structurally
+//!    (`deadline_expired` with every loop ledgered), and produces the
+//!    same signature at 1 and N threads — cancellation checkpoints must
+//!    not introduce schedule-dependent results.
 //!
 //! Failures are minimized by greedy line removal and reported with the
 //! case seed, so every crasher is reproducible by construction.
@@ -25,8 +32,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use apar_core::{CompileResult, Compiler, CompilerProfile};
-use apar_minicheck::fortgen::{gen_program, GenConfig};
+use apar_core::{CancelToken, CompileResult, Compiler, CompilerProfile};
+use apar_minicheck::fortgen::{gen_op_bomb, gen_program, GenConfig};
 use apar_minicheck::mutate::mutate;
 use apar_minicheck::{Rng, BASE_SEED};
 use apar_runtime::{run as rt_run, ExecConfig, ExecMode};
@@ -72,19 +79,22 @@ fn case_seed(case: usize) -> u64 {
 
 /// Deterministically builds corpus case `case` of `total`.
 ///
-/// Thirds: clean generated programs, garbled generated programs, and
-/// mutants of the real suite sources.
+/// Quarters: clean generated programs, garbled generated programs,
+/// deadline-adversarial op bombs, and mutants of the real suite
+/// sources.
 pub fn corpus_case(case: usize, total: usize) -> String {
     let mut rng = Rng::new(case_seed(case));
-    let third = total.div_ceil(3);
-    if case < third {
+    let quarter = total.div_ceil(4);
+    if case < quarter {
         gen_program(&mut rng, &GenConfig::default())
-    } else if case < 2 * third {
+    } else if case < 2 * quarter {
         let cfg = GenConfig {
             garble: 0.12,
             ..GenConfig::default()
         };
         gen_program(&mut rng, &cfg)
+    } else if case < 3 * quarter {
+        gen_op_bomb(&mut rng)
     } else {
         let suites = [
             wl::seismic::full_suite(wl::DataSize::Test, wl::Variant::Serial),
@@ -118,6 +128,24 @@ pub fn check_source(src: &str, threads: usize) -> Result<(bool, usize), FailKind
     let sr = compile(&serial)?;
     let pr = compile(&parallel)?;
     if report_signature(&sr) != report_signature(&pr) {
+        return Err(FailKind::Divergence);
+    }
+    // Cancellation determinism: a pre-expired token must degrade the
+    // compile structurally and identically at any thread count — every
+    // checkpoint is exercised without any wall-clock race.
+    let cancelled_serial = Compiler::new(CompilerProfile::polaris2008())
+        .with_cancel(CancelToken::expired());
+    let cancelled_parallel = Compiler::new(CompilerProfile::polaris2008().with_threads(threads))
+        .with_cancel(CancelToken::expired());
+    let cs = compile(&cancelled_serial)?;
+    let cp = compile(&cancelled_parallel)?;
+    if report_signature(&cs) != report_signature(&cp) {
+        return Err(FailKind::Divergence);
+    }
+    if cs.report.loops > 0 && !cs.report.deadline_expired {
+        // A loop-bearing program must record the expiry; treat a
+        // silent full compile under a cancelled token as divergence
+        // from the cancellation contract.
         return Err(FailKind::Divergence);
     }
     Ok((!sr.report.diags.is_empty(), sr.report.panicked_loops()))
@@ -384,10 +412,13 @@ mod tests {
     }
 
     #[test]
-    fn corpus_covers_all_three_modes() {
-        // A clean generated case, a garbled one, and a suite mutant.
+    fn corpus_covers_all_four_modes() {
+        // A clean generated case, a garbled one, an op bomb, and a
+        // suite mutant (quarters of 500: 0 / 125 / 250 / 375).
         assert!(corpus_case(0, 500).contains("PROGRAM FUZZ"));
         assert!(corpus_case(200, 500).contains("PROGRAM FUZZ"));
+        let bomb = corpus_case(300, 500);
+        assert!(bomb.contains("PROGRAM FUZZ") && bomb.contains("000000"));
         assert!(!corpus_case(400, 500).contains("PROGRAM FUZZ"));
     }
 
@@ -395,15 +426,43 @@ mod tests {
     fn smoke_corpus_has_no_crashers() {
         // The full 500-case run is the `fuzz_compile` binary's job (and
         // CI's); this keeps a fast sample in the unit suite, spanning
-        // all three corpus modes.
+        // all four corpus modes.
         let r = run(36, 2);
         assert!(r.crashers.is_empty(), "crashers found:\n{}", render(&r));
         assert!(r.diag_cases > 0, "garbled cases should produce diagnostics");
     }
 
     #[test]
+    fn op_bombs_trip_the_watchdog_not_the_process() {
+        // The op-bomb family exists to push analysis into the
+        // late-budget regime; at least one sampled bomb must actually
+        // trip `loop_op_budget` (a `Complexity` classification), and
+        // none may panic or diverge across thread counts — with or
+        // without a cancelled token (checked inside `check_source`).
+        let mut tripped = 0usize;
+        for case in 260..268 {
+            let src = corpus_case(case, 500);
+            assert!(src.contains("PROGRAM FUZZ"), "case {case} not a bomb");
+            check_source(&src, 4).expect("bomb case failed the contract");
+            let r = Compiler::new(CompilerProfile::polaris2008())
+                .compile_source_recovering("bomb", &src);
+            tripped += r
+                .loops
+                .iter()
+                .filter(|l| {
+                    matches!(
+                        l.classification,
+                        apar_core::Classification::Complexity
+                    )
+                })
+                .count();
+        }
+        assert!(tripped > 0, "no sampled op bomb tripped the op budget");
+    }
+
+    #[test]
     fn smoke_corpus_survives_emit_and_execute() {
-        // Fast end-to-end sample spanning all three corpus modes; the
+        // Fast end-to-end sample spanning the corpus modes; the
         // full run is the `fuzz_compile` binary's second phase.
         let r = run_exec(24);
         assert!(r.crashers.is_empty(), "crashers found:\n{}", render_exec(&r));

@@ -15,6 +15,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fuzz;
 pub mod json;
+pub mod resilience_bench;
 pub mod service_bench;
 pub mod spec;
 

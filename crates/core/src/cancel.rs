@@ -1,0 +1,114 @@
+//! Cooperative cancellation for compiles.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle carrying an optional
+//! wall-clock deadline and a manual trip wire. The compiler checks it
+//! at pass checkpoints — the same places the `loop_op_budget` watchdog
+//! fires — so an expired request degrades to a structured
+//! partial result instead of monopolizing a worker: completed per-loop
+//! reports are kept, unanalyzed loops land in the skip ledger as
+//! `DeadlineExpired`, and nothing half-finished is ever cached.
+//!
+//! The token is *latching*: once observed cancelled (manually or by
+//! deadline), every later check answers cancelled too, even if the
+//! clock were to disagree. That keeps a single compile's checkpoints
+//! monotonic — a loop can't be skipped for deadline while a later loop
+//! proceeds because the check raced the clock edge.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle shared between a request's owner
+/// (the service) and the compile running on its behalf.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    /// Latched cancelled flag. Shared by all clones.
+    flag: Arc<AtomicBool>,
+    /// Wall-clock deadline; crossing it latches the flag at the next
+    /// check.
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn manual() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that expires `budget` from now.
+    pub fn deadline_in(budget: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// An already-cancelled token (deterministic: every checkpoint sees
+    /// it tripped — the fuzz harness uses this to exercise cancellation
+    /// identically at any thread count).
+    pub fn expired() -> Self {
+        let t = CancelToken::manual();
+        t.cancel();
+        t
+    }
+
+    /// Trips the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the token is tripped or its deadline has passed.
+    /// Latching: a true answer is permanent.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.flag.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Time left before the deadline (`None` without one, zero when
+    /// already past).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_token_latches_across_clones() {
+        let t = CancelToken::manual();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn expired_token_is_cancelled_immediately() {
+        assert!(CancelToken::expired().is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_expires_at_first_check() {
+        let t = CancelToken::deadline_in(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_is_not_cancelled_yet() {
+        let t = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

@@ -22,6 +22,7 @@
 //! reproduces the paper's baseline; individual capability flags serve as
 //! ablations for the "missing enabling techniques" of §3.
 
+pub mod cancel;
 pub mod classify;
 pub mod jsonio;
 pub mod nesting;
@@ -29,9 +30,10 @@ pub mod pipeline;
 pub mod profile;
 pub mod report;
 
+pub use cancel::CancelToken;
 pub use classify::Classification;
 pub use pipeline::{CompileResult, Compiler, EmitResult, LoopReport};
 pub use profile::CompilerProfile;
-pub use report::{CompileReport, PassId};
+pub use report::{CompileReport, DegradeTier, PassId};
 
 pub use apar_analysis::Capabilities;

@@ -9,9 +9,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::classify::{classify, Classification};
 use crate::profile::CompilerProfile;
-use crate::report::{CompileReport, PassId, SkipReason, SkippedLoop};
+use crate::report::{CompileReport, DegradeTier, PassId, SkipReason, SkippedLoop};
 use apar_analysis::access::{self, AccessKind};
 use apar_analysis::alias::AliasInfo;
 use apar_analysis::cache::{AnalysisCache, ProgramFacts, SharedFactsStore};
@@ -44,6 +45,15 @@ pub struct Compiler {
     /// the full build identity, so a compile only ever adopts facts it
     /// would have rebuilt bit-for-bit.
     pub shared_facts: Option<Arc<SharedFactsStore>>,
+    /// Cooperative cancellation for this compile: checked at pass
+    /// checkpoints (the watchdog's own trip sites). Expiry degrades the
+    /// compile to a structured partial result — completed loops keep
+    /// their reports, the rest land in the skip ledger as
+    /// `DeadlineExpired`. `None` (the default) never cancels.
+    pub cancel: Option<CancelToken>,
+    /// How much of the pipeline to run (the service's overload tiers).
+    /// `Full` — the default — is the normal compiler.
+    pub degrade: DegradeTier,
 }
 
 /// Facts recorded about one analyzed loop.
@@ -142,6 +152,12 @@ impl CompileResult {
             self.report.diags.len(),
             self.report.dropped_units.len()
         ));
+        // Resilience markers: a degraded or expired compile must never
+        // pass for a full one in an identity comparison.
+        s.push_str(&format!(
+            "tier={:?};expired={};",
+            self.report.degrade, self.report.deadline_expired
+        ));
         s
     }
 }
@@ -150,7 +166,7 @@ impl Compiler {
     pub fn new(profile: CompilerProfile) -> Self {
         Compiler {
             profile,
-            shared_facts: None,
+            ..Compiler::default()
         }
     }
 
@@ -161,6 +177,24 @@ impl Compiler {
     pub fn with_shared_facts(mut self, store: Arc<SharedFactsStore>) -> Self {
         self.shared_facts = Some(store);
         self
+    }
+
+    /// This compiler with a cancellation token: the compile checks it
+    /// cooperatively at pass checkpoints and degrades to a structured
+    /// `DeadlineExpired` partial result once it trips.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// This compiler pinned to a degraded tier (see [`DegradeTier`]).
+    pub fn with_degrade(mut self, tier: DegradeTier) -> Self {
+        self.degrade = tier;
+        self
+    }
+
+    fn expired(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 
     /// Compiles source text.
@@ -214,6 +248,9 @@ impl Compiler {
             profile: self.profile.name.clone(),
             ..Default::default()
         };
+        if self.degrade != DegradeTier::Full {
+            report.degrade = Some(self.degrade);
+        }
 
         // ---- Frontend ("others") ----------------------------------------
         let t = Instant::now();
@@ -221,6 +258,22 @@ impl Compiler {
         report.statements = rp.program.executable_statements();
         report.units = rp.program.units.len();
         report.charge(PassId::Others, t.elapsed(), rp.program.stmt_count as u64);
+
+        // Parse-only tier stops here by design; an expired deadline
+        // stops at the first post-frontend checkpoint. Either way the
+        // result is structured: every discovered loop is ledgered.
+        if self.degrade == DegradeTier::ParseOnly {
+            return Ok(skip_all(
+                rp,
+                report,
+                SkipReason::Degraded {
+                    tier: DegradeTier::ParseOnly,
+                },
+            ));
+        }
+        if self.expired() {
+            return Ok(skip_all(rp, report, SkipReason::DeadlineExpired));
+        }
 
         // ---- Induction variable substitution ------------------------------
         let t = Instant::now();
@@ -241,6 +294,9 @@ impl Compiler {
             t.elapsed(),
             rp.program.stmt_count as u64 + substituted * 32,
         );
+        if self.expired() {
+            return Ok(skip_all(rp, report, SkipReason::DeadlineExpired));
+        }
 
         // ---- GSA translation ----------------------------------------------
         let t = Instant::now();
@@ -255,6 +311,9 @@ impl Compiler {
                 + (stats.option_branches as u64) * 16;
         }
         report.charge(PassId::GsaTranslation, t.elapsed(), gsa_ops);
+        if self.expired() {
+            return Ok(skip_all(rp, report, SkipReason::DeadlineExpired));
+        }
 
         // ---- Structural substrate ("others") -------------------------------
         let t = Instant::now();
@@ -270,6 +329,9 @@ impl Compiler {
         report.loops = forest.loops.len();
         report.target_loops = forest.targets().count();
         report.charge(PassId::Others, t.elapsed(), forest.loops.len() as u64);
+        if self.expired() {
+            return Ok(skip_all(rp, report, SkipReason::DeadlineExpired));
+        }
 
         // ---- Interprocedural constant propagation ---------------------------
         let t = Instant::now();
@@ -277,6 +339,9 @@ impl Compiler {
         let cp_ops = rp.program.stmt_count as u64 * 2
             + (cp.formal_constants as u64 + cp.common_facts as u64) * 16;
         report.charge(PassId::InterproceduralConstProp, t.elapsed(), cp_ops);
+        if self.expired() {
+            return Ok(skip_all(rp, report, SkipReason::DeadlineExpired));
+        }
 
         // ---- Per-loop analysis (fan-out) ------------------------------------
         //
@@ -304,6 +369,7 @@ impl Compiler {
                 sym: sym.clone(),
                 build_ops: prelude_ops.spent(),
                 budget_tripped: false,
+                quarantined: false,
             },
         );
         let outcomes: Vec<LoopOutcome> = {
@@ -313,6 +379,8 @@ impl Compiler {
                 base: &base,
                 cp: &cp,
                 cache: &cache,
+                cancel: self.cancel.as_ref(),
+                facts_only: self.degrade == DegradeTier::FactsOnly,
             };
             let n = forest.loops.len();
             let threads = self.profile.threads.max(1).min(n.max(1));
@@ -391,6 +459,9 @@ impl Compiler {
                     // `Complexity` loop report so the Figure 5
                     // accounting still covers the loop.
                     let internal = matches!(reason, SkipReason::InternalError { .. });
+                    if matches!(reason, SkipReason::DeadlineExpired) {
+                        report.deadline_expired = true;
+                    }
                     report.skipped.push(SkippedLoop {
                         unit: info.id.unit.clone(),
                         stmt: info.id.stmt,
@@ -544,6 +615,33 @@ pub struct EmitResult {
     pub reparse_diags: Vec<Diag>,
 }
 
+/// Terminal degraded compile: the front end ran, nothing else will.
+/// Every loop the forest discovers lands in the skip ledger with
+/// `reason` (skip-entry only, no loop reports, so
+/// `loops.len() + skipped.len()` still covers every discovered loop)
+/// and the report keeps whatever the completed passes charged.
+fn skip_all(rp: ResolvedProgram, mut report: CompileReport, reason: SkipReason) -> CompileResult {
+    let forest = LoopForest::build(&rp);
+    report.loops = forest.loops.len();
+    report.target_loops = forest.targets().count();
+    if matches!(reason, SkipReason::DeadlineExpired) {
+        report.deadline_expired = true;
+    }
+    for info in &forest.loops {
+        report.skipped.push(SkippedLoop {
+            unit: info.id.unit.clone(),
+            stmt: info.id.stmt,
+            target: info.target.clone(),
+            reason: reason.clone(),
+        });
+    }
+    CompileResult {
+        rp,
+        report,
+        loops: Vec::new(),
+    }
+}
+
 /// Read-only context shared by the per-loop analysis workers.
 struct LoopCtx<'a> {
     profile: &'a CompilerProfile,
@@ -554,6 +652,28 @@ struct LoopCtx<'a> {
     base: &'a Arc<ProgramFacts>,
     cp: &'a ConstProp,
     cache: &'a AnalysisCache,
+    /// The compile's cancellation token, checked at the watchdog's own
+    /// trip sites.
+    cancel: Option<&'a CancelToken>,
+    /// Facts-only tier: per-loop facts may be adopted but never built.
+    facts_only: bool,
+}
+
+impl LoopCtx<'_> {
+    fn expired(&self) -> bool {
+        self.cancel.is_some_and(|c| c.is_cancelled())
+    }
+}
+
+/// A deadline trip inside per-loop analysis. Like the panic path, the
+/// partial charges and interner fork are dropped: a cancelled loop
+/// contributes nothing to the merge.
+fn deadline_outcome() -> LoopOutcome {
+    LoopOutcome {
+        charges: Vec::new(),
+        sym: None,
+        result: Err(SkipReason::DeadlineExpired),
+    }
 }
 
 /// What a worker learned about one analyzable loop.
@@ -593,6 +713,9 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
     let caps = ctx.profile.caps;
     let rp = ctx.rp;
     let unit_name = info.id.unit.as_str();
+    if ctx.expired() {
+        return deadline_outcome();
+    }
     let Some(unit) = rp.unit(unit_name) else {
         return LoopOutcome {
             charges: Vec::new(),
@@ -712,6 +835,9 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
     };
     if has_calls {
         charges.push((PassId::InlineExpansion, inline_time, spliced * 4));
+        if ctx.expired() {
+            return deadline_outcome();
+        }
         if loop_ops.exceeded() {
             return complexity_outcome(info, charges, None, loop_ops.spent());
         }
@@ -722,17 +848,43 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
     // replaces the per-loop CallGraph / Summaries / AliasInfo rebuilds
     // the sequential driver used to issue. The worker's interner adopts
     // the facts' recorded state so the `summaries` VarIds resolve.
+    // Under the facts-only tier the cache may only *adopt* facts that
+    // already exist — a miss skips the loop instead of building.
     enter_pass(ctx, info, PassId::Others, pass);
     let facts: Arc<ProgramFacts> = match &arp {
+        Some(srp) if ctx.facts_only => match ctx.cache.cached_facts(srp) {
+            Some(f) => f,
+            None => {
+                return LoopOutcome {
+                    charges,
+                    sym: None,
+                    result: Err(SkipReason::Degraded {
+                        tier: DegradeTier::FactsOnly,
+                    }),
+                }
+            }
+        },
         Some(srp) => ctx.cache.facts(srp),
         None => Arc::clone(ctx.base),
     };
+    // Quarantined facts are a structured refusal from the shared
+    // store's crash-loop ledger: the loop is skipped, not analyzed.
+    if facts.quarantined {
+        return LoopOutcome {
+            charges,
+            sym: None,
+            result: Err(SkipReason::Quarantined),
+        };
+    }
     let mut sym = facts.sym.clone();
     // An amortized share of the facts build (summaries + alias) goes to
     // the watchdog — the same charge whether the cache hit or missed,
     // keeping reports thread-invariant. A build that tripped its own
     // budget poisons every consuming loop.
     let _ = loop_ops.charge(facts.build_ops / 32);
+    if ctx.expired() {
+        return deadline_outcome();
+    }
     if facts.budget_tripped || loop_ops.exceeded() {
         return complexity_outcome(info, charges, Some(sym), loop_ops.spent());
     }
@@ -759,6 +911,9 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
             .cloned()
             .unwrap_or_default()
     };
+    if ctx.expired() {
+        return deadline_outcome();
+    }
     if loop_ops.exceeded() {
         return complexity_outcome(info, charges, Some(sym), loop_ops.spent());
     }
@@ -1361,6 +1516,78 @@ mod tests {
             .compile_source_recovering("test", "@#%^\u{0}\n= = =\nEND END END\n");
         assert!(!r.report.diags.is_empty());
         assert!(r.loops.is_empty());
+    }
+
+    #[test]
+    fn expired_token_degrades_to_structured_skips() {
+        let src = "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nA(I) = 1.0\nENDDO\nDO I = 1, 100\nCALL SET(A, I)\nENDDO\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n";
+        let r = Compiler::new(CompilerProfile::polaris2008())
+            .with_cancel(crate::cancel::CancelToken::expired())
+            .compile_source("test", src)
+            .expect("compile");
+        assert!(r.report.deadline_expired);
+        assert!(r.loops.is_empty());
+        // Every discovered loop is accounted for in the skip ledger.
+        assert_eq!(r.report.skipped.len(), r.report.loops);
+        assert!(r
+            .report
+            .skipped
+            .iter()
+            .all(|s| s.reason == SkipReason::DeadlineExpired));
+        // A pre-cancelled token expires at the first checkpoint no
+        // matter the thread count: the degraded result is deterministic.
+        let r4 = Compiler::new(CompilerProfile::polaris2008().with_threads(4))
+            .with_cancel(crate::cancel::CancelToken::expired())
+            .compile_source("test", src)
+            .expect("compile");
+        assert_eq!(r.report_signature(), r4.report_signature());
+        // And it can never pass for a full compile.
+        let full = compile(src, CompilerProfile::polaris2008());
+        assert_ne!(r.report_signature(), full.report_signature());
+    }
+
+    #[test]
+    fn parse_only_tier_ledgers_every_loop() {
+        let src = "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nA(I) = 1.0\nENDDO\nEND\n";
+        let r = Compiler::new(CompilerProfile::polaris2008())
+            .with_degrade(DegradeTier::ParseOnly)
+            .compile_source("test", src)
+            .expect("compile");
+        assert_eq!(r.report.degrade, Some(DegradeTier::ParseOnly));
+        assert!(!r.report.deadline_expired);
+        assert!(r.loops.is_empty());
+        assert_eq!(r.report.skipped.len(), r.report.loops);
+        assert_eq!(r.report.loops, 1);
+        assert!(matches!(
+            r.report.skipped[0].reason,
+            SkipReason::Degraded {
+                tier: DegradeTier::ParseOnly
+            }
+        ));
+        assert!(r.report.statements > 0, "the front end still ran");
+    }
+
+    #[test]
+    fn facts_only_tier_analyzes_callless_loops_and_skips_cold_call_loops() {
+        let src = "PROGRAM P\nREAL A(100), B(100)\nDO I = 1, 100\nA(I) = B(I) + 1.0\nENDDO\nDO I = 1, 100\nCALL SET(B, I)\nENDDO\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n";
+        let r = Compiler::new(CompilerProfile::polaris2008())
+            .with_degrade(DegradeTier::FactsOnly)
+            .compile_source("test", src)
+            .expect("compile");
+        assert_eq!(r.report.degrade, Some(DegradeTier::FactsOnly));
+        // The call-free loop rides on the seeded base facts and is
+        // fully analyzed even at the degraded tier.
+        let plain = r.loops.iter().find(|l| l.unit == "P").expect("analyzed");
+        assert_eq!(plain.classification, Classification::Autoparallelized);
+        // The call loop needs inlined-program facts the cold cache
+        // doesn't have; facts-only refuses to build them.
+        assert!(r.report.skipped.iter().any(|s| matches!(
+            s.reason,
+            SkipReason::Degraded {
+                tier: DegradeTier::FactsOnly
+            }
+        )));
+        assert_eq!(r.loops.len() + r.report.skipped.len(), r.report.loops);
     }
 
     #[test]

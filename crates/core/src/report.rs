@@ -52,6 +52,34 @@ pub struct PassCost {
     pub ops: u64,
 }
 
+/// How much of the pipeline a compile was asked to run. Under overload
+/// or deadline pressure the service degrades work rather than queueing
+/// it unboundedly: `Full` is the normal pipeline, `FactsOnly` answers
+/// per-loop analysis only from already-cached interprocedural facts
+/// (never builds new ones), and `ParseOnly` stops after the recovering
+/// front end (parse + diagnose, every loop ledgered as skipped).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DegradeTier {
+    /// The full analysis pipeline.
+    #[default]
+    Full,
+    /// Per-loop analysis may only *adopt* cached facts; a facts miss
+    /// skips the loop instead of building.
+    FactsOnly,
+    /// Front end only: parse, diagnose, count loops; no analysis.
+    ParseOnly,
+}
+
+impl DegradeTier {
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeTier::Full => "full",
+            DegradeTier::FactsOnly => "facts-only",
+            DegradeTier::ParseOnly => "parse-only",
+        }
+    }
+}
+
 /// Why the per-loop analysis stage could not analyze a loop. These are
 /// hindrances in their own right: a skipped loop stays serial, so it
 /// must stay visible in the report rather than silently vanishing from
@@ -87,6 +115,21 @@ pub enum SkipReason {
         /// Which runtime restriction blocked the directive.
         detail: String,
     },
+    /// The request's wall-clock deadline expired before this loop was
+    /// analyzed. The compile degraded cooperatively: completed loops
+    /// kept their reports, the rest landed here.
+    DeadlineExpired,
+    /// The compile ran at a degraded tier that does not perform the
+    /// analysis this loop would have needed (facts-only tier with a
+    /// facts miss, or the parse-only tier).
+    Degraded {
+        /// The tier that was in force.
+        tier: DegradeTier,
+    },
+    /// The loop's unit facts are quarantined in the shared store: the
+    /// build crash-looped or budget-tripped repeatedly, so analysis is
+    /// refused until the quarantine's backoff expires.
+    Quarantined,
 }
 
 impl SkipReason {
@@ -98,6 +141,9 @@ impl SkipReason {
             SkipReason::HeaderMissing => "header missing",
             SkipReason::InternalError { .. } => "internal error",
             SkipReason::NotEmittable { .. } => "not emittable",
+            SkipReason::DeadlineExpired => "deadline expired",
+            SkipReason::Degraded { .. } => "degraded",
+            SkipReason::Quarantined => "quarantined",
         }
     }
 }
@@ -134,6 +180,11 @@ pub struct CompileReport {
     /// Units the recovering frontend dropped entirely (unparsable or
     /// unresolvable). The rest of the suite compiled without them.
     pub dropped_units: Vec<String>,
+    /// True when the request's deadline expired mid-compile: at least
+    /// one loop was ledgered as `DeadlineExpired` instead of analyzed.
+    pub deadline_expired: bool,
+    /// The degraded tier this compile ran at, when not `Full`.
+    pub degrade: Option<DegradeTier>,
 }
 
 impl CompileReport {
@@ -207,6 +258,15 @@ impl CompileReport {
         self.skipped
             .iter()
             .filter(|s| matches!(s.reason, SkipReason::InternalError { .. }))
+            .count()
+    }
+
+    /// Loops refused because their unit facts are quarantined
+    /// (`SkipReason::Quarantined`).
+    pub fn quarantined_loops(&self) -> usize {
+        self.skipped
+            .iter()
+            .filter(|s| matches!(s.reason, SkipReason::Quarantined))
             .count()
     }
 

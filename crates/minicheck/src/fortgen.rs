@@ -75,6 +75,69 @@ pub fn gen_program(rng: &mut Rng, cfg: &GenConfig) -> String {
     g.out
 }
 
+/// Generates a deadline-adversarial "op bomb": a deep, coupled loop
+/// nest over huge iteration spaces, with multi-array subscripts tied
+/// across several index variables and `CALL`s that force inline
+/// expansion. The shape makes per-loop analysis charge heavily, so the
+/// symbolic-op watchdog (`loop_op_budget`) — and any armed deadline —
+/// trips *late*, after real work, exercising every cancellation
+/// checkpoint instead of just the first one. Statically bounded: an
+/// undeadlined compile still finishes in milliseconds.
+pub fn gen_op_bomb(rng: &mut Rng) -> String {
+    let mut out = String::new();
+    let nsubs = rng.usize_in(1, 2);
+    for s in 0..nsubs {
+        out.push_str(&format!(
+            "SUBROUTINE BOMB{s}(X, K)\nREAL X({dim})\nINTEGER K\nINTEGER I\n\
+             DO I = 2, {dim}\nX(I) = X(I - 1) + X(K) * 0.5\nENDDO\nEND\n",
+            s = s,
+            dim = ARRAY_DIM
+        ));
+    }
+    out.push_str("PROGRAM FUZZ\n");
+    out.push_str("REAL A(100), B(100), C(100), D(100)\n");
+    out.push_str("REAL S, T\nINTEGER I, J, K, L, M\n");
+    out.push_str("S = 0.0\nT = 1.0\n");
+    let ivs = ["I", "J", "K", "L", "M"];
+    let depth = rng.usize_in(4, ivs.len());
+    for (d, iv) in ivs.iter().take(depth).enumerate() {
+        if d == 0 && rng.weighted(0.5) {
+            out.push_str("!$TARGET BOMB_OUTER\n");
+        }
+        // Huge trip counts: iteration-space math stays symbolic and
+        // expensive without any runtime execution.
+        let trips = ["100000000", "10000000", "1000000"];
+        out.push_str(&format!("DO {} = 1, {}\n", iv, rng.choose(&trips)));
+    }
+    // A fat body: array-reference *pairs* (and so dependence-test
+    // work) grow quadratically with statement count, which is what
+    // pushes each enclosing loop past the op budget late rather than
+    // never.
+    let arrays = ["A", "B", "C", "D"];
+    for _ in 0..rng.usize_in(16, 24) {
+        let lhs = *rng.choose(&arrays);
+        let r1 = *rng.choose(&arrays);
+        let r2 = *rng.choose(&arrays);
+        let (i1, i2) = (ivs[rng.usize_in(0, depth - 1)], ivs[rng.usize_in(0, depth - 1)]);
+        let off = rng.int_in(1, 3);
+        out.push_str(&format!(
+            "{}({} + {}) = {}({} - {}) + {}({} * 2) + T\n",
+            lhs, i1, i2, r1, i2, off, r2, i1
+        ));
+        if rng.weighted(0.4) {
+            out.push_str(&format!("S = S + {}({})\n", r1, i1));
+        }
+    }
+    for s in 0..nsubs {
+        out.push_str(&format!("CALL BOMB{}(A, I + J)\n", s));
+    }
+    for _ in 0..depth {
+        out.push_str("ENDDO\n");
+    }
+    out.push_str("WRITE(*,*) S\nEND\n");
+    out
+}
+
 impl Gen<'_> {
     fn line(&mut self, s: &str) {
         self.out.push_str(s);
@@ -274,6 +337,25 @@ mod tests {
             loops += src.matches("ENDDO").count();
         }
         assert!(loops > 20, "corpus should be loop-rich, got {}", loops);
+    }
+
+    #[test]
+    fn op_bomb_is_deterministic_and_deeply_nested() {
+        let a = gen_op_bomb(&mut Rng::new(11));
+        let b = gen_op_bomb(&mut Rng::new(11));
+        assert_eq!(a, b);
+        assert!(a.contains("PROGRAM FUZZ"));
+        assert!(a.contains("CALL BOMB0"), "inlining pressure present:\n{}", a);
+        let depth = a
+            .lines()
+            .filter(|l| l.starts_with("DO ") && l.contains("000000"))
+            .count();
+        assert!(depth >= 4, "main nest is deep, got {}:\n{}", depth, a);
+        assert!(
+            a.contains("100000000") || a.contains("10000000") || a.contains("1000000"),
+            "huge trip counts:\n{}",
+            a
+        );
     }
 
     #[test]

@@ -11,12 +11,22 @@
 //! apar-serve [OPTIONS] --daemon
 //!
 //! OPTIONS:
-//!   --workers <N>     worker pool width (default 4)
-//!   --profile <name>  polaris2008 (default) or full
-//!   --emit            run the source-to-source backend too
-//!   --out <dir>       write emitted artifacts as <dir>/<name>.par.f
-//!   --stats <file>    write batch stats JSON (default: stdout summary only)
+//!   --workers <N>       worker pool width (default 4)
+//!   --profile <name>    polaris2008 (default) or full
+//!   --emit              run the source-to-source backend too
+//!   --out <dir>         write emitted artifacts as <dir>/<name>.par.f
+//!   --stats <file>      write batch stats JSON (default: stdout summary only)
+//!   --deadline-ms <N>   wall-clock deadline per suite (expired compiles
+//!                       answer structurally, they are never half-done)
+//!   --lenient           serve unreadable suites as empty source instead
+//!                       of failing the invocation
 //! ```
+//!
+//! Exit codes are structured for scripting: `0` success, `1` transport
+//! or output-write failure, `2` usage error, `3` unreadable input
+//! (suite or manifest) without `--lenient`. Hostile *content* is never
+//! an error — the recovering front end turns garbled sources into
+//! diagnostics — only unreadable *paths* are.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -36,12 +46,15 @@ struct Args {
     daemon: bool,
     manifest: Option<PathBuf>,
     suites: Vec<PathBuf>,
+    deadline: Option<std::time::Duration>,
+    lenient: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: apar-serve [--workers N] [--profile polaris2008|full] [--emit] \
-         [--out DIR] [--stats FILE] (<suite.f>... | --manifest FILE | --daemon)"
+         [--out DIR] [--stats FILE] [--deadline-ms N] [--lenient] \
+         (<suite.f>... | --manifest FILE | --daemon)"
     );
     ExitCode::from(2)
 }
@@ -56,6 +69,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         daemon: false,
         manifest: None,
         suites: Vec::new(),
+        deadline: None,
+        lenient: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,7 +91,16 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--stats" => args.stats_path = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
             "--daemon" => args.daemon = true,
             "--manifest" => args.manifest = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
+            "--deadline-ms" => {
+                let ms: u64 = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+                args.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--lenient" => args.lenient = true,
             "--help" | "-h" => return Err(usage()),
+            s if s.starts_with("--") => {
+                eprintln!("apar-serve: unknown flag: {}", s);
+                return Err(usage());
+            }
             _ => args.suites.push(PathBuf::from(a)),
         }
     }
@@ -93,19 +117,32 @@ fn stem_of(path: &Path) -> String {
 }
 
 /// Load requests from explicit paths and/or a `<name>=<path>` manifest.
-/// Unreadable entries become empty-source requests (the recovering
-/// compiler reports them as diagnostics instead of the CLI dying).
-fn load_requests(args: &Args) -> Vec<SuiteRequest> {
+/// Every unreadable entry is diagnosed on stderr and counted; strict
+/// mode (the default) turns any count into exit 3, `--lenient` serves
+/// the entry as empty source instead (the recovering compiler reports
+/// it rather than the CLI dying).
+fn load_requests(args: &Args) -> (Vec<SuiteRequest>, usize) {
     let mut reqs = Vec::new();
+    let io_errors = std::cell::Cell::new(0usize);
     let mut push = |name: String, path: &Path| {
         let src = match std::fs::read(path) {
             Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
             Err(e) => {
-                eprintln!("apar-serve: {}: {} (serving empty source)", path.display(), e);
+                io_errors.set(io_errors.get() + 1);
+                let fate = if args.lenient {
+                    "serving empty source"
+                } else {
+                    "strict mode, will fail"
+                };
+                eprintln!("apar-serve: {}: {} ({})", path.display(), e, fate);
                 String::new()
             }
         };
-        reqs.push(SuiteRequest::new(name, src));
+        let mut req = SuiteRequest::new(name, src);
+        if let Some(d) = args.deadline {
+            req = req.with_deadline(d);
+        }
+        reqs.push(req);
     };
     if let Some(manifest) = &args.manifest {
         match std::fs::read_to_string(manifest) {
@@ -123,13 +160,16 @@ fn load_requests(args: &Args) -> Vec<SuiteRequest> {
                     }
                 }
             }
-            Err(e) => eprintln!("apar-serve: manifest {}: {}", manifest.display(), e),
+            Err(e) => {
+                io_errors.set(io_errors.get() + 1);
+                eprintln!("apar-serve: manifest {}: {}", manifest.display(), e);
+            }
         }
     }
     for p in &args.suites {
         push(stem_of(p), p);
     }
-    reqs
+    (reqs, io_errors.get())
 }
 
 fn main() -> ExitCode {
@@ -150,8 +190,8 @@ fn main() -> ExitCode {
         return match serve(&service, stdin.lock(), stdout.lock()) {
             Ok(summary) => {
                 eprintln!(
-                    "apar-serve: {} requests, {} compiled, {} errors",
-                    summary.requests, summary.compiled, summary.errors
+                    "apar-serve: {} requests, {} compiled, {} errors, {} rejected",
+                    summary.requests, summary.compiled, summary.errors, summary.rejected
                 );
                 ExitCode::SUCCESS
             }
@@ -162,7 +202,14 @@ fn main() -> ExitCode {
         };
     }
 
-    let reqs = load_requests(&args);
+    let (reqs, io_errors) = load_requests(&args);
+    if io_errors > 0 && !args.lenient {
+        eprintln!(
+            "apar-serve: {} unreadable input(s); rerun with --lenient to serve them as empty",
+            io_errors
+        );
+        return ExitCode::from(3);
+    }
     let batch = service.compile_many(&reqs);
 
     println!(
@@ -189,13 +236,15 @@ fn main() -> ExitCode {
         );
     }
     println!(
-        "{} suites in {:.3}s ({:.1}/s): {} cold, {} hits, {} deduped; facts {}h/{}m/{}r",
+        "{} suites in {:.3}s ({:.1}/s): {} cold, {} hits, {} deduped, {} expired; \
+         facts {}h/{}m/{}r",
         batch.stats.suites,
         batch.stats.wall_s,
         batch.stats.suites_per_s,
         batch.stats.cold,
         batch.stats.result_hits,
         batch.stats.deduped,
+        batch.stats.deadline_expired,
         batch.stats.facts.hits,
         batch.stats.facts.misses,
         batch.stats.facts.refusals,

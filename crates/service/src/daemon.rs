@@ -5,14 +5,22 @@
 //! binary, in-memory buffers in tests. The protocol:
 //!
 //! ```text
-//! SRC <name> <nlines>   the next <nlines> lines are the suite source
+//! SRC <name> <nlines> [<deadline_ms>]
+//!                       the next <nlines> lines are the suite source;
+//!                       the optional third field is a per-request
+//!                       wall-clock deadline in milliseconds
 //! FILE <path>           compile the file at <path>
 //! STATS                 one-line JSON of the service's lifetime stats
+//! HEALTH                one-line JSON of queue depth, quarantine
+//!                       counts, cache occupancy, and uptime
 //! QUIT                  stop serving
 //! ```
 //!
 //! Responses are exactly one line each: `OK <json>` for compiles and
-//! stats, `ERR <reason>` for anything unserviceable. The loop is total
+//! stats, `ERR <reason>` for anything unserviceable, and
+//! `REJECTED <reason>` when the service is overloaded (compile
+//! commands only — `HEALTH`/`STATS`/`QUIT` always answer, so an
+//! operator can watch an overloaded daemon drain). The loop is total
 //! over arbitrary bytes: non-UTF-8 input is replaced lossily, unknown
 //! commands and malformed headers answer `ERR` and the loop continues,
 //! garbled source degrades to a compile with diagnostics (the
@@ -40,8 +48,35 @@ pub struct ServeSummary {
     pub compiled: usize,
     /// Requests answered with `ERR`.
     pub errors: usize,
+    /// Compile requests answered `REJECTED` because the service was
+    /// overloaded (bodies still drained, nothing compiled).
+    pub rejected: usize,
     /// True when the loop ended on `QUIT` rather than EOF.
     pub quit: bool,
+}
+
+/// The `HEALTH` answer: everything an operator needs to see whether an
+/// overloaded daemon is draining.
+fn health_line(service: &CompileService) -> String {
+    let cfg = service.config();
+    Json::Obj(vec![
+        ("pending", service.pending().to_json()),
+        ("peak_pending", service.peak_pending().to_json()),
+        ("max_pending", cfg.max_pending.to_json()),
+        ("overloaded", Json::Bool(service.overloaded())),
+        ("quarantined_suites", service.quarantined_suites().to_json()),
+        (
+            "quarantined_facts",
+            service.facts_store().quarantined_count().to_json(),
+        ),
+        ("result_entries", service.result_cache_len().to_json()),
+        (
+            "facts_entries",
+            service.facts_store().stats().entries.to_json(),
+        ),
+        ("uptime_s", service.uptime_s().to_json()),
+    ])
+    .render_compact()
 }
 
 fn outcome_line(o: &SuiteOutcome) -> String {
@@ -111,19 +146,28 @@ pub fn serve<R: BufRead, W: Write>(
                 break;
             }
             "STATS" => format!("OK {}", service.cumulative_stats().to_json().render_compact()),
+            "HEALTH" => format!("OK {}", health_line(service)),
             "SRC" => {
                 let name = parts.next().unwrap_or("").to_string();
-                let nlines = parts.next().and_then(|s| s.trim().parse::<usize>().ok());
+                // The tail is `<nlines> [<deadline_ms>]`.
+                let mut tail = parts.next().unwrap_or("").split_whitespace();
+                let nlines = tail.next().and_then(|s| s.parse::<usize>().ok());
+                let deadline = tail
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(std::time::Duration::from_millis);
                 match (name.is_empty(), nlines) {
                     (true, _) | (_, None) => {
                         summary.errors += 1;
-                        "ERR usage: SRC <name> <nlines>".to_string()
+                        "ERR usage: SRC <name> <nlines> [<deadline_ms>]".to_string()
                     }
                     (_, Some(n)) if n > MAX_SRC_LINES => {
                         summary.errors += 1;
                         format!("ERR oversized request ({} lines > {})", n, MAX_SRC_LINES)
                     }
                     (_, Some(n)) => {
+                        // The body must be drained either way — a
+                        // rejected request must not desync the protocol.
                         let mut src = String::new();
                         for _ in 0..n {
                             match read_line(&mut input)? {
@@ -134,8 +178,17 @@ pub fn serve<R: BufRead, W: Write>(
                                 None => break, // EOF mid-body: compile what arrived
                             }
                         }
-                        summary.compiled += 1;
-                        respond_compile(service, SuiteRequest::new(name, src))
+                        if service.overloaded() {
+                            summary.rejected += 1;
+                            format!("REJECTED overload pending={}", service.pending())
+                        } else {
+                            summary.compiled += 1;
+                            let mut req = SuiteRequest::new(name, src);
+                            if let Some(d) = deadline {
+                                req = req.with_deadline(d);
+                            }
+                            respond_compile(service, req)
+                        }
                     }
                 }
             }
@@ -144,6 +197,9 @@ pub fn serve<R: BufRead, W: Write>(
                 if path.is_empty() {
                     summary.errors += 1;
                     "ERR usage: FILE <path>".to_string()
+                } else if service.overloaded() {
+                    summary.rejected += 1;
+                    format!("REJECTED overload pending={}", service.pending())
                 } else {
                     match std::fs::read(&path) {
                         Ok(bytes) => {
@@ -235,5 +291,64 @@ mod tests {
         assert_eq!(summary.compiled, 1);
         assert!(!summary.quit);
         assert!(out.contains("\"name\":\"cut\""), "{}", out);
+    }
+
+    #[test]
+    fn health_answers_compact_json() {
+        let (summary, out) = run(b"HEALTH\nQUIT\n");
+        assert_eq!(summary.errors, 0);
+        for field in [
+            "\"pending\":0",
+            "\"max_pending\":64",
+            "\"overloaded\":false",
+            "\"quarantined_suites\":0",
+            "\"uptime_s\":",
+        ] {
+            assert!(out.contains(field), "{field} missing from {out}");
+        }
+    }
+
+    #[test]
+    fn src_deadline_field_expires_the_compile() {
+        let input = b"SRC slow 7 0\nPROGRAM MAIN\nREAL A(10)\nINTEGER I\nDO I = 1, 10\nA(I) = 1.0\nENDDO\nEND\nQUIT\n";
+        let (summary, out) = run(input);
+        assert_eq!(summary.compiled, 1);
+        assert!(
+            out.contains("\"served\":\"expired\""),
+            "0ms deadline expires structurally: {}",
+            out
+        );
+    }
+
+    #[test]
+    fn overloaded_daemon_rejects_compiles_but_still_reports_health() {
+        let service = CompileService::new(ServiceConfig {
+            workers: 1,
+            high_watermark: 4,
+            low_watermark: 1,
+            ..ServiceConfig::default()
+        });
+        let hold = service.hold_capacity(5);
+        let input: &[u8] =
+            b"SRC a 2\nPROGRAM MAIN\nEND\nFILE /nonexistent\nHEALTH\nSTATS\nQUIT\n";
+        let mut out = Vec::new();
+        let summary = serve(&service, input, &mut out).expect("io");
+        let out = String::from_utf8_lossy(&out);
+        assert_eq!(summary.rejected, 2, "{}", out);
+        assert_eq!(summary.compiled, 0);
+        assert!(out.contains("REJECTED overload pending=5"), "{}", out);
+        assert!(out.contains("\"overloaded\":true"), "{}", out);
+        assert!(out.contains("OK {"), "health/stats still answer: {}", out);
+        drop(hold);
+
+        // Recovered: the same request now compiles (the rejected SRC
+        // body never desynced the protocol).
+        let input: &[u8] = b"SRC a 2\nPROGRAM MAIN\nEND\nHEALTH\nQUIT\n";
+        let mut out = Vec::new();
+        let summary = serve(&service, input, &mut out).expect("io");
+        let out = String::from_utf8_lossy(&out);
+        assert_eq!(summary.rejected, 0);
+        assert_eq!(summary.compiled, 1, "{}", out);
+        assert!(out.contains("\"overloaded\":false"), "{}", out);
     }
 }

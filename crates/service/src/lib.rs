@@ -28,26 +28,43 @@
 //! response — the batch API always returns one [`SuiteOutcome`] per
 //! request, and the daemon loop ([`daemon::serve`]) never dies on
 //! hostile input.
+//!
+//! Resilience: every request can carry a wall-clock **deadline**
+//! (cooperatively cancelled at pass checkpoints —
+//! [`Served::DeadlineExpired`]); admission is bounded by a pending
+//! queue with an explicit **shed policy** ([`Served::Rejected`]) and a
+//! high/low **watermark** pair that also picks a graceful
+//! **degradation tier** (full → facts-only → parse-only,
+//! [`Served::Degraded`]); and suites (or analysis fingerprints) whose
+//! builds crash-loop are **quarantined** with strike counting and
+//! exponential backoff ([`Served::Quarantined`]). Only full,
+//! non-degraded responses enter the result cache, so cached answers
+//! stay bit-identical to plain compiles.
 
 pub mod daemon;
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use apar_analysis::{SharedFactsStore, SharedStats};
 use apar_core::jsonio::{Json, ToJson};
-use apar_core::{CompileResult, Compiler, CompilerProfile, EmitResult};
+use apar_core::{CancelToken, CompileResult, Compiler, CompilerProfile, DegradeTier, EmitResult};
 
 /// One named compilation request.
 #[derive(Clone, Debug)]
 pub struct SuiteRequest {
     pub name: String,
     pub source: String,
+    /// Wall-clock budget for this request. The compile checks it
+    /// cooperatively at pass checkpoints; expiry yields a structured
+    /// [`Served::DeadlineExpired`] outcome carrying whatever per-loop
+    /// reports completed. `None` never expires.
+    pub deadline: Option<Duration>,
 }
 
 impl SuiteRequest {
@@ -55,8 +72,28 @@ impl SuiteRequest {
         SuiteRequest {
             name: name.into(),
             source: source.into(),
+            deadline: None,
         }
     }
+
+    /// This request with a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Which pending compiles to shed when a batch would overflow the
+/// bounded queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Shed the earliest requests in the batch (oldest work is most
+    /// likely to have missed its usefulness window).
+    #[default]
+    OldestFirst,
+    /// Shed the largest sources first (most pool time recovered per
+    /// rejection); ties break toward the earlier request.
+    LargestFirst,
 }
 
 /// Everything that bounds a [`CompileService`].
@@ -77,6 +114,26 @@ pub struct ServiceConfig {
     pub facts_bytes: usize,
     /// Suite result cache: maximum retained entries.
     pub result_entries: usize,
+    /// Bounded pending queue: a batch whose compiles would push the
+    /// pending depth past this is shed down to fit
+    /// ([`Served::Rejected`]).
+    pub max_pending: usize,
+    /// Which requests get shed on overflow.
+    pub shed: ShedPolicy,
+    /// Pending depth at which the service reports overload (daemon
+    /// requests are rejected) and compiles degrade to parse-only.
+    pub high_watermark: usize,
+    /// Pending depth the service must drain to before overload clears
+    /// (hysteresis — the daemon recovers instead of thrashing at the
+    /// boundary). Between low and high, compiles run facts-only.
+    pub low_watermark: usize,
+    /// Failed/panicking compiles of one suite before it is quarantined
+    /// (answered from the ledger without compiling). 0 disables both
+    /// the suite quarantine and the facts-store quarantine.
+    pub quarantine_strikes: u32,
+    /// Base quarantine duration in milliseconds; doubles per strike
+    /// past the limit.
+    pub quarantine_backoff_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +145,12 @@ impl Default for ServiceConfig {
             facts_entries: 256,
             facts_bytes: 64 << 20,
             result_entries: 256,
+            max_pending: 64,
+            shed: ShedPolicy::OldestFirst,
+            high_watermark: 48,
+            low_watermark: 24,
+            quarantine_strikes: 3,
+            quarantine_backoff_ms: 250,
         }
     }
 }
@@ -102,6 +165,20 @@ pub enum Served {
     /// Duplicate of an earlier suite in the *same* batch; compiled once,
     /// result shared. Counted separately from hits and misses.
     Deduped,
+    /// The request's wall-clock deadline expired mid-compile; the
+    /// artifact carries the partial report (completed loops plus a
+    /// `DeadlineExpired` skip ledger). Not cached.
+    DeadlineExpired,
+    /// Shed by admission control: the pending queue was full. No
+    /// compile ran.
+    Rejected,
+    /// The suite (or its analysis fingerprint) is quarantined after
+    /// repeated failed builds; answered from the strike ledger (or a
+    /// report whose loops were refused) without burning the pool.
+    Quarantined,
+    /// Compiled at a degraded tier (facts-only or parse-only) under
+    /// overload pressure. The artifact says which tier. Not cached.
+    Degraded,
 }
 
 impl Served {
@@ -110,7 +187,18 @@ impl Served {
             Served::Cold => "cold",
             Served::CacheHit => "hit",
             Served::Deduped => "dedup",
+            Served::DeadlineExpired => "expired",
+            Served::Rejected => "rejected",
+            Served::Quarantined => "quarantined",
+            Served::Degraded => "degraded",
         }
+    }
+
+    /// True for the classes whose reports are required to be
+    /// bit-identical to a plain `Compiler` compile of the same source
+    /// (the chaos harness's identity gate).
+    pub fn full_fidelity(&self) -> bool {
+        matches!(self, Served::Cold | Served::CacheHit | Served::Deduped)
     }
 }
 
@@ -125,6 +213,17 @@ pub enum SuiteArtifact {
     /// batch (and the daemon) survive. Should never happen; the message
     /// is kept for the response.
     Failed(String),
+    /// Shed by admission control before any compile ran.
+    Rejected {
+        /// Why (queue depth and bound, for the response).
+        reason: String,
+    },
+    /// Answered from the suite quarantine ledger: this source has
+    /// failed `strikes` times and its backoff has not lapsed.
+    Quarantined {
+        /// Strikes recorded against the suite.
+        strikes: u32,
+    },
 }
 
 impl SuiteArtifact {
@@ -133,7 +232,9 @@ impl SuiteArtifact {
         match self {
             SuiteArtifact::Compiled(r) => Some(r),
             SuiteArtifact::Emitted(e) => Some(&e.result),
-            SuiteArtifact::Failed(_) => None,
+            SuiteArtifact::Failed(_)
+            | SuiteArtifact::Rejected { .. }
+            | SuiteArtifact::Quarantined { .. } => None,
         }
     }
 
@@ -176,6 +277,19 @@ pub struct ServiceStats {
     /// Requests whose compile panicked (contained as
     /// [`SuiteArtifact::Failed`]).
     pub failed: usize,
+    /// Requests shed by admission control.
+    pub rejected: usize,
+    /// Requests whose deadline expired mid-compile.
+    pub deadline_expired: usize,
+    /// Requests refused by a quarantine (suite ledger or facts store).
+    pub quarantined: usize,
+    /// Requests compiled at a degraded tier.
+    pub degraded: usize,
+    /// Deepest the pending queue has ever been (must never exceed
+    /// `max_pending` — the chaos harness's bound gate).
+    pub pending_peak: usize,
+    /// Suites currently under active quarantine.
+    pub quarantined_suites: usize,
     /// Result-cache entries evicted by the LRU bound.
     pub result_evictions: u64,
     /// Shared facts-store counters: hits, misses, structured
@@ -199,6 +313,12 @@ impl ToJson for ServiceStats {
             ("result_hits", self.result_hits.to_json()),
             ("deduped", self.deduped.to_json()),
             ("failed", self.failed.to_json()),
+            ("rejected", self.rejected.to_json()),
+            ("deadline_expired", self.deadline_expired.to_json()),
+            ("quarantined", self.quarantined.to_json()),
+            ("degraded", self.degraded.to_json()),
+            ("pending_peak", self.pending_peak.to_json()),
+            ("quarantined_suites", self.quarantined_suites.to_json()),
             ("result_evictions", self.result_evictions.to_json()),
             ("facts_hits", self.facts.hits.to_json()),
             ("facts_misses", self.facts.misses.to_json()),
@@ -206,6 +326,8 @@ impl ToJson for ServiceStats {
             ("facts_evictions", self.facts.evictions.to_json()),
             ("facts_entries", self.facts.entries.to_json()),
             ("facts_approx_bytes", self.facts.approx_bytes.to_json()),
+            ("facts_quarantine_hits", self.facts.quarantine_hits.to_json()),
+            ("facts_quarantined", self.facts.quarantined.to_json()),
             ("wall_s", self.wall_s.to_json()),
             ("suites_per_s", self.suites_per_s.to_json()),
             ("per_suite_wall_s", self.per_suite_wall_s.to_json()),
@@ -264,6 +386,37 @@ impl ResultCache {
     }
 }
 
+/// One suite's strike record in the service quarantine ledger.
+#[derive(Clone, Copy, Debug)]
+struct SuiteStrikes {
+    strikes: u32,
+    /// Active quarantine expiry; `None` = probation (strikes kept, one
+    /// compile allowed) or not yet quarantined.
+    until: Option<Instant>,
+    tick: u64,
+}
+
+/// The bounded suite quarantine ledger (keys are suite keys).
+#[derive(Default)]
+struct SuiteQuarantine {
+    map: HashMap<u64, SuiteStrikes>,
+    tick: u64,
+}
+
+/// RAII occupancy of pending-queue slots without running compiles —
+/// how tests and the chaos harness simulate concurrent load
+/// deterministically. Dropping the hold releases the slots.
+pub struct AdmissionHold<'a> {
+    service: &'a CompileService,
+    n: usize,
+}
+
+impl Drop for AdmissionHold<'_> {
+    fn drop(&mut self) {
+        self.service.pending.fetch_sub(self.n, Ordering::SeqCst);
+    }
+}
+
 /// The service: a worker pool plus the two cross-compile caches.
 ///
 /// Thread-safe (`&self` methods); wrap in an `Arc` to share between a
@@ -272,22 +425,38 @@ pub struct CompileService {
     config: ServiceConfig,
     facts: Arc<SharedFactsStore>,
     results: Mutex<ResultCache>,
+    /// Suites struck out by repeated failed builds.
+    suite_quarantine: Mutex<SuiteQuarantine>,
+    /// Compiles admitted (or capacity held) but not yet finished.
+    pending: AtomicUsize,
+    peak_pending: AtomicUsize,
+    /// Overload hysteresis latch: set at `high_watermark`, cleared only
+    /// once pending drains to `low_watermark`.
+    overload_latch: AtomicBool,
+    created: Instant,
     // Lifetime counters (the daemon's STATS answer).
     suites: AtomicUsize,
     cold: AtomicUsize,
     hits: AtomicUsize,
     deduped: AtomicUsize,
     failed: AtomicUsize,
+    rejected: AtomicUsize,
+    expired: AtomicUsize,
+    quarantined: AtomicUsize,
+    degraded: AtomicUsize,
     /// Cumulative busy wall, in microseconds.
     busy_us: AtomicU64,
 }
 
 impl CompileService {
     pub fn new(config: ServiceConfig) -> Self {
-        let facts = Arc::new(SharedFactsStore::bounded(
-            config.facts_entries,
-            config.facts_bytes,
-        ));
+        let facts = Arc::new(
+            SharedFactsStore::bounded(config.facts_entries, config.facts_bytes)
+                .with_quarantine(
+                    config.quarantine_strikes,
+                    Duration::from_millis(config.quarantine_backoff_ms),
+                ),
+        );
         Self::with_facts_store(config, facts)
     }
 
@@ -302,13 +471,155 @@ impl CompileService {
             config,
             facts,
             results,
+            suite_quarantine: Mutex::new(SuiteQuarantine::default()),
+            pending: AtomicUsize::new(0),
+            peak_pending: AtomicUsize::new(0),
+            overload_latch: AtomicBool::new(false),
+            created: Instant::now(),
             suites: AtomicUsize::new(0),
             cold: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             deduped: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            expired: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            degraded: AtomicUsize::new(0),
             busy_us: AtomicU64::new(0),
         }
+    }
+
+    /// Current pending-queue depth (admitted compiles plus held slots).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Deepest the pending queue has ever been. Never exceeds
+    /// `max_pending` plus any outstanding [`CompileService::hold_capacity`].
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending.load(Ordering::SeqCst)
+    }
+
+    /// Overload with hysteresis: latches at `high_watermark`, clears
+    /// only once pending drains to `low_watermark` — the daemon
+    /// recovers instead of thrashing at the boundary.
+    pub fn overloaded(&self) -> bool {
+        let depth = self.pending();
+        if self.overload_latch.load(Ordering::SeqCst) {
+            if depth <= self.config.low_watermark {
+                self.overload_latch.store(false, Ordering::SeqCst);
+                false
+            } else {
+                true
+            }
+        } else if depth >= self.config.high_watermark {
+            self.overload_latch.store(true, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Occupy `n` pending slots until the returned hold drops — lets
+    /// tests and the chaos harness put the service under deterministic
+    /// admission pressure without racing real compiles.
+    pub fn hold_capacity(&self, n: usize) -> AdmissionHold<'_> {
+        let depth = self.pending.fetch_add(n, Ordering::SeqCst) + n;
+        self.peak_pending.fetch_max(depth, Ordering::SeqCst);
+        AdmissionHold { service: self, n }
+    }
+
+    /// Suites currently under active quarantine.
+    pub fn quarantined_suites(&self) -> usize {
+        let now = Instant::now();
+        let q = self.suite_quarantine.lock().expect("suite quarantine lock");
+        q.map
+            .values()
+            .filter(|e| e.until.is_some_and(|t| now < t))
+            .count()
+    }
+
+    /// Entries resident in the suite result cache.
+    pub fn result_cache_len(&self) -> usize {
+        self.results.lock().expect("result cache lock").map.len()
+    }
+
+    /// Seconds since the service was created (the daemon's `HEALTH`
+    /// uptime).
+    pub fn uptime_s(&self) -> f64 {
+        self.created.elapsed().as_secs_f64()
+    }
+
+    /// Ledger answer for one suite key: `Some(strikes)` while the
+    /// quarantine is active; a lapsed backoff downgrades to probation
+    /// (strikes kept, this compile allowed).
+    fn suite_quarantine_check(&self, key: u64) -> Option<u32> {
+        if self.config.quarantine_strikes == 0 {
+            return None;
+        }
+        let mut q = self.suite_quarantine.lock().expect("suite quarantine lock");
+        q.tick += 1;
+        let tick = q.tick;
+        let e = q.map.get_mut(&key)?;
+        match e.until {
+            Some(t) if Instant::now() < t => {
+                e.tick = tick;
+                Some(e.strikes)
+            }
+            Some(_) => {
+                e.until = None;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Record a failed build (contained panic) against a suite;
+    /// reaching the strike limit quarantines it with exponential
+    /// backoff (doubling per strike past the limit, capped at 1024×).
+    fn note_suite_failure(&self, key: u64) {
+        let limit = self.config.quarantine_strikes;
+        if limit == 0 {
+            return;
+        }
+        let backoff = Duration::from_millis(self.config.quarantine_backoff_ms);
+        let mut q = self.suite_quarantine.lock().expect("suite quarantine lock");
+        q.tick += 1;
+        let tick = q.tick;
+        let e = q.map.entry(key).or_insert(SuiteStrikes {
+            strikes: 0,
+            until: None,
+            tick,
+        });
+        e.strikes += 1;
+        e.tick = tick;
+        if e.strikes >= limit {
+            let exp = (e.strikes - limit).min(10);
+            e.until = Some(Instant::now() + backoff.saturating_mul(1u32 << exp));
+        }
+        // The ledger is bounded like everything else in the service.
+        let cap = (self.config.result_entries * 4).max(64);
+        while q.map.len() > cap {
+            let oldest = q
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+                .expect("nonempty over cap");
+            q.map.remove(&oldest);
+        }
+    }
+
+    /// A fully clean compile expunges the suite's strike record.
+    fn note_suite_success(&self, key: u64) {
+        if self.config.quarantine_strikes == 0 {
+            return;
+        }
+        self.suite_quarantine
+            .lock()
+            .expect("suite quarantine lock")
+            .map
+            .remove(&key);
     }
 
     pub fn config(&self) -> &ServiceConfig {
@@ -347,28 +658,96 @@ impl CompileService {
             .expect("one outcome per request")
     }
 
-    /// Compile a batch: dedupe identical suites, answer repeats from the
-    /// result cache, fan the rest out across the worker pool, and
-    /// return one outcome per request in request order plus the
-    /// batch-scoped stats.
+    /// True when the artifact may enter the result cache: a compile
+    /// that ran the full pipeline with no expiry, no degradation, no
+    /// contained panic, and no quarantine refusal. Anything else would
+    /// replay a partial (or poisoned) answer forever.
+    fn cacheable(art: &SuiteArtifact) -> bool {
+        match art.compile() {
+            Some(r) => {
+                !r.report.deadline_expired
+                    && r.report.degrade.is_none()
+                    && r.report.panicked_loops() == 0
+                    && r.report.quarantined_loops() == 0
+            }
+            None => false,
+        }
+    }
+
+    /// How an artifact classifies when it is *not* a plain
+    /// full-fidelity result (`None` → Cold / CacheHit / Deduped).
+    /// Precedence: refusals (Rejected / Quarantined artifacts) over
+    /// compile outcomes; within a compile, expiry over quarantined
+    /// loops over tier degradation.
+    fn classify_artifact(art: &SuiteArtifact) -> Option<Served> {
+        match art {
+            // A contained panic stays in the base class; `failed`
+            // counts it separately.
+            SuiteArtifact::Failed(_) => None,
+            SuiteArtifact::Rejected { .. } => Some(Served::Rejected),
+            SuiteArtifact::Quarantined { .. } => Some(Served::Quarantined),
+            SuiteArtifact::Compiled(_) | SuiteArtifact::Emitted(_) => {
+                let r = art.compile().expect("compiled artifact");
+                if r.report.deadline_expired {
+                    Some(Served::DeadlineExpired)
+                } else if r.report.quarantined_loops() > 0 {
+                    Some(Served::Quarantined)
+                } else if r.report.degrade.is_some() {
+                    Some(Served::Degraded)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Compile a batch: refuse quarantined suites from the ledger,
+    /// dedupe identical suites, answer repeats from the result cache,
+    /// shed what the bounded pending queue cannot admit, fan the rest
+    /// out across the worker pool (at the degradation tier the queue
+    /// depth demands, under each request's deadline), and return one
+    /// outcome per request in request order plus the batch-scoped
+    /// stats.
     pub fn compile_many(&self, batch: &[SuiteRequest]) -> Batch {
         let t0 = Instant::now();
         let facts_before = self.facts.stats();
 
-        // Plan: the first request with a given key owns the compile (or
-        // the cache lookup); later identical requests are deduped onto
-        // the owner.
         let keys: Vec<u64> = batch.iter().map(|r| self.suite_key(&r.source)).collect();
+
+        // Quarantine gate first: a suite under active quarantine is
+        // answered from the strike ledger without planning any compile.
+        let mut quarantined_art: HashMap<u64, Arc<SuiteArtifact>> = HashMap::new();
+        {
+            let mut seen: HashSet<u64> = HashSet::new();
+            for &k in &keys {
+                if seen.insert(k) {
+                    if let Some(strikes) = self.suite_quarantine_check(k) {
+                        quarantined_art
+                            .insert(k, Arc::new(SuiteArtifact::Quarantined { strikes }));
+                    }
+                }
+            }
+        }
+
+        // Plan: the first admissible request with a given key owns the
+        // compile (or the cache lookup); later identical requests are
+        // deduped onto the owner.
         let mut owner_of: HashMap<u64, usize> = HashMap::new();
-        // Per request: Some(owner index) when deduped, None when owner.
+        // Per request: Some(owner index) when deduped, None when owner
+        // (or quarantined — resolved by key during assembly).
         let dup_of: Vec<Option<usize>> = keys
             .iter()
             .enumerate()
-            .map(|(i, k)| match owner_of.get(k) {
-                Some(&o) => Some(o),
-                None => {
-                    owner_of.insert(*k, i);
-                    None
+            .map(|(i, k)| {
+                if quarantined_art.contains_key(k) {
+                    return None;
+                }
+                match owner_of.get(k) {
+                    Some(&o) => Some(o),
+                    None => {
+                        owner_of.insert(*k, i);
+                        None
+                    }
                 }
             })
             .collect();
@@ -379,7 +758,7 @@ impl CompileService {
         {
             let mut cache = self.results.lock().expect("result cache lock");
             for (i, dup) in dup_of.iter().enumerate() {
-                if dup.is_some() {
+                if dup.is_some() || quarantined_art.contains_key(&keys[i]) {
                     continue;
                 }
                 let tl = Instant::now();
@@ -392,15 +771,76 @@ impl CompileService {
             }
         }
 
+        // Admission control: the pending queue is bounded. A batch that
+        // would overflow it sheds compiles down to fit, per the
+        // configured policy — an explicit structured rejection instead
+        // of unbounded queueing.
+        let mut shed: HashMap<usize, Arc<SuiteArtifact>> = HashMap::new();
+        let depth_before = self.pending.load(Ordering::SeqCst);
+        let avail = self.config.max_pending.saturating_sub(depth_before);
+        if jobs.len() > avail {
+            let excess = jobs.len() - avail;
+            let victims: Vec<usize> = match self.config.shed {
+                ShedPolicy::OldestFirst => jobs[..excess].to_vec(),
+                ShedPolicy::LargestFirst => {
+                    let mut by_size = jobs.clone();
+                    by_size.sort_by(|&a, &b| {
+                        batch[b]
+                            .source
+                            .len()
+                            .cmp(&batch[a].source.len())
+                            .then(a.cmp(&b))
+                    });
+                    by_size[..excess].to_vec()
+                }
+            };
+            let reason = format!(
+                "overload: {} pending, capacity {}",
+                depth_before, self.config.max_pending
+            );
+            for i in victims {
+                shed.insert(
+                    i,
+                    Arc::new(SuiteArtifact::Rejected {
+                        reason: reason.clone(),
+                    }),
+                );
+            }
+            jobs.retain(|i| !shed.contains_key(i));
+        }
+
+        // Admit the survivors; the resulting depth picks the
+        // degradation tier for this wave (full → facts-only →
+        // parse-only) — shed load gets less pipeline, not more queue.
+        let depth = self.pending.fetch_add(jobs.len(), Ordering::SeqCst) + jobs.len();
+        self.peak_pending.fetch_max(depth, Ordering::SeqCst);
+        let tier = if depth > self.config.high_watermark {
+            DegradeTier::ParseOnly
+        } else if depth > self.config.low_watermark {
+            DegradeTier::FactsOnly
+        } else {
+            DegradeTier::Full
+        };
+
+        // Deadlines are armed at admission, not at job start: time
+        // spent waiting for a worker burns the request's budget, as it
+        // would in a real service.
+        let tokens: Vec<Option<CancelToken>> = jobs
+            .iter()
+            .map(|&i| batch[i].deadline.map(CancelToken::deadline_in))
+            .collect();
+
         // Fan the jobs out across the bounded pool. Slots are indexed
         // by job position, so assembly below is deterministic in
-        // request order regardless of completion order.
+        // request order regardless of completion order. Each finished
+        // job releases its pending slot immediately.
         let slots: Vec<OnceLock<(Arc<SuiteArtifact>, f64)>> =
             jobs.iter().map(|_| OnceLock::new()).collect();
         let width = self.config.workers.max(1).min(jobs.len().max(1));
         if width <= 1 {
             for (j, &i) in jobs.iter().enumerate() {
-                let _ = slots[j].set(self.run_job(&batch[i]));
+                let _ = slots[j].set(self.run_job(&batch[i], tokens[j].clone(), tier));
+                self.pending.fetch_sub(1, Ordering::SeqCst);
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -411,23 +851,39 @@ impl CompileService {
                         if j >= jobs.len() {
                             break;
                         }
-                        let _ = slots[j].set(self.run_job(&batch[jobs[j]]));
+                        let _ =
+                            slots[j].set(self.run_job(&batch[jobs[j]], tokens[j].clone(), tier));
+                        self.pending.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
             });
         }
 
-        // Retain fresh results (never failures — a poisoned entry would
-        // replay the failure forever).
+        // Retain only full-fidelity results — a partial or poisoned
+        // entry would replay its degradation forever — and keep the
+        // quarantine ledger current: contained panics strike the suite,
+        // clean compiles expunge it.
         let mut fresh: HashMap<usize, (Arc<SuiteArtifact>, f64)> = HashMap::new();
         {
             let mut cache = self.results.lock().expect("result cache lock");
             for (j, &i) in jobs.iter().enumerate() {
                 let (art, wall) = slots[j].get().expect("job completed").clone();
-                if !matches!(*art, SuiteArtifact::Failed(_)) {
+                if Self::cacheable(&art) {
                     cache.insert(keys[i], Arc::clone(&art));
                 }
                 fresh.insert(i, (art, wall));
+            }
+        }
+        for &i in &jobs {
+            let (art, _) = &fresh[&i];
+            let panicked = match art.compile() {
+                None => true, // Failed: the whole compile panicked
+                Some(r) => r.report.panicked_loops() > 0,
+            };
+            if panicked {
+                self.note_suite_failure(keys[i]);
+            } else if Self::cacheable(art) {
+                self.note_suite_success(keys[i]);
             }
         }
 
@@ -437,29 +893,55 @@ impl CompileService {
         let mut stats_hits = 0usize;
         let mut stats_dedup = 0usize;
         let mut stats_failed = 0usize;
+        let mut stats_rejected = 0usize;
+        let mut stats_expired = 0usize;
+        let mut stats_quarantined = 0usize;
+        let mut stats_degraded = 0usize;
         for (i, req) in batch.iter().enumerate() {
-            let (served, artifact, wall_s) = match dup_of[i] {
-                Some(owner) => {
-                    stats_dedup += 1;
-                    let art = cached
-                        .get(&owner)
-                        .or_else(|| fresh.get(&owner))
-                        .map(|(a, _)| Arc::clone(a))
-                        .expect("owner resolved");
-                    (Served::Deduped, art, 0.0)
+            let (served, artifact, wall_s) = if let Some(art) = quarantined_art.get(&keys[i]) {
+                (Served::Quarantined, Arc::clone(art), 0.0)
+            } else if let Some(art) = shed.get(&i) {
+                (Served::Rejected, Arc::clone(art), 0.0)
+            } else {
+                match dup_of[i] {
+                    Some(owner) => {
+                        if let Some(art) = shed.get(&owner) {
+                            // The owner was shed, so nothing was
+                            // compiled for this key: the duplicate is
+                            // rejected too.
+                            (Served::Rejected, Arc::clone(art), 0.0)
+                        } else {
+                            let art = cached
+                                .get(&owner)
+                                .or_else(|| fresh.get(&owner))
+                                .map(|(a, _)| Arc::clone(a))
+                                .expect("owner resolved");
+                            let served =
+                                Self::classify_artifact(&art).unwrap_or(Served::Deduped);
+                            (served, art, 0.0)
+                        }
+                    }
+                    None => match cached.get(&i) {
+                        // Only full-fidelity artifacts enter the cache,
+                        // so a hit is always a plain CacheHit.
+                        Some((art, wall)) => (Served::CacheHit, Arc::clone(art), *wall),
+                        None => {
+                            let (art, wall) = fresh.get(&i).expect("fresh result").clone();
+                            let served = Self::classify_artifact(&art).unwrap_or(Served::Cold);
+                            (served, art, wall)
+                        }
+                    },
                 }
-                None => match cached.get(&i) {
-                    Some((art, wall)) => {
-                        stats_hits += 1;
-                        (Served::CacheHit, Arc::clone(art), *wall)
-                    }
-                    None => {
-                        let (art, wall) = fresh.get(&i).expect("fresh result").clone();
-                        stats_cold += 1;
-                        (Served::Cold, art, wall)
-                    }
-                },
             };
+            match served {
+                Served::Cold => stats_cold += 1,
+                Served::CacheHit => stats_hits += 1,
+                Served::Deduped => stats_dedup += 1,
+                Served::Rejected => stats_rejected += 1,
+                Served::DeadlineExpired => stats_expired += 1,
+                Served::Quarantined => stats_quarantined += 1,
+                Served::Degraded => stats_degraded += 1,
+            }
             if matches!(*artifact, SuiteArtifact::Failed(_)) {
                 stats_failed += 1;
             }
@@ -479,6 +961,12 @@ impl CompileService {
             result_hits: stats_hits,
             deduped: stats_dedup,
             failed: stats_failed,
+            rejected: stats_rejected,
+            deadline_expired: stats_expired,
+            quarantined: stats_quarantined,
+            degraded: stats_degraded,
+            pending_peak: self.peak_pending(),
+            quarantined_suites: self.quarantined_suites(),
             result_evictions,
             facts: self.facts.stats().since(&facts_before),
             wall_s,
@@ -499,6 +987,11 @@ impl CompileService {
         self.hits.fetch_add(stats_hits, Ordering::Relaxed);
         self.deduped.fetch_add(stats_dedup, Ordering::Relaxed);
         self.failed.fetch_add(stats_failed, Ordering::Relaxed);
+        self.rejected.fetch_add(stats_rejected, Ordering::Relaxed);
+        self.expired.fetch_add(stats_expired, Ordering::Relaxed);
+        self.quarantined
+            .fetch_add(stats_quarantined, Ordering::Relaxed);
+        self.degraded.fetch_add(stats_degraded, Ordering::Relaxed);
         self.busy_us
             .fetch_add((wall_s * 1e6) as u64, Ordering::Relaxed);
 
@@ -516,6 +1009,12 @@ impl CompileService {
             result_hits: self.hits.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_expired: self.expired.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            pending_peak: self.peak_pending(),
+            quarantined_suites: self.quarantined_suites(),
             result_evictions: self.results.lock().expect("result cache lock").evictions,
             facts: self.facts.stats(),
             wall_s,
@@ -531,10 +1030,19 @@ impl CompileService {
     /// One compile, sandboxed: the recovering front end makes the
     /// compile total over arbitrary bytes, and `catch_unwind` contains
     /// anything that still escapes so the pool (and the daemon) live on.
-    fn run_job(&self, req: &SuiteRequest) -> (Arc<SuiteArtifact>, f64) {
+    fn run_job(
+        &self,
+        req: &SuiteRequest,
+        token: Option<CancelToken>,
+        tier: DegradeTier,
+    ) -> (Arc<SuiteArtifact>, f64) {
         let t = Instant::now();
-        let compiler = Compiler::new(self.config.profile.clone())
-            .with_shared_facts(Arc::clone(&self.facts));
+        let mut compiler = Compiler::new(self.config.profile.clone())
+            .with_shared_facts(Arc::clone(&self.facts))
+            .with_degrade(tier);
+        if let Some(tok) = token {
+            compiler = compiler.with_cancel(tok);
+        }
         let emit = self.config.emit;
         let art = catch_unwind(AssertUnwindSafe(|| {
             let r = compiler.compile_source_recovering(&req.name, &req.source);
@@ -677,5 +1185,239 @@ END
         assert_eq!(c.suites, 2);
         assert_eq!(c.cold, 1);
         assert_eq!(c.result_hits, 1);
+    }
+
+    #[test]
+    fn zero_deadline_expires_structurally_and_is_never_cached() {
+        let s = svc();
+        let out = s.compile_many(&[
+            SuiteRequest::new("a", SRC).with_deadline(Duration::ZERO),
+            SuiteRequest::new("a-dup", SRC).with_deadline(Duration::ZERO),
+        ]);
+        assert_eq!(out.outcomes[0].served, Served::DeadlineExpired);
+        // The duplicate inherits the owner's class — it shares the
+        // same partial artifact, not a full-fidelity one.
+        assert_eq!(out.outcomes[1].served, Served::DeadlineExpired);
+        assert_eq!(out.stats.deadline_expired, 2);
+        let r = out.outcomes[0].artifact.compile().expect("partial report");
+        assert!(r.report.deadline_expired);
+        assert_eq!(
+            r.loops.len() + r.report.skipped.len(),
+            r.report.loops,
+            "accounting survives expiry"
+        );
+        // Partial answers never enter the result cache: the next
+        // undeadlined request compiles cold and is full fidelity.
+        let again = s.compile_one(SuiteRequest::new("a", SRC));
+        assert_eq!(again.served, Served::Cold);
+        assert!(!again
+            .artifact
+            .compile()
+            .expect("full report")
+            .report
+            .deadline_expired);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_first_by_default() {
+        let s = CompileService::new(ServiceConfig {
+            workers: 1,
+            max_pending: 2,
+            high_watermark: 2,
+            low_watermark: 1,
+            ..ServiceConfig::default()
+        });
+        let batch = [
+            SuiteRequest::new("old1", SRC),
+            SuiteRequest::new("old2", "PROGRAM B\nINTEGER I\nDO I = 1, 9\nENDDO\nEND\n"),
+            SuiteRequest::new("new1", "PROGRAM C\nINTEGER I\nDO I = 1, 9\nENDDO\nEND\n"),
+            SuiteRequest::new("new2", SRC2),
+        ];
+        let out = s.compile_many(&batch);
+        assert_eq!(out.outcomes[0].served, Served::Rejected);
+        assert_eq!(out.outcomes[1].served, Served::Rejected);
+        assert!(out.outcomes[2].served != Served::Rejected);
+        assert!(out.outcomes[3].served != Served::Rejected);
+        assert_eq!(out.stats.rejected, 2);
+        assert!(matches!(
+            &*out.outcomes[0].artifact,
+            SuiteArtifact::Rejected { reason } if reason.contains("capacity 2")
+        ));
+        assert!(out.stats.pending_peak <= 2, "bound holds");
+    }
+
+    #[test]
+    fn largest_first_sheds_the_biggest_sources() {
+        let s = CompileService::new(ServiceConfig {
+            workers: 1,
+            max_pending: 1,
+            high_watermark: 1,
+            low_watermark: 0,
+            shed: ShedPolicy::LargestFirst,
+            ..ServiceConfig::default()
+        });
+        let big = format!("{}{}", SRC, "C PADDING PADDING PADDING\n".repeat(20));
+        let out = s.compile_many(&[
+            SuiteRequest::new("big", big),
+            SuiteRequest::new("small", SRC2),
+        ]);
+        assert_eq!(out.outcomes[0].served, Served::Rejected, "big shed first");
+        assert!(out.outcomes[1].served != Served::Rejected);
+    }
+
+    #[test]
+    fn held_capacity_degrades_tiers_by_depth() {
+        let s = CompileService::new(ServiceConfig {
+            workers: 1,
+            max_pending: 16,
+            high_watermark: 6,
+            low_watermark: 3,
+            ..ServiceConfig::default()
+        });
+        // Depth 8 > high: parse-only.
+        {
+            let _hold = s.hold_capacity(7);
+            let out = s.compile_one(SuiteRequest::new("a", SRC));
+            assert_eq!(out.served, Served::Degraded);
+            let r = out.artifact.compile().expect("degraded report");
+            assert_eq!(r.report.degrade, Some(apar_core::DegradeTier::ParseOnly));
+            assert_eq!(r.loops.len(), 0, "no analysis at parse-only");
+            assert_eq!(r.report.skipped.len(), r.report.loops);
+        }
+        // Depth 5 in (low, high]: facts-only.
+        {
+            let _hold = s.hold_capacity(4);
+            let out = s.compile_one(SuiteRequest::new("b", SRC2));
+            assert_eq!(out.served, Served::Degraded);
+            let r = out.artifact.compile().expect("degraded report");
+            assert_eq!(r.report.degrade, Some(apar_core::DegradeTier::FactsOnly));
+        }
+        // Degraded answers were not cached: both recompile cold at
+        // full fidelity once the pressure is gone.
+        let out = s.compile_many(&[SuiteRequest::new("a", SRC), SuiteRequest::new("b", SRC2)]);
+        assert_eq!(out.stats.cold, 2);
+        assert_eq!(out.stats.result_hits, 0);
+    }
+
+    #[test]
+    fn overload_latch_clears_only_at_the_low_watermark() {
+        let s = CompileService::new(ServiceConfig {
+            high_watermark: 4,
+            low_watermark: 2,
+            ..ServiceConfig::default()
+        });
+        assert!(!s.overloaded());
+        let h1 = s.hold_capacity(3);
+        let h2 = s.hold_capacity(2);
+        assert!(s.overloaded(), "depth 5 >= high 4 latches");
+        drop(h2);
+        assert_eq!(s.pending(), 3);
+        assert!(s.overloaded(), "depth 3 > low 2: still latched");
+        drop(h1);
+        assert!(!s.overloaded(), "drained to 0 <= low 2: clears");
+        assert!(!s.overloaded(), "and stays clear");
+        assert_eq!(s.peak_pending(), 5);
+    }
+
+    #[test]
+    fn crash_looping_suite_is_quarantined_then_recovers_after_backoff() {
+        use apar_core::PassId;
+        let s = CompileService::new(ServiceConfig {
+            workers: 1,
+            profile: CompilerProfile::polaris2008().with_fault(
+                PassId::DataDependence,
+                "MAIN",
+                None,
+            ),
+            quarantine_strikes: 2,
+            quarantine_backoff_ms: 40,
+            ..ServiceConfig::default()
+        });
+        // Two contained-panic compiles strike the suite out…
+        for _ in 0..2 {
+            let out = s.compile_one(SuiteRequest::new("bad", SRC));
+            let r = out.artifact.compile().expect("contained panic");
+            assert!(r.report.panicked_loops() > 0, "fault fires and is contained");
+        }
+        // …so the third request is refused from the ledger, costlessly.
+        let refused = s.compile_one(SuiteRequest::new("bad", SRC));
+        assert_eq!(refused.served, Served::Quarantined);
+        assert!(matches!(
+            &*refused.artifact,
+            SuiteArtifact::Quarantined { strikes: 2 }
+        ));
+        assert_eq!(s.quarantined_suites(), 1);
+        // After the backoff lapses the suite gets a probation compile
+        // (which fails again here, re-arming the quarantine).
+        std::thread::sleep(Duration::from_millis(60));
+        let probation = s.compile_one(SuiteRequest::new("bad", SRC));
+        assert!(
+            probation.artifact.compile().is_some(),
+            "probation compile actually ran"
+        );
+        assert_eq!(s.quarantined_suites(), 1, "failure re-armed the quarantine");
+        // A healthy suite is unaffected throughout (different unit name
+        // dodges the injected fault).
+        let healthy =
+            s.compile_one(SuiteRequest::new("good", SRC.replace("MAIN", "OTHER")));
+        assert_eq!(healthy.served, Served::Cold);
+    }
+
+    #[test]
+    fn clean_compile_expunges_suite_strikes() {
+        let s = CompileService::new(ServiceConfig {
+            workers: 1,
+            quarantine_strikes: 2,
+            quarantine_backoff_ms: 10_000,
+            ..ServiceConfig::default()
+        });
+        // One strike by hand, then a clean compile of the same suite.
+        let key = s.suite_key(SRC);
+        s.note_suite_failure(key);
+        let out = s.compile_one(SuiteRequest::new("a", SRC));
+        assert_eq!(out.served, Served::Cold);
+        assert!(
+            s.suite_quarantine.lock().unwrap().map.is_empty(),
+            "success expunged the strike record"
+        );
+    }
+
+    #[test]
+    fn zero_strikes_disables_the_suite_quarantine() {
+        use apar_core::PassId;
+        let s = CompileService::new(ServiceConfig {
+            workers: 1,
+            profile: CompilerProfile::polaris2008().with_fault(
+                PassId::DataDependence,
+                "MAIN",
+                None,
+            ),
+            quarantine_strikes: 0,
+            ..ServiceConfig::default()
+        });
+        for _ in 0..4 {
+            let out = s.compile_one(SuiteRequest::new("bad", SRC));
+            assert_ne!(out.served, Served::Quarantined);
+            assert!(out.artifact.compile().is_some(), "every compile runs");
+        }
+        assert_eq!(s.quarantined_suites(), 0);
+    }
+
+    #[test]
+    fn stats_json_carries_the_resilience_counters() {
+        let s = svc();
+        let out = s.compile_many(&[SuiteRequest::new("a", SRC).with_deadline(Duration::ZERO)]);
+        let json = out.stats.to_json().render_compact();
+        for field in [
+            "\"rejected\":0",
+            "\"deadline_expired\":1",
+            "\"quarantined\":0",
+            "\"degraded\":0",
+            "\"pending_peak\":1",
+            "\"quarantined_suites\":0",
+            "\"facts_quarantine_hits\":0",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
     }
 }

@@ -201,6 +201,28 @@ impl AliasInfo {
             _ => la.root == lb.root && ranges_overlap(&la, &lb),
         }
     }
+
+    /// Hashes this unit's alias facts (asserted pairs and proven
+    /// formal independence) into `h`, in sorted order so the digest is
+    /// independent of hash-map iteration order.
+    pub fn digest_unit<H: std::hash::Hasher>(&self, unit: &str, h: &mut H) {
+        use std::hash::Hash;
+        if let Some(set) = self.pairs.get(unit) {
+            let mut pairs: Vec<_> = set.iter().collect();
+            pairs.sort();
+            for p in pairs {
+                p.hash(h);
+            }
+        }
+        0xa5u8.hash(h);
+        if let Some(set) = self.noalias_formals.get(unit) {
+            let mut pairs: Vec<_> = set.iter().collect();
+            pairs.sort();
+            for p in pairs {
+                p.hash(h);
+            }
+        }
+    }
 }
 
 fn key(a: &str, b: &str) -> (String, String) {

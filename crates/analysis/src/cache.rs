@@ -43,6 +43,7 @@
 //! distinguish refused builds (budget-tripped or panicked — the
 //! [`SharedStats::refusals`] counter) from ordinary misses.
 
+use std::any::Any;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -70,10 +71,11 @@ pub struct ProgramFacts {
     /// resolve its [`apar_symbolic::VarId`]s against this map (or a
     /// further extension of it).
     pub sym: SymMap,
-    /// Symbolic ops the builds cost. A consuming loop charges this to
-    /// its own watchdog counter (at the driver's amortization discount)
-    /// so cache hits and misses bill identically — thread-invariance of
-    /// per-loop op accounting depends on it.
+    /// Symbolic ops the builds cost, recorded for reporting. The build
+    /// is billed where it runs (against the cache's own build budget);
+    /// consuming loops never re-charge it, so per-loop op accounting is
+    /// a pure function of the loop's content — independent of cache
+    /// state and thread count.
     pub build_ops: u64,
     /// The build's own op budget tripped before it finished: summaries
     /// and alias facts degraded to their conservative forms. Sound to
@@ -129,6 +131,19 @@ pub struct SharedStats {
     pub quarantine_hits: u64,
     /// Fingerprints currently under active quarantine.
     pub quarantined: u64,
+    /// Per-loop records spliced into a compile after verification (the
+    /// incremental-recompilation tier).
+    pub loop_hits: u64,
+    /// Per-loop lookups that found no record (the loop's content key
+    /// was never published, changed, or was evicted).
+    pub loop_misses: u64,
+    /// Per-loop records found but discarded: the stored record failed
+    /// structural verification against the current loop, so the splice
+    /// was refused and the loop re-analyzed. A structured refusal, not
+    /// a miss.
+    pub loop_refusals: u64,
+    /// Per-loop records currently resident.
+    pub loop_entries: u64,
 }
 
 impl SharedStats {
@@ -144,6 +159,10 @@ impl SharedStats {
             approx_bytes: self.approx_bytes,
             quarantine_hits: self.quarantine_hits - earlier.quarantine_hits,
             quarantined: self.quarantined,
+            loop_hits: self.loop_hits - earlier.loop_hits,
+            loop_misses: self.loop_misses - earlier.loop_misses,
+            loop_refusals: self.loop_refusals - earlier.loop_refusals,
+            loop_entries: self.loop_entries,
         }
     }
 }
@@ -171,6 +190,23 @@ struct StoredFacts {
     last_use: u64,
 }
 
+/// One resident per-loop record of the incremental tier. The payload is
+/// opaque to this crate (the driver stores its own record type); the
+/// store only provides keyed retention, LRU bounds and counters.
+struct StoredLoopRec {
+    rec: Arc<dyn Any + Send + Sync>,
+    /// Logical timestamp of the last lookup or insert (LRU order).
+    last_use: u64,
+}
+
+impl std::fmt::Debug for StoredLoopRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoredLoopRec")
+            .field("last_use", &self.last_use)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Debug, Default)]
 struct SharedInner {
     map: HashMap<u64, StoredFacts>,
@@ -179,6 +215,10 @@ struct SharedInner {
     /// Strike/backoff ledger for fingerprints whose builds keep being
     /// refused. Bounded separately from the facts map.
     quarantine: HashMap<u64, QuarantineEntry>,
+    /// The incremental tier: per-loop analysis records keyed by loop
+    /// content keys. Bounded separately from the facts map (records are
+    /// small; the bound is entries, not bytes).
+    loops: HashMap<u64, StoredLoopRec>,
 }
 
 /// An eviction-bounded, cross-compile store of [`ProgramFacts`]: the
@@ -200,6 +240,9 @@ pub struct SharedFactsStore {
     refusals: AtomicU64,
     evictions: AtomicU64,
     quarantine_hits: AtomicU64,
+    loop_hits: AtomicU64,
+    loop_misses: AtomicU64,
+    loop_refusals: AtomicU64,
     /// Refusals before a fingerprint is quarantined. 0 (the default)
     /// disables the quarantine entirely — plain compilers and existing
     /// callers see the store behave exactly as before.
@@ -221,6 +264,9 @@ impl SharedFactsStore {
             refusals: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             quarantine_hits: AtomicU64::new(0),
+            loop_hits: AtomicU64::new(0),
+            loop_misses: AtomicU64::new(0),
+            loop_refusals: AtomicU64::new(0),
             strike_limit: 0,
             backoff: Duration::ZERO,
         }
@@ -361,6 +407,63 @@ impl SharedFactsStore {
         }
     }
 
+    /// Looks up a per-loop record by content key, refreshing its LRU
+    /// position. `None` is counted as a [`SharedStats::loop_misses`];
+    /// the caller must verify a returned record against the live loop
+    /// and then report the verdict via [`SharedFactsStore::note_loop_hit`]
+    /// (spliced) or [`SharedFactsStore::note_loop_refusal`] (discarded) —
+    /// a raw retrieval is not yet a hit.
+    pub fn loop_get(&self, key: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.loops.get_mut(&key) {
+            Some(e) => {
+                e.last_use = tick;
+                Some(Arc::clone(&e.rec))
+            }
+            None => {
+                self.loop_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a verified splice: a retrieved per-loop record passed
+    /// structural verification and was spliced into a compile.
+    pub fn note_loop_hit(&self) {
+        self.loop_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a discarded splice: a retrieved per-loop record failed
+    /// verification against the live loop, so the splice was refused
+    /// and the loop re-analyzed. Structurally distinct from a miss.
+    pub fn note_loop_refusal(&self) {
+        self.loop_refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retains a freshly analyzed loop's record under its content key,
+    /// evicting least-recently-used records past the bound (eight
+    /// records per facts-entry slot — loop records are far smaller than
+    /// program facts, and a program carries several loops per facts
+    /// entry).
+    pub fn loop_put(&self, key: u64, rec: Arc<dyn Any + Send + Sync>) {
+        let cap = self.cap_entries.saturating_mul(8).max(1);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.loops.insert(key, StoredLoopRec { rec, last_use: tick });
+        while inner.loops.len() as u64 > cap {
+            let Some((&victim, _)) = inner.loops.iter().min_by_key(|(_, e)| e.last_use) else {
+                break;
+            };
+            if victim == key {
+                break;
+            }
+            inner.loops.remove(&victim);
+        }
+    }
+
     /// Fingerprints currently under active quarantine.
     pub fn quarantined_count(&self) -> u64 {
         let now = Instant::now();
@@ -389,6 +492,10 @@ impl SharedFactsStore {
                 .values()
                 .filter(|e| e.until.is_some_and(|t| now < t))
                 .count() as u64,
+            loop_hits: self.loop_hits.load(Ordering::Relaxed),
+            loop_misses: self.loop_misses.load(Ordering::Relaxed),
+            loop_refusals: self.loop_refusals.load(Ordering::Relaxed),
+            loop_entries: inner.loops.len() as u64,
         }
     }
 }
@@ -639,7 +746,7 @@ impl AnalysisCache {
 }
 
 /// The capability set as a bit vector, for the shared-store key.
-fn caps_bits(c: &Capabilities) -> u64 {
+pub(crate) fn caps_bits(c: &Capabilities) -> u64 {
     [
         c.multilingual,
         c.interprocedural_noalias,
@@ -913,6 +1020,10 @@ mod tests {
             approx_bytes: 100,
             quarantine_hits: 1,
             quarantined: 1,
+            loop_hits: 4,
+            loop_misses: 6,
+            loop_refusals: 1,
+            loop_entries: 5,
         };
         let b = SharedStats {
             hits: 7,
@@ -923,6 +1034,10 @@ mod tests {
             approx_bytes: 80,
             quarantine_hits: 4,
             quarantined: 2,
+            loop_hits: 9,
+            loop_misses: 8,
+            loop_refusals: 3,
+            loop_entries: 4,
         };
         let d = b.since(&a);
         assert_eq!(d.hits, 5);
@@ -933,6 +1048,10 @@ mod tests {
         assert_eq!(d.approx_bytes, 80);
         assert_eq!(d.quarantine_hits, 3);
         assert_eq!(d.quarantined, 2, "active-quarantine count is a gauge");
+        assert_eq!(d.loop_hits, 5);
+        assert_eq!(d.loop_misses, 2);
+        assert_eq!(d.loop_refusals, 2);
+        assert_eq!(d.loop_entries, 4, "loop-record count is a gauge");
     }
 
     #[test]

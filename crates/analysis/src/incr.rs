@@ -1,0 +1,283 @@
+//! Per-loop content keys for incremental recompilation.
+//!
+//! The facts tier ([`crate::cache`]) memoizes whole-program facts under
+//! a resolved-program fingerprint: any edit anywhere invalidates it.
+//! This module computes a key *per loop* that covers exactly what that
+//! loop's analysis can observe, so an edit invalidates only the loops
+//! whose analysis could change:
+//!
+//! * the configuration prefix — capability bits, the analysis knobs
+//!   (loop op budget, inline depth and statement budget, runtime-test
+//!   switch), and the base interner state (op counts depend on
+//!   interning order, so a key is only valid against the same base);
+//! * the printed text of the loop's own unit, and the loop's ordinal
+//!   within it (two identical loops in one unit analyze identically
+//!   except for op-counter interleaving — the ordinal keeps their
+//!   records distinct);
+//! * the loop's post-inline *closure*: every unit reachable from its
+//!   unit in the call graph — printed text, access summary, and the
+//!   set of (caller, call-count) edges targeting it. The caller-edge
+//!   set matters because whole-nest inlining removes a callee that is
+//!   referenced nowhere else in the program, which changes the spliced
+//!   program the loop is analyzed against;
+//! * the unit's alias facts and the interprocedurally propagated
+//!   scalar state seeding the unit and observed at the loop header —
+//!   both flow in from *callers*, which are otherwise outside the
+//!   closure.
+//!
+//! The key is deliberately conservative in one direction only: edits
+//! that change the base interner (adding or removing any name or unit
+//! anywhere) shift every key and force a cold re-analysis. Value-only
+//! edits — the common incremental case — keep the interner stable, so
+//! unaffected loops keep their keys.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use apar_minifort::pretty::print_unit;
+use apar_minifort::ResolvedProgram;
+use apar_symbolic::{Range, VarId};
+
+use crate::alias::AliasInfo;
+use crate::cache::caps_bits;
+use crate::callgraph::CallGraph;
+use crate::constprop::ConstProp;
+use crate::loops::LoopForest;
+use crate::ranges::ScalarState;
+use crate::summary::Summaries;
+use crate::symx::SymMap;
+use crate::Capabilities;
+
+/// Analysis knobs that must match for a cached loop record to be
+/// reusable, hashed into every key's prefix. Order matters; callers
+/// build it with [`Knobs::bits`].
+#[derive(Clone, Copy, Debug)]
+pub struct Knobs {
+    pub loop_op_budget: u64,
+    pub inline_depth: usize,
+    pub inline_stmt_budget: usize,
+    pub runtime_test: bool,
+}
+
+impl Knobs {
+    fn hash_into<H: Hasher>(&self, h: &mut H) {
+        self.loop_op_budget.hash(h);
+        self.inline_depth.hash(h);
+        self.inline_stmt_budget.hash(h);
+        self.runtime_test.hash(h);
+    }
+}
+
+/// Content keys for every loop in `forest.loops`, index-aligned with
+/// it. A key covers everything the loop's analysis can observe (module
+/// docs); two compiles produce the same key for a loop exactly when
+/// its analysis — and therefore its report — is bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn loop_keys(
+    rp: &ResolvedProgram,
+    forest: &LoopForest,
+    cg: &CallGraph,
+    summaries: &Summaries,
+    alias: &AliasInfo,
+    cp: &ConstProp,
+    base_sym: &SymMap,
+    caps: &Capabilities,
+    knobs: &Knobs,
+) -> Vec<u64> {
+    // Configuration prefix, shared by every loop of this compile.
+    let prefix = {
+        let mut h = DefaultHasher::new();
+        caps_bits(caps).hash(&mut h);
+        knobs.hash_into(&mut h);
+        for (_, name) in base_sym.interner.iter() {
+            name.hash(&mut h);
+        }
+        h.finish()
+    };
+
+    // A unit's text is printed once; a closure member's contribution
+    // (text + summary + caller edges) is digested once — closures
+    // overlap heavily, so sharing member digests keeps the whole key
+    // computation linear in program size rather than O(units²).
+    let printed: HashMap<&str, String> = rp
+        .program
+        .units
+        .iter()
+        .map(|u| {
+            let mut text = String::new();
+            print_unit(u, &mut text);
+            (u.name.as_str(), text)
+        })
+        .collect();
+    let mut member_digest: HashMap<String, u64> = HashMap::new();
+    let mut digest_member = |r: &str| -> u64 {
+        if let Some(&d) = member_digest.get(r) {
+            return d;
+        }
+        let mut h = DefaultHasher::new();
+        r.hash(&mut h);
+        if let Some(text) = printed.get(r) {
+            text.hash(&mut h);
+        }
+        format!("{:?}", summaries.of(r)).hash(&mut h);
+        // Caller edges: whole-nest inlining drops a callee only if
+        // nothing else in the program references it, so the set of
+        // callers (with per-caller site counts) is observable.
+        let mut callers: HashMap<&str, u64> = HashMap::new();
+        for site in cg.calls_to(r) {
+            *callers.entry(site.caller.as_str()).or_insert(0) += 1;
+        }
+        let mut callers: Vec<_> = callers.into_iter().collect();
+        callers.sort();
+        callers.hash(&mut h);
+        let d = h.finish();
+        member_digest.insert(r.to_string(), d);
+        d
+    };
+
+    // Per-unit context digest (closure text + summaries + alias +
+    // seed), memoized — loops in one unit share all of it.
+    let mut unit_digest: HashMap<String, u64> = HashMap::new();
+    let mut digest_of = |unit: &str| -> u64 {
+        if let Some(&d) = unit_digest.get(unit) {
+            return d;
+        }
+        let mut h = DefaultHasher::new();
+        prefix.hash(&mut h);
+        unit.hash(&mut h);
+        if let Some(text) = printed.get(unit) {
+            text.hash(&mut h);
+        }
+        // The closure: every unit the inliner may splice in, in sorted
+        // order (reachable() iterates a HashSet).
+        let mut closure: Vec<String> = cg.reachable(unit).into_iter().collect();
+        closure.sort();
+        for r in &closure {
+            if r == unit {
+                continue;
+            }
+            digest_member(r).hash(&mut h);
+        }
+        0xb6u8.hash(&mut h);
+        alias.digest_unit(unit, &mut h);
+        0xc7u8.hash(&mut h);
+        if let Some(seed) = cp.seeds.get(unit) {
+            hash_scalar_state(seed, &mut h);
+        }
+        let d = h.finish();
+        unit_digest.insert(unit.to_string(), d);
+        d
+    };
+
+    // Ordinal of each loop within its unit (source order), so two
+    // textually identical loops in one unit get distinct keys.
+    let mut ordinal_in_unit: HashMap<&str, u64> = HashMap::new();
+
+    forest
+        .loops
+        .iter()
+        .map(|info| {
+            let unit = info.id.unit.as_str();
+            let ord = ordinal_in_unit.entry(unit).or_insert(0);
+            let my_ord = *ord;
+            *ord += 1;
+
+            let mut h = DefaultHasher::new();
+            digest_of(unit).hash(&mut h);
+            my_ord.hash(&mut h);
+            // Structural echo of the loop itself, re-verified at splice
+            // time (`SplicedLoop` carries the same fields).
+            info.var.hash(&mut h);
+            info.depth.hash(&mut h);
+            info.target.hash(&mut h);
+            info.calls.hash(&mut h);
+            info.inner_depth.hash(&mut h);
+            info.has_foreign_call.hash(&mut h);
+            // Scalar state observed at this loop's header (propagated
+            // in from callers via interprocedural constprop).
+            if let Some(ur) = cp.ranges.get(unit) {
+                if let Some(st) = ur.at_loop.get(&info.id.stmt) {
+                    hash_scalar_state(st, &mut h);
+                }
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+/// Hashes a [`ScalarState`] in sorted order (both maps are hash maps,
+/// so iteration order is not deterministic).
+fn hash_scalar_state<H: Hasher>(st: &ScalarState, h: &mut H) {
+    let mut values: Vec<_> = st.values.iter().collect();
+    values.sort_by_key(|(v, _)| **v);
+    for (v, e) in values {
+        v.hash(h);
+        e.hash(h);
+    }
+    0xd8u8.hash(h);
+    let mut env: Vec<(&VarId, &Range)> = st.env.iter().collect();
+    env.sort_by_key(|(v, _)| **v);
+    for (v, r) in env {
+        v.hash(h);
+        r.lo.hash(h);
+        r.hi.hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apar_minifort::frontend;
+
+    fn keys_of(src: &str) -> Vec<u64> {
+        let rp = frontend(src).expect("frontend");
+        let forest = LoopForest::build(&rp);
+        let cg = CallGraph::build(&rp);
+        let mut sym = SymMap::new();
+        let ops = apar_symbolic::OpCounter::unlimited();
+        let caps = Capabilities::polaris2008();
+        let summaries = Summaries::build(&rp, &cg, &mut sym, caps, &ops);
+        let alias = AliasInfo::build(&rp, &cg, caps, &ops);
+        let cp = crate::constprop::propagate(&rp, &cg, &mut sym, caps, &summaries);
+        let knobs = Knobs {
+            loop_op_budget: u64::MAX,
+            inline_depth: 2,
+            inline_stmt_budget: 200,
+            runtime_test: false,
+        };
+        loop_keys(&rp, &forest, &cg, &summaries, &alias, &cp, &sym, &caps, &knobs)
+    }
+
+    const TWO_UNITS: &str = "PROGRAM P\nREAL X(10)\nDO I = 1, 10\nX(I) = 1.0\nENDDO\nEND\nSUBROUTINE S\nREAL Y(10)\nDO J = 1, 10\nY(J) = 2.0\nENDDO\nEND\n";
+
+    #[test]
+    fn keys_are_deterministic() {
+        assert_eq!(keys_of(TWO_UNITS), keys_of(TWO_UNITS));
+    }
+
+    #[test]
+    fn value_edit_in_one_unit_preserves_other_units_keys() {
+        let a = keys_of(TWO_UNITS);
+        let b = keys_of(&TWO_UNITS.replace("Y(J) = 2.0", "Y(J) = 3.0"));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0], b[0], "untouched unit's loop key must survive");
+        assert_ne!(a[1], b[1], "edited unit's loop key must change");
+    }
+
+    #[test]
+    fn callee_edit_invalidates_caller_loop_key() {
+        let src = "PROGRAM P\nREAL X(10)\nDO I = 1, 10\nCALL S(X, I)\nENDDO\nEND\nSUBROUTINE S(A, K)\nREAL A(10)\nA(K) = 1.0\nEND\n";
+        let a = keys_of(src);
+        let b = keys_of(&src.replace("A(K) = 1.0", "A(K) = 2.0"));
+        assert_ne!(a[0], b[0], "caller loop key must track callee edits");
+    }
+
+    #[test]
+    fn identical_loops_in_one_unit_get_distinct_keys() {
+        let src = "PROGRAM P\nREAL X(10)\nDO I = 1, 10\nX(I) = 1.0\nENDDO\nDO I = 1, 10\nX(I) = 1.0\nENDDO\nEND\n";
+        let k = keys_of(src);
+        assert_eq!(k.len(), 2);
+        assert_ne!(k[0], k[1]);
+    }
+}

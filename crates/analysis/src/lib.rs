@@ -30,6 +30,7 @@ pub mod cfg;
 pub mod constprop;
 pub mod ddtest;
 pub mod gsa;
+pub mod incr;
 pub mod induction;
 pub mod inline;
 pub mod loops;

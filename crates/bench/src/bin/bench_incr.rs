@@ -1,0 +1,26 @@
+//! Incremental-recompilation benchmark: a one-line edit in the
+//! five-suite batch.
+//!
+//! Usage: `bench_incr [WORKERS]` (default: 4). Compiles the batch cold,
+//! applies a one-line value edit to the first suite, recompiles, and
+//! writes `BENCH_incr.json`. Exits nonzero if any report diverges from
+//! a plain service-free compile, the edited pass spliced zero loop
+//! records, or any splice was refused.
+
+fn main() {
+    let workers = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4usize);
+    let data = apar_bench::incr_bench::measure(workers);
+    print!("{}", apar_bench::incr_bench::render(&data));
+    let path = apar_bench::write_artifact("BENCH_incr.json", &data);
+    println!("(artifact: {})", path.display());
+    if !data.ok() {
+        eprintln!(
+            "FAIL: all_identical={} loop_hits={} loop_refusals={}",
+            data.all_identical, data.loop_hits, data.loop_refusals
+        );
+        std::process::exit(1);
+    }
+}

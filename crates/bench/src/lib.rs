@@ -14,6 +14,7 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig5;
 pub mod fuzz;
+pub mod incr_bench;
 pub mod json;
 pub mod resilience_bench;
 pub mod service_bench;

@@ -51,9 +51,11 @@ pub struct ServiceBenchData {
     pub warm_result_hits: usize,
     /// A *second client* — fresh service, empty result cache, sharing
     /// only the facts store — recompiling the same suites: its batch
-    /// wall seconds and the facts-tier hits it scored.
+    /// wall seconds and the shared-tier hits it scored (whole-program
+    /// facts adoptions and per-loop record splices).
     pub second_client_wall_s: f64,
     pub second_client_facts_hits: u64,
+    pub second_client_loop_hits: u64,
     /// `second_client_wall_s / cold_wall_s`.
     pub second_client_over_cold: f64,
     /// Shared facts-store lifetime counters.
@@ -106,6 +108,10 @@ impl ToJson for ServiceBenchData {
             (
                 "second_client_facts_hits",
                 self.second_client_facts_hits.to_json(),
+            ),
+            (
+                "second_client_loop_hits",
+                self.second_client_loop_hits.to_json(),
             ),
             (
                 "second_client_over_cold",
@@ -219,6 +225,7 @@ pub fn measure(reqs: &[SuiteRequest], workers: usize) -> ServiceBenchData {
         warm_result_hits: warm.stats.result_hits,
         second_client_wall_s: second_batch.stats.wall_s,
         second_client_facts_hits: second_batch.stats.facts.hits,
+        second_client_loop_hits: second_batch.stats.facts.loop_hits,
         second_client_over_cold: second_batch.stats.wall_s / cold.stats.wall_s.max(1e-9),
         facts_hits: facts.hits,
         facts_misses: facts.misses,
@@ -265,8 +272,11 @@ pub fn render(d: &ServiceBenchData) -> String {
         d.all_identical
     ));
     out.push_str(&format!(
-        "second client (fresh result cache, shared facts): {:.4}s, {} facts hits, {:.4}× cold\n",
-        d.second_client_wall_s, d.second_client_facts_hits, d.second_client_over_cold
+        "second client (fresh result cache, shared facts): {:.4}s, {} facts hits, {} loop splices, {:.4}× cold\n",
+        d.second_client_wall_s,
+        d.second_client_facts_hits,
+        d.second_client_loop_hits,
+        d.second_client_over_cold
     ));
     out
 }
@@ -281,8 +291,8 @@ mod tests {
         assert!(d.all_identical, "{:?}", d);
         assert_eq!(d.warm_result_hits, 2, "{:?}", d);
         assert!(
-            d.second_client_facts_hits > 0,
-            "the second client adopts shared facts: {:?}",
+            d.second_client_facts_hits + d.second_client_loop_hits > 0,
+            "the second client adopts shared analysis (facts or loop records): {:?}",
             d
         );
         assert!(d.ok());

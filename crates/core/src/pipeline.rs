@@ -3,7 +3,7 @@
 //! annotates the program for the parallel runtime.
 
 use std::cell::Cell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -20,6 +20,7 @@ use apar_analysis::callgraph::CallGraph;
 use apar_analysis::constprop::{self, ConstProp};
 use apar_analysis::ddtest::{self, DdInput};
 use apar_analysis::gsa;
+use apar_analysis::incr;
 use apar_analysis::induction;
 use apar_analysis::inline;
 use apar_analysis::loops::{find_loop, imbalanced_body, LoopForest, LoopInfo};
@@ -231,8 +232,31 @@ impl Compiler {
                     units: Vec::new(),
                     stmt_count: 0,
                 };
-                self.compile(app, empty)
-                    .expect("empty program always compiles")
+                match self.compile(app, empty) {
+                    Ok(r) => r,
+                    Err(d2) => {
+                        // Even the empty program failed — keep the
+                        // totality contract with a bare structured
+                        // result instead of panicking.
+                        diags.push(d2);
+                        CompileResult {
+                            rp: ResolvedProgram {
+                                program: Program {
+                                    units: Vec::new(),
+                                    stmt_count: 0,
+                                },
+                                tables: HashMap::new(),
+                                common_sizes: HashMap::new(),
+                            },
+                            report: CompileReport {
+                                app: app.to_string(),
+                                profile: self.profile.name.clone(),
+                                ..Default::default()
+                            },
+                            loops: Vec::new(),
+                        }
+                    }
+                }
             }
         };
         result.report.diags = diags;
@@ -321,8 +345,10 @@ impl Compiler {
         let forest = LoopForest::build(&rp);
         let mut sym = SymMap::new();
         // The prelude counter never trips (whole-program passes run
-        // once); its total is recorded on the seeded facts so per-loop
-        // consumers charge an amortized share to their own watchdog.
+        // once); its total is recorded on the seeded facts for
+        // reporting only — per-loop watchdogs never re-bill it, so a
+        // loop's op accounting stays a pure function of its own
+        // content.
         let prelude_ops = OpCounter::unlimited();
         let summaries = Summaries::build(&rp, &cg, &mut sym, caps, &prelude_ops);
         let alias = AliasInfo::build(&rp, &cg, caps, &prelude_ops);
@@ -342,6 +368,35 @@ impl Compiler {
         if self.expired() {
             return Ok(skip_all(rp, report, SkipReason::DeadlineExpired));
         }
+
+        // ---- Incremental recompilation keys ---------------------------------
+        //
+        // With a shared store attached, each loop gets a content key
+        // covering everything its analysis can observe (its unit's
+        // text, the post-inline closure with summaries and caller
+        // edges, alias facts, propagated scalar state, and the
+        // analysis knobs — see `apar_analysis::incr`). A prior
+        // compile's outcome stored under the same key spliced in below
+        // is bit-identical to re-analysis by construction. Disabled
+        // under fault injection (a splice would skip the injected
+        // panic) and on degraded tiers (their outcomes are not full
+        // analyses).
+        let splice_keys: Option<Vec<u64>> = if self.shared_facts.is_some()
+            && self.degrade == DegradeTier::Full
+            && self.profile.fault.is_none()
+        {
+            let knobs = incr::Knobs {
+                loop_op_budget: self.profile.loop_op_budget,
+                inline_depth: self.profile.inline_depth,
+                inline_stmt_budget: self.profile.inline_stmt_budget,
+                runtime_test: self.profile.runtime_test,
+            };
+            Some(incr::loop_keys(
+                &rp, &forest, &cg, &summaries, &alias, &cp, &sym, &caps, &knobs,
+            ))
+        } else {
+            None
+        };
 
         // ---- Per-loop analysis (fan-out) ------------------------------------
         //
@@ -372,6 +427,32 @@ impl Compiler {
                 quarantined: false,
             },
         );
+        // ---- Incremental splice (before the fan-out) ------------------------
+        // A retrieved record must re-verify structurally against the
+        // live loop; a mismatch (hash collision or stale structure) is
+        // a counted refusal and the loop re-analyzes cold. Splices are
+        // resolved on this thread, in loop order, so hit/refusal
+        // accounting is deterministic.
+        let n = forest.loops.len();
+        let mut slots: Vec<Option<LoopOutcome>> = Vec::new();
+        slots.resize_with(n, || None);
+        let mut was_spliced = vec![false; n];
+        if let (Some(keys), Some(store)) = (&splice_keys, &self.shared_facts) {
+            for (i, info) in forest.loops.iter().enumerate() {
+                let Some(rec) = store.loop_get(keys[i]) else {
+                    continue;
+                };
+                match rec.downcast::<SplicedLoop>() {
+                    Ok(s) if s.matches(info) => {
+                        store.note_loop_hit();
+                        slots[i] = Some(s.to_outcome());
+                        was_spliced[i] = true;
+                    }
+                    _ => store.note_loop_refusal(),
+                }
+            }
+        }
+
         let outcomes: Vec<LoopOutcome> = {
             let ctx = LoopCtx {
                 profile: &self.profile,
@@ -382,31 +463,29 @@ impl Compiler {
                 cancel: self.cancel.as_ref(),
                 facts_only: self.degrade == DegradeTier::FactsOnly,
             };
-            let n = forest.loops.len();
-            let threads = self.profile.threads.max(1).min(n.max(1));
+            let work: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
+            let threads = self.profile.threads.max(1).min(work.len().max(1));
             if threads <= 1 {
-                forest
-                    .loops
-                    .iter()
-                    .map(|info| analyze_loop(&ctx, info))
-                    .collect()
+                for &i in &work {
+                    slots[i] = Some(analyze_loop(&ctx, &forest.loops[i]));
+                }
             } else {
                 let next = AtomicUsize::new(0);
-                let mut slots: Vec<Option<LoopOutcome>> = Vec::new();
-                slots.resize_with(n, || None);
                 let shards: Vec<Vec<(usize, LoopOutcome)>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..threads)
                         .map(|_| {
                             let ctx = &ctx;
                             let next = &next;
+                            let work = &work;
                             let loops = &forest.loops;
                             scope.spawn(move || {
                                 let mut mine = Vec::new();
                                 loop {
-                                    let i = next.fetch_add(1, Ordering::Relaxed);
-                                    if i >= loops.len() {
+                                    let w = next.fetch_add(1, Ordering::Relaxed);
+                                    if w >= work.len() {
                                         break;
                                     }
+                                    let i = work[w];
                                     mine.push((i, analyze_loop(ctx, &loops[i])));
                                 }
                                 mine
@@ -421,11 +500,11 @@ impl Compiler {
                 for (i, o) in shards.into_iter().flatten() {
                     slots[i] = Some(o);
                 }
-                slots
-                    .into_iter()
-                    .map(|o| o.expect("every loop analyzed exactly once"))
-                    .collect()
             }
+            slots
+                .into_iter()
+                .map(|o| o.unwrap_or_else(missing_outcome))
+                .collect()
         };
 
         // ---- Deterministic merge (loop order) -------------------------------
@@ -442,7 +521,21 @@ impl Compiler {
             .collect();
         let mut loops_out: Vec<LoopReport> = Vec::new();
         let mut parallel_loops: HashSet<StmtId> = HashSet::new();
-        for (info, outcome) in forest.loops.iter().zip(outcomes) {
+        for (i, (info, outcome)) in forest.loops.iter().zip(outcomes).enumerate() {
+            // Publish fresh, cacheable outcomes under their content key
+            // for later compiles to splice. Nothing content-coupled to
+            // the rest of the program (facts-build budget trips) or
+            // non-analyses (panics, deadline expiries) is ever stored.
+            if let (Some(keys), Some(store)) = (&splice_keys, &self.shared_facts) {
+                if !was_spliced[i] && outcome.cacheable {
+                    if let Ok(a) = &outcome.result {
+                        store.loop_put(
+                            keys[i],
+                            Arc::new(SplicedLoop::capture(info, a, &outcome.charges)),
+                        );
+                    }
+                }
+            }
             for (pass, wall, ops) in outcome.charges {
                 report.charge(pass, wall, ops);
             }
@@ -672,6 +765,7 @@ fn deadline_outcome() -> LoopOutcome {
     LoopOutcome {
         charges: Vec::new(),
         sym: None,
+        cacheable: false,
         result: Err(SkipReason::DeadlineExpired),
     }
 }
@@ -697,7 +791,105 @@ struct LoopOutcome {
     charges: Vec<(PassId, Duration, u64)>,
     /// The worker's interner fork (absorbed canonically at merge).
     sym: Option<SymMap>,
+    /// Safe to store under the loop's content key for later compiles
+    /// to splice: the outcome is a pure function of what the key
+    /// covers. False for anything coupled to whole-program state (a
+    /// facts-build budget trip fires at a program-order-dependent
+    /// point) and for non-analyses (panics, deadline expiries,
+    /// degraded-tier skips).
+    cacheable: bool,
     result: Result<AnalyzedLoop, SkipReason>,
+}
+
+/// A stored per-loop analysis outcome: everything the merge pass needs
+/// to reproduce the loop's `LoopReport` and op charges bit-for-bit,
+/// plus a structural echo of the loop it was computed for, re-verified
+/// before every splice (`matches`). Wall time is not stored — a splice
+/// bills zero wall, which report signatures deliberately exclude.
+struct SplicedLoop {
+    // Structural echo.
+    unit: String,
+    loop_var: String,
+    depth: usize,
+    target: Option<String>,
+    calls: Vec<String>,
+    // The analysis result (AnalyzedLoop fields).
+    var: String,
+    classification: Classification,
+    candidate: Option<LoopDirective>,
+    pairs_tested: usize,
+    ops_spent: u64,
+    budget_tripped: bool,
+    /// `(pass, ops)` of every charge, in recorded order.
+    charges: Vec<(PassId, u64)>,
+}
+
+impl SplicedLoop {
+    fn capture(info: &LoopInfo, a: &AnalyzedLoop, charges: &[(PassId, Duration, u64)]) -> Self {
+        SplicedLoop {
+            unit: info.id.unit.clone(),
+            loop_var: info.var.clone(),
+            depth: info.depth,
+            target: info.target.clone(),
+            calls: info.calls.clone(),
+            var: a.var.clone(),
+            classification: a.classification,
+            candidate: a.candidate.clone(),
+            pairs_tested: a.pairs_tested,
+            ops_spent: a.ops_spent,
+            budget_tripped: a.budget_tripped,
+            charges: charges.iter().map(|&(p, _, ops)| (p, ops)).collect(),
+        }
+    }
+
+    /// Does this record's structural echo match the live loop? A
+    /// mismatch means the content key collided or the stored record is
+    /// stale — the splice is refused and the loop re-analyzed.
+    fn matches(&self, info: &LoopInfo) -> bool {
+        self.unit == info.id.unit
+            && self.loop_var == info.var
+            && self.depth == info.depth
+            && self.target == info.target
+            && self.calls == info.calls
+    }
+
+    fn to_outcome(&self) -> LoopOutcome {
+        LoopOutcome {
+            charges: self
+                .charges
+                .iter()
+                .map(|&(p, ops)| (p, Duration::ZERO, ops))
+                .collect(),
+            // No interner fork: the merge's absorb step only
+            // reproduces sequential interner state, which nothing
+            // downstream of the merge reads.
+            sym: None,
+            cacheable: false, // already stored; never re-published
+            result: Ok(AnalyzedLoop {
+                var: self.var.clone(),
+                classification: self.classification,
+                candidate: self.candidate.clone(),
+                pairs_tested: self.pairs_tested,
+                ops_spent: self.ops_spent,
+                budget_tripped: self.budget_tripped,
+            }),
+        }
+    }
+}
+
+/// A fan-out slot nobody filled. Unreachable by construction (every
+/// index is claimed exactly once); kept as a structured skip instead of
+/// an assert so a bookkeeping bug degrades one loop, not the compile.
+fn missing_outcome() -> LoopOutcome {
+    LoopOutcome {
+        charges: Vec::new(),
+        sym: None,
+        cacheable: false,
+        result: Err(SkipReason::InternalError {
+            pass: PassId::Others,
+            message: "loop outcome missing after fan-out".to_string(),
+        }),
+    }
 }
 
 /// Analyzes one loop against the pristine resolved program. Pure with
@@ -720,6 +912,7 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
         return LoopOutcome {
             charges: Vec::new(),
             sym: None,
+            cacheable: false,
             result: Err(SkipReason::UnitMissing),
         };
     };
@@ -727,6 +920,7 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
         return LoopOutcome {
             charges: Vec::new(),
             sym: None,
+            cacheable: false,
             result: Err(SkipReason::ForeignLanguage),
         };
     }
@@ -740,6 +934,7 @@ fn analyze_loop(ctx: &LoopCtx<'_>, info: &LoopInfo) -> LoopOutcome {
         Err(payload) => LoopOutcome {
             charges: Vec::new(),
             sym: None,
+            cacheable: false,
             result: Err(SkipReason::InternalError {
                 pass: pass.get(),
                 message: panic_message(payload.as_ref()),
@@ -771,16 +966,21 @@ fn enter_pass(ctx: &LoopCtx<'_>, info: &LoopInfo, p: PassId, pass: &Cell<PassId>
 }
 
 /// A watchdog trip: the loop is abandoned as `Complexity`, exactly as
-/// the dependence test's own budget trip classifies it.
+/// the dependence test's own budget trip classifies it. `cacheable` is
+/// true only when the trip point is a pure function of the loop's own
+/// content (inline/ranges/ddtest charges) — a facts-build trip is not
+/// (it fires at a whole-program-order-dependent point).
 fn complexity_outcome(
     info: &LoopInfo,
     charges: Vec<(PassId, Duration, u64)>,
     sym: Option<SymMap>,
     ops_spent: u64,
+    cacheable: bool,
 ) -> LoopOutcome {
     LoopOutcome {
         charges,
         sym,
+        cacheable,
         result: Ok(AnalyzedLoop {
             var: info.var.clone(),
             classification: Classification::Complexity,
@@ -839,7 +1039,7 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
             return deadline_outcome();
         }
         if loop_ops.exceeded() {
-            return complexity_outcome(info, charges, None, loop_ops.spent());
+            return complexity_outcome(info, charges, None, loop_ops.spent(), true);
         }
     }
     let arp_ref: &ResolvedProgram = arp.as_ref().unwrap_or(rp);
@@ -858,6 +1058,7 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
                 return LoopOutcome {
                     charges,
                     sym: None,
+                    cacheable: false,
                     result: Err(SkipReason::Degraded {
                         tier: DegradeTier::FactsOnly,
                     }),
@@ -873,20 +1074,24 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
         return LoopOutcome {
             charges,
             sym: None,
+            cacheable: false,
             result: Err(SkipReason::Quarantined),
         };
     }
     let mut sym = facts.sym.clone();
-    // An amortized share of the facts build (summaries + alias) goes to
-    // the watchdog — the same charge whether the cache hit or missed,
-    // keeping reports thread-invariant. A build that tripped its own
-    // budget poisons every consuming loop.
-    let _ = loop_ops.charge(facts.build_ops / 32);
+    // The facts build (summaries + alias) is billed where it runs —
+    // against the cache's own 32x build budget — and never re-billed to
+    // consuming watchdogs: a loop's op accounting is a pure function of
+    // its own content, identical whether the facts came from a fresh
+    // build, a local hit, or a shared-store adoption. A build that
+    // tripped its own budget still poisons every consuming loop, but
+    // that outcome is content-coupled to the whole program, so it is
+    // never stored under the loop's content key.
     if ctx.expired() {
         return deadline_outcome();
     }
-    if facts.budget_tripped || loop_ops.exceeded() {
-        return complexity_outcome(info, charges, Some(sym), loop_ops.spent());
+    if facts.budget_tripped {
+        return complexity_outcome(info, charges, Some(sym), loop_ops.spent(), false);
     }
 
     // Ranges for the analyzed program (recomputed for the unit when
@@ -915,7 +1120,7 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
         return deadline_outcome();
     }
     if loop_ops.exceeded() {
-        return complexity_outcome(info, charges, Some(sym), loop_ops.spent());
+        return complexity_outcome(info, charges, Some(sym), loop_ops.spent(), true);
     }
 
     // Locate the loop body in the analyzed program.
@@ -923,6 +1128,7 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
         return LoopOutcome {
             charges,
             sym: Some(sym),
+            cacheable: false,
             result: Err(SkipReason::InlinedAway),
         };
     };
@@ -930,6 +1136,7 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
         return LoopOutcome {
             charges,
             sym: Some(sym),
+            cacheable: false,
             result: Err(SkipReason::HeaderMissing),
         };
     };
@@ -988,7 +1195,20 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
     // Reduction recognition.
     enter_pass(ctx, info, PassId::Reduction, pass);
     let t = Instant::now();
-    let table = arp_ref.table(unit_name);
+    let Some(table) = arp_ref.tables.get(unit_name) else {
+        // A resolved program always carries a table per unit; a missing
+        // one is a front-end invariant violation, contained to this
+        // loop as a structured skip rather than an index panic.
+        return LoopOutcome {
+            charges,
+            sym: Some(sym),
+            cacheable: false,
+            result: Err(SkipReason::InternalError {
+                pass: PassId::Reduction,
+                message: format!("symbol table missing for unit {unit_name}"),
+            }),
+        };
+    };
     let reds = reduction::find_reductions(&body, &|n| table.is_array(n));
     charges.push((PassId::Reduction, t.elapsed(), la.accesses.len() as u64));
 
@@ -1020,8 +1240,11 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
         && !la.has_io
         && !la.has_escape
         && leftover == 0;
-    let candidate = if parallel || spec_candidate {
-        let orig_table = rp.table(unit_name);
+    // A unit present in the analyzed program but absent from the
+    // original one cannot be annotated anyway; treat a missing original
+    // table as "no candidate" instead of an index panic.
+    let candidate = if (parallel || spec_candidate) && rp.tables.contains_key(unit_name) {
+        let orig_table = &rp.tables[unit_name];
         // Write summary for speculative regions: the cells a rollback
         // must restore. Only exact summaries are emitted — a body with
         // calls may write through its callees, and an analysis access
@@ -1075,6 +1298,7 @@ fn analyze_loop_inner(ctx: &LoopCtx<'_>, info: &LoopInfo, pass: &Cell<PassId>) -
     LoopOutcome {
         charges,
         sym: Some(sym),
+        cacheable: true,
         result: Ok(AnalyzedLoop {
             var,
             classification,
@@ -1466,9 +1690,9 @@ mod tests {
 
     #[test]
     fn watchdog_trips_prelude_passes_to_complexity() {
-        // A budget this small trips during inlining / the facts share —
-        // before the dependence test ever runs — and must classify the
-        // loop Complexity rather than panic or misreport it.
+        // A budget this small trips during inlining — before the
+        // dependence test ever runs — and must classify the loop
+        // Complexity rather than panic or misreport it.
         let mut profile = CompilerProfile::polaris2008();
         profile.loop_op_budget = 1;
         let r = compile(
@@ -1689,5 +1913,98 @@ mod tests {
         });
         assert!(!still_annotated);
         assert!(e.reparse_diags.is_empty());
+    }
+
+    const CALL_SRC: &str = "PROGRAM P\nREAL A(100)\nDO I = 1, 100\nCALL SET(A, I)\nENDDO\nEND\nSUBROUTINE SET(X, K)\nREAL X(*)\nX(K) = K * 2.0\nEND\n";
+
+    #[test]
+    fn loop_ops_are_content_local_across_unrelated_units() {
+        // Regression for the cache-state-dependent billing bug: a
+        // loop's ops_spent must be a function of its own content
+        // closure, never of how expensive the *rest* of the program was
+        // to summarize. Appending a never-called unit (whose summary
+        // build inflates the whole-program facts cost) must leave the
+        // first unit's loop report untouched. The old code charged
+        // `facts.build_ops / 32` to every consumer and would differ.
+        let padded = format!(
+            "{CALL_SRC}SUBROUTINE ZZZ(Y)\nREAL Y(200)\nDO J = 1, 200\nDO K = 1, 200\nY(J) = Y(J) + K * 1.0\nENDDO\nENDDO\nEND\n"
+        );
+        let lean = compile(CALL_SRC, CompilerProfile::polaris2008());
+        let fat = compile(&padded, CompilerProfile::polaris2008());
+        let a = lean.loops.iter().find(|l| l.unit == "P").unwrap();
+        let b = fat.loops.iter().find(|l| l.unit == "P").unwrap();
+        assert_eq!(a.ops_spent, b.ops_spent, "billing leaked across units");
+        assert_eq!(a.classification, b.classification);
+        assert_eq!(a.budget_tripped, b.budget_tripped);
+    }
+
+    #[test]
+    fn warm_equals_cold_on_budget_marginal_suite() {
+        // Pin warm == cold == plain at a budget barely above the
+        // loops' own content cost: any charge that depends on cache
+        // state — e.g. re-billing the facts build to a consumer that
+        // hit the shared store — would trip the watchdog on one side
+        // only and flip a classification.
+        let probe = compile(CALL_SRC, CompilerProfile::polaris2008());
+        let max_ops = probe.loops.iter().map(|l| l.ops_spent).max().unwrap();
+        let mut profile = CompilerProfile::polaris2008();
+        profile.loop_op_budget = max_ops + 4;
+
+        let plain = compile(CALL_SRC, profile.clone());
+        assert_eq!(
+            plain.budget_tripped_loops(),
+            0,
+            "the margin covers each loop's own content cost"
+        );
+
+        let store = Arc::new(SharedFactsStore::bounded(64, 8 << 20));
+        let cold = Compiler::new(profile.clone())
+            .with_shared_facts(Arc::clone(&store))
+            .compile_source("test", CALL_SRC)
+            .expect("compile");
+        let warm = Compiler::new(profile)
+            .with_shared_facts(Arc::clone(&store))
+            .compile_source("test", CALL_SRC)
+            .expect("compile");
+        assert_eq!(plain.report_signature(), cold.report_signature());
+        assert_eq!(cold.report_signature(), warm.report_signature());
+        assert!(
+            store.stats().loop_hits > 0,
+            "the warm compile spliced stored loop records: {:?}",
+            store.stats()
+        );
+    }
+
+    #[test]
+    fn fortgen_programs_compile_totally_even_when_mutilated() {
+        // Satellite: every panic/unwrap removed from the pipeline must
+        // stay removed. Generated programs — intact, truncated at
+        // arbitrary line boundaries, and fully garbled — all go through
+        // the recovering entry point and come back as structured
+        // results (reports plus diags), never a panic.
+        use apar_minicheck::fortgen::{gen_program, GenConfig};
+        use apar_minicheck::{Rng, BASE_SEED};
+        let compiler = Compiler::new(CompilerProfile::polaris2008());
+        let mut rng = Rng::new(BASE_SEED ^ 0x10C8);
+        for i in 0..8 {
+            let src = gen_program(&mut rng, &GenConfig::default());
+            let r = compiler.compile_source_recovering(&format!("gen-{i}"), &src);
+            assert_eq!(r.report.panicked_loops(), 0, "gen-{i} panicked");
+            let _ = r.report_signature(); // every outcome is renderable
+            // Truncate mid-program: units lose their END, loops their
+            // ENDDO. Recovery must still produce a structured result.
+            let lines: Vec<&str> = src.lines().collect();
+            let cut = rng.usize_in(1, lines.len() - 1);
+            let truncated = lines[..cut].join("\n");
+            let t = compiler.compile_source_recovering(&format!("gen-{i}-cut"), &truncated);
+            assert_eq!(t.report.panicked_loops(), 0, "gen-{i}-cut panicked");
+            let _ = t.report_signature();
+        }
+        // Fully garbled input exercises the empty-program fallback:
+        // nothing parses, the result is all diags and zero loops.
+        let g = compiler.compile_source_recovering("garbled", "== 'oops\n)( &&\n");
+        assert!(!g.report.diags.is_empty());
+        assert!(g.loops.is_empty());
+        assert!(g.rp.program.units.is_empty());
     }
 }

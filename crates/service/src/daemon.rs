@@ -74,6 +74,10 @@ fn health_line(service: &CompileService) -> String {
             "facts_entries",
             service.facts_store().stats().entries.to_json(),
         ),
+        (
+            "loop_entries",
+            service.facts_store().stats().loop_entries.to_json(),
+        ),
         ("uptime_s", service.uptime_s().to_json()),
     ])
     .render_compact()

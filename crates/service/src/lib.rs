@@ -328,6 +328,10 @@ impl ToJson for ServiceStats {
             ("facts_approx_bytes", self.facts.approx_bytes.to_json()),
             ("facts_quarantine_hits", self.facts.quarantine_hits.to_json()),
             ("facts_quarantined", self.facts.quarantined.to_json()),
+            ("loop_hits", self.facts.loop_hits.to_json()),
+            ("loop_misses", self.facts.loop_misses.to_json()),
+            ("loop_refusals", self.facts.loop_refusals.to_json()),
+            ("loop_entries", self.facts.loop_entries.to_json()),
             ("wall_s", self.wall_s.to_json()),
             ("suites_per_s", self.suites_per_s.to_json()),
             ("per_suite_wall_s", self.per_suite_wall_s.to_json()),
@@ -632,10 +636,14 @@ impl CompileService {
         &self.facts
     }
 
-    /// Cache key for one suite: raw source bytes plus the
-    /// compile-relevant profile identity. `threads` is excluded —
-    /// reports are thread-invariant, so worker width must not fragment
-    /// the cache. Raw source (not the resolved-program fingerprint) is
+    /// Cache key for one suite: raw source bytes, the emission mode,
+    /// plus the compile-relevant profile identity. Emission is keyed so
+    /// a `compile_and_emit` artifact can never be served to a plain
+    /// `compile` request (or vice versa) — the two carry different
+    /// skip ledgers (`NotEmittable`) and artifacts. `threads` is
+    /// excluded — reports are thread-invariant, so worker width must
+    /// not fragment the cache. Raw source (not the resolved-program
+    /// fingerprint) is
     /// deliberate: two garbled sources can *resolve* identically yet
     /// carry different recovery diagnostics, which are part of the
     /// answer.
@@ -1142,6 +1150,36 @@ END
         assert_eq!(out.outcomes[0].served, Served::CacheHit);
         assert_eq!(out.outcomes[1].served, Served::Deduped);
         assert_eq!(out.stats.cold, 0);
+    }
+
+    #[test]
+    fn emission_mode_fragments_the_result_cache() {
+        // A `compile_and_emit` artifact must never be served to a
+        // plain `compile` request (or vice versa): the emission flag
+        // is part of the suite key, so two services differing only in
+        // `emit` can never agree on a key...
+        let plain = svc();
+        let emitting = CompileService::new(ServiceConfig {
+            workers: 2,
+            emit: true,
+            ..ServiceConfig::default()
+        });
+        assert_ne!(
+            plain.suite_key(SRC),
+            emitting.suite_key(SRC),
+            "emission mode must be part of the suite key"
+        );
+        // ...and within one service the artifact kind always matches
+        // the config, warm or cold.
+        let cold = emitting.compile_many(&[SuiteRequest::new("a", SRC)]);
+        let warm = emitting.compile_many(&[SuiteRequest::new("a", SRC)]);
+        assert_eq!(warm.stats.result_hits, 1);
+        for out in [&cold, &warm] {
+            assert!(
+                matches!(*out.outcomes[0].artifact, SuiteArtifact::Emitted(_)),
+                "emitting service must serve emitted artifacts"
+            );
+        }
     }
 
     #[test]

@@ -126,9 +126,18 @@ fn shared_facts_store_records_hits_across_clients() {
     service.compile_many(std::slice::from_ref(&b)); // evicts a's result
     let again = service.compile_many(std::slice::from_ref(&a));
     assert_eq!(again.stats.cold, 1, "result entry was evicted");
+    // The per-loop incremental tier sits in front of the facts tier:
+    // an unchanged recompile splices every loop's stored record, so
+    // the facts themselves are never looked up again. Either counter
+    // proves the shared store served the recompile.
     assert!(
-        again.stats.facts.hits > 0,
-        "recompile adopts shared analysis facts: {:?}",
+        again.stats.facts.hits + again.stats.facts.loop_hits > 0,
+        "recompile adopts shared analysis (facts or loop records): {:?}",
+        again.stats
+    );
+    assert!(
+        again.stats.facts.loop_hits > 0,
+        "unchanged recompile splices loop records: {:?}",
         again.stats
     );
 }

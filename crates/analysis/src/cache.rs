@@ -180,10 +180,30 @@ struct QuarantineEntry {
     tick: u64,
 }
 
+/// Everything needed to rebuild a facts entry from scratch: the build
+/// identity (capabilities, budget, base interner names in insertion
+/// order) plus the printed program text. This is what the persistent
+/// store writes for the facts tier — a record is a build *instruction*
+/// replayed through the real builders at recovery, never build *output*
+/// adopted on trust, so a corrupt-but-checksum-valid record can at
+/// worst waste bounded startup time, not change a report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactsProvenance {
+    pub caps: Capabilities,
+    pub build_budget: u64,
+    /// Base interner names in id order; re-interning them in order
+    /// reproduces the base state every build forks from.
+    pub base_names: Vec<String>,
+    /// Printed form of the resolved program the facts were built for.
+    pub text: String,
+}
+
 /// One resident entry of a [`SharedFactsStore`].
 #[derive(Debug)]
 struct StoredFacts {
     facts: Arc<ProgramFacts>,
+    /// How to rebuild this entry (persisted by the durable store).
+    prov: Arc<FactsProvenance>,
     /// Approximate footprint (printed-program bytes).
     cost: u64,
     /// Logical timestamp of the last lookup or insert (LRU order).
@@ -305,7 +325,7 @@ impl SharedFactsStore {
 
     /// Retains a freshly built entry (counted as the miss it resolved)
     /// and evicts least-recently-used entries past either bound.
-    fn insert(&self, key: u64, facts: Arc<ProgramFacts>, cost: u64) {
+    fn insert(&self, key: u64, facts: Arc<ProgramFacts>, prov: Arc<FactsProvenance>, cost: u64) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.lock();
         // A successful build is proof the fingerprint recovered: its
@@ -317,6 +337,7 @@ impl SharedFactsStore {
             key,
             StoredFacts {
                 facts,
+                prov,
                 cost,
                 last_use: tick,
             },
@@ -462,6 +483,30 @@ impl SharedFactsStore {
             }
             inner.loops.remove(&victim);
         }
+    }
+
+    /// Snapshot of the facts tier as `(store key, provenance)` pairs,
+    /// for the durable store's append pass. Keys are advisory (they let
+    /// the persister skip records it already wrote); recovery never
+    /// trusts them — replay recomputes every key from live content.
+    pub fn facts_snapshot(&self) -> Vec<(u64, Arc<FactsProvenance>)> {
+        let inner = self.lock();
+        inner
+            .map
+            .iter()
+            .map(|(&k, e)| (k, Arc::clone(&e.prov)))
+            .collect()
+    }
+
+    /// Snapshot of the incremental tier as `(content key, record)`
+    /// pairs, for the durable store's append pass.
+    pub fn loop_snapshot(&self) -> Vec<(u64, Arc<dyn Any + Send + Sync>)> {
+        let inner = self.lock();
+        inner
+            .loops
+            .iter()
+            .map(|(&k, e)| (k, Arc::clone(&e.rec)))
+            .collect()
     }
 
     /// Fingerprints currently under active quarantine.
@@ -650,7 +695,18 @@ impl AnalysisCache {
         let built = Arc::new(built);
         let built = Arc::clone(self.lock().entry(fp).or_insert(built));
         if let Some((store, prefix)) = &self.shared {
-            store.insert(shared_key(*prefix, fp), Arc::clone(&built), cost);
+            let prov = Arc::new(FactsProvenance {
+                caps: self.caps,
+                build_budget: self.build_budget,
+                base_names: self
+                    .base_sym
+                    .interner
+                    .iter()
+                    .map(|(_, name)| name.to_string())
+                    .collect(),
+                text: print_program(&rp.program),
+            });
+            store.insert(shared_key(*prefix, fp), Arc::clone(&built), prov, cost);
         }
         built
     }
@@ -745,8 +801,9 @@ impl AnalysisCache {
     }
 }
 
-/// The capability set as a bit vector, for the shared-store key.
-pub(crate) fn caps_bits(c: &Capabilities) -> u64 {
+/// The capability set as a bit vector, for the shared-store key and
+/// the durable store's record encoding.
+pub fn caps_bits(c: &Capabilities) -> u64 {
     [
         c.multilingual,
         c.interprocedural_noalias,
@@ -758,6 +815,53 @@ pub(crate) fn caps_bits(c: &Capabilities) -> u64 {
     ]
     .iter()
     .fold(0u64, |acc, &b| (acc << 1) | b as u64)
+}
+
+/// Inverse of [`caps_bits`]: reconstructs a capability set from its
+/// persisted bit vector. Bits beyond the seven defined capabilities are
+/// ignored (a stale-format record fails identity checks downstream).
+pub fn caps_from_bits(bits: u64) -> Capabilities {
+    let b = |i: u64| bits & (1 << i) != 0;
+    Capabilities {
+        multilingual: b(6),
+        interprocedural_noalias: b(5),
+        input_deck_ranges: b(4),
+        indirection_analysis: b(3),
+        extended_symbolic: b(2),
+        reshaped_access: b(1),
+        guarded_regions: b(0),
+    }
+}
+
+/// Rebuilds one facts entry from persisted provenance by replaying the
+/// real builders and publishing the result to `store` under a key
+/// recomputed from live content — the durable facts tier's recovery
+/// path. Total and trust-free: the text must round-trip through the
+/// front end bit-exactly (`print(frontend(text)) == text`), the build
+/// runs under the provenance's own budget inside the usual panic
+/// sandbox, and nothing from the record is adopted directly. Returns
+/// `false` (and publishes nothing) on any mismatch, parse failure,
+/// budget trip, or build panic.
+pub fn rebuild_facts(store: &Arc<SharedFactsStore>, prov: &FactsProvenance) -> bool {
+    let Ok(rp) = apar_minifort::frontend(&prov.text) else {
+        return false;
+    };
+    if print_program(&rp.program) != prov.text {
+        return false;
+    }
+    let mut base = SymMap::new();
+    for name in &prov.base_names {
+        base.interner.intern(name);
+    }
+    let cache = AnalysisCache::new(prov.caps, base)
+        .with_build_budget(prov.build_budget)
+        .with_shared(Arc::clone(store));
+    let facts =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.facts(&rp))) {
+            Ok(f) => f,
+            Err(_) => return false,
+        };
+    !facts.budget_tripped && !facts.quarantined
 }
 
 /// Combines the cache-identity prefix with a program fingerprint into
@@ -1164,6 +1268,46 @@ mod tests {
         let s = store.stats();
         assert_eq!(s.refusals, 2);
         assert_eq!(s.quarantined, 0, "the success reset the count");
+    }
+
+    #[test]
+    fn caps_bits_round_trips_every_capability_set() {
+        for bits in 0..128u64 {
+            assert_eq!(caps_bits(&caps_from_bits(bits)), bits);
+        }
+        let polaris = Capabilities::polaris2008();
+        assert_eq!(caps_from_bits(caps_bits(&polaris)), polaris);
+    }
+
+    #[test]
+    fn rebuild_facts_replays_provenance_into_the_store() {
+        let p = rp(SRC_CALL);
+        let store = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        let cache = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&store));
+        let live = cache.facts(&p);
+        let snap = store.facts_snapshot();
+        assert_eq!(snap.len(), 1);
+        let (key, prov) = &snap[0];
+
+        // Replay into a fresh store: the entry lands under the same key
+        // with the same deterministic build ops.
+        let fresh = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        assert!(rebuild_facts(&fresh, prov));
+        let cache2 = AnalysisCache::new(Capabilities::polaris2008(), SymMap::new())
+            .with_shared(Arc::clone(&fresh));
+        let adopted = cache2.facts(&p);
+        assert_eq!(adopted.build_ops, live.build_ops);
+        assert_eq!(fresh.stats().hits, 1, "the recovered entry served the lookup");
+        assert_eq!(fresh.facts_snapshot()[0].0, *key, "same key from live content");
+
+        // Tampered text is refused outright: it no longer round-trips
+        // (or parses), so nothing is published.
+        let empty = Arc::new(SharedFactsStore::bounded(16, 1 << 20));
+        let mut bad = (**prov).clone();
+        bad.text = format!("{}GARBAGE(", bad.text);
+        assert!(!rebuild_facts(&empty, &bad));
+        assert_eq!(empty.stats().entries, 0);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod symx;
 
 pub use access::{AccessKind, ArrayAccess, LoopAccesses};
 pub use alias::AliasInfo;
-pub use cache::{AnalysisCache, ProgramFacts, SharedFactsStore, SharedStats};
+pub use cache::{
+    caps_bits, caps_from_bits, rebuild_facts, AnalysisCache, FactsProvenance, ProgramFacts,
+    SharedFactsStore, SharedStats,
+};
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use ddtest::{DdOutcome, Dependence, DependenceKind};

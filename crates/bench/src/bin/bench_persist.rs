@@ -1,0 +1,26 @@
+//! Crash-torture benchmark for the durable cache store.
+//!
+//! Usage: `bench_persist [CYCLES]` (default: 200). Measures a clean
+//! warm restart, then runs CYCLES seeded write → kill-at-random-offset
+//! → recover → recompile cycles (plus fault-injected write cycles),
+//! and writes `BENCH_persist.json`. Exits nonzero if any panic escaped
+//! recovery, any recovered-state report diverged from a plain cold
+//! compile, or recovery never produced a warm hit.
+
+fn main() {
+    let cycles = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200usize);
+    let data = apar_bench::persist_bench::measure(cycles);
+    print!("{}", apar_bench::persist_bench::render(&data));
+    let path = apar_bench::write_artifact("BENCH_persist.json", &data);
+    println!("(artifact: {})", path.display());
+    if !data.ok() {
+        eprintln!(
+            "FAIL: escaped_panics={} divergences={} warm_hits={} restart_hits={}",
+            data.escaped_panics, data.divergences, data.warm_hits, data.restart_hits
+        );
+        std::process::exit(1);
+    }
+}

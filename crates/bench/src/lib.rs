@@ -16,6 +16,7 @@ pub mod fig5;
 pub mod fuzz;
 pub mod incr_bench;
 pub mod json;
+pub mod persist_bench;
 pub mod resilience_bench;
 pub mod service_bench;
 pub mod spec;

@@ -198,6 +198,296 @@ impl ToJson for NestingAverages {
     }
 }
 
+/// A parsed JSON value.
+///
+/// The render-side [`Json`] uses `&'static str` object keys because
+/// artifact shapes are fixed at compile time; parsed documents arrive
+/// from disk (the persistent store's record log) and must own their
+/// strings. Duplicate keys are kept in arrival order; [`JVal::get`]
+/// returns the first.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    /// First value under `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&JVal> {
+        match self {
+            JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view. Accepts exact integral numbers and — because f64
+    /// cannot carry a full 64-bit hash — decimal strings, which is how
+    /// the store serializes `u64` keys.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JVal::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.0e15 => Some(*n as u64),
+            JVal::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JVal::Num(n) if n.fract() == 0.0 && n.abs() <= 9.0e15 => Some(*n as i64),
+            JVal::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JVal]> {
+        match self {
+            JVal::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `get` + `as_str` in one step.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(JVal::as_str)
+    }
+
+    /// `get` + `as_u64` in one step.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(JVal::as_u64)
+    }
+}
+
+/// Parses a JSON document. Total over arbitrary input: malformed text,
+/// truncation at any byte, and pathological nesting all return `None`
+/// (nesting deeper than an internal limit is rejected rather than
+/// recursed into, so hostile input cannot overflow the stack). Trailing
+/// non-whitespace after the document is an error.
+pub fn parse(text: &str) -> Option<JVal> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lit(&mut self, word: &[u8], v: JVal) -> Option<JVal> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Option<JVal> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        self.skip_ws();
+        match self.bytes.get(self.pos)? {
+            b'n' => self.lit(b"null", JVal::Null),
+            b't' => self.lit(b"true", JVal::Bool(true)),
+            b'f' => self.lit(b"false", JVal::Bool(false)),
+            b'"' => self.string().map(JVal::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Some(JVal::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        return Some(JVal::Arr(items));
+                    }
+                    if !self.eat(b',') {
+                        return None;
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return Some(JVal::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(b':') {
+                        return None;
+                    }
+                    fields.push((key, self.value(depth + 1)?));
+                    self.skip_ws();
+                    if self.eat(b'}') {
+                        return Some(JVal::Obj(fields));
+                    }
+                    if !self.eat(b',') {
+                        return None;
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn number(&mut self) -> Option<JVal> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        let n: f64 = text.parse().ok()?;
+        if n.is_finite() {
+            Some(JVal::Num(n))
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            // Surrogate halves cannot become chars; the
+                            // renderer never emits them, so a lone one is
+                            // treated as corruption.
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                // Multi-byte UTF-8: copy the whole scalar. `bytes` came
+                // from a &str, so slicing at a char boundary is safe to
+                // probe with from_utf8 on the remainder.
+                &b => {
+                    if b < 0x80 {
+                        if b < 0x20 {
+                            return None; // raw control char: corruption
+                        }
+                        out.push(b as char);
+                        self.pos += 1;
+                    } else {
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                        let c = rest.chars().next()?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+/// Hand-rolled like the rest of the serialization layer — the store's
+/// record framing needs an error-detecting checksum without deps.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +511,64 @@ mod tests {
         assert_eq!(Json::Num(2.0).render(), "2.0");
         assert_eq!(Json::Num(2.5).render(), "2.5");
         assert_eq!(Json::Int(2).render(), "2");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_output() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("a \"b\"\n\t\u{1}ß".into())),
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(-2)])),
+            ("f", Json::Num(1.5)),
+            ("flag", Json::Bool(true)),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        for text in [v.render(), v.render_compact()] {
+            let p = parse(&text).expect("parse back");
+            assert_eq!(p.str_field("name"), Some("a \"b\"\n\t\u{1}ß"));
+            assert_eq!(p.get("xs").and_then(JVal::as_arr).map(<[JVal]>::len), Some(2));
+            assert_eq!(p.get("xs").and_then(|a| a.as_arr()?.get(1)?.as_i64()), Some(-2));
+            assert_eq!(p.get("f").and_then(JVal::as_f64), Some(1.5));
+            assert_eq!(p.get("flag").and_then(JVal::as_bool), Some(true));
+            assert_eq!(p.get("empty"), Some(&JVal::Obj(vec![])));
+        }
+    }
+
+    #[test]
+    fn u64_keys_round_trip_through_strings() {
+        let key = u64::MAX - 3;
+        let text = Json::Obj(vec![("k", Json::Str(key.to_string()))]).render_compact();
+        assert_eq!(parse(&text).and_then(|p| p.u64_field("k")), Some(key));
+    }
+
+    #[test]
+    fn parse_is_total_over_hostile_input() {
+        let cases = [
+            "", "{", "}", "[", "[1,", "{\"a\":}", "{\"a\"1}", "\"\\u12", "\"\\ud800\"",
+            "truthy", "nul", "1e999", "--3", "{\"a\":1}extra", "\"\u{7f}ok", "[1 2]",
+        ];
+        for c in cases {
+            assert_eq!(parse(c), None, "input {:?} must be rejected, not panic", c);
+        }
+        // Every prefix of a valid document either parses or returns None.
+        let doc = Json::Obj(vec![("xs", Json::Arr(vec![Json::Int(7), Json::Str("s".into())]))])
+            .render_compact();
+        for i in 0..doc.len() {
+            let _ = parse(&doc[..i]);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_pathological_nesting() {
+        let deep = "[".repeat(10_000);
+        assert_eq!(parse(&deep), None);
+        let ok = format!("{}{}", "[".repeat(20), "]".repeat(20));
+        assert!(parse(&ok).is_some());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
     }
 }

@@ -32,7 +32,7 @@ pub mod report;
 
 pub use cancel::CancelToken;
 pub use classify::Classification;
-pub use pipeline::{CompileResult, Compiler, EmitResult, LoopReport};
+pub use pipeline::{CompileResult, Compiler, EmitResult, LoopReport, SplicedLoop};
 pub use profile::CompilerProfile;
 pub use report::{CompileReport, DegradeTier, PassId};
 

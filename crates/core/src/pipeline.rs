@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
 use crate::classify::{classify, Classification};
+use crate::jsonio::{JVal, Json};
 use crate::profile::CompilerProfile;
 use crate::report::{CompileReport, DegradeTier, PassId, SkipReason, SkippedLoop};
 use apar_analysis::access::{self, AccessKind};
@@ -29,7 +30,7 @@ use apar_analysis::ranges::ScalarState;
 use apar_analysis::reduction;
 use apar_analysis::summary::Summaries;
 use apar_analysis::symx::SymMap;
-use apar_minifort::ast::{Block, LoopDirective, Schedule, StmtKind};
+use apar_minifort::ast::{Block, LoopDirective, RedOp, Schedule, StmtKind};
 use apar_minifort::{
     frontend_recovering, parse_program, parse_program_recovering, resolve, resolve_recovering,
     Diag, Program, ResolvedProgram, StmtId,
@@ -806,7 +807,14 @@ struct LoopOutcome {
 /// plus a structural echo of the loop it was computed for, re-verified
 /// before every splice (`matches`). Wall time is not stored — a splice
 /// bills zero wall, which report signatures deliberately exclude.
-struct SplicedLoop {
+///
+/// Public (with private fields) so the service's persistent store can
+/// serialize records it finds in the shared store and re-admit parsed
+/// ones after a restart; [`SplicedLoop::from_json`] is the only way to
+/// construct one externally, and it validates every field, so a record
+/// recovered from disk is structurally as trustworthy as a live one —
+/// and still gets the same `matches` re-verification before any splice.
+pub struct SplicedLoop {
     // Structural echo.
     unit: String,
     loop_var: String,
@@ -853,6 +861,131 @@ impl SplicedLoop {
             && self.calls == info.calls
     }
 
+    /// Serializes the record for the persistent store. `None`-valued
+    /// options are omitted rather than rendered as `null` (the renderer
+    /// has no null); `from_json` treats absence as `None`.
+    pub fn to_json(&self) -> Json {
+        let strs = |xs: &[String]| Json::Arr(xs.iter().map(|s| Json::Str(s.clone())).collect());
+        let mut fields = vec![
+            ("unit", Json::Str(self.unit.clone())),
+            ("loop_var", Json::Str(self.loop_var.clone())),
+            ("depth", Json::Int(self.depth as i64)),
+            ("calls", strs(&self.calls)),
+            ("var", Json::Str(self.var.clone())),
+            ("class", Json::Str(format!("{:?}", self.classification))),
+            ("pairs_tested", Json::Int(self.pairs_tested as i64)),
+            ("ops_spent", Json::Str(self.ops_spent.to_string())),
+            ("budget_tripped", Json::Bool(self.budget_tripped)),
+            (
+                "charges",
+                Json::Arr(
+                    self.charges
+                        .iter()
+                        .map(|&(p, ops)| {
+                            Json::Arr(vec![
+                                Json::Str(format!("{:?}", p)),
+                                Json::Str(ops.to_string()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(t) = &self.target {
+            fields.push(("target", Json::Str(t.clone())));
+        }
+        if let Some(d) = &self.candidate {
+            let mut dir = vec![
+                ("private", strs(&d.private)),
+                (
+                    "reductions",
+                    Json::Arr(
+                        d.reductions
+                            .iter()
+                            .map(|(op, v)| {
+                                Json::Arr(vec![
+                                    Json::Str(format!("{:?}", op)),
+                                    Json::Str(v.clone()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("schedule", Json::Str(format!("{:?}", d.schedule))),
+                ("collapse", Json::Int(d.collapse as i64)),
+                ("speculative", Json::Bool(d.speculative)),
+            ];
+            if let Some(w) = &d.writes {
+                dir.push(("writes", strs(w)));
+            }
+            fields.push(("candidate", Json::Obj(dir)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Reconstructs a record from a parsed store payload. Total:
+    /// any missing field, wrong type, or unknown enum tag returns
+    /// `None` — a checksum-valid but semantically corrupt record is
+    /// refused here, before it can reach the shared store.
+    pub fn from_json(v: &JVal) -> Option<SplicedLoop> {
+        let strs = |v: &JVal| -> Option<Vec<String>> {
+            v.as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect()
+        };
+        let candidate = match v.get("candidate") {
+            None => None,
+            Some(d) => Some(LoopDirective {
+                private: strs(d.get("private")?)?,
+                reductions: d
+                    .get("reductions")?
+                    .as_arr()?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr()?;
+                        let op = red_op_from_tag(pair.first()?.as_str()?)?;
+                        Some((op, pair.get(1)?.as_str()?.to_string()))
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+                schedule: match d.str_field("schedule")? {
+                    "Static" => Schedule::Static,
+                    "Cyclic" => Schedule::Cyclic,
+                    _ => return None,
+                },
+                collapse: u8::try_from(d.get("collapse")?.as_i64()?).ok()?,
+                speculative: d.get("speculative")?.as_bool()?,
+                writes: match d.get("writes") {
+                    None => None,
+                    Some(w) => Some(strs(w)?),
+                },
+            }),
+        };
+        Some(SplicedLoop {
+            unit: v.str_field("unit")?.to_string(),
+            loop_var: v.str_field("loop_var")?.to_string(),
+            depth: usize::try_from(v.get("depth")?.as_i64()?).ok()?,
+            target: v.str_field("target").map(str::to_string),
+            calls: strs(v.get("calls")?)?,
+            var: v.str_field("var")?.to_string(),
+            classification: classification_from_tag(v.str_field("class")?)?,
+            candidate,
+            pairs_tested: usize::try_from(v.get("pairs_tested")?.as_i64()?).ok()?,
+            ops_spent: v.u64_field("ops_spent")?,
+            budget_tripped: v.get("budget_tripped")?.as_bool()?,
+            charges: v
+                .get("charges")?
+                .as_arr()?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr()?;
+                    let p = pass_from_tag(pair.first()?.as_str()?)?;
+                    Some((p, pair.get(1)?.as_u64()?))
+                })
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
     fn to_outcome(&self) -> LoopOutcome {
         LoopOutcome {
             charges: self
@@ -875,6 +1008,38 @@ impl SplicedLoop {
             }),
         }
     }
+}
+
+/// Inverse of the `Debug` tags `SplicedLoop::to_json` writes. Kept as
+/// explicit matches so adding an enum variant without extending the
+/// store format is a compile-time-visible decision, not silent skew.
+fn classification_from_tag(s: &str) -> Option<Classification> {
+    Some(match s {
+        "Autoparallelized" => Classification::Autoparallelized,
+        "Aliasing" => Classification::Aliasing,
+        "Rangeless" => Classification::Rangeless,
+        "Indirection" => Classification::Indirection,
+        "SymbolAnalysis" => Classification::SymbolAnalysis,
+        "AccessRepresentation" => Classification::AccessRepresentation,
+        "Complexity" => Classification::Complexity,
+        "RealDependence" => Classification::RealDependence,
+        "Control" => Classification::Control,
+        _ => return None,
+    })
+}
+
+fn pass_from_tag(s: &str) -> Option<PassId> {
+    PassId::ALL.into_iter().find(|p| format!("{:?}", p) == s)
+}
+
+fn red_op_from_tag(s: &str) -> Option<RedOp> {
+    Some(match s {
+        "Add" => RedOp::Add,
+        "Mul" => RedOp::Mul,
+        "Min" => RedOp::Min,
+        "Max" => RedOp::Max,
+        _ => return None,
+    })
 }
 
 /// A fan-out slot nobody filled. Unreachable by construction (every

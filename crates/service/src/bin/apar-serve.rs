@@ -20,6 +20,10 @@
 //!                       answer structurally, they are never half-done)
 //!   --lenient           serve unreadable suites as empty source instead
 //!                       of failing the invocation
+//!   --store <dir>       persist the cache tiers to <dir> and recover
+//!                       them on startup; an unusable or already-locked
+//!                       directory degrades to read-only with a
+//!                       structured warning, never an error
 //! ```
 //!
 //! Exit codes are structured for scripting: `0` success, `1` transport
@@ -48,12 +52,13 @@ struct Args {
     suites: Vec<PathBuf>,
     deadline: Option<std::time::Duration>,
     lenient: bool,
+    store: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: apar-serve [--workers N] [--profile polaris2008|full] [--emit] \
-         [--out DIR] [--stats FILE] [--deadline-ms N] [--lenient] \
+         [--out DIR] [--stats FILE] [--deadline-ms N] [--lenient] [--store DIR] \
          (<suite.f>... | --manifest FILE | --daemon)"
     );
     ExitCode::from(2)
@@ -71,6 +76,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         suites: Vec::new(),
         deadline: None,
         lenient: false,
+        store: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -96,6 +102,7 @@ fn parse_args() -> Result<Args, ExitCode> {
                 args.deadline = Some(std::time::Duration::from_millis(ms));
             }
             "--lenient" => args.lenient = true,
+            "--store" => args.store = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
             "--help" | "-h" => return Err(usage()),
             s if s.starts_with("--") => {
                 eprintln!("apar-serve: unknown flag: {}", s);
@@ -177,12 +184,30 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let service = CompileService::new(ServiceConfig {
+    let mut service = CompileService::new(ServiceConfig {
         profile: args.profile.clone(),
         workers: args.workers,
         emit: args.emit,
         ..ServiceConfig::default()
     });
+    if let Some(dir) = &args.store {
+        service = service.with_store(dir);
+        if let Some(reason) = service.store_read_only_reason() {
+            // Structured, greppable degradation notice: the run still
+            // serves (and still recovers), it just won't persist.
+            eprintln!(
+                "apar-serve: store {} degraded to read-only: {}",
+                dir.display(),
+                reason
+            );
+        }
+        let s = service.store_stats();
+        eprintln!(
+            "apar-serve: store recovered {} facts, {} loops, {} results ({} refusals)",
+            s.recovered_facts, s.recovered_loops, s.recovered_results, s.recovery_refusals
+        );
+    }
+    let service = service;
 
     if args.daemon {
         let stdin = std::io::stdin();
@@ -250,9 +275,11 @@ fn main() -> ExitCode {
         batch.stats.facts.refusals,
     );
 
+    let mut write_failures = 0usize;
     if let Some(dir) = &args.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("apar-serve: create {}: {}", dir.display(), e);
+            write_failures += 1;
         }
         for o in &batch.outcomes {
             if let SuiteArtifact::Emitted(e) = &*o.artifact {
@@ -261,7 +288,10 @@ fn main() -> ExitCode {
                     f.write_all(e.source.as_bytes())
                 }) {
                     Ok(()) => println!("wrote {}", path.display()),
-                    Err(err) => eprintln!("apar-serve: write {}: {}", path.display(), err),
+                    Err(err) => {
+                        eprintln!("apar-serve: write {}: {}", path.display(), err);
+                        write_failures += 1;
+                    }
                 }
             }
         }
@@ -273,9 +303,13 @@ fn main() -> ExitCode {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("apar-serve: write {}: {}", path.display(), e);
-                return ExitCode::FAILURE;
+                write_failures += 1;
             }
         }
+    }
+    if write_failures > 0 {
+        eprintln!("apar-serve: {} output write failure(s)", write_failures);
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

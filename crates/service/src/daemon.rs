@@ -59,7 +59,7 @@ pub struct ServeSummary {
 /// overloaded daemon is draining.
 fn health_line(service: &CompileService) -> String {
     let cfg = service.config();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("pending", service.pending().to_json()),
         ("peak_pending", service.peak_pending().to_json()),
         ("max_pending", cfg.max_pending.to_json()),
@@ -78,9 +78,13 @@ fn health_line(service: &CompileService) -> String {
             "loop_entries",
             service.facts_store().stats().loop_entries.to_json(),
         ),
-        ("uptime_s", service.uptime_s().to_json()),
-    ])
-    .render_compact()
+    ];
+    // The store block is the same canonical field list STATS and batch
+    // reports use ([`crate::store::StoreStats::fields`]) — one source,
+    // no drift between the three surfaces.
+    fields.extend(service.store_stats().fields());
+    fields.push(("uptime_s", service.uptime_s().to_json()));
+    Json::Obj(fields).render_compact()
 }
 
 fn outcome_line(o: &SuiteOutcome) -> String {
@@ -306,6 +310,9 @@ mod tests {
             "\"max_pending\":64",
             "\"overloaded\":false",
             "\"quarantined_suites\":0",
+            "\"store_enabled\":false",
+            "\"recovery_refusals\":0",
+            "\"store_bytes\":0",
             "\"uptime_s\":",
         ] {
             assert!(out.contains(field), "{field} missing from {out}");

@@ -42,18 +42,26 @@
 //! stay bit-identical to plain compiles.
 
 pub mod daemon;
+pub mod store;
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use apar_analysis::{SharedFactsStore, SharedStats};
+use apar_analysis::{
+    caps_bits, caps_from_bits, rebuild_facts, FactsProvenance, SharedFactsStore, SharedStats,
+};
 use apar_core::jsonio::{Json, ToJson};
-use apar_core::{CancelToken, CompileResult, Compiler, CompilerProfile, DegradeTier, EmitResult};
+use apar_core::{
+    CancelToken, CompileResult, Compiler, CompilerProfile, DegradeTier, EmitResult, SplicedLoop,
+};
+
+pub use store::{PersistentStore, StoreFaults, StoreStats, Tier};
 
 /// One named compilation request.
 #[derive(Clone, Debug)]
@@ -297,6 +305,10 @@ pub struct ServiceStats {
     /// panicked builds the cache refused to retain — *not* misses),
     /// evictions, and residency gauges.
     pub facts: SharedStats,
+    /// Durable-store counters (zeroed/disabled when no store is
+    /// attached). Batch stats carry the delta for the batch; cumulative
+    /// stats carry lifetime values including recovery.
+    pub store: StoreStats,
     /// Wall seconds for the whole batch.
     pub wall_s: f64,
     /// Aggregate throughput (`suites / wall_s`).
@@ -307,7 +319,7 @@ pub struct ServiceStats {
 
 impl ToJson for ServiceStats {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("suites", self.suites.to_json()),
             ("cold", self.cold.to_json()),
             ("result_hits", self.result_hits.to_json()),
@@ -335,7 +347,12 @@ impl ToJson for ServiceStats {
             ("wall_s", self.wall_s.to_json()),
             ("suites_per_s", self.suites_per_s.to_json()),
             ("per_suite_wall_s", self.per_suite_wall_s.to_json()),
-        ])
+        ];
+        // One source of truth for store fields: `StoreStats::fields`
+        // renders here, in the daemon's STATS answer (same path), and
+        // in its HEALTH reply — the three reports cannot disagree.
+        fields.extend(self.store.fields());
+        Json::Obj(fields)
     }
 }
 
@@ -429,6 +446,12 @@ pub struct CompileService {
     config: ServiceConfig,
     facts: Arc<SharedFactsStore>,
     results: Mutex<ResultCache>,
+    /// Durable three-tier store; `None` = memory-only service.
+    store: Option<PersistentStore>,
+    /// Result-record payloads retained for compaction rewrites (the
+    /// result cache itself holds artifacts, not sources, so compaction
+    /// could not otherwise rebuild the log). FIFO-bounded.
+    persisted_results: Mutex<Vec<(u64, Json)>>,
     /// Suites struck out by repeated failed builds.
     suite_quarantine: Mutex<SuiteQuarantine>,
     /// Compiles admitted (or capacity held) but not yet finished.
@@ -475,6 +498,8 @@ impl CompileService {
             config,
             facts,
             results,
+            store: None,
+            persisted_results: Mutex::new(Vec::new()),
             suite_quarantine: Mutex::new(SuiteQuarantine::default()),
             pending: AtomicUsize::new(0),
             peak_pending: AtomicUsize::new(0),
@@ -636,6 +661,254 @@ impl CompileService {
         &self.facts
     }
 
+    /// Attaches a durable store at `dir` and recovers whatever state
+    /// survives on disk. Never fails: an unwritable directory or a
+    /// live second writer degrades to read-only (recovery still runs;
+    /// appends are skipped) with the reason in
+    /// [`CompileService::store_read_only_reason`].
+    pub fn with_store(self, dir: impl AsRef<Path>) -> Self {
+        self.attach_store(PersistentStore::open(dir))
+    }
+
+    /// [`CompileService::with_store`] with a deterministic I/O fault
+    /// plan armed — the crash-torture harness's entry point.
+    pub fn with_store_faults(self, dir: impl AsRef<Path>, faults: StoreFaults) -> Self {
+        self.attach_store(PersistentStore::open_with_faults(dir, faults))
+    }
+
+    /// Attaches an already-opened store (tests tune compaction bounds
+    /// on the store before attaching) and runs recovery.
+    pub fn attach_store(mut self, store: PersistentStore) -> Self {
+        self.store = Some(store);
+        self.recover_from_store();
+        self
+    }
+
+    /// Durable-store counters; all-default (with `enabled: false`) for
+    /// a memory-only service.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.as_ref().map(PersistentStore::stats).unwrap_or_default()
+    }
+
+    /// Why the attached store is read-only, if it is.
+    pub fn store_read_only_reason(&self) -> Option<String> {
+        self.store
+            .as_ref()
+            .and_then(|s| s.read_only_reason().map(str::to_string))
+    }
+
+    /// The compile-relevant profile identity persisted with result
+    /// records: everything [`CompileService::suite_key`] hashes except
+    /// the source. A restarted service with a different profile or
+    /// emission mode refuses the record (`refused_identity`) instead of
+    /// replaying a compile that could not match.
+    fn profile_id(&self) -> u64 {
+        let mut norm = self.config.profile.clone();
+        norm.threads = 1;
+        let mut h = DefaultHasher::new();
+        format!("{:?}", norm).hash(&mut h);
+        self.config.emit.hash(&mut h);
+        h.finish()
+    }
+
+    /// The facts-tier build budget the pipeline derives from this
+    /// service's profile (see `Compiler::compile`: `loop_op_budget` ×
+    /// 32), i.e. the `build_budget` live facts provenance will carry.
+    fn facts_build_budget(&self) -> u64 {
+        if self.config.profile.loop_op_budget == u64::MAX {
+            u64::MAX
+        } else {
+            self.config.profile.loop_op_budget.saturating_mul(32)
+        }
+    }
+
+    /// Recovery: adopt whatever the durable store salvages, trusting
+    /// nothing. Loop records are parsed field-by-field and re-admitted
+    /// under their stored keys (a stale key simply never matches a
+    /// lookup, and every splice still re-verifies structure); facts
+    /// records are replayed through the real builders under live-
+    /// recomputed keys; result records are recompiled through the
+    /// service — warm thanks to the just-recovered loop records — and
+    /// adopted only when the live signature reproduces the stored echo.
+    /// Totally sandboxed: a record can be refused, never panic.
+    fn recover_from_store(&self) {
+        let Some(store) = &self.store else { return };
+        let loaded = store.load();
+
+        // Tier order matters: loops first (they make the result-tier
+        // replays cheap), then facts, then results.
+        for rec in &loaded.loops {
+            let adopted = rec.u64_field("k").and_then(|key| {
+                let s = SplicedLoop::from_json(rec.get("rec")?)?;
+                Some((key, s))
+            });
+            match adopted {
+                Some((key, s)) => {
+                    self.facts.loop_put(key, Arc::new(s));
+                    store.mark_seen(Tier::Loops, key);
+                    store.note_recovered(Tier::Loops);
+                }
+                None => store.note_verify_refusal(),
+            }
+        }
+
+        let live_caps = self.config.profile.caps;
+        let live_budget = self.facts_build_budget();
+        for rec in &loaded.facts {
+            let prov = (|| {
+                Some(FactsProvenance {
+                    caps: caps_from_bits(rec.u64_field("caps")?),
+                    build_budget: rec.u64_field("budget")?,
+                    base_names: rec
+                        .get("base")?
+                        .as_arr()?
+                        .iter()
+                        .map(|v| v.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()?,
+                    text: rec.str_field("text")?.to_string(),
+                })
+            })();
+            let Some(prov) = prov else {
+                store.note_verify_refusal();
+                continue;
+            };
+            if prov.caps != live_caps || prov.build_budget != live_budget {
+                store.note_identity_refusal();
+                continue;
+            }
+            if rebuild_facts(&self.facts, &prov) {
+                store.note_recovered(Tier::Facts);
+            } else {
+                store.note_verify_refusal();
+            }
+        }
+        // The replays published under keys recomputed from live
+        // content; seed the persisted set from those, not the records.
+        for (k, _) in self.facts.facts_snapshot() {
+            store.mark_seen(Tier::Facts, k);
+        }
+
+        let live_profile = self.profile_id();
+        for rec in &loaded.results {
+            let parsed = (|| {
+                Some((
+                    rec.str_field("name")?.to_string(),
+                    rec.str_field("src")?.to_string(),
+                    rec.str_field("sig")?.to_string(),
+                    rec.u64_field("profile")?,
+                ))
+            })();
+            let Some((name, src, sig, pid)) = parsed else {
+                store.note_verify_refusal();
+                continue;
+            };
+            if pid != live_profile || sig.is_empty() {
+                store.note_identity_refusal();
+                continue;
+            }
+            // Mark before compiling so the post-batch persist pass of
+            // the replay compile doesn't re-append the same record.
+            let key = self.suite_key(&src);
+            store.mark_seen(Tier::Results, key);
+            let outcome = self.compile_one(SuiteRequest::new(name.clone(), src.clone()));
+            if outcome.artifact.signature() == sig {
+                store.note_recovered(Tier::Results);
+                self.retain_result_record(key, result_payload(key, pid, &name, &src, &sig));
+            } else {
+                // The stored echo does not reproduce: the record is
+                // corrupt (or from different code). The live compile
+                // stands on its own — only the record is refused.
+                store.note_verify_refusal();
+            }
+        }
+    }
+
+    /// Remembers a result record for compaction rewrites, FIFO-bounded
+    /// to twice the result-cache capacity.
+    fn retain_result_record(&self, key: u64, payload: Json) {
+        let mut kept = self.persisted_results.lock().unwrap_or_else(|p| p.into_inner());
+        kept.retain(|(k, _)| *k != key);
+        kept.push((key, payload));
+        let cap = self.config.result_entries.saturating_mul(2).max(1);
+        while kept.len() > cap {
+            kept.remove(0);
+        }
+    }
+
+    /// Post-batch persistence: append every not-yet-persisted loop
+    /// record, facts provenance, and cacheable cold result to the tier
+    /// logs, then compact any log past its byte bound. Read-only stores
+    /// skip all of it.
+    fn persist_after_batch(&self, batch: &[SuiteRequest], keys: &[u64], outcomes: &[SuiteOutcome]) {
+        let Some(store) = &self.store else { return };
+        if store.read_only_reason().is_some() {
+            return;
+        }
+
+        let loop_records: Vec<(u64, Json)> = self
+            .facts
+            .loop_snapshot()
+            .into_iter()
+            .filter_map(|(k, rec)| {
+                let s = rec.downcast::<SplicedLoop>().ok()?;
+                Some((k, Json::Obj(vec![
+                    ("k", Json::Str(k.to_string())),
+                    ("rec", s.to_json()),
+                ])))
+            })
+            .collect();
+        let new_loops: Vec<Json> = loop_records
+            .iter()
+            .filter(|(k, _)| store.mark_seen(Tier::Loops, *k))
+            .map(|(_, p)| p.clone())
+            .collect();
+        store.append(Tier::Loops, &new_loops);
+
+        let facts_records: Vec<(u64, Json)> = self
+            .facts
+            .facts_snapshot()
+            .into_iter()
+            .map(|(k, prov)| (k, facts_payload(k, &prov)))
+            .collect();
+        let new_facts: Vec<Json> = facts_records
+            .iter()
+            .filter(|(k, _)| store.mark_seen(Tier::Facts, *k))
+            .map(|(_, p)| p.clone())
+            .collect();
+        store.append(Tier::Facts, &new_facts);
+
+        let pid = self.profile_id();
+        let mut new_results = Vec::new();
+        for (i, o) in outcomes.iter().enumerate() {
+            if o.served != Served::Cold || !Self::cacheable(&o.artifact) {
+                continue;
+            }
+            let sig = o.artifact.signature();
+            if sig.is_empty() || !store.mark_seen(Tier::Results, keys[i]) {
+                continue;
+            }
+            let payload = result_payload(keys[i], pid, &o.name, &batch[i].source, &sig);
+            self.retain_result_record(keys[i], payload.clone());
+            new_results.push(payload);
+        }
+        store.append(Tier::Results, &new_results);
+
+        if store.wants_compaction(Tier::Loops) {
+            store.compact(Tier::Loops, &loop_records);
+        }
+        if store.wants_compaction(Tier::Facts) {
+            store.compact(Tier::Facts, &facts_records);
+        }
+        if store.wants_compaction(Tier::Results) {
+            let kept = self
+                .persisted_results
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            store.compact(Tier::Results, &kept);
+        }
+    }
+
     /// Cache key for one suite: raw source bytes, the emission mode,
     /// plus the compile-relevant profile identity. Emission is keyed so
     /// a `compile_and_emit` artifact can never be served to a plain
@@ -719,6 +992,7 @@ impl CompileService {
     pub fn compile_many(&self, batch: &[SuiteRequest]) -> Batch {
         let t0 = Instant::now();
         let facts_before = self.facts.stats();
+        let store_before = self.store_stats();
 
         let keys: Vec<u64> = batch.iter().map(|r| self.suite_key(&r.source)).collect();
 
@@ -961,6 +1235,10 @@ impl CompileService {
             });
         }
 
+        // Checkpoint the new state before answering: a crash after this
+        // point loses nothing the batch learned.
+        self.persist_after_batch(batch, &keys, &outcomes);
+
         let wall_s = t0.elapsed().as_secs_f64();
         let result_evictions = self.results.lock().expect("result cache lock").evictions;
         let stats = ServiceStats {
@@ -977,6 +1255,7 @@ impl CompileService {
             quarantined_suites: self.quarantined_suites(),
             result_evictions,
             facts: self.facts.stats().since(&facts_before),
+            store: self.store_stats().since(&store_before),
             wall_s,
             suites_per_s: if wall_s > 0.0 {
                 batch.len() as f64 / wall_s
@@ -1025,6 +1304,7 @@ impl CompileService {
             quarantined_suites: self.quarantined_suites(),
             result_evictions: self.results.lock().expect("result cache lock").evictions,
             facts: self.facts.stats(),
+            store: self.store_stats(),
             wall_s,
             suites_per_s: if wall_s > 0.0 {
                 suites as f64 / wall_s
@@ -1070,6 +1350,35 @@ impl CompileService {
         });
         (Arc::new(art), t.elapsed().as_secs_f64())
     }
+}
+
+/// Facts-tier record payload: build provenance, not build output —
+/// recovery replays it through the real builders. `u64`s are encoded
+/// as decimal strings (f64 JSON numbers cannot carry 64 bits).
+fn facts_payload(key: u64, prov: &FactsProvenance) -> Json {
+    Json::Obj(vec![
+        ("k", Json::Str(key.to_string())),
+        ("caps", Json::Str(caps_bits(&prov.caps).to_string())),
+        ("budget", Json::Str(prov.build_budget.to_string())),
+        (
+            "base",
+            Json::Arr(prov.base_names.iter().map(|n| Json::Str(n.clone())).collect()),
+        ),
+        ("text", Json::Str(prov.text.clone())),
+    ])
+}
+
+/// Result-tier record payload: the suite's name and raw source plus
+/// the report-signature echo a recovering service must reproduce from
+/// a live compile before the record is believed.
+fn result_payload(key: u64, profile_id: u64, name: &str, source: &str, sig: &str) -> Json {
+    Json::Obj(vec![
+        ("k", Json::Str(key.to_string())),
+        ("profile", Json::Str(profile_id.to_string())),
+        ("name", Json::Str(name.to_string())),
+        ("src", Json::Str(source.to_string())),
+        ("sig", Json::Str(sig.to_string())),
+    ])
 }
 
 #[cfg(test)]
